@@ -1,0 +1,62 @@
+"""A4 — ablations of the extensions implemented beyond the paper's
+evaluation: fork/join extraction, the multi-token rendezvous, the
+classical abstraction + coverability pre-analysis, and the sensitivity
+profile.  Each bench asserts the reproduced property and times the
+stage.
+"""
+
+import math
+
+from conftest import record
+
+from repro.extract import extract_activity_diagram
+from repro.pepa.ctmcgen import ctmc_of_model
+from repro.pepa.sensitivity import sensitivity_profile
+from repro.pepanets import analyse_net, explore_net
+from repro.pepanets.abstraction import to_petri_net
+from repro.petri import build_coverability_graph, p_invariants
+from repro.workloads import MEETING_RATES, build_meeting_diagram, build_web_model
+
+
+def test_multitoken_rendezvous_pipeline(benchmark):
+    def run():
+        extraction = extract_activity_diagram(build_meeting_diagram(), MEETING_RATES)
+        return extraction, analyse_net(extraction.net)
+
+    extraction, analysis = benchmark(run)
+    # the joint move exists and both tokens are conserved
+    home = next(t for t in extraction.net.transitions.values() if t.action == "travel_home")
+    assert home.inputs == ("hub", "hub")
+    total = sum(analysis.location_distribution().values())
+    assert math.isclose(total, 2.0, rel_tol=1e-9)
+    record(benchmark, markings=analysis.n_states)
+
+
+def test_abstraction_preanalysis(benchmark):
+    extraction = extract_activity_diagram(build_meeting_diagram(), MEETING_RATES)
+
+    def run():
+        abstract = to_petri_net(extraction.net)
+        graph = build_coverability_graph(abstract)
+        invariants = p_invariants(abstract)
+        return abstract, graph, invariants
+
+    abstract, graph, invariants = benchmark(run)
+    # structurally bounded: every place has finite capacity
+    assert graph.is_bounded()
+    # the abstraction is far smaller than the concrete marking space
+    concrete = explore_net(extraction.net)
+    assert graph.size <= concrete.size
+    record(benchmark, abstract_nodes=graph.size, concrete_markings=concrete.size,
+           invariants=len(invariants))
+
+
+def test_sensitivity_profile_cost(benchmark):
+    model, _ = build_web_model(cached=False)
+    space, chain = ctmc_of_model(model)
+
+    profile = benchmark(lambda: sensitivity_profile(space, chain, "request"))
+    # the slow stages dominate the tuning guide for the uncached server
+    top_two = list(profile)[:2]
+    assert "translate" in top_two
+    record(benchmark, top=list(profile)[0])

@@ -1,0 +1,62 @@
+"""E1 — Figure 1: the file-operations activity diagram (no mobility).
+
+Reproduces: extraction of the diagram to a one-place PEPA net, the
+protocol properties the paper derives from the PEPA model ("it is not
+possible to write to a closed file", "read and write operations cannot
+be interleaved"), and the steady-state throughput of every activity.
+Benchmarks the full extract+solve path.
+"""
+
+import math
+
+from conftest import record
+
+from repro.pepa import derive, enabled_actions, parse_model
+from repro.workloads import FILE_PEPA_SOURCE, FILE_RATES, build_file_activity_diagram
+
+
+def test_fig1_extract_and_solve(benchmark, platform):
+    outcome = benchmark(
+        lambda: platform.analyse_activity_diagram(build_file_activity_diagram(), FILE_RATES)
+    )
+    # one implicit location, no movements
+    assert list(outcome.extraction.net.places) == ["local"]
+    assert outcome.extraction.reset_actions == []
+
+    # flow balance: every open is matched by a close
+    opens = outcome.throughput_of("openread") + outcome.throughput_of("openwrite")
+    closes = outcome.results.value("activity", "close", "throughput")
+    assert math.isclose(opens, closes, rel_tol=1e-9)
+
+    # symmetric decision: both open modes equally likely
+    assert math.isclose(
+        outcome.throughput_of("openread"), outcome.throughput_of("openwrite"), rel_tol=1e-9
+    )
+    record(
+        benchmark,
+        states=outcome.analysis.n_states,
+        throughput_read=outcome.throughput_of("read"),
+        throughput_close=closes,
+    )
+
+
+def test_fig1_protocol_properties(benchmark):
+    """The published PEPA component of Section 2.2: the protocol
+    properties hold in its derivation graph."""
+
+    def derive_and_check():
+        model = parse_model(FILE_PEPA_SOURCE)
+        env = model.environment
+        space = derive(model)
+        for state in space.states:
+            acts = enabled_actions(state, env)
+            # never both read and write available (no interleaving)
+            assert not ({"read", "write"} <= acts)
+            # writing requires having opened for writing first
+            if "write" in acts:
+                assert "openwrite" not in acts
+        return space
+
+    space = benchmark(derive_and_check)
+    assert space.size == 3
+    assert space.deadlocks() == []

@@ -1,0 +1,51 @@
+"""E2 — Figure 2: the instant-message diagram with the <<move>> transmit.
+
+Reproduces: the two-place PEPA net of Section 2.2 (places p1, p2; net
+transition ``transmit``), cross-checked against the paper's hand-written
+net, and per-activity throughput.  Benchmarks extraction and the
+hand-written net's solution separately.
+"""
+
+import math
+
+from conftest import record
+
+from repro.pepanets import analyse_net, explore_net, parse_net
+from repro.workloads import IM_PEPANET_SOURCE, IM_RATES, build_instant_message_diagram
+
+
+def test_fig2_extraction(benchmark, platform):
+    outcome = benchmark(
+        lambda: platform.analyse_activity_diagram(build_instant_message_diagram(), IM_RATES)
+    )
+    net = outcome.extraction.net
+    assert set(net.places) == {"p1", "p2"}
+    transmit = [t for t in net.transitions.values() if t.action == "transmit"]
+    assert len(transmit) == 1
+    assert transmit[0].inputs == ("p1",) and transmit[0].outputs == ("p2",)
+
+    # every activity completes once per message cycle; close runs twice
+    t_transmit = outcome.throughput_of("transmit")
+    for name in ("openwrite", "write", "openread", "read"):
+        assert math.isclose(outcome.throughput_of(name), t_transmit, rel_tol=1e-9)
+    t_close = outcome.results.value("activity", "close", "throughput")
+    assert math.isclose(t_close, 2 * t_transmit, rel_tol=1e-9)
+    record(benchmark, markings=outcome.analysis.n_states, transmit=t_transmit)
+
+
+def test_fig2_published_net(benchmark):
+    """The paper's own PEPA net (the one-shot version): 4 markings, the
+    transmit firing leaves the recurrent class at P2."""
+
+    def build_and_explore():
+        net = parse_net(IM_PEPANET_SOURCE)
+        return net, explore_net(net)
+
+    net, space = benchmark(build_and_explore)
+    assert space.size == 4
+    assert space.firing_actions == {"transmit"}
+    result = analyse_net(net)  # reducible="bscc" by default
+    # in the long run the message lives at P2 and the file cycles there
+    assert math.isclose(result.occupancy("P2"), 1.0, rel_tol=1e-9)
+    assert result.throughput("transmit") == 0.0
+    assert result.throughput("read") > 0.0

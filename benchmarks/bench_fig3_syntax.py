@@ -1,0 +1,57 @@
+"""E3 — Figure 3: the PEPA-net grammar.
+
+The grammar is implemented verbatim as our parsers; this bench parses
+and round-trips a corpus covering every production of the figure
+(prefix, choice, identifier, cooperation, hiding, cell, place
+definitions, markings, net transitions) and benchmarks parser speed on
+the paper's instant-message net.
+"""
+
+from conftest import record
+
+from repro.pepa.parser import parse_expression, parse_model
+from repro.pepanets import parse_net
+from repro.workloads import IM_PEPANET_SOURCE
+
+#: One snippet per production of Figure 3.
+EXPRESSION_CORPUS = [
+    "(alpha, 1.5).S",                      # prefix
+    "(a, 1).S + (b, 2).S",                 # choice
+    "I",                                   # identifier
+    "P <a, b> Q",                          # cooperation
+    "P || Q",                              # empty cooperation
+    "P/{a}",                               # hiding
+    "File[_]",                             # empty cell
+    "File[S]",                             # full cell
+    "(File[_] <a> Reader)/{a}",            # composite
+]
+
+MODEL_CORPUS = [
+    "P = (a, 1).P; P",
+    "r = 2; P = (a, r).Q; Q = (b, r/2).P; P/{b}",
+    "P = (a, 1).P; Q = (a, T).Q; P <*> Q",
+]
+
+
+def test_fig3_expression_corpus(benchmark):
+    def parse_all():
+        return [parse_expression(src) for src in EXPRESSION_CORPUS]
+
+    expressions = benchmark(parse_all)
+    assert len(expressions) == len(EXPRESSION_CORPUS)
+    # round trip: printing reparses to the same tree
+    for expr in expressions:
+        assert parse_expression(str(expr)) == expr
+
+
+def test_fig3_model_corpus(benchmark):
+    models = benchmark(lambda: [parse_model(src) for src in MODEL_CORPUS])
+    assert all(m.system is not None for m in models)
+
+
+def test_fig3_net_parse_round_trip(benchmark):
+    net = benchmark(lambda: parse_net(IM_PEPANET_SOURCE))
+    reparsed = parse_net(str(net))
+    assert reparsed.initial_marking() == net.initial_marking()
+    assert set(reparsed.transitions) == set(net.transitions)
+    record(benchmark, places=len(net.places), transitions=len(net.transitions))

@@ -1,0 +1,49 @@
+"""E4 — Figure 4: the extraction/reflection tool chain.
+
+Times the complete pipeline — Poseidon project → preprocessor → MDR →
+extractor → PEPA Workbench for PEPA nets → reflector → postprocessor —
+and asserts the two properties the figure encodes: results land in the
+reflected model as tagged values, and the original diagram layout
+survives untouched.
+"""
+
+from conftest import record
+
+from repro.uml.model import TAG_THROUGHPUT, UmlModel
+from repro.uml.xmi import add_synthetic_layout, extract_layout, preprocess, read_model, write_model
+from repro.workloads import IM_RATES, PDA_RATES, build_instant_message_diagram, build_pda_activity_diagram
+
+
+def poseidon_project(builder, name):
+    model = UmlModel(name=name)
+    model.add_activity_graph(builder())
+    return add_synthetic_layout(write_model(model))
+
+
+def test_fig4_full_pipeline_instant_message(benchmark, platform):
+    project = poseidon_project(build_instant_message_diagram, "im")
+
+    reflected, outcomes, _ = benchmark(lambda: platform.process_xmi(project, IM_RATES))
+    assert len(outcomes) == 1
+    # layout preserved block-for-block
+    assert extract_layout(reflected).keys() == extract_layout(project).keys()
+    # throughputs present in the reflected document
+    restored = read_model(preprocess(reflected))
+    for action in restored.activity_graph("instant-message").actions():
+        assert action.tag(TAG_THROUGHPUT) is not None
+    record(benchmark, layout_blocks=len(extract_layout(project)))
+
+
+def test_fig4_full_pipeline_pda(benchmark, platform):
+    project = poseidon_project(build_pda_activity_diagram, "pda")
+    reflected, outcomes, _ = benchmark(lambda: platform.process_xmi(project, PDA_RATES))
+    assert outcomes[0].analysis.n_states == 6
+    assert extract_layout(reflected).keys() == extract_layout(project).keys()
+
+
+def test_fig4_preprocessor_only(benchmark):
+    """The preprocessor in isolation (the cheap stage)."""
+    project = poseidon_project(build_pda_activity_diagram, "pda-pre")
+    clean = benchmark(lambda: preprocess(project))
+    assert "Poseidon" not in clean
+    read_model(clean)

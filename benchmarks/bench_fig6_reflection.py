@@ -1,0 +1,54 @@
+"""E6 — Figures 6/7: reflecting throughput results onto the diagram.
+
+Figure 6 shows Choreographer writing results back; Figure 7 shows the
+annotated diagram in Poseidon.  This bench isolates the reflection
+stage: given a solved model, annotate every action state and verify
+the tags agree with the analysis to the formatted precision.
+"""
+
+from conftest import record
+
+from repro.extract import extract_activity_diagram
+from repro.pepanets import analyse_net
+from repro.reflect import reflect_activity_results, results_of_net_analysis
+from repro.uml.model import TAG_THROUGHPUT
+from repro.workloads import PDA_RATES, build_pda_activity_diagram
+
+
+def test_fig6_reflection_stage(benchmark):
+    graph = build_pda_activity_diagram()
+    extraction = extract_activity_diagram(graph, PDA_RATES)
+    analysis = analyse_net(extraction.net)
+
+    def reflect():
+        table = results_of_net_analysis(extraction, analysis)
+        reflect_activity_results(extraction, table)
+        return table
+
+    table = benchmark(reflect)
+    for action in graph.actions():
+        tagged = float(action.tag(TAG_THROUGHPUT))
+        exact = analysis.throughput(extraction.pepa_action_of(action))
+        assert abs(tagged - exact) <= 1e-5 * max(1.0, abs(exact))
+    # the result table carries activities, the handover firing and places
+    assert table.subjects("firing")
+    assert set(table.subjects("place")) == {"transmitter_1", "transmitter_2"}
+    record(benchmark, rows=len(table))
+
+
+def test_fig7_annotated_document_round_trip(benchmark):
+    """Figure 7 is the annotated model as a Poseidon artefact: verify
+    the tags survive XMI serialisation."""
+    from repro.uml.model import UmlModel
+    from repro.uml.xmi import read_model, write_model
+
+    graph = build_pda_activity_diagram()
+    extraction = extract_activity_diagram(graph, PDA_RATES)
+    analysis = analyse_net(extraction.net)
+    reflect_activity_results(extraction, results_of_net_analysis(extraction, analysis))
+    model = UmlModel(name="annotated")
+    model.add_activity_graph(graph)
+
+    restored = benchmark(lambda: read_model(write_model(model)))
+    for action in restored.activity_graph("pda-handover").actions():
+        assert action.tag(TAG_THROUGHPUT) is not None

@@ -1,0 +1,41 @@
+"""E7 — Figure 8: the client state diagram.
+
+Reproduces: statechart → PEPA extraction, composition with the server,
+and the client's steady-state probabilities — the measure the paper
+reflects onto state diagrams.  Asserts the qualitative shape: with the
+uncached Tomcat server, the client spends most of its time waiting.
+"""
+
+import math
+
+from conftest import record
+
+from repro.workloads import build_client_statechart, build_server_statechart
+
+
+def test_fig8_client_probabilities(benchmark, platform):
+    outcome = benchmark(
+        lambda: platform.analyse_state_diagrams(
+            [build_client_statechart(), build_server_statechart(cached=False)]
+        )
+    )
+    p_generate = outcome.probability_of("Client", "GenerateRequest")
+    p_wait = outcome.probability_of("Client", "WaitForResponse")
+    p_process = outcome.probability_of("Client", "ProcessResponse")
+    assert math.isclose(p_generate + p_wait + p_process, 1.0, rel_tol=1e-9)
+    # the uncached server makes waiting dominate
+    assert p_wait > p_generate and p_wait > p_process
+    assert p_wait > 0.5
+    # think time is half the processing time (rates 2.0 vs 1.0)
+    assert math.isclose(p_process / p_generate, 2.0, rel_tol=1e-6)
+    record(benchmark, p_wait=p_wait, p_generate=p_generate, p_process=p_process)
+
+
+def test_fig8_states_annotated(benchmark, platform):
+    from repro.uml.model import TAG_PROBABILITY
+
+    client = build_client_statechart()
+    server = build_server_statechart()
+    benchmark(lambda: platform.analyse_state_diagrams([client, server]))
+    values = [float(s.tag(TAG_PROBABILITY)) for s in client.simple_states()]
+    assert math.isclose(sum(values), 1.0, rel_tol=1e-4)

@@ -1,0 +1,57 @@
+"""E8 — Figure 9: the Tomcat server's JSP lifecycle state diagram.
+
+Reproduces: the server-side steady-state probabilities before the
+direct-servlet-lookup optimisation.  The shape the model must show:
+residence concentrates on the expensive stages — translation dominates,
+then compilation — while lookup/execute/response are negligible; the
+server is never idle-bound.
+"""
+
+import math
+
+from conftest import record
+
+from repro.workloads import TOMCAT_RATES, build_client_statechart, build_server_statechart
+
+
+def test_fig9_server_probabilities(benchmark, platform):
+    outcome = benchmark(
+        lambda: platform.analyse_state_diagrams(
+            [build_client_statechart(), build_server_statechart(cached=False)]
+        )
+    )
+    p = {
+        name: outcome.probability_of("Server", name)
+        for name in (
+            "ServerIdle", "ProcessRequest", "AccessJSPFile",
+            "GeneratedJavaCode", "CompiledJavaCode", "SendHTTPResponse",
+        )
+    }
+    assert math.isclose(sum(p.values()), 1.0, rel_tol=1e-9)
+    # translation (leaving AccessJSPFile, rate 0.5) dominates residence,
+    # compilation (leaving GeneratedJavaCode, rate 1.0) is second among
+    # the working states
+    working = {k: v for k, v in p.items() if k != "ServerIdle"}
+    ordered = sorted(working, key=working.get, reverse=True)
+    assert ordered[0] == "AccessJSPFile"
+    assert ordered[1] == "GeneratedJavaCode"
+    # residence ratio tracks the rate ratio of the two slow stages
+    assert math.isclose(
+        p["AccessJSPFile"] / p["GeneratedJavaCode"],
+        TOMCAT_RATES["compile"] / TOMCAT_RATES["translate"],
+        rel_tol=1e-6,
+    )
+    record(benchmark, **{f"p_{k}": v for k, v in p.items()})
+
+
+def test_fig9_request_response_conservation(benchmark, platform):
+    outcome = benchmark(
+        lambda: platform.analyse_state_diagrams(
+            [build_client_statechart(), build_server_statechart(cached=False)]
+        )
+    )
+    ths = outcome.analysis.all_throughputs()
+    # one response per request, one full lifecycle per request
+    assert math.isclose(ths["request"], ths["response"], rel_tol=1e-9)
+    for stage in ("locatejsp", "translate", "compile", "execute"):
+        assert math.isclose(ths[stage], ths["request"], rel_tol=1e-9)

@@ -1,0 +1,93 @@
+"""A2 — aggregation ablation: exact lumping against direct solution.
+
+On the fully symmetric branch family the coarsest ordinary lumping
+collapses n+1 states to 2; this bench verifies the reduction, the
+exactness of the aggregated stationary distribution, and times
+lump+solve against plain solve.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import record
+
+from repro.ctmc.lumping import lump
+from repro.ctmc.steady import steady_state
+from repro.pepa.ctmcgen import ctmc_of_model
+from repro.workloads import symmetric_branches_model
+
+
+def chain_for(n_branches: int):
+    _, chain = ctmc_of_model(symmetric_branches_model(n_branches))
+    return chain
+
+
+@pytest.mark.parametrize("n_branches", [8, 32, 128])
+def test_lump_then_solve(benchmark, n_branches):
+    chain = chain_for(n_branches)
+
+    def lump_and_solve():
+        lumped = lump(chain)
+        return lumped, steady_state(lumped.chain)
+
+    lumped, pi_lumped = benchmark(lump_and_solve)
+    assert lumped.n_blocks == 2
+    # aggregate exactness
+    pi_full = steady_state(chain)
+    for b, members in enumerate(lumped.blocks):
+        assert math.isclose(pi_lumped[b], pi_full[members].sum(), rel_tol=1e-9)
+    record(benchmark, states=chain.n_states, blocks=lumped.n_blocks)
+
+
+@pytest.mark.parametrize("n_branches", [128])
+def test_direct_solve_baseline(benchmark, n_branches):
+    chain = chain_for(n_branches)
+    pi = benchmark(lambda: steady_state(chain))
+    assert math.isclose(pi.sum(), 1.0, rel_tol=1e-9)
+    record(benchmark, states=chain.n_states)
+
+
+def test_population_semantics_vs_unfolding(benchmark):
+    """The counting-semantics construction solves client populations the
+    unfolded interleaving could never reach (state count polynomial
+    instead of exponential) — and matches it exactly where both exist."""
+    from repro.ctmc import throughput
+    from repro.pepa import parse_expression, parse_model, population_ctmc
+
+    defs = parse_model(
+        """
+        Think = (think, 1.0).Ready;
+        Ready = (request, 2.0).Wait;
+        Wait  = (response, T).Think;
+        Idle  = (request, T).Serve;
+        Serve = (response, 5.0).Idle;
+        Idle
+        """
+    ).environment
+
+    def run():
+        states, chain = population_ctmc(
+            defs, "Think", 60, parse_expression("Idle"), {"request", "response"}
+        )
+        return states, chain, throughput(chain, "request")
+
+    states, chain, tp = benchmark(run)
+    assert len(states) < 5_000  # vs ~2^59·62 unfolded
+    assert tp > 0
+    record(benchmark, population_states=len(states), request_throughput=tp)
+
+
+def test_throughput_survives_lumping(benchmark):
+    from repro.ctmc.rewards import throughput
+
+    chain = chain_for(16)
+
+    def lumped_throughputs():
+        lumped = lump(chain)
+        return {a: throughput(lumped.chain, a) for a in chain.action_rates}
+
+    lumped_ths = benchmark(lumped_throughputs)
+    for action, value in lumped_ths.items():
+        assert math.isclose(value, throughput(chain, action), rel_tol=1e-9)

@@ -1,0 +1,50 @@
+"""A3 — simulation vs numerical solution (the paper's §1.1 comparison
+with UML-Ψ: approximate + CI-bearing vs exact + explosion-prone).
+
+The SSA runs the same operational semantics as the numerical route, so
+its confidence intervals must cover the exact values — asserted here on
+the PDA net — and the bench records the cost of each route.
+"""
+
+import math
+
+from conftest import record
+
+from repro.extract import extract_activity_diagram
+from repro.pepanets import analyse_net
+from repro.sim import estimate_throughput, net_transition_fn, replicate, simulate_net
+from repro.workloads import PDA_RATES, build_pda_activity_diagram
+
+
+def pda_net():
+    return extract_activity_diagram(build_pda_activity_diagram(), PDA_RATES).net
+
+
+def test_numerical_route(benchmark):
+    net = pda_net()
+    analysis = benchmark(lambda: analyse_net(net, reducible="error"))
+    record(benchmark, handover=analysis.throughput("handover"))
+
+
+def test_simulation_route_single_run(benchmark):
+    net = pda_net()
+    exact = analyse_net(net, reducible="error").throughput("handover")
+    result = benchmark(lambda: simulate_net(net, 2000.0, seed=1, warmup=50.0))
+    assert math.isclose(result.throughput("handover"), exact, rel_tol=0.1)
+    record(benchmark, events=result.n_events)
+
+
+def test_simulation_confidence_interval_covers_exact(benchmark):
+    net = pda_net()
+    analysis = analyse_net(net, reducible="error")
+
+    def replicated():
+        results = replicate(
+            net_transition_fn(net), net.initial_marking(), t_end=600.0,
+            n_replications=6, warmup=30.0, base_seed=99,
+        )
+        return estimate_throughput(results, "handover", confidence=0.99)
+
+    estimate = benchmark(replicated)
+    assert estimate.covers(analysis.throughput("handover"))
+    record(benchmark, mean=estimate.mean, half_width=estimate.half_width)

@@ -1,0 +1,68 @@
+"""A1b — state-space growth: the explosion the paper warns about.
+
+Measures marking-space size and derivation time as the courier-ring
+net grows in places and in tokens, and as the client/server model grows
+in clients.  Asserts the growth *shape*: exponential in clients,
+combinatorial in tokens, linear in places for a single token.
+"""
+
+import pytest
+
+from conftest import record
+
+from repro.pepa.statespace import derive
+from repro.pepanets.semantics import explore_net
+from repro.workloads import client_server_model, courier_ring_net, roaming_fleet_net
+
+
+@pytest.mark.parametrize("n_clients", [2, 4, 6, 8])
+def test_client_growth(benchmark, n_clients):
+    space = benchmark(lambda: derive(client_server_model(n_clients)))
+    # free interleaving of Think/Ready plus one optional outstanding
+    # request: 2^(n-1) * (n + 2) states
+    assert space.size == 2 ** (n_clients - 1) * (n_clients + 2)
+    record(benchmark, states=space.size)
+
+
+@pytest.mark.parametrize("n_places", [3, 6, 12, 24])
+def test_single_token_ring_growth_is_linear(benchmark, n_places):
+    space = benchmark(lambda: explore_net(courier_ring_net(n_places, 1)))
+    assert space.size == n_places
+    record(benchmark, markings=space.size)
+
+
+@pytest.mark.parametrize("n_tokens", [1, 2, 3])
+def test_multi_token_growth_is_combinatorial(benchmark, n_tokens):
+    space = benchmark(lambda: explore_net(courier_ring_net(4, n_tokens)))
+    record(benchmark, markings=space.size)
+    if n_tokens == 1:
+        assert space.size == 4
+    else:
+        # distinguishable cells make the count exceed the multiset bound
+        from math import comb
+
+        assert space.size >= comb(n_tokens + 3, 3)
+
+
+@pytest.mark.parametrize("n_sessions", [1, 2, 3])
+def test_roaming_fleet_growth(benchmark, n_sessions):
+    """The paper's Figure 5 scenario scaled: sessions roaming a ring of
+    4 transmitters with per-transmitter capacity."""
+    space = benchmark(lambda: explore_net(roaming_fleet_net(n_sessions, 4)))
+    record(benchmark, markings=space.size)
+    assert space.deadlocks() == []
+
+
+def test_growth_curve_summary(benchmark):
+    """One call that produces the whole series (for the JSON record)."""
+    def curve():
+        return {
+            f"clients_{n}": derive(client_server_model(n)).size for n in (2, 4, 6)
+        } | {
+            f"tokens_{k}": explore_net(courier_ring_net(4, k)).size for k in (1, 2, 3)
+        }
+
+    sizes = benchmark(curve)
+    assert sizes["clients_6"] > sizes["clients_4"] > sizes["clients_2"]
+    assert sizes["tokens_3"] > sizes["tokens_2"] > sizes["tokens_1"]
+    record(benchmark, **sizes)

@@ -1,0 +1,89 @@
+"""E9 — the paper's closing experiment: the Tomcat resident-servlet
+optimisation, "solved the model with and without the locate servlet
+optimisation ... the reduction in the delay spent waiting for the
+response from the server".
+
+Shape asserted (absolute numbers are ours, the paper reports none):
+
+* the optimisation wins, by an order of magnitude at our rates;
+* request throughput rises;
+* the payoff grows monotonically as compilation gets slower;
+* the baseline delay equals the analytic sum of stage means.
+"""
+
+import math
+
+from conftest import record
+
+from repro.ctmc.passage import mean_time_per_visit
+from repro.pepa.measures import analyse
+from repro.workloads import TOMCAT_RATES, build_web_model
+
+
+def waiting_delay(cached: bool, rates: dict | None = None) -> tuple[float, float]:
+    model, _ = build_web_model(cached=cached, rates=rates)
+    analysis = analyse(model)
+    wait = [i for i, lbl in enumerate(analysis.chain.labels) if "WaitForResponse" in lbl]
+    return (
+        mean_time_per_visit(analysis.chain, wait, analysis.pi),
+        analysis.throughput("request"),
+    )
+
+
+def test_tomcat_optimisation_headline(benchmark):
+    def run_both():
+        return waiting_delay(False), waiting_delay(True)
+
+    (base_delay, base_tp), (opt_delay, opt_tp) = benchmark(run_both)
+
+    # the optimisation wins, decisively
+    assert opt_delay < base_delay
+    reduction = base_delay / opt_delay
+    assert reduction > 10.0
+    # and the client gets more pages through
+    assert opt_tp > base_tp
+
+    # analytic cross-check of the baseline: the wait is one pass of the
+    # locate-translate-compile-execute-respond pipeline
+    r = TOMCAT_RATES
+    analytic = sum(1.0 / r[a] for a in ("locatejsp", "translate", "compile",
+                                        "execute", "response"))
+    assert math.isclose(base_delay, analytic, rel_tol=1e-9)
+    record(benchmark, base_delay=base_delay, opt_delay=opt_delay, reduction=reduction)
+
+
+def test_tomcat_payoff_grows_with_compile_cost(benchmark):
+    def sweep():
+        out = []
+        for compile_rate in (4.0, 1.0, 0.25):
+            override = {"compile": compile_rate}
+            d0, _ = waiting_delay(False, override)
+            d1, _ = waiting_delay(True, override)
+            out.append((compile_rate, d0 / d1))
+        return out
+
+    series = benchmark(sweep)
+    reductions = [red for _, red in series]
+    # slower compilation (left to right in the sweep) -> bigger payoff
+    assert reductions[0] < reductions[1] < reductions[2]
+
+
+def test_tomcat_cache_hit_ratio_sweep(benchmark):
+    """The optimised delay interpolates between the hit and miss costs
+    as the cache hit ratio varies."""
+    lookup_total = TOMCAT_RATES["servlethit"] + TOMCAT_RATES["servletmiss"]
+
+    def sweep():
+        out = []
+        for hit_fraction in (0.5, 0.9, 0.99):
+            override = {
+                "servlethit": lookup_total * hit_fraction,
+                "servletmiss": lookup_total * (1 - hit_fraction),
+            }
+            delay, _ = waiting_delay(True, override)
+            out.append((hit_fraction, delay))
+        return out
+
+    series = benchmark(sweep)
+    delays = [d for _, d in series]
+    assert delays[0] > delays[1] > delays[2]

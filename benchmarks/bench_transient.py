@@ -1,0 +1,48 @@
+"""A5 — transient-analysis ablation: uniformization vs expm_multiply.
+
+Both methods compute the same distributions (asserted to 1e-8); the
+bench records which is faster at which horizon — uniformization's cost
+grows with Λt (more Poisson terms), expm's with the Krylov behaviour of
+the scaled generator.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record
+
+from repro.ctmc.transient import transient_distribution
+from repro.pepa.ctmcgen import ctmc_of_model
+from repro.workloads import client_server_model
+
+_chain = None
+
+
+def chain():
+    global _chain
+    if _chain is None:
+        _, _chain = ctmc_of_model(client_server_model(7))
+    return _chain
+
+
+@pytest.mark.parametrize("t", [0.5, 5.0, 50.0])
+@pytest.mark.parametrize("method", ["uniformization", "expm"])
+def test_transient_method(benchmark, method, t):
+    c = chain()
+    dist = benchmark(lambda: transient_distribution(c, t, 0, method=method))
+    reference = transient_distribution(c, t, 0, method="uniformization")
+    assert np.allclose(dist, reference, atol=1e-8)
+    record(benchmark, states=c.n_states, horizon=t)
+
+
+def test_transient_curve_incremental_advantage(benchmark):
+    """The incremental curve over k points costs roughly one long pass,
+    not k independent solves."""
+    from repro.ctmc.transient import transient_curve
+
+    c = chain()
+    times = np.linspace(0.5, 20.0, 10)
+
+    curve = benchmark(lambda: transient_curve(c, times, 0))
+    for row, t in zip(curve[::4], times[::4]):
+        assert np.allclose(row, transient_distribution(c, float(t), 0), atol=1e-8)

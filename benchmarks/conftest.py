@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure/experiment of the paper (see
+DESIGN.md's experiment index) and *asserts the reproduced shape* —
+who wins, by roughly what factor — in addition to timing the pipeline
+stage under pytest-benchmark.  Numbers print with ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record(benchmark, **values: float) -> None:
+    """Attach reproduced values to the benchmark record (shown in the
+    saved JSON and with --benchmark-verbose)."""
+    for key, value in values.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture(scope="session")
+def platform():
+    from repro.choreographer import Choreographer
+
+    return Choreographer()

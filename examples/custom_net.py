@@ -1,0 +1,75 @@
+"""Authoring a PEPA net directly in the textual syntax (Figure 3), then
+analysing it three ways: exact numerical solution, stochastic
+simulation with confidence intervals, and export to PRISM explicit
+format for external model checking.
+
+The model: two mobile agents patrol a small network of hosts, each
+doing local work wherever it is; hosts have one visitor slot each, so
+the agents implicitly queue for locations — a miniature of the
+mobile-agent systems the paper's introduction motivates.
+
+Run:  python examples/custom_net.py
+"""
+
+from pathlib import Path
+
+from repro.ctmc.export import write_prism_files
+from repro.pepanets import analyse_net, parse_net
+from repro.sim import estimate_throughput, net_transition_fn, replicate
+
+NET_SOURCE = """
+// A mobile agent alternates local work with migration.
+Agent = (work, 3.0).Agent + (migrate, 1.0).Agent;
+
+// Three hosts; each can host one agent at a time (one cell each).
+// Two agents start on HostA and HostB.
+HostA[Agent] = Agent[_];
+HostB[Agent] = Agent[_];
+HostC[_]     = Agent[_];
+
+// The migration topology is a ring: A -> B -> C -> A.
+ab = (migrate, 1.0) : HostA -> HostB;
+bc = (migrate, 1.0) : HostB -> HostC;
+ca = (migrate, 1.0) : HostC -> HostA;
+"""
+
+net = parse_net(NET_SOURCE)
+out_dir = Path(__file__).resolve().parent / "output"
+out_dir.mkdir(exist_ok=True)
+
+# ----------------------------------------------------------------------
+# 1. Exact numerical solution
+# ----------------------------------------------------------------------
+result = analyse_net(net, reducible="error")
+print(f"marking space: {result.n_states} markings")
+print(f"exact work throughput:      {result.throughput('work'):.4f}/s")
+print(f"exact migration throughput: {result.throughput('migrate'):.4f}/s")
+print("where the agents are (mean occupancy):")
+for place, tokens in result.location_distribution().items():
+    print(f"  {place}: {tokens:.4f}")
+print("note: a full host blocks incoming migration (no vacant cell), so at")
+print("any moment only the agent behind the hole can move — the migration")
+print("throughput equals one agent's rate, not two.")
+
+# ----------------------------------------------------------------------
+# 2. Stochastic simulation with confidence intervals
+# ----------------------------------------------------------------------
+print()
+results = replicate(
+    net_transition_fn(net), net.initial_marking(), t_end=400.0,
+    n_replications=8, warmup=20.0, base_seed=2024,
+)
+for action in ("work", "migrate"):
+    estimate = estimate_throughput(results, action)
+    exact = result.throughput(action)
+    mark = "covers exact" if estimate.covers(exact) else "MISSES exact"
+    print(f"simulated {action}: {estimate}   [{mark} {exact:.4f}]")
+
+# ----------------------------------------------------------------------
+# 3. Export for PRISM (the integration surface of the paper's Section 6)
+# ----------------------------------------------------------------------
+paths = write_prism_files(result.chain, out_dir / "agents")
+print()
+print("PRISM explicit-format export:")
+for path in paths:
+    print(f"  {path} ({path.stat().st_size} bytes)")

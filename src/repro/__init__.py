@@ -1,0 +1,31 @@
+"""repro — a reproduction of "A design environment for mobile
+applications" (Gilmore, Haenel, Hillston, Tenzer; IPPS 2006).
+
+The package implements the complete Choreographer tool chain:
+
+* :mod:`repro.pepa` — the PEPA stochastic process algebra;
+* :mod:`repro.ctmc` — numerical CTMC solution and measures;
+* :mod:`repro.petri` — classical/stochastic Petri nets (baseline);
+* :mod:`repro.pepanets` — the PEPA nets formalism (Definitions 1–6);
+* :mod:`repro.uml` — UML activity/state diagrams, mobility notation,
+  XMI interchange, Poseidon pre/post-processing, metadata repository;
+* :mod:`repro.extract` — UML → PEPA net compilation (Section 3);
+* :mod:`repro.reflect` — results → UML annotation;
+* :mod:`repro.choreographer` — the integrated design platform;
+* :mod:`repro.sim` — stochastic simulation (complementary analysis);
+* :mod:`repro.workloads` — every model from the paper, ready to run.
+
+Quickstart::
+
+    from repro.choreographer import Choreographer
+    from repro.workloads.pda import build_pda_activity_diagram, PDA_RATES
+
+    platform = Choreographer()
+    outcome = platform.analyse_activity_diagram(
+        build_pda_activity_diagram(), rates=PDA_RATES)
+    print(outcome.report())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

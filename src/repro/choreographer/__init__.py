@@ -1,0 +1,15 @@
+"""The Choreographer design platform (paper Section 4, substrate S9)."""
+
+from repro.choreographer.platform import ActivityOutcome, Choreographer, StatechartOutcome
+from repro.choreographer.reporting import activity_report, statechart_report
+from repro.choreographer.workbench import PepaNetWorkbench, PepaWorkbench
+
+__all__ = [
+    "Choreographer",
+    "ActivityOutcome",
+    "StatechartOutcome",
+    "PepaWorkbench",
+    "PepaNetWorkbench",
+    "activity_report",
+    "statechart_report",
+]

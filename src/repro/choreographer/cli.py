@@ -1,0 +1,265 @@
+"""Command-line interface to the Choreographer platform.
+
+Sub-commands mirror the tool-chain stages::
+
+    choreographer analyse model.xmi --rates tomcat.rates -o reflected.xmi
+    choreographer pepa model.pepa --solver gmres
+    choreographer net model.pepanet --export-prism out/model
+    choreographer validate model.xmi
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.choreographer.platform import Choreographer
+from repro.choreographer.workbench import PepaNetWorkbench, PepaWorkbench
+from repro.ctmc.export import write_prism_files
+from repro.ctmc.steady import SOLVERS
+from repro.exceptions import ReproError
+from repro.extract.rates import RateTable, load_rates
+from repro.uml.validate import validate_for_extraction
+from repro.utils.formatting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="choreographer",
+        description="UML mobility models compiled to PEPA nets and solved as CTMCs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyse = sub.add_parser("analyse", help="run the full Figure 4 pipeline on an XMI file")
+    analyse.add_argument("model", type=Path, help="Poseidon-flavoured XMI file")
+    analyse.add_argument("--rates", type=Path, help=".rates file")
+    analyse.add_argument("-o", "--output", type=Path, help="write the reflected XMI here")
+    analyse.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    analyse.add_argument("--reset-rate", type=float, default=1.0,
+                         help="rate of synthetic token-return firings")
+
+    pepa = sub.add_parser("pepa", help="solve a textual PEPA model")
+    pepa.add_argument("model", type=Path)
+    pepa.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    pepa.add_argument("--export-prism", type=Path, metavar="STEM",
+                      help="also write PRISM .tra/.sta/.lab files")
+
+    net = sub.add_parser("net", help="solve a textual PEPA net")
+    net.add_argument("model", type=Path)
+    net.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    net.add_argument("--export-prism", type=Path, metavar="STEM")
+
+    validate = sub.add_parser("validate", help="check an XMI file against the extractor's restrictions")
+    validate.add_argument("model", type=Path)
+
+    simulate = sub.add_parser(
+        "simulate", help="stochastic simulation of a PEPA model or PEPA net"
+    )
+    simulate.add_argument("model", type=Path, help=".pepa or .pepanet file")
+    simulate.add_argument("--t-end", type=float, default=1000.0)
+    simulate.add_argument("--replications", type=int, default=8)
+    simulate.add_argument("--warmup", type=float, default=0.0)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="rate-sensitivity profile of a PEPA model measure"
+    )
+    sensitivity.add_argument("model", type=Path, help=".pepa file")
+    sensitivity.add_argument("--measure", required=True,
+                             help="action whose throughput to differentiate")
+
+    sub.add_parser(
+        "experiments",
+        help="re-run every experiment of EXPERIMENTS.md and report paper-vs-measured",
+    )
+
+    dot = sub.add_parser(
+        "dot", help="render a model as Graphviz dot (structure and/or state space)"
+    )
+    dot.add_argument("model", type=Path, help=".pepa or .pepanet file")
+    dot.add_argument("--what", choices=["structure", "states", "both"], default="both")
+    dot.add_argument("-o", "--output", type=Path, metavar="STEM",
+                     help="write <STEM>.structure.dot / <STEM>.states.dot instead of stdout")
+    return parser
+
+
+def _load_rate_table(path: Path | None) -> RateTable | None:
+    return load_rates(path) if path else None
+
+
+def _cmd_analyse(args: argparse.Namespace) -> int:
+    platform = Choreographer(solver=args.solver)
+    text = args.model.read_text()
+    reflected, activity_outcomes, statechart_outcomes = platform.process_xmi(
+        text, _load_rate_table(args.rates), reset_rate=args.reset_rate
+    )
+    for outcome in activity_outcomes:
+        print(outcome.report())
+        print()
+    for outcome in statechart_outcomes:
+        print(outcome.report())
+        print()
+    if args.output:
+        args.output.write_text(reflected)
+        print(f"reflected model written to {args.output}")
+    return 0
+
+
+def _cmd_pepa(args: argparse.Namespace) -> int:
+    workbench = PepaWorkbench(solver=args.solver)
+    analysis = workbench.solve_source(args.model.read_text())
+    print(f"{analysis.n_states} states, solver={args.solver}")
+    rows = [[a, v] for a, v in analysis.all_throughputs().items()]
+    print(format_table(["activity", "throughput"], rows))
+    if args.export_prism:
+        paths = write_prism_files(analysis.chain, args.export_prism)
+        print("PRISM files:", ", ".join(str(p) for p in paths))
+    return 0
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    workbench = PepaNetWorkbench(solver=args.solver)
+    analysis = workbench.solve_source(args.model.read_text())
+    print(f"{analysis.n_states} markings, solver={args.solver}")
+    rows = [[a, v] for a, v in analysis.all_throughputs().items()]
+    print(format_table(["activity", "throughput"], rows))
+    rows = [[p, v] for p, v in analysis.location_distribution().items()]
+    print(format_table(["place", "mean tokens"], rows))
+    if args.export_prism:
+        paths = write_prism_files(analysis.chain, args.export_prism)
+        print("PRISM files:", ", ".join(str(p) for p in paths))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    model = Choreographer.read(args.model.read_text())
+    exit_code = 0
+    for graph in model.activity_graphs:
+        problems = validate_for_extraction(graph)
+        if problems:
+            exit_code = 1
+            for problem in problems:
+                print(f"{graph.name}: {problem}")
+        else:
+            print(f"{graph.name}: ok")
+    if not model.activity_graphs:
+        print("no activity graphs in the model")
+    return exit_code
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.pepa.parser import parse_model
+    from repro.pepanets.parser import parse_net
+    from repro.sim import estimate_throughput, net_transition_fn, pepa_transition_fn, replicate
+
+    text = args.model.read_text()
+    if args.model.suffix == ".pepanet" or "->" in text:
+        net = parse_net(text)
+        fn, initial = net_transition_fn(net), net.initial_marking()
+        actions = sorted({t.action for t in net.transitions.values()})
+    else:
+        model = parse_model(text)
+        fn, initial = pepa_transition_fn(model), model.system
+        actions = sorted(model.alphabet)
+    results = replicate(
+        fn, initial, args.t_end,
+        n_replications=args.replications, warmup=args.warmup, base_seed=args.seed,
+    )
+    observed = sorted({a for r in results for a in r.action_counts})
+    rows = []
+    for action in observed or actions:
+        est = estimate_throughput(results, action)
+        rows.append([action, est.mean, est.half_width])
+    print(f"{args.replications} replications over t = {args.t_end} (warmup {args.warmup})")
+    print(format_table(["activity", "throughput", "±95%"], rows))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.pepa import parse_model, sensitivity_profile
+    from repro.pepa.ctmcgen import ctmc_of_model
+
+    model = parse_model(args.model.read_text())
+    space, chain = ctmc_of_model(model)
+    profile = sensitivity_profile(space, chain, args.measure)
+    print(f"d throughput({args.measure}) / d (scale of each action's rates):")
+    print(format_table(["perturbed action", "sensitivity"],
+                       [[a, v] for a, v in profile.items()]))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    """Render the model as Graphviz dot; PEPA nets get both a structure
+    and a marking-space view, plain PEPA a derivation graph."""
+    from repro.pepa.export import derivation_graph_dot
+    from repro.pepa.parser import parse_model
+    from repro.pepa.statespace import derive
+    from repro.pepanets.export import marking_space_dot, net_structure_dot
+    from repro.pepanets.parser import parse_net
+    from repro.pepanets.semantics import explore_net
+
+    text = args.model.read_text()
+    renderings: dict[str, str] = {}
+    if args.model.suffix == ".pepanet" or "->" in text:
+        net = parse_net(text)
+        if args.what in ("structure", "both"):
+            renderings["structure"] = net_structure_dot(net)
+        if args.what in ("states", "both"):
+            renderings["states"] = marking_space_dot(explore_net(net))
+    else:
+        model = parse_model(text)
+        if args.what in ("states", "both"):
+            renderings["states"] = derivation_graph_dot(derive(model))
+        if args.what == "structure":
+            print("plain PEPA has no net-level structure; use --what states",
+                  file=sys.stderr)
+            return 2
+    if args.output:
+        for kind, dot_text in renderings.items():
+            path = args.output.with_suffix(f".{kind}.dot")
+            path.write_text(dot_text)
+            print(f"wrote {path}")
+    else:
+        for kind, dot_text in renderings.items():
+            print(f"// {kind}")
+            print(dot_text)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.choreographer.experiments import render_report, run_all_experiments
+
+    records = run_all_experiments()
+    print(render_report(records))
+    return 0 if all(r.ok for r in records) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch a sub-command, mapping library errors to exit code 2."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyse": _cmd_analyse,
+        "pepa": _cmd_pepa,
+        "net": _cmd_net,
+        "validate": _cmd_validate,
+        "simulate": _cmd_simulate,
+        "sensitivity": _cmd_sensitivity,
+        "experiments": _cmd_experiments,
+        "dot": _cmd_dot,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""The Choreographer design platform (paper Section 4, Figure 4).
+
+The integrated pipeline: UML model in (typed, or Poseidon-flavoured
+XMI) → preprocess → metadata repository → extract → PEPA Workbench
+(numerical solution) → result table → reflect → postprocess → annotated
+UML model out.  Every intermediate artefact of Figure 4 is available on
+the outcome objects, so tests and benchmarks can assert on each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extract.activity2pepanet import ExtractionResult, extract_activity_diagram
+from repro.extract.rates import RateTable
+from repro.extract.statechart2pepa import StatechartExtraction, compose_state_machines
+from repro.pepa.measures import ModelAnalysis
+from repro.pepanets.measures import NetAnalysis
+from repro.reflect.activity_reflector import reflect_activity_results, results_of_net_analysis
+from repro.reflect.results import ResultTable
+from repro.reflect.statechart_reflector import (
+    reflect_state_probabilities,
+    results_of_model_analysis,
+)
+from repro.choreographer.workbench import PepaNetWorkbench, PepaWorkbench
+from repro.choreographer.reporting import activity_report, statechart_report
+from repro.uml.activity import ActivityGraph
+from repro.uml.model import UmlModel
+from repro.uml.statechart import StateMachine
+from repro.uml.xmi.poseidon import postprocess, preprocess
+from repro.uml.xmi.reader import read_model
+from repro.uml.xmi.writer import write_model
+
+__all__ = ["ActivityOutcome", "StatechartOutcome", "Choreographer"]
+
+
+@dataclass
+class ActivityOutcome:
+    """Everything produced by one activity-diagram analysis."""
+
+    extraction: ExtractionResult
+    analysis: NetAnalysis
+    results: ResultTable
+    graph: ActivityGraph
+
+    def throughput_of(self, activity_name: str) -> float:
+        """Steady-state throughput of a UML activity, by its diagram name."""
+        node = self.graph.action_by_name(activity_name)
+        return self.analysis.throughput(self.extraction.pepa_action_of(node))
+
+    def report(self) -> str:
+        """A plain-text report of the outcome (the Figure 6/7 content)."""
+        return activity_report(self)
+
+
+@dataclass
+class StatechartOutcome:
+    """Everything produced by one state-diagram analysis."""
+
+    extractions: list[StatechartExtraction]
+    analysis: ModelAnalysis
+    results: ResultTable
+    machines: list[StateMachine] = field(default_factory=list)
+
+    def probability_of(self, machine_name: str, state_name: str) -> float:
+        """Steady-state probability of a UML state, by machine and state name."""
+        for extraction in self.extractions:
+            if extraction.machine.name == machine_name:
+                constant = extraction.constant_of_state(state_name)
+                return self.analysis.probability_of_local_state(constant)
+        raise KeyError(f"no machine named {machine_name!r} in this outcome")
+
+    def report(self) -> str:
+        """A plain-text report of the composed state-diagram analysis."""
+        return statechart_report(self)
+
+
+class Choreographer:
+    """The design platform facade.
+
+    Parameters pick the numerical back end: ``solver`` is any method of
+    :data:`repro.ctmc.steady.SOLVERS`; ``max_states`` bounds derivation.
+    """
+
+    def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000):
+        self.solver = solver
+        self.max_states = max_states
+        self.pepa_workbench = PepaWorkbench(solver=solver, max_states=max_states)
+        self.net_workbench = PepaNetWorkbench(solver=solver, max_states=max_states)
+
+    # ------------------------------------------------------------------
+    # Activity diagrams (throughput analysis)
+    # ------------------------------------------------------------------
+    def analyse_activity_diagram(
+        self,
+        graph: ActivityGraph,
+        rates: RateTable | dict | None = None,
+        *,
+        loop: bool = True,
+        reset_rate: float = 1.0,
+    ) -> ActivityOutcome:
+        """extract → solve → reflect, returning all artefacts."""
+        extraction = extract_activity_diagram(
+            graph, rates, loop=loop, reset_rate=reset_rate
+        )
+        analysis = self.net_workbench.solve(extraction.net)
+        results = results_of_net_analysis(extraction, analysis)
+        reflect_activity_results(extraction, results)
+        return ActivityOutcome(
+            extraction=extraction, analysis=analysis, results=results, graph=graph
+        )
+
+    # ------------------------------------------------------------------
+    # State diagrams (steady-state probability analysis)
+    # ------------------------------------------------------------------
+    def analyse_state_diagrams(
+        self,
+        machines: list[StateMachine],
+        rates: RateTable | dict | None = None,
+        *,
+        cooperation: str = "shared",
+    ) -> StatechartOutcome:
+        """Compose, solve and reflect a set of state machines."""
+        model, extractions = compose_state_machines(machines, rates, cooperation=cooperation)
+        analysis = self.pepa_workbench.solve(model)
+        results = results_of_model_analysis(extractions, analysis)
+        for extraction in extractions:
+            reflect_state_probabilities(extraction, results)
+        return StatechartOutcome(
+            extractions=extractions, analysis=analysis, results=results, machines=machines
+        )
+
+    # ------------------------------------------------------------------
+    # The full Figure 4 pipeline over XMI text
+    # ------------------------------------------------------------------
+    def process_xmi(
+        self,
+        poseidon_text: str,
+        rates: RateTable | dict | None = None,
+        *,
+        loop: bool = True,
+        reset_rate: float = 1.0,
+    ) -> tuple[str, list[ActivityOutcome], list[StatechartOutcome]]:
+        """Run the complete tool chain on a Poseidon-flavoured document.
+
+        Returns the reflected document (structure updated, original
+        layout merged back) plus the analysis outcomes.
+        """
+        clean = preprocess(poseidon_text)
+        model = read_model(clean)
+        activity_outcomes = [
+            self.analyse_activity_diagram(g, rates, loop=loop, reset_rate=reset_rate)
+            for g in model.activity_graphs
+        ]
+        statechart_outcomes = []
+        if model.state_machines:
+            statechart_outcomes.append(
+                self.analyse_state_diagrams(model.state_machines, rates)
+            )
+        reflected = write_model(model)
+        merged = postprocess(reflected, poseidon_text)
+        return merged, activity_outcomes, statechart_outcomes
+
+    @staticmethod
+    def read(poseidon_text: str) -> UmlModel:
+        """Convenience: preprocess + MDR import of a Poseidon document."""
+        return read_model(preprocess(poseidon_text))

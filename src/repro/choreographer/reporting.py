@@ -1,0 +1,67 @@
+"""Plain-text reports of analysis outcomes.
+
+Renders the same information the Poseidon screenshots of Figures 6/7
+show — activities annotated with throughput, states with steady-state
+probability — as aligned tables for the terminal and the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.utils.formatting import format_table
+
+__all__ = ["activity_report", "statechart_report"]
+
+
+def activity_report(outcome) -> str:
+    """Render an :class:`~repro.choreographer.platform.ActivityOutcome`."""
+    graph = outcome.graph
+    rows = []
+    for node in graph.actions():
+        action = outcome.extraction.pepa_action_of(node)
+        rows.append(
+            [
+                node.name,
+                "<<move>>" if node.is_move else "",
+                action,
+                outcome.analysis.throughput(action),
+            ]
+        )
+    header = (
+        f"Activity diagram {graph.name!r}: "
+        f"{outcome.analysis.n_states} states, "
+        f"{len(outcome.extraction.net.places)} places, "
+        f"{len(outcome.extraction.net.transitions)} net transitions"
+    )
+    table = format_table(["activity", "stereotype", "pepa action", "throughput"], rows)
+    occupancy_rows = [
+        [place, value]
+        for place, value in outcome.analysis.location_distribution().items()
+    ]
+    occupancy = format_table(["place", "mean tokens"], occupancy_rows)
+    return f"{header}\n\n{table}\n\n{occupancy}"
+
+
+def statechart_report(outcome) -> str:
+    """Render a :class:`~repro.choreographer.platform.StatechartOutcome`."""
+    sections = [
+        f"Composed state diagrams: {outcome.analysis.n_states} states "
+        f"({', '.join(e.machine.name for e in outcome.extractions)})"
+    ]
+    for extraction in outcome.extractions:
+        rows = []
+        for state in extraction.machine.simple_states():
+            constant = extraction.state_constants[state.xmi_id]
+            rows.append(
+                [state.name, constant,
+                 outcome.analysis.probability_of_local_state(constant)]
+            )
+        sections.append(
+            f"{extraction.machine.name}\n"
+            + format_table(["state", "pepa constant", "probability"], rows)
+        )
+    throughput_rows = sorted(outcome.analysis.all_throughputs().items())
+    sections.append(
+        "activity throughput\n"
+        + format_table(["activity", "throughput"], [[a, v] for a, v in throughput_rows])
+    )
+    return "\n\n".join(sections)

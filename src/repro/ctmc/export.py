@@ -1,0 +1,92 @@
+"""CTMC interchange formats.
+
+The paper's conclusion lists tighter integration with PRISM, ipc and
+Möbius as the natural next step for Choreographer; the integration
+surface for all of them is an explicit-state CTMC dump.  We provide:
+
+* **PRISM explicit format** — ``.tra`` (transitions), ``.sta`` (states)
+  and ``.lab`` (labels) files as consumed by ``prism -importtrans``;
+* **MatrixMarket** — the generator as a standard sparse-matrix file;
+* **Graphviz dot** — for small chains, a rendering of the derivation
+  graph with action/rate arc labels.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+import scipy.io
+
+from repro.ctmc.chain import CTMC
+
+__all__ = ["to_prism", "to_matrix_market", "to_dot", "write_prism_files"]
+
+
+def to_prism(chain: CTMC) -> tuple[str, str, str]:
+    """Render the chain as PRISM explicit-format text: returns the
+    contents of the ``.tra``, ``.sta`` and ``.lab`` files."""
+    rows, cols, vals = chain.to_coo_triplets()
+    order = np.lexsort((cols, rows))
+    tra = io.StringIO()
+    tra.write(f"{chain.n_states} {len(vals)}\n")
+    for k in order:
+        tra.write(f"{rows[k]} {cols[k]} {vals[k]:.12g}\n")
+
+    sta = io.StringIO()
+    sta.write("(s)\n")
+    for i in range(chain.n_states):
+        sta.write(f"{i}:({i})\n")
+
+    lab = io.StringIO()
+    lab.write('0="init" 1="deadlock"\n')
+    lab.write(f"{chain.initial}: 0\n")
+    for i in chain.absorbing_states():
+        lab.write(f"{int(i)}: 1\n")
+    return tra.getvalue(), sta.getvalue(), lab.getvalue()
+
+
+def write_prism_files(chain: CTMC, stem: str | Path) -> tuple[Path, Path, Path]:
+    """Write ``<stem>.tra``, ``<stem>.sta``, ``<stem>.lab``."""
+    stem = Path(stem)
+    tra, sta, lab = to_prism(chain)
+    paths = (stem.with_suffix(".tra"), stem.with_suffix(".sta"), stem.with_suffix(".lab"))
+    for path, text in zip(paths, (tra, sta, lab)):
+        path.write_text(text)
+    return paths
+
+
+def to_matrix_market(chain: CTMC, path: str | Path) -> Path:
+    """Write the generator matrix in MatrixMarket coordinate format."""
+    path = Path(path)
+    scipy.io.mmwrite(str(path), chain.Q.tocoo(), comment="CTMC generator (repro)")
+    # mmwrite appends .mtx when absent
+    if not path.exists() and path.with_suffix(path.suffix + ".mtx").exists():
+        path = path.with_suffix(path.suffix + ".mtx")
+    return path
+
+
+def to_dot(chain: CTMC, *, max_states: int = 200, action_arcs: bool = False) -> str:
+    """A Graphviz rendering of the chain.
+
+    With ``action_arcs`` the per-action rate vectors cannot reconstruct
+    individual arcs, so the generator arcs are labelled by rate only;
+    PEPA/PEPA-net state spaces keep their own action-labelled dot
+    exporters at the formalism layer.
+    """
+    if chain.n_states > max_states:
+        raise ValueError(
+            f"refusing to render {chain.n_states} states as dot (limit {max_states})"
+        )
+    lines = ["digraph ctmc {", "  rankdir=LR;", "  node [shape=circle, fontsize=10];"]
+    for i in range(chain.n_states):
+        label = chain.labels[i] if chain.labels else str(i)
+        label = label.replace('"', "'")
+        shape = ' shape=doublecircle' if i == chain.initial else ""
+        lines.append(f'  s{i} [label="{label}"{shape}];')
+    rows, cols, vals = chain.to_coo_triplets()
+    for r, c, v in zip(rows, cols, vals):
+        lines.append(f'  s{r} -> s{c} [label="{v:g}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Reward-based performance measures.
+
+This is the layer that turns a stationary distribution into the numbers
+the Choreographer reflects back into UML diagrams:
+
+* **throughput of an action type** — the average number of completions
+  of that activity per unit time, ``Σ_s π(s) · rα(s)`` where ``rα(s)``
+  is the total outgoing rate of ``α``-activities in state ``s``
+  (annotated on action states of activity diagrams, Figure 7);
+* **state probabilities** grouped by a predicate or label pattern
+  (annotated on statechart states, Section 5);
+* generic expectation of a state reward vector, and utilisation as the
+  special case of a 0/1 reward.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.steady import steady_state
+from repro.exceptions import SolverError
+
+__all__ = [
+    "throughput",
+    "all_throughputs",
+    "expectation",
+    "utilisation",
+    "probability_by_label",
+    "mean_population",
+]
+
+
+def throughput(chain: CTMC, action: str, pi: np.ndarray | None = None) -> float:
+    """Steady-state throughput of ``action`` (completions per time unit).
+
+    Unknown action types have throughput zero rather than raising — the
+    reflector asks about every activity in a diagram, including ones
+    mapped away (e.g. hidden or renamed), and zero is the honest answer.
+    """
+    pi = _ensure_pi(chain, pi)
+    rates = chain.action_rates.get(action)
+    if rates is None:
+        return 0.0
+    return float(pi @ rates)
+
+
+def all_throughputs(chain: CTMC, pi: np.ndarray | None = None) -> dict[str, float]:
+    """Throughput of every action type the chain performs, sorted by name."""
+    pi = _ensure_pi(chain, pi)
+    return {action: float(pi @ rates) for action, rates in sorted(chain.action_rates.items())}
+
+
+def expectation(chain: CTMC, rewards: np.ndarray | Mapping[int, float], pi: np.ndarray | None = None) -> float:
+    """``E_π[r]`` for a reward vector or sparse {state: reward} mapping."""
+    pi = _ensure_pi(chain, pi)
+    if isinstance(rewards, Mapping):
+        vec = np.zeros(chain.n_states)
+        for state, value in rewards.items():
+            if not (0 <= state < chain.n_states):
+                raise SolverError(f"reward state {state} out of range")
+            vec[state] = value
+        rewards = vec
+    rewards = np.asarray(rewards, dtype=float)
+    if rewards.shape != (chain.n_states,):
+        raise SolverError(
+            f"reward vector must have shape ({chain.n_states},), got {rewards.shape}"
+        )
+    return float(pi @ rewards)
+
+
+def utilisation(
+    chain: CTMC, predicate: Callable[[int, str], bool], pi: np.ndarray | None = None
+) -> float:
+    """Probability mass of states satisfying ``predicate(index, label)``."""
+    pi = _ensure_pi(chain, pi)
+    labels = chain.labels or [""] * chain.n_states
+    mask = np.fromiter(
+        (predicate(i, labels[i]) for i in range(chain.n_states)), dtype=bool, count=chain.n_states
+    )
+    return float(pi[mask].sum())
+
+
+def probability_by_label(
+    chain: CTMC, pattern: str, pi: np.ndarray | None = None, *, regex: bool = False
+) -> float:
+    """Total steady-state probability of states whose label contains
+    ``pattern`` (or matches it, with ``regex=True``).
+
+    This is how statechart reflection computes the probability of a UML
+    state: every CTMC state whose derivative mentions the corresponding
+    PEPA local state contributes.
+    """
+    if not chain.labels:
+        raise SolverError("chain has no labels to match against")
+    pi = _ensure_pi(chain, pi)
+    if regex:
+        rx = re.compile(pattern)
+        mask = np.fromiter((bool(rx.search(lbl)) for lbl in chain.labels), dtype=bool)
+    else:
+        mask = np.fromiter((pattern in lbl for lbl in chain.labels), dtype=bool)
+    return float(pi[mask].sum())
+
+
+def mean_population(
+    chain: CTMC, count: Callable[[str], int], pi: np.ndarray | None = None
+) -> float:
+    """Expected value of an integer observation on labels (e.g. number
+    of tokens at a place, queue length)."""
+    if not chain.labels:
+        raise SolverError("chain has no labels to count over")
+    pi = _ensure_pi(chain, pi)
+    values = np.fromiter((count(lbl) for lbl in chain.labels), dtype=float)
+    return float(pi @ values)
+
+
+def _ensure_pi(chain: CTMC, pi: np.ndarray | None) -> np.ndarray:
+    if pi is None:
+        return steady_state(chain)
+    pi = np.asarray(pi, dtype=float)
+    if pi.shape != (chain.n_states,):
+        raise SolverError(f"distribution must have shape ({chain.n_states},), got {pi.shape}")
+    return pi

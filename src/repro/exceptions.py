@@ -1,0 +1,81 @@
+"""Shared exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between phases of the tool chain
+(parsing, static checking, state-space derivation, numerical solution,
+UML interchange, extraction and reflection).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PepaSyntaxError(ReproError):
+    """Raised when PEPA or PEPA-net source text cannot be parsed.
+
+    Carries the position of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class RateError(ReproError):
+    """Raised on illegal rate arithmetic (e.g. active+passive in a choice)."""
+
+
+class WellFormednessError(ReproError):
+    """Raised by static checks: undefined constants, unguarded recursion,
+    cooperation on passive-only action types, unbalanced nets, etc."""
+
+
+class StateSpaceError(ReproError):
+    """Raised during state-space derivation (e.g. the space exceeds the
+    configured bound, or the model deadlocks when the analysis requires
+    an ergodic chain)."""
+
+
+class DeadlockError(StateSpaceError):
+    """Raised when a model reaches a state with no outgoing activities and
+    the requested analysis needs an irreducible chain."""
+
+    def __init__(self, message: str, state=None):
+        self.state = state
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """Raised when a numerical solver fails to converge or the chain does
+    not satisfy the solver's preconditions (e.g. reducible chain handed to
+    a steady-state solver)."""
+
+
+class UmlModelError(ReproError):
+    """Raised on ill-formed UML models (dangling edges, missing states)."""
+
+
+class XmiError(ReproError):
+    """Raised when an XMI document cannot be read or does not conform to
+    the registered metamodel."""
+
+
+class ExtractionError(ReproError):
+    """Raised when a UML diagram falls outside the restrictions accepted
+    by the extractor (paper section 6)."""
+
+
+class ReflectionError(ReproError):
+    """Raised when analysis results cannot be written back into the UML
+    model (e.g. a result refers to an activity absent from the diagram)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the stochastic simulation engine."""

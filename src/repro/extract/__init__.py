@@ -1,0 +1,25 @@
+"""Extractors: UML models → PEPA / PEPA nets (paper Section 3, S7)."""
+
+from repro.extract.activity2pepanet import (
+    DEFAULT_LOCATION,
+    ExtractionResult,
+    extract_activity_diagram,
+)
+from repro.extract.rates import RateTable, load_rates, parse_rates
+from repro.extract.statechart2pepa import (
+    StatechartExtraction,
+    compose_state_machines,
+    extract_state_machine,
+)
+
+__all__ = [
+    "extract_activity_diagram",
+    "ExtractionResult",
+    "DEFAULT_LOCATION",
+    "extract_state_machine",
+    "compose_state_machines",
+    "StatechartExtraction",
+    "RateTable",
+    "parse_rates",
+    "load_rates",
+]

@@ -1,0 +1,611 @@
+"""The Section 3 mapping: mobility activity diagrams → PEPA nets.
+
+The paper's translation table, implemented rule for rule:
+
+=====================================  =================================
+Activity diagram                        PEPA net
+=====================================  =================================
+location (``atloc`` value)              net-level place
+``<<move>>`` activity                   net-level transition
+object                                  PEPA token
+activity with associated object         activity of the token
+activity without associated object      activity of a static component
+first recorded location of object       place of the token in M0
+location of object-less activity        place of the static component
+=====================================  =================================
+
+Two engineering decisions go beyond the table and are documented here
+because they affect every model:
+
+* **Recurrence.**  The paper's activity diagrams are acyclic (start
+  marker → final), but throughput is a steady-state measure, so the
+  analysed model must recur.  With ``loop=True`` (default) each token
+  restarts its behaviour after its last activity; if it ended at a
+  different location than it started, a synthetic ``reset_<object>``
+  net transition carries it home at ``reset_rate``.  The reset rate is
+  reported with the result so the modeller can judge its influence.
+* **Action identity.**  UML actions with the same name map to the same
+  PEPA action type, so the two ``close`` activities of Figure 1
+  aggregate into one throughput figure — which is what the activity
+  label means to the modeller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import ExtractionError
+from repro.extract.rates import RateTable
+from repro.pepa.environment import Environment
+from repro.pepa.rates import ActiveRate, Rate
+from repro.pepa.syntax import Cell, Choice, Const, Cooperation, Expression, Prefix, Sequential
+from repro.pepanets.syntax import NetTransitionSpec, PepaNet, PlaceDef
+from repro.pepanets.wellformed import check_net
+from repro.uml.activity import ActivityGraph, ActivityNode
+from repro.uml.validate import validate_for_extraction
+from repro.utils.naming import fresh_name, sanitize_identifier
+
+__all__ = ["ExtractionResult", "extract_activity_diagram", "DEFAULT_LOCATION"]
+
+#: Place used when a diagram has no atloc tags at all (Figure 1): the
+#: whole model lives at one implicit location.
+DEFAULT_LOCATION = "local"
+
+
+@dataclass
+class ExtractionResult:
+    """Everything the reflector needs to route results back to UML."""
+
+    net: PepaNet
+    graph: ActivityGraph
+    #: UML action node id → PEPA action type
+    action_names: dict[str, str]
+    #: UML object name → token family constant
+    token_families: dict[str, str]
+    #: place name → static component constant
+    static_components: dict[str, str]
+    #: synthetic reset firings added for recurrence
+    reset_actions: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def pepa_action_of(self, action_node: ActivityNode | str) -> str:
+        """The PEPA action type an extracted UML activity maps to."""
+        node_id = action_node.xmi_id if isinstance(action_node, ActivityNode) else action_node
+        try:
+            return self.action_names[node_id]
+        except KeyError:
+            raise ExtractionError(f"node {node_id!r} was not extracted as an activity") from None
+
+
+def extract_activity_diagram(
+    graph: ActivityGraph,
+    rates: RateTable | dict | None = None,
+    *,
+    loop: bool = True,
+    reset_rate: float = 1.0,
+    join_rate: float = 1000.0,
+) -> ExtractionResult:
+    """Compile one activity diagram into a PEPA net.
+
+    Fork/join bars (the paper's Section 6 future-work item) are
+    supported under three restrictions, each enforced with a precise
+    diagnostic: (i) fork regions are not nested, (ii) each object's
+    activities lie on at most one branch of a fork, and (iii) all
+    participants of a join are at the same location when they reach it
+    (tokens synchronise through their place context, so they must be
+    co-located).  The synchronisation itself is a shared ``join_k``
+    activity at rate ``join_rate`` (fast by default — the bar models an
+    instantaneous barrier, not work).
+    """
+    problems = validate_for_extraction(graph)
+    if problems:
+        raise ExtractionError(
+            f"diagram {graph.name!r} violates the extractor's restrictions: "
+            + "; ".join(problems)
+        )
+    if isinstance(rates, dict):
+        rates = RateTable.from_numbers(rates)
+    elif rates is None:
+        rates = RateTable()
+
+    extraction = _Extraction(graph, rates, loop, reset_rate, join_rate)
+    return extraction.run()
+
+
+class _Extraction:
+    def __init__(self, graph: ActivityGraph, rates: RateTable, loop: bool,
+                 reset_rate: float, join_rate: float = 1000.0):
+        self.graph = graph
+        self.rates = rates
+        self.loop = loop
+        self.reset_rate = reset_rate
+        self.join_rate = join_rate
+        self.env = Environment()
+        self.warnings: list[str] = []
+        self.action_names: dict[str, str] = {}
+        self.token_families: dict[str, str] = {}
+        self.token_alphabets: dict[str, set[str]] = {}
+        self.token_initial_location: dict[str, str] = {}
+        self.reset_specs: dict[tuple[str, str, str], NetTransitionSpec] = {}
+        self.firing_actions: set[str] = set()
+        # fork/join bookkeeping
+        self.fork_info: dict[str, tuple[str, list[tuple[str, frozenset[str]]]]] = {}
+        self.join_actions: dict[str, str] = {}
+        self.join_participants: dict[str, dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExtractionResult:
+        graph = self.graph
+        self.locations = graph.locations() or [DEFAULT_LOCATION]
+        self._name_actions()
+        self._analyse_forks()
+        objects = self._group_objects()
+        if not objects:
+            raise ExtractionError(
+                f"diagram {graph.name!r} has no object flows; there is nothing "
+                "to extract as a PEPA token"
+            )
+        move_specs = self._move_transitions(objects)
+        for obj in objects:
+            self._build_token(obj, objects[obj])
+        static_by_place = self._assign_static_actions()
+        static_components = {}
+        for place, action_ids in static_by_place.items():
+            if action_ids:
+                static_components[place] = self._build_static(place, action_ids)
+
+        net = PepaNet(environment=self.env)
+        for place in self.locations:
+            net.add_place(self._place_def(place, objects, static_components.get(place)))
+        for spec in move_specs:
+            net.add_transition(spec)
+        for spec in self.reset_specs.values():
+            net.add_transition(spec)
+
+        self._check_join_colocations()
+        report = check_net(net)
+        self.warnings.extend(report.warnings)
+        report.raise_if_failed()
+        return ExtractionResult(
+            net=net,
+            graph=graph,
+            action_names=dict(self.action_names),
+            token_families=dict(self.token_families),
+            static_components=static_components,
+            reset_actions=sorted({s.action for s in self.reset_specs.values()}),
+            warnings=self.warnings,
+        )
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def _name_actions(self) -> None:
+        for action in self.graph.actions():
+            self.action_names[action.xmi_id] = sanitize_identifier(action.name)
+        move_names = {self.action_names[m.xmi_id] for m in self.graph.move_actions()}
+        self.firing_actions |= move_names
+        for action in self.graph.actions():
+            name = self.action_names[action.xmi_id]
+            if not action.is_move and name in move_names:
+                raise ExtractionError(
+                    f"activity name {action.name!r} is used both by a <<move>> "
+                    "and a plain activity; rename one of them"
+                )
+
+    # ------------------------------------------------------------------
+    # Fork/join analysis
+    # ------------------------------------------------------------------
+    def _analyse_forks(self) -> None:
+        graph = self.graph
+        joins = graph.nodes_of_kind("join")
+        for i, join in enumerate(joins, start=1):
+            base = sanitize_identifier(join.name) if join.name else f"join_{i}"
+            self.join_actions[join.xmi_id] = fresh_name(
+                base, set(self.action_names.values()) | set(self.join_actions.values())
+            )
+            self.join_participants[join.xmi_id] = {}
+        for fork in graph.nodes_of_kind("fork"):
+            branches: list[tuple[str, frozenset[str]]] = []
+            joins_hit: set[str] = set()
+            for head in graph.control_successors(fork):
+                region, hit = self._branch_region(head.xmi_id)
+                for node_id in region:
+                    kind = graph.nodes[node_id].kind
+                    if kind in ("fork",):
+                        raise ExtractionError(
+                            f"fork {fork.xmi_id!r}: nested forks are not supported"
+                        )
+                branches.append((head.xmi_id, frozenset(region)))
+                joins_hit |= hit
+            if len(joins_hit) != 1:
+                raise ExtractionError(
+                    f"fork {fork.xmi_id!r}: its branches must reconverge at "
+                    f"exactly one join (found {len(joins_hit)})"
+                )
+            self.fork_info[fork.xmi_id] = (next(iter(joins_hit)), branches)
+
+    def _branch_region(self, head_id: str) -> tuple[set[str], set[str]]:
+        """Nodes reachable from a branch head without crossing a join,
+        plus the set of joins the branch runs into."""
+        graph = self.graph
+        region: set[str] = set()
+        joins: set[str] = set()
+        frontier = [head_id]
+        while frontier:
+            node_id = frontier.pop()
+            node = graph.nodes[node_id]
+            if node.kind == "join":
+                joins.add(node_id)
+                continue
+            if node_id in region:
+                continue
+            region.add(node_id)
+            frontier.extend(n.xmi_id for n in graph.control_successors(node))
+        return region, joins
+
+    def _join_successor(self, join_id: str) -> ActivityNode | None:
+        succs = self.graph.control_successors(self.graph.nodes[join_id])
+        return succs[0] if succs else None
+
+    def _check_join_colocations(self) -> None:
+        for join_id, participants in self.join_participants.items():
+            locations = set(participants.values())
+            if len(locations) > 1:
+                detail = ", ".join(f"{p} at {loc}" for p, loc in sorted(participants.items()))
+                raise ExtractionError(
+                    f"join {self.join_actions[join_id]!r}: participants must be "
+                    f"co-located to synchronise through their place context "
+                    f"({detail})"
+                )
+
+    def _group_objects(self) -> dict[str, list[ActivityNode]]:
+        objects: dict[str, list[ActivityNode]] = {}
+        classes: dict[str, str] = {}
+        for box in self.graph.objects():
+            obj, _, cls = box.object_parts()
+            if obj in classes and classes[obj] != cls:
+                raise ExtractionError(
+                    f"object {obj!r} is declared with two classes: "
+                    f"{classes[obj]!r} and {cls!r}"
+                )
+            classes[obj] = cls
+            objects.setdefault(obj, []).append(box)
+        for obj in objects:
+            objects[obj].sort(key=lambda b: b.object_parts()[1])  # by variant
+            family_base = sanitize_identifier(f"{classes[obj]}_{obj}", upper_initial=True)
+            self.token_families[obj] = fresh_name(family_base, self.token_families.values())
+        return objects
+
+    # ------------------------------------------------------------------
+    # Object-flow helpers
+    # ------------------------------------------------------------------
+    def _objects_of_action(self, action: ActivityNode) -> list[str]:
+        names = []
+        for box in self.graph.inputs_of(action) + self.graph.outputs_of(action):
+            obj = box.object_parts()[0]
+            if obj not in names:
+                names.append(obj)
+        return names
+
+    def _box_location(self, box: ActivityNode) -> str:
+        return box.atloc or DEFAULT_LOCATION
+
+    def _move_out_location(self, action: ActivityNode, obj: str) -> str:
+        for box in self.graph.outputs_of(action):
+            if box.object_parts()[0] == obj:
+                return self._box_location(box)
+        raise ExtractionError(
+            f"<<move>> activity {action.name!r} has no output object flow "
+            f"for object {obj!r}"
+        )
+
+    def _move_in_location(self, action: ActivityNode, obj: str) -> str:
+        for box in self.graph.inputs_of(action):
+            if box.object_parts()[0] == obj:
+                return self._box_location(box)
+        raise ExtractionError(
+            f"<<move>> activity {action.name!r} has no input object flow "
+            f"for object {obj!r}"
+        )
+
+    def _move_transitions(self, objects: dict[str, list[ActivityNode]]) -> list[NetTransitionSpec]:
+        specs: list[NetTransitionSpec] = []
+        taken: set[str] = set()
+        for move in self.graph.move_actions():
+            participants = [o for o in objects if self._participates(move, o)]
+            if not participants:
+                raise ExtractionError(
+                    f"<<move>> activity {move.name!r} has no participating objects"
+                )
+            action = self.action_names[move.xmi_id]
+            name = fresh_name(action, taken)
+            taken.add(name)
+            rate = self.rates.lookup(action, move.tag("rate"))
+            inputs = tuple(self._move_in_location(move, o) for o in participants)
+            outputs = tuple(self._move_out_location(move, o) for o in participants)
+            specs.append(
+                NetTransitionSpec(
+                    name=name, action=action, rate=rate,
+                    inputs=inputs, outputs=outputs,
+                )
+            )
+        return specs
+
+    def _participates(self, move: ActivityNode, obj: str) -> bool:
+        return any(b.object_parts()[0] == obj for b in self.graph.inputs_of(move))
+
+    # ------------------------------------------------------------------
+    # Token construction
+    # ------------------------------------------------------------------
+    def _build_token(self, obj: str, boxes: list[ActivityNode]) -> None:
+        family = self.token_families[obj]
+        initial_location = self._box_location(boxes[0])
+        self.token_initial_location[obj] = initial_location
+        relevant = {
+            a.xmi_id for a in self.graph.actions() if obj in self._objects_of_action(a)
+        }
+        if not relevant:
+            self.warnings.append(
+                f"object {obj!r} has boxes but no associated activities; the "
+                "token is inert"
+            )
+            self.env.define(family, Prefix("idle_" + sanitize_identifier(obj),
+                                           ActiveRate(1e-6), Const(family)))
+            self.token_alphabets[obj] = set()
+            return
+        builder = _BehaviourBuilder(
+            self, family=family, relevant=relevant,
+            location_follows_moves="own", obj=obj,
+            initial_location=initial_location,
+        )
+        builder.build()
+        self.token_alphabets[obj] = builder.alphabet
+
+    # ------------------------------------------------------------------
+    # Static components
+    # ------------------------------------------------------------------
+    def _assign_static_actions(self) -> dict[str, list[str]]:
+        """Map object-less actions to places by "the last location to
+        which a move was made" along the control flow.
+
+        A ``performedBy`` tagged value on the action overrides the
+        heuristic — the paper's Section 6 suggests exactly this
+        refinement ("tags that define which action is performed by
+        which static component could be introduced to the UML model").
+        """
+        graph = self.graph
+        by_place: dict[str, list[str]] = {p: [] for p in self.locations}
+        location_at: dict[str, str] = {}
+        initial = graph.initial_node()
+        first = self.locations[0]
+        queue: deque[tuple[str, str]] = deque([(initial.xmi_id, first)])
+        seen: set[str] = set()
+        while queue:
+            node_id, loc = queue.popleft()
+            if node_id in seen:
+                if location_at.get(node_id) not in (None, loc):
+                    self.warnings.append(
+                        f"node {graph.nodes[node_id].name or node_id!r} is reached "
+                        f"at two locations ({location_at[node_id]!r} and {loc!r}); "
+                        f"using {location_at[node_id]!r}"
+                    )
+                continue
+            seen.add(node_id)
+            location_at[node_id] = loc
+            node = graph.nodes[node_id]
+            next_loc = loc
+            if node.kind == "action" and node.is_move:
+                outs = self.graph.outputs_of(node)
+                if outs:
+                    next_loc = self._box_location(outs[0])
+            if node.kind == "action" and not self._objects_of_action(node):
+                declared = node.tag("performedBy")
+                if declared is not None:
+                    if declared not in by_place:
+                        raise ExtractionError(
+                            f"activity {node.name!r}: performedBy names unknown "
+                            f"location {declared!r} (locations: {sorted(by_place)})"
+                        )
+                    by_place[declared].append(node_id)
+                else:
+                    by_place[loc].append(node_id)
+            for succ in graph.control_successors(node):
+                queue.append((succ.xmi_id, next_loc))
+        return by_place
+
+    def _build_static(self, place: str, action_ids: list[str]) -> str:
+        family = fresh_name(
+            sanitize_identifier(f"Static_{place}", upper_initial=True),
+            set(self.env.components) | set(self.token_families.values()),
+        )
+        builder = _BehaviourBuilder(
+            self, family=family, relevant=set(action_ids),
+            location_follows_moves="none", obj=None,
+            initial_location=place,
+        )
+        builder.build()
+        return family
+
+    # ------------------------------------------------------------------
+    # Places
+    # ------------------------------------------------------------------
+    def _place_def(
+        self,
+        place: str,
+        objects: dict[str, list[ActivityNode]],
+        static: str | None,
+    ) -> PlaceDef:
+        residents = [
+            obj for obj, boxes in objects.items()
+            if any(self._box_location(b) == place for b in boxes)
+        ]
+        if not residents:
+            # A location mentioned only as a move target still needs a
+            # cell for every family that can arrive there.
+            residents = [
+                obj for obj in objects if self.token_initial_location.get(obj) is not None
+            ]
+        parts: list[tuple[Expression, set[str], Sequential | None]] = []
+        for obj in residents:
+            family = self.token_families[obj]
+            initial = (
+                Const(family)
+                if self.token_initial_location.get(obj) == place
+                else None
+            )
+            parts.append((Cell(family, None), set(self.token_alphabets[obj]), initial))
+        if static is not None:
+            parts.append((Const(static), set(_alphabet_of(self.env, static)), None))
+
+        expr, _ = parts[0][0], parts[0][1]
+        alphabet = set(parts[0][1])
+        for other, other_alpha, _ in parts[1:]:
+            shared = (alphabet & other_alpha) - self.firing_actions
+            expr = Cooperation(expr, other, frozenset(shared))
+            alphabet |= other_alpha
+        contents = tuple(initial for part, _, initial in parts if isinstance(part, Cell))
+        return PlaceDef(place, expr, contents)
+
+
+def _alphabet_of(env: Environment, constant: str) -> frozenset[str]:
+    return env.alphabet(Const(constant))
+
+
+class _BehaviourBuilder:
+    """Builds the PEPA definitions of one token or static component by
+    a memoized traversal of the control flow."""
+
+    def __init__(
+        self,
+        extraction: _Extraction,
+        *,
+        family: str,
+        relevant: set[str],
+        location_follows_moves: str,  # "own" (token) | "none" (static)
+        obj: str | None,
+        initial_location: str,
+    ):
+        self.x = extraction
+        self.family = family
+        self.relevant = relevant
+        self.mode = location_follows_moves
+        self.obj = obj
+        self.initial_location = initial_location
+        self.memo: dict[tuple[str, str], str] = {}
+        self.alphabet: set[str] = set()
+        self.counter = 0
+
+    def build(self) -> None:
+        graph = self.x.graph
+        start = graph.initial_node()
+        key = (start.xmi_id, self.initial_location)
+        self.memo[key] = self.family
+        body = self._body(start, self.initial_location)
+        self.x.env.define(self.family, body)
+
+    # -- naming ---------------------------------------------------------
+    def _fresh(self) -> str:
+        self.counter += 1
+        return fresh_name(f"{self.family}_{self.counter}", self.x.env.components)
+
+    def _behaviour(self, node: ActivityNode, loc: str) -> Sequential:
+        key = (node.xmi_id, loc)
+        if key in self.memo:
+            return Const(self.memo[key])
+        name = self._fresh()
+        self.memo[key] = name
+        self.x.env.define(name, self._body(node, loc))
+        return Const(name)
+
+    # -- rules ----------------------------------------------------------
+    def _body(self, node: ActivityNode, loc: str) -> Sequential:
+        graph = self.x.graph
+        if node.kind in ("initial", "decision"):
+            return self._successors(node, loc)
+        if node.kind == "fork":
+            return self._fork(node, loc)
+        if node.kind == "join":
+            return self._join(node, loc)
+        if node.kind == "final":
+            return self._end(loc)
+        if node.kind == "action":
+            if node.xmi_id in self.relevant:
+                action = self.x.action_names[node.xmi_id]
+                rate = self.x.rates.lookup(action, node.tag("rate"))
+                next_loc = loc
+                if node.is_move and self.mode == "own":
+                    assert self.obj is not None
+                    next_loc = self.x._move_out_location(node, self.obj)
+                self.alphabet.add(action)
+                return Prefix(action, rate, self._successors_as_const(node, next_loc))
+            return self._successors(node, loc)
+        raise ExtractionError(f"unexpected node kind {node.kind!r} in control flow")
+
+    def _successors(self, node: ActivityNode, loc: str) -> Sequential:
+        succs = self.x.graph.control_successors(node)
+        if not succs:
+            return self._end(loc)
+        branches = [self._behaviour(s, loc) for s in succs]
+        result: Sequential = branches[0]
+        for branch in branches[1:]:
+            result = Choice(result, branch)
+        return result
+
+    def _successors_as_const(self, node: ActivityNode, loc: str) -> Sequential:
+        """A prefix continuation must be a single sequential term; fold
+        multiple successors into a choice of constants."""
+        return self._successors(node, loc)
+
+    def _fork(self, node: ActivityNode, loc: str) -> Sequential:
+        """A component follows the unique branch holding its own
+        activities; a component untouched by the region skips past the
+        join (it does not take part in the barrier)."""
+        join_id, branches = self.x.fork_info[node.xmi_id]
+        mine = [head for head, region in branches if region & self.relevant]
+        if len(mine) > 1:
+            raise ExtractionError(
+                f"{self.family!r}: its activities appear on {len(mine)} branches "
+                f"of fork {node.xmi_id!r}; a sequential component cannot be in "
+                "two branches at once — split the object or merge the branches"
+            )
+        if len(mine) == 1:
+            return self._behaviour(self.x.graph.nodes[mine[0]], loc)
+        successor = self.x._join_successor(join_id)
+        if successor is None:
+            return self._end(loc)
+        return self._behaviour(successor, loc)
+
+    def _join(self, node: ActivityNode, loc: str) -> Sequential:
+        """Participants synchronise on a shared join activity through
+        their place context, then continue together."""
+        action = self.x.join_actions[node.xmi_id]
+        self.x.join_participants[node.xmi_id][self.family] = loc
+        self.alphabet.add(action)
+        return Prefix(action, ActiveRate(self.x.join_rate), self._successors(node, loc))
+
+    def _end(self, loc: str) -> Sequential:
+        if not self.x.loop:
+            raise ExtractionError(
+                f"the behaviour of {self.family!r} terminates but loop=False; "
+                "steady-state analysis needs a recurrent model"
+            )
+        if loc == self.initial_location:
+            return Const(self.family)
+        assert self.obj is not None, "static components never change location"
+        reset_action = f"reset_{sanitize_identifier(self.obj)}"
+        key = (reset_action, loc, self.initial_location)
+        if key not in self.x.reset_specs:
+            self.x.reset_specs[key] = NetTransitionSpec(
+                name=fresh_name(
+                    f"{reset_action}_{sanitize_identifier(loc)}",
+                    {s.name for s in self.x.reset_specs.values()},
+                ),
+                action=reset_action,
+                rate=ActiveRate(self.x.reset_rate),
+                inputs=(loc,),
+                outputs=(self.initial_location,),
+            )
+            self.x.firing_actions.add(reset_action)
+        self.alphabet.add(reset_action)
+        return Prefix(reset_action, ActiveRate(self.x.reset_rate), Const(self.family))

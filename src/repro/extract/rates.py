@@ -1,0 +1,110 @@
+"""Rate files (the ``.rates`` input of Figure 4).
+
+The extractor needs an exponential rate for every UML activity.  Rates
+can come from three places, in precedence order:
+
+1. an explicit ``rates`` mapping passed to the extractor;
+2. a ``rate`` tagged value on the UML element itself;
+3. the default rate (1.0).
+
+A ``.rates`` file is the textual form of (1)::
+
+    # Tomcat JSP lifecycle, measured (substituted: synthetic estimates)
+    request   = 2.0
+    locateJSP = 200.0
+    translate = 0.4
+    response  = T        # passive: the client merely accepts it
+
+``T`` / ``infty`` mark an activity as passive for the component being
+extracted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import ExtractionError
+from repro.pepa.rates import PASSIVE, ActiveRate, Rate
+
+__all__ = ["RateTable", "parse_rates", "load_rates"]
+
+_PASSIVE_NAMES = {"T", "infty", "top"}
+DEFAULT_RATE = 1.0
+
+
+class RateTable:
+    """Rates keyed by activity name, with precedence handling."""
+
+    def __init__(self, values: dict[str, Rate] | None = None, default: float = DEFAULT_RATE):
+        self._values: dict[str, Rate] = dict(values or {})
+        self.default = default
+        self.unused: set[str] = set(self._values)
+
+    @classmethod
+    def from_numbers(cls, values: dict[str, float | str], default: float = DEFAULT_RATE) -> "RateTable":
+        parsed: dict[str, Rate] = {}
+        for name, value in values.items():
+            if isinstance(value, str):
+                if value not in _PASSIVE_NAMES:
+                    raise ExtractionError(
+                        f"rate for {name!r} must be a number or 'T', got {value!r}"
+                    )
+                parsed[name] = PASSIVE
+            else:
+                parsed[name] = ActiveRate(float(value))
+        return cls(parsed, default)
+
+    def lookup(self, activity: str, tagged: str | None = None) -> Rate:
+        """Resolve a rate: table entry > UML ``rate`` tag > default."""
+        if activity in self._values:
+            self.unused.discard(activity)
+            return self._values[activity]
+        if tagged is not None:
+            if tagged in _PASSIVE_NAMES:
+                return PASSIVE
+            try:
+                return ActiveRate(float(tagged))
+            except ValueError:
+                raise ExtractionError(
+                    f"activity {activity!r} carries unparsable rate tag {tagged!r}"
+                ) from None
+        return ActiveRate(self.default)
+
+    def __contains__(self, activity: str) -> bool:
+        return activity in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def parse_rates(text: str, default: float = DEFAULT_RATE) -> RateTable:
+    """Parse ``.rates`` file content."""
+    values: dict[str, Rate] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ExtractionError(f".rates line {lineno}: expected 'name = value', got {raw!r}")
+        name, _, value = line.partition("=")
+        name = name.strip()
+        value = value.strip().rstrip(";")
+        if not name:
+            raise ExtractionError(f".rates line {lineno}: empty activity name")
+        if name in values:
+            raise ExtractionError(f".rates line {lineno}: duplicate rate for {name!r}")
+        if value in _PASSIVE_NAMES:
+            values[name] = PASSIVE
+        else:
+            try:
+                values[name] = ActiveRate(float(value))
+            except ValueError:
+                raise ExtractionError(
+                    f".rates line {lineno}: unparsable rate value {value!r}"
+                ) from None
+    return RateTable(values, default)
+
+
+def load_rates(path: str | Path, default: float = DEFAULT_RATE) -> RateTable:
+    """Parse a .rates file from disk."""
+    return parse_rates(Path(path).read_text(), default)

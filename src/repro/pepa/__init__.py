@@ -1,0 +1,78 @@
+"""PEPA: Hillston's stochastic process algebra (paper substrate S1).
+
+Public surface::
+
+    from repro.pepa import parse_model, analyse, derive
+
+    model = parse_model(SOURCE)
+    result = analyse(model)
+    result.throughput("read")
+"""
+
+from repro.pepa.environment import Environment, PepaModel
+from repro.pepa.ctmcgen import ctmc_from_statespace, ctmc_of_model
+from repro.pepa.measures import ModelAnalysis, analyse
+from repro.pepa.parser import parse_expression, parse_model, parse_rate
+from repro.pepa.rates import PASSIVE, ActiveRate, PassiveRate, Rate
+from repro.pepa.population import PopulationModel, PopulationState, population_ctmc
+from repro.pepa.semantics import Transition, apparent_rate, derivatives, enabled_actions
+from repro.pepa.sensitivity import (
+    action_generator_derivative,
+    sensitivity_profile,
+    throughput_sensitivity,
+)
+from repro.pepa.statespace import LabelledArc, StateSpace, derive, explore
+from repro.pepa.syntax import (
+    TAU,
+    Cell,
+    Choice,
+    Const,
+    Cooperation,
+    Expression,
+    Hiding,
+    Prefix,
+    Sequential,
+)
+from repro.pepa.wellformed import CheckReport, assert_well_formed, check_model
+
+__all__ = [
+    "ActiveRate",
+    "PassiveRate",
+    "Rate",
+    "PASSIVE",
+    "TAU",
+    "Prefix",
+    "Choice",
+    "Const",
+    "Cooperation",
+    "Hiding",
+    "Cell",
+    "Expression",
+    "Sequential",
+    "Environment",
+    "PepaModel",
+    "parse_model",
+    "parse_expression",
+    "parse_rate",
+    "Transition",
+    "derivatives",
+    "apparent_rate",
+    "enabled_actions",
+    "StateSpace",
+    "LabelledArc",
+    "explore",
+    "derive",
+    "ctmc_from_statespace",
+    "ctmc_of_model",
+    "ModelAnalysis",
+    "analyse",
+    "CheckReport",
+    "check_model",
+    "assert_well_formed",
+    "throughput_sensitivity",
+    "sensitivity_profile",
+    "action_generator_derivative",
+    "population_ctmc",
+    "PopulationModel",
+    "PopulationState",
+]

@@ -1,0 +1,29 @@
+"""From a PEPA state space to a CTMC.
+
+Each distinct derivative is a CTMC state; parallel activities between
+the same pair of derivatives race, so their rates sum.  The per-action
+outgoing-rate vectors needed for throughput are collected here too,
+*including* self-loop activities, which do not affect the generator but
+do count as completed work.
+"""
+
+from __future__ import annotations
+
+from repro.ctmc.chain import CTMC, build_ctmc
+from repro.pepa.environment import PepaModel
+from repro.pepa.statespace import DEFAULT_MAX_STATES, StateSpace, derive
+
+__all__ = ["ctmc_from_statespace", "ctmc_of_model"]
+
+
+def ctmc_from_statespace(space: StateSpace) -> CTMC:
+    """Build the CTMC (generator + labels + action-rate vectors)."""
+    transitions = [(arc.source, arc.action, arc.rate, arc.target) for arc in space.arcs]
+    labels = [space.state_label(i) for i in range(space.size)]
+    return build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
+
+
+def ctmc_of_model(model: PepaModel, *, max_states: int = DEFAULT_MAX_STATES) -> tuple[StateSpace, CTMC]:
+    """Derive the state space of ``model`` and its CTMC in one call."""
+    space = derive(model, max_states=max_states)
+    return space, ctmc_from_statespace(space)

@@ -1,0 +1,40 @@
+"""Visual export of PEPA derivation graphs.
+
+The counterpart of :mod:`repro.pepanets.export` for plain PEPA: the
+labelled multi-transition system as Graphviz dot, with activities on
+the arcs — the picture PEPA papers draw for small components.
+"""
+
+from __future__ import annotations
+
+from repro.pepa.statespace import StateSpace
+
+__all__ = ["derivation_graph_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def derivation_graph_dot(space: StateSpace, *, max_states: int = 150) -> str:
+    """Graphviz source for the derivation graph of a PEPA model."""
+    if space.size > max_states:
+        raise ValueError(
+            f"refusing to render {space.size} states as dot (limit {max_states})"
+        )
+    lines = [
+        "digraph pepa {",
+        "  rankdir=LR;",
+        '  node [shape=box, style=rounded, fontsize=10, fontname="Helvetica"];',
+    ]
+    for i in range(space.size):
+        label = _escape(space.state_label(i))
+        extra = ", penwidth=2" if i == space.initial else ""
+        lines.append(f'  s{i} [label="{label}"{extra}];')
+    for arc in space.arcs:
+        lines.append(
+            f'  s{arc.source} -> s{arc.target} '
+            f'[label="({_escape(arc.action)}, {arc.rate:g})"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Tokenizer shared by the PEPA and PEPA-net parsers.
+
+A small regex-driven lexer that tracks line/column positions for error
+reporting.  Comments run from ``//`` or ``%`` to end of line; ``/* */``
+block comments are also accepted.  The one subtlety is that ``/`` is
+both the hiding operator and the start of a comment, so comment detection
+must look ahead one character.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import PepaSyntaxError
+
+__all__ = ["Token", "tokenize", "TokenStream"]
+
+_TOKEN_SPEC: list[tuple[str, str]] = [
+    ("NUMBER", r"\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?"),
+    ("ARROW", r"->"),
+    ("DEF", r"="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACK", r"\["),
+    ("RBRACK", r"\]"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LANGLE", r"<"),
+    ("RANGLE", r">"),
+    ("PAR", r"\|\|"),
+    ("PLUS", r"\+"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("DOT", r"\."),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("COLON", r":"),
+    ("UNDERSCORE", r"_(?![A-Za-z0-9_])"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_']*"),
+    ("MINUS", r"-"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+_WS = re.compile(r"[ \t\r]+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, raising :class:`PepaSyntaxError` on garbage."""
+    return list(_iter_tokens(source))
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    line = 1
+    line_start = 0
+    pos = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        ws = _WS.match(source, pos)
+        if ws:
+            pos = ws.end()
+            continue
+        # Comments: //, %, /* ... */
+        if source.startswith("//", pos) or ch == "%":
+            nl = source.find("\n", pos)
+            pos = n if nl < 0 else nl
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise PepaSyntaxError("unterminated block comment", line, pos - line_start + 1)
+            # keep line counting accurate across the comment body
+            line += source.count("\n", pos, end)
+            if "\n" in source[pos:end]:
+                line_start = source.rfind("\n", pos, end) + 1
+            pos = end + 2
+            continue
+        m = _MASTER.match(source, pos)
+        if not m:
+            raise PepaSyntaxError(f"unexpected character {ch!r}", line, pos - line_start + 1)
+        kind = m.lastgroup
+        assert kind is not None
+        yield Token(kind, m.group(), line, pos - line_start + 1)
+        pos = m.end()
+    yield Token("EOF", "", line, pos - line_start + 1)
+
+
+class TokenStream:
+    """A cursor over a token list with save/restore for backtracking.
+
+    Backtracking is needed in exactly one spot: after ``(`` the parser
+    cannot tell a parenthesised expression from a prefix ``(a, r).P``
+    without parsing ahead.
+    """
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def save(self) -> int:
+        """Remember the cursor position for a later restore."""
+        return self._index
+
+    def restore(self, mark: int) -> None:
+        """Rewind the cursor to a previously saved position."""
+        self._index = mark
+
+    def at(self, *kinds: str) -> bool:
+        """True when the current token is one of the given kinds."""
+        return self.current.kind in kinds
+
+    def peek(self, offset: int = 1) -> Token:
+        """Look ahead without consuming (clamped at EOF)."""
+        idx = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def advance(self) -> Token:
+        """Consume and return the current token (EOF is sticky)."""
+        tok = self.current
+        if tok.kind != "EOF":
+            self._index += 1
+        return tok
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        """Consume a token of the given kind or raise a positioned syntax error."""
+        tok = self.current
+        if tok.kind != kind:
+            expected = what or kind
+            raise PepaSyntaxError(
+                f"expected {expected} but found {tok.text!r}", tok.line, tok.column
+            )
+        return self.advance()
+
+    def error(self, message: str) -> PepaSyntaxError:
+        """Build a syntax error at the current token's position."""
+        tok = self.current
+        return PepaSyntaxError(message, tok.line, tok.column)

@@ -1,0 +1,459 @@
+"""Recursive-descent parser for textual PEPA models.
+
+Accepted surface syntax (PEPA Workbench flavour)::
+
+    // rate constants (lower-case initial), any order, may reference
+    // each other acyclically
+    r_open  = 2.0;
+    r_read  = 10.0;
+    slow    = r_read / 100;
+
+    // component constants (upper-case initial)
+    File      = (openread, r_open).InStream + (openwrite, r_open).OutStream;
+    InStream  = (read, r_read).InStream + (close, 1.0).File;
+    OutStream = (write, 4.0).OutStream + (close, 1.0).File;
+
+    // the final bare expression is the system equation
+    File <openread, openwrite, read, write, close> FileReader
+
+Cooperation is written ``P <a, b> Q`` (``P || Q`` for the empty set,
+``P <*> Q`` for the shared-alphabet wildcard), hiding ``P/{a, b}``,
+passive rates ``T`` or ``infty`` (optionally weighted, ``2*T``), and
+cells ``Family[_]`` / ``Family[Component]`` per Figure 3 of the paper.
+
+The parser makes two passes over the statement list: rate constants are
+resolved first (topologically, so definition order is free), then
+component bodies are parsed with all rates available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PepaSyntaxError, RateError, WellFormednessError
+from repro.pepa.environment import Environment, PepaModel
+from repro.pepa.lexer import Token, TokenStream, tokenize
+from repro.pepa.rates import ActiveRate, PassiveRate, Rate
+from repro.pepa.syntax import (
+    WILDCARD_SET,
+    Cell,
+    Choice,
+    Const,
+    Cooperation,
+    Expression,
+    Hiding,
+    Prefix,
+    Sequential,
+)
+from repro.utils.ordering import topological_order
+
+__all__ = ["parse_model", "parse_expression", "parse_rate", "PASSIVE_NAMES"]
+
+#: Identifiers that denote the passive rate in rate position.
+PASSIVE_NAMES = frozenset({"T", "infty", "top"})
+
+
+# ----------------------------------------------------------------------
+# Rate expressions (symbolic, resolved against the rate environment)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class _Ref:
+    name: str
+    token: Token
+
+
+@dataclass(frozen=True)
+class _Passive:
+    pass
+
+
+@dataclass(frozen=True)
+class _BinOp:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class _Neg:
+    operand: object
+
+
+def _rate_refs(expr: object) -> frozenset[str]:
+    if isinstance(expr, _Ref):
+        return frozenset({expr.name})
+    if isinstance(expr, _BinOp):
+        return _rate_refs(expr.left) | _rate_refs(expr.right)
+    if isinstance(expr, _Neg):
+        return _rate_refs(expr.operand)
+    return frozenset()
+
+
+def _eval_rate_expr(expr: object, rates: dict[str, float]) -> float | _Passive | tuple:
+    """Evaluate to a float, or ('passive', weight) for passive results."""
+    if isinstance(expr, _Num):
+        return expr.value
+    if isinstance(expr, _Passive):
+        return ("passive", 1.0)
+    if isinstance(expr, _Ref):
+        if expr.name not in rates:
+            raise PepaSyntaxError(
+                f"undefined rate constant {expr.name!r}", expr.token.line, expr.token.column
+            )
+        return rates[expr.name]
+    if isinstance(expr, _Neg):
+        v = _eval_rate_expr(expr.operand, rates)
+        if isinstance(v, tuple):
+            raise RateError("cannot negate a passive rate")
+        return -v
+    if isinstance(expr, _BinOp):
+        lv = _eval_rate_expr(expr.left, rates)
+        rv = _eval_rate_expr(expr.right, rates)
+        lpass, rpass = isinstance(lv, tuple), isinstance(rv, tuple)
+        if lpass or rpass:
+            # The only legal passive arithmetic in a rate position is a
+            # scalar weight: w*T or T*w.
+            if expr.op == "*" and lpass != rpass:
+                weight = rv if lpass else lv
+                base = lv if lpass else rv
+                assert isinstance(base, tuple)
+                return ("passive", base[1] * float(weight))  # type: ignore[arg-type]
+            raise RateError(f"illegal passive-rate arithmetic: operator {expr.op!r}")
+        assert isinstance(lv, float) and isinstance(rv, float)
+        if expr.op == "+":
+            return lv + rv
+        if expr.op == "-":
+            return lv - rv
+        if expr.op == "*":
+            return lv * rv
+        if expr.op == "/":
+            if rv == 0.0:
+                raise RateError("division by zero in rate expression")
+            return lv / rv
+        raise RateError(f"unknown rate operator {expr.op!r}")
+    raise TypeError(f"not a rate expression: {expr!r}")
+
+
+def _to_rate(value: float | tuple) -> Rate:
+    if isinstance(value, tuple):
+        return PassiveRate(value[1])
+    return ActiveRate(value)
+
+
+# ----------------------------------------------------------------------
+# The parser proper
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, stream: TokenStream, rates: dict[str, float]):
+        self.stream = stream
+        self.rates = rates
+
+    # -- expression grammar ------------------------------------------
+    def parse_composite(self) -> Expression:
+        left = self.parse_choice()
+        while self.stream.at("LANGLE", "PAR"):
+            actions = self._parse_coop_set()
+            right = self.parse_choice()
+            left = Cooperation(left, right, actions)
+        return left
+
+    def _parse_coop_set(self) -> frozenset[str]:
+        if self.stream.at("PAR"):
+            self.stream.advance()
+            return frozenset()
+        self.stream.expect("LANGLE")
+        if self.stream.at("STAR"):
+            self.stream.advance()
+            self.stream.expect("RANGLE")
+            return WILDCARD_SET
+        names: set[str] = set()
+        while not self.stream.at("RANGLE"):
+            tok = self.stream.expect("IDENT", "action type")
+            names.add(tok.text)
+            if self.stream.at("COMMA"):
+                self.stream.advance()
+        self.stream.expect("RANGLE")
+        return frozenset(names)
+
+    def parse_choice(self) -> Expression:
+        left = self.parse_hiding()
+        while self.stream.at("PLUS"):
+            plus = self.stream.advance()
+            right = self.parse_hiding()
+            if not isinstance(left, Sequential) or not isinstance(right, Sequential):
+                raise PepaSyntaxError(
+                    "choice (+) is only defined between sequential components",
+                    plus.line,
+                    plus.column,
+                )
+            left = Choice(left, right)
+        return left
+
+    def parse_hiding(self) -> Expression:
+        expr = self.parse_postfix()
+        while self.stream.at("SLASH"):
+            self.stream.advance()
+            self.stream.expect("LBRACE")
+            names: set[str] = set()
+            while not self.stream.at("RBRACE"):
+                tok = self.stream.expect("IDENT", "action type")
+                names.add(tok.text)
+                if self.stream.at("COMMA"):
+                    self.stream.advance()
+            self.stream.expect("RBRACE")
+            expr = Hiding(expr, frozenset(names))
+        return expr
+
+    def parse_postfix(self) -> Expression:
+        expr = self.parse_primary()
+        if isinstance(expr, Const) and self.stream.at("LBRACK"):
+            self.stream.advance()
+            content: Sequential | None
+            if self.stream.at("UNDERSCORE"):
+                self.stream.advance()
+                content = None
+            elif self.stream.at("RBRACK"):
+                content = None
+            else:
+                inner = self.parse_choice()
+                if not isinstance(inner, Sequential):
+                    raise self.stream.error("cell contents must be a sequential component")
+                content = inner
+            self.stream.expect("RBRACK")
+            return Cell(expr.name, content)
+        return expr
+
+    def parse_primary(self) -> Expression:
+        if self.stream.at("IDENT"):
+            tok = self.stream.advance()
+            if not tok.text[0].isupper():
+                raise PepaSyntaxError(
+                    f"component constants begin upper-case, got {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+            return Const(tok.text)
+        if self.stream.at("LPAREN"):
+            # '(' IDENT ',' ...  is a prefix when IDENT is lower-case;
+            # anything else is a parenthesised expression.
+            if (
+                self.stream.peek(1).kind == "IDENT"
+                and not self.stream.peek(1).text[0].isupper()
+                and self.stream.peek(2).kind == "COMMA"
+            ):
+                return self.parse_prefix()
+            self.stream.advance()
+            inner = self.parse_composite()
+            self.stream.expect("RPAREN")
+            return inner
+        raise self.stream.error("expected a component expression")
+
+    def parse_prefix(self) -> Prefix:
+        self.stream.expect("LPAREN")
+        action_tok = self.stream.expect("IDENT", "action type")
+        self.stream.expect("COMMA")
+        rate = self.parse_rate_value()
+        self.stream.expect("RPAREN")
+        self.stream.expect("DOT")
+        cont = self.parse_seq_factor()
+        return Prefix(action_tok.text, rate, cont)
+
+    def parse_seq_factor(self) -> Sequential:
+        """A prefix continuation: a constant, another prefix, or a
+        parenthesised sequential expression."""
+        if self.stream.at("IDENT"):
+            tok = self.stream.advance()
+            if not tok.text[0].isupper():
+                raise PepaSyntaxError(
+                    f"component constants begin upper-case, got {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+            return Const(tok.text)
+        if self.stream.at("LPAREN"):
+            if (
+                self.stream.peek(1).kind == "IDENT"
+                and not self.stream.peek(1).text[0].isupper()
+                and self.stream.peek(2).kind == "COMMA"
+            ):
+                return self.parse_prefix()
+            self.stream.advance()
+            inner = self.parse_choice()
+            self.stream.expect("RPAREN")
+            if not isinstance(inner, Sequential):
+                raise self.stream.error("prefix continuation must be sequential")
+            return inner
+        raise self.stream.error("expected a sequential component after '.'")
+
+    # -- rates ---------------------------------------------------------
+    def parse_rate_value(self) -> Rate:
+        expr = self.parse_rate_expr()
+        return _to_rate(_eval_rate_expr(expr, self.rates))
+
+    def parse_rate_expr(self) -> object:
+        left = self.parse_rate_term()
+        while self.stream.at("PLUS", "MINUS"):
+            op = self.stream.advance().text
+            right = self.parse_rate_term()
+            left = _BinOp(op, left, right)
+        return left
+
+    def parse_rate_term(self) -> object:
+        left = self.parse_rate_factor()
+        while self.stream.at("STAR", "SLASH"):
+            op = self.stream.advance().text
+            right = self.parse_rate_factor()
+            left = _BinOp(op, left, right)
+        return left
+
+    def parse_rate_factor(self) -> object:
+        if self.stream.at("NUMBER"):
+            return _Num(float(self.stream.advance().text))
+        if self.stream.at("MINUS"):
+            self.stream.advance()
+            return _Neg(self.parse_rate_factor())
+        if self.stream.at("IDENT"):
+            tok = self.stream.advance()
+            if tok.text in PASSIVE_NAMES:
+                return _Passive()
+            if tok.text[0].isupper():
+                raise PepaSyntaxError(
+                    f"rate constants begin lower-case, got {tok.text!r}", tok.line, tok.column
+                )
+            return _Ref(tok.text, tok)
+        if self.stream.at("LPAREN"):
+            self.stream.advance()
+            inner = self.parse_rate_expr()
+            self.stream.expect("RPAREN")
+            return inner
+        raise self.stream.error("expected a rate expression")
+
+
+# ----------------------------------------------------------------------
+# Statement splitting + two-phase model assembly
+# ----------------------------------------------------------------------
+def _split_statements(tokens: list[Token]) -> list[list[Token]]:
+    """Split the token list into ';'-terminated statements.  A trailing
+    statement without ';' is allowed (the system equation)."""
+    statements: list[list[Token]] = []
+    current: list[Token] = []
+    for tok in tokens:
+        if tok.kind == "EOF":
+            break
+        if tok.kind == "SEMI":
+            if current:
+                statements.append(current)
+                current = []
+            continue
+        current.append(tok)
+    if current:
+        statements.append(current)
+    return statements
+
+
+def _is_definition(stmt: list[Token]) -> bool:
+    return len(stmt) >= 2 and stmt[0].kind == "IDENT" and stmt[1].kind == "DEF"
+
+
+def parse_model(source: str) -> PepaModel:
+    """Parse a complete PEPA model (definitions + system equation)."""
+    tokens = tokenize(source)
+    statements = _split_statements(tokens)
+    if not statements:
+        raise PepaSyntaxError("empty model")
+
+    rate_stmts: list[list[Token]] = []
+    comp_stmts: list[list[Token]] = []
+    system_stmts: list[list[Token]] = []
+    for stmt in statements:
+        if _is_definition(stmt):
+            if stmt[0].text[0].isupper():
+                comp_stmts.append(stmt)
+            else:
+                rate_stmts.append(stmt)
+        else:
+            system_stmts.append(stmt)
+    if len(system_stmts) != 1:
+        raise PepaSyntaxError(
+            f"a model needs exactly one system equation, found {len(system_stmts)}"
+        )
+
+    # Phase 1: resolve rate constants topologically so order is free.
+    rate_exprs: dict[str, object] = {}
+    rate_tokens: dict[str, Token] = {}
+    for stmt in rate_stmts:
+        name = stmt[0].text
+        if name in rate_exprs:
+            raise PepaSyntaxError(f"rate constant {name!r} defined twice", stmt[0].line, stmt[0].column)
+        stream = TokenStream(stmt[2:] + [Token("EOF", "", stmt[-1].line, stmt[-1].column)])
+        parser = _Parser(stream, {})
+        expr = parser.parse_rate_expr()
+        if not stream.at("EOF"):
+            raise stream.error("unexpected trailing tokens in rate definition")
+        rate_exprs[name] = expr
+        rate_tokens[name] = stmt[0]
+
+    edges = {
+        name: [ref for ref in _rate_refs(expr) if ref in rate_exprs]
+        for name, expr in rate_exprs.items()
+    }
+    try:
+        # topological_order orders dependencies *after* dependents given
+        # successor edges name -> refs; evaluate in reverse.
+        order = topological_order(rate_exprs.keys(), edges)
+    except Exception as exc:  # cycle
+        raise WellFormednessError(f"cyclic rate definitions: {exc}") from exc
+
+    rates: dict[str, float] = {}
+    for name in reversed(order):
+        value = _eval_rate_expr(rate_exprs[name], rates)
+        if isinstance(value, tuple):
+            raise WellFormednessError(
+                f"rate constant {name!r} resolves to a passive rate; write T inline instead"
+            )
+        rates[name] = value
+
+    # Phase 2: component definitions and the system equation.
+    env = Environment(rates=dict(rates))
+    for stmt in comp_stmts:
+        name = stmt[0].text
+        stream = TokenStream(stmt[2:] + [Token("EOF", "", stmt[-1].line, stmt[-1].column)])
+        parser = _Parser(stream, rates)
+        body = parser.parse_composite()
+        if not stream.at("EOF"):
+            raise stream.error(f"unexpected trailing tokens in definition of {name!r}")
+        env.define(name, body)
+
+    stmt = system_stmts[0]
+    stream = TokenStream(stmt + [Token("EOF", "", stmt[-1].line, stmt[-1].column)])
+    parser = _Parser(stream, rates)
+    system = parser.parse_composite()
+    if not stream.at("EOF"):
+        raise stream.error("unexpected trailing tokens after the system equation")
+
+    return PepaModel(env, system)
+
+
+def parse_expression(source: str, rates: dict[str, float] | None = None) -> Expression:
+    """Parse a single PEPA expression (no definitions)."""
+    stream = TokenStream(tokenize(source))
+    parser = _Parser(stream, dict(rates or {}))
+    expr = parser.parse_composite()
+    if not stream.at("EOF"):
+        raise stream.error("unexpected trailing tokens")
+    return expr
+
+
+def parse_rate(source: str, rates: dict[str, float] | None = None) -> Rate:
+    """Parse and evaluate a single rate expression."""
+    stream = TokenStream(tokenize(source))
+    parser = _Parser(stream, dict(rates or {}))
+    rate = parser.parse_rate_value()
+    if not stream.at("EOF"):
+        raise stream.error("unexpected trailing tokens")
+    return rate

@@ -1,0 +1,221 @@
+"""Population (counting) semantics for replicated components.
+
+The client/server families that drive state-space explosion have a
+well-known cure: when ``n`` identical sequential components run in pure
+interleaving, global states that differ only by *which* replica is in
+which local state are lumpable, and the quotient is the **population
+CTMC** whose states count replicas per local state.  The state count
+drops from ``|ds(P)|^n`` to ``C(n + |ds(P)| - 1, |ds(P)| - 1)`` —
+polynomial instead of exponential.
+
+We implement the construction for the system shape
+
+    (P || P || ... || P)  <L>  Q
+
+(``n`` replicas of one sequential component cooperating with an
+arbitrary — typically small — environment component ``Q``):
+
+* an *individual* activity of a replica in local state ``s`` with rate
+  ``r`` occurs at population rate ``n_s · r``;
+* a *shared* activity ``α ∈ L`` follows the apparent-rate law with the
+  replica side's apparent rate ``Σ_s n_s · rα(s)`` — exactly what the
+  unfolded cooperation would compute, because apparent rates add across
+  interleaved replicas;
+* ``Q``'s independent activities are unchanged.
+
+The result is exact: the tests verify that every measure (throughput,
+local-state probabilities scaled by counts) matches the unfolded model
+on instances small enough to unfold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ctmc.chain import CTMC, build_ctmc
+from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.pepa.environment import Environment
+from repro.pepa.rates import Rate, cooperation_rate, rate_sum
+from repro.pepa.semantics import apparent_rate, derivative_set, derivatives
+from repro.pepa.syntax import Expression, Sequential
+from repro.utils.ordering import stable_sorted
+
+__all__ = ["PopulationState", "PopulationModel", "population_ctmc"]
+
+
+@dataclass(frozen=True)
+class PopulationState:
+    """(counts per replica local state, environment state)."""
+
+    counts: tuple[tuple[str, int], ...]  # sorted (local-state-name, n>0)
+    environment_state: Expression
+
+    def count_of(self, local_state: str) -> int:
+        """How many replicas currently occupy the given local state."""
+        return dict(self.counts).get(local_state, 0)
+
+    def total(self) -> int:
+        """The total replica count (invariant across the state space)."""
+        return sum(n for _, n in self.counts)
+
+    def __str__(self) -> str:
+        pops = ", ".join(f"{name}:{n}" for name, n in self.counts)
+        return f"[{pops}] | {self.environment_state}"
+
+
+class PopulationModel:
+    """The counting-semantics model for ``replica^n <L> environment``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        replica: str,
+        n_replicas: int,
+        environment_component: Expression,
+        cooperation: frozenset[str],
+    ):
+        if n_replicas < 1:
+            raise WellFormednessError("need at least one replica")
+        self.env = env
+        self.replica = replica
+        self.n = n_replicas
+        self.environment_component = environment_component
+        self.cooperation = cooperation
+        # local states of the replica, with canonical string names
+        self.local_states: dict[str, Sequential] = {}
+        for state in stable_sorted(derivative_set(replica, env), key=str):
+            self.local_states[str(state)] = state
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> PopulationState:
+        """All replicas in the start state, environment at its start."""
+        from repro.pepa.syntax import Const
+
+        name = str(Const(self.replica))
+        if name not in self.local_states:
+            raise WellFormednessError(f"replica constant {self.replica!r} not found")
+        return PopulationState(((name, self.n),), self.environment_component)
+
+    def replica_apparent_rate(self, state: PopulationState, action: str) -> Rate | None:
+        """Apparent rate of the whole population: Σ n_s · rα(s)."""
+        total: Rate | None = None
+        for name, count in state.counts:
+            single = apparent_rate(self.local_states[name], action, self.env)
+            if single is None:
+                continue
+            scaled = _scale(single, count)
+            total = scaled if total is None else rate_sum(total, scaled)
+        return total
+
+    def transitions(self, state: PopulationState) -> list[tuple[str, float, PopulationState]]:
+        """All outgoing (action, rate, successor) of a population state."""
+        out: list[tuple[str, float, PopulationState]] = []
+        counts = dict(state.counts)
+        env_state = state.environment_state
+
+        env_transitions = derivatives(env_state, self.env)
+        # --- independent replica moves (action not in L) --------------
+        for name, n in state.counts:
+            for tr in derivatives(self.local_states[name], self.env):
+                if tr.action in self.cooperation:
+                    continue
+                if tr.rate.is_passive():
+                    raise WellFormednessError(
+                        f"replica activity ({tr.action}) is passive outside "
+                        "the cooperation set; it can never proceed"
+                    )
+                successor = _move(counts, name, str(tr.target))
+                out.append((tr.action, n * tr.rate.value,
+                            PopulationState(successor, env_state)))
+        # --- independent environment moves -----------------------------
+        for tr in env_transitions:
+            if tr.action in self.cooperation:
+                continue
+            if tr.rate.is_passive():
+                raise WellFormednessError(
+                    f"environment activity ({tr.action}) is passive outside "
+                    "the cooperation set"
+                )
+            out.append((tr.action, tr.rate.value,
+                        PopulationState(state.counts, tr.target)))
+        # --- shared activities ------------------------------------------
+        for action in sorted(self.cooperation):
+            pop_apparent = self.replica_apparent_rate(state, action)
+            env_apparent = apparent_rate(env_state, action, self.env)
+            if pop_apparent is None or env_apparent is None:
+                continue
+            for name, n in state.counts:
+                for tr in derivatives(self.local_states[name], self.env):
+                    if tr.action != action:
+                        continue
+                    replica_rate = _scale(tr.rate, n)
+                    for etr in env_transitions:
+                        if etr.action != action:
+                            continue
+                        joint = cooperation_rate(
+                            replica_rate, etr.rate, pop_apparent, env_apparent
+                        )
+                        if joint.is_passive():
+                            raise WellFormednessError(
+                                f"shared activity ({action}) is passive on "
+                                "both sides of the cooperation"
+                            )
+                        successor = _move(counts, name, str(tr.target))
+                        out.append((action, joint.value,
+                                    PopulationState(successor, etr.target)))
+        return out
+
+
+def _scale(rate: Rate, factor: int) -> Rate:
+    from repro.pepa.rates import ActiveRate, PassiveRate
+
+    if factor == 1:
+        return rate
+    if rate.is_passive():
+        assert isinstance(rate, PassiveRate)
+        return PassiveRate(rate.weight * factor)
+    return ActiveRate(rate.value * factor)
+
+
+def _move(counts: dict[str, int], source: str, target: str) -> tuple[tuple[str, int], ...]:
+    nxt = dict(counts)
+    nxt[source] -= 1
+    nxt[target] = nxt.get(target, 0) + 1
+    return tuple(sorted((k, v) for k, v in nxt.items() if v > 0))
+
+
+def population_ctmc(
+    env: Environment,
+    replica: str,
+    n_replicas: int,
+    environment_component: Expression,
+    cooperation: frozenset[str] | set[str],
+    *,
+    max_states: int = 1_000_000,
+) -> tuple[list[PopulationState], CTMC]:
+    """Explore the population state space and build its CTMC."""
+    model = PopulationModel(
+        env, replica, n_replicas, environment_component, frozenset(cooperation)
+    )
+    initial = model.initial_state()
+    index: dict[PopulationState, int] = {initial: 0}
+    states: list[PopulationState] = [initial]
+    records: list[tuple[int, str, float, int]] = []
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        src = index[state]
+        for action, rate, successor in model.transitions(state):
+            tgt = index.get(successor)
+            if tgt is None:
+                if len(states) >= max_states:
+                    raise StateSpaceError(
+                        f"population space exceeds {max_states} states"
+                    )
+                tgt = len(states)
+                index[successor] = tgt
+                states.append(successor)
+                frontier.append(successor)
+            records.append((src, action, rate, tgt))
+    labels = [str(s) for s in states]
+    return states, build_ctmc(len(states), records, labels=labels)

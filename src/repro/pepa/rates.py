@@ -1,0 +1,172 @@
+"""The PEPA rate algebra.
+
+PEPA activities carry either an *active* rate — a positive real, the
+parameter of an exponential distribution — or a *passive* rate, written
+``T`` (for the unbounded rate symbol, typeset as a top ``⊤`` in the
+literature), optionally weighted as in ``2*T``.  Passive activities can
+only proceed in cooperation with an active partner; weights resolve the
+relative probability when several passive activities of the same type
+compete for one active partner.
+
+The arithmetic required by Hillston's apparent-rate definition is:
+
+* ``r1 + r2``           for two actives — ordinary addition;
+* ``w1*T + w2*T = (w1+w2)*T``  for two passives;
+* active + passive      is *illegal* inside a single apparent rate
+  (a component may not enable both an active and a passive activity of
+  the same type — this is the standard PEPA restriction) and raises
+  :class:`~repro.exceptions.RateError`;
+* ``min(r, w*T) = r``   — a passive rate dominates every active rate;
+* ``min(w1*T, w2*T) = min(w1,w2)*T``;
+* division ``r1 / r2`` of like kinds yields a plain float ratio
+  (``w1*T / w2*T = w1/w2``), used for the probabilistic split in the
+  cooperation rule.
+
+Instances are immutable and hashable so they can live inside frozen AST
+nodes and transition labels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import RateError
+
+__all__ = ["Rate", "ActiveRate", "PassiveRate", "rate_sum", "rate_min", "as_rate", "PASSIVE"]
+
+
+@dataclass(frozen=True)
+class Rate:
+    """Abstract base for PEPA rates.  Use :class:`ActiveRate` or
+    :class:`PassiveRate`; this class only hosts shared helpers."""
+
+    def is_passive(self) -> bool:
+        """True for passive (unbounded) rates, False for actives."""
+        raise NotImplementedError
+
+    @property
+    def value(self) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ActiveRate(Rate):
+    """An exponential rate: a strictly positive real number."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not (self.rate > 0.0) or math.isinf(self.rate) or math.isnan(self.rate):
+            raise RateError(f"active rate must be a positive finite real, got {self.rate!r}")
+
+    def is_passive(self) -> bool:
+        return False
+
+    @property
+    def value(self) -> float:
+        return self.rate
+
+    def __str__(self) -> str:
+        return f"{self.rate:g}"
+
+
+@dataclass(frozen=True)
+class PassiveRate(Rate):
+    """The unbounded rate ``w*T``; ``weight`` defaults to 1."""
+
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.weight > 0.0) or math.isinf(self.weight) or math.isnan(self.weight):
+            raise RateError(f"passive weight must be a positive finite real, got {self.weight!r}")
+
+    def is_passive(self) -> bool:
+        return True
+
+    @property
+    def value(self) -> float:
+        raise RateError("a passive rate has no numeric value; it must cooperate with an active partner")
+
+    def __str__(self) -> str:
+        return "T" if self.weight == 1.0 else f"{self.weight:g}*T"
+
+
+#: The canonical unweighted passive rate.
+PASSIVE = PassiveRate(1.0)
+
+
+def as_rate(value: float | Rate) -> Rate:
+    """Coerce a plain number to an :class:`ActiveRate`; pass rates through."""
+    if isinstance(value, Rate):
+        return value
+    return ActiveRate(float(value))
+
+
+def rate_sum(a: Rate, b: Rate) -> Rate:
+    """PEPA rate addition, used to total apparent rates.
+
+    Raises :class:`RateError` when mixing active and passive, which PEPA
+    forbids within one action type of one component.
+    """
+    if a.is_passive() != b.is_passive():
+        raise RateError(
+            "cannot sum active and passive rates: a component may not enable "
+            "both an active and a passive activity of the same action type"
+        )
+    if a.is_passive():
+        assert isinstance(a, PassiveRate) and isinstance(b, PassiveRate)
+        return PassiveRate(a.weight + b.weight)
+    return ActiveRate(a.value + b.value)
+
+
+def rate_min(a: Rate, b: Rate) -> Rate:
+    """PEPA rate minimum, used by the cooperation rule.
+
+    A passive rate behaves as +infinity, so ``min(r, w*T) = r``.
+    """
+    if a.is_passive() and b.is_passive():
+        assert isinstance(a, PassiveRate) and isinstance(b, PassiveRate)
+        return PassiveRate(min(a.weight, b.weight))
+    if a.is_passive():
+        return b
+    if b.is_passive():
+        return a
+    return a if a.value <= b.value else b
+
+
+def rate_ratio(part: Rate, whole: Rate) -> float:
+    """The probabilistic share ``part/whole`` of like-kind rates.
+
+    For actives this is the ordinary ratio; for passives it is the
+    weight ratio.  Mixing kinds is a programming error here because the
+    apparent rate of a component is always of the same kind as each of
+    its contributing activities.
+    """
+    if part.is_passive() != whole.is_passive():
+        raise RateError("rate ratio requires rates of the same kind")
+    if part.is_passive():
+        assert isinstance(part, PassiveRate) and isinstance(whole, PassiveRate)
+        return part.weight / whole.weight
+    return part.value / whole.value
+
+
+def cooperation_rate(r1: Rate, r2: Rate, apparent1: Rate, apparent2: Rate) -> Rate:
+    """The rate of a shared activity under the PEPA cooperation rule.
+
+    Given the two partners' individual activity rates ``r1``/``r2`` and
+    their apparent rates for the action type, the joint rate is::
+
+        (r1/ra1) * (r2/ra2) * min(ra1, ra2)
+
+    When both sides are passive the result stays passive (the weight is
+    combined multiplicatively over shares and by min over totals),
+    allowing nested cooperations to resolve once an active partner
+    appears further out.
+    """
+    share = rate_ratio(r1, apparent1) * rate_ratio(r2, apparent2)
+    floor = rate_min(apparent1, apparent2)
+    if floor.is_passive():
+        assert isinstance(floor, PassiveRate)
+        return PassiveRate(share * floor.weight)
+    return ActiveRate(share * floor.value)

@@ -1,0 +1,138 @@
+"""State-space derivation: from a PEPA expression to a labelled
+multi-transition system (LTS).
+
+The derivation graph of a PEPA model, with each distinct derivative as a
+state and activities as labelled arcs, *is* the CTMC skeleton: treating
+each state as a CTMC state and summing activity rates per (source,
+target) pair yields the generator matrix (done in
+:mod:`repro.pepa.ctmcgen`).
+
+Exploration is a plain breadth-first search with a configurable state
+bound — the paper is explicit that susceptibility to state-space
+explosion is the price of exact numerical solution, so we surface the
+bound as a first-class error instead of letting memory blow up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.pepa.environment import Environment, PepaModel
+from repro.pepa.semantics import Transition, derivatives
+from repro.pepa.syntax import Expression
+
+__all__ = ["LabelledArc", "StateSpace", "explore", "derive"]
+
+#: Default ceiling on explored states; generous for the paper's models
+#: (hundreds of states) while catching accidental explosions quickly.
+DEFAULT_MAX_STATES = 1_000_000
+
+
+@dataclass(frozen=True)
+class LabelledArc:
+    """One transition of the LTS, with state indices and a *numeric*
+    rate (passive rates cannot appear at the top level of a complete
+    model — that would mean an activity waiting forever for a partner
+    that never arrives)."""
+
+    source: int
+    action: str
+    rate: float
+    target: int
+
+
+@dataclass
+class StateSpace:
+    """The reachable derivation graph of a model.
+
+    ``states[i]`` is the expression for state ``i``; ``arcs`` is the
+    multiset of labelled transitions; ``initial`` is always 0.
+    """
+
+    states: list[Expression]
+    arcs: list[LabelledArc]
+    index: dict[Expression, int] = field(repr=False, default_factory=dict)
+
+    @property
+    def initial(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def actions(self) -> frozenset[str]:
+        """Every action type labelling some arc."""
+        return frozenset(arc.action for arc in self.arcs)
+
+    def deadlocks(self) -> list[int]:
+        """Indices of states with no outgoing arcs."""
+        out = {arc.source for arc in self.arcs}
+        return [i for i in range(len(self.states)) if i not in out]
+
+    def successors(self, state: int) -> list[LabelledArc]:
+        """The outgoing arcs of one state."""
+        return [arc for arc in self.arcs if arc.source == state]
+
+    def arcs_by_action(self, action: str) -> list[LabelledArc]:
+        """All arcs labelled with the given action type."""
+        return [arc for arc in self.arcs if arc.action == action]
+
+    def state_label(self, i: int) -> str:
+        """Human-readable rendering of state ``i`` (its PEPA derivative)."""
+        return str(self.states[i])
+
+
+def explore(
+    initial: Expression,
+    env: Environment,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+    exclude: frozenset[str] = frozenset(),
+) -> StateSpace:
+    """Breadth-first derivation of the reachable state space.
+
+    ``exclude`` suppresses the given action types (used by the PEPA-net
+    layer to keep firings out of local derivation).
+    """
+    index: dict[Expression, int] = {initial: 0}
+    states: list[Expression] = [initial]
+    arcs: list[LabelledArc] = []
+    queue: deque[Expression] = deque([initial])
+
+    while queue:
+        state = queue.popleft()
+        src = index[state]
+        for tr in derivatives(state, env, exclude=exclude):
+            _require_active(tr, state)
+            tgt = index.get(tr.target)
+            if tgt is None:
+                if len(states) >= max_states:
+                    raise StateSpaceError(
+                        f"state space exceeds the configured bound of {max_states} states; "
+                        "raise max_states or aggregate the model"
+                    )
+                tgt = len(states)
+                index[tr.target] = tgt
+                states.append(tr.target)
+                queue.append(tr.target)
+            arcs.append(LabelledArc(src, tr.action, tr.rate.value, tgt))
+    return StateSpace(states=states, arcs=arcs, index=index)
+
+
+def _require_active(tr: Transition, state: Expression) -> None:
+    if tr.rate.is_passive():
+        raise WellFormednessError(
+            f"activity ({tr.action}, {tr.rate}) of state {state} is passive at the "
+            "top level: the system equation leaves it without an active partner"
+        )
+
+
+def derive(model: PepaModel, *, max_states: int = DEFAULT_MAX_STATES) -> StateSpace:
+    """Derive the state space of a complete model's system equation."""
+    return explore(model.system, model.environment, max_states=max_states)

@@ -1,0 +1,232 @@
+"""Static well-formedness checks for PEPA models.
+
+Run before state-space derivation to turn latent model bugs into clear
+diagnostics:
+
+* every referenced constant is defined;
+* no unguarded recursion (a constant must not reach itself without
+  passing through at least one prefix — ``X = X + (a, r).Y`` is
+  rejected);
+* choice branches do not mix active and passive activities of one
+  action type (PEPA's apparent-rate restriction);
+* cooperation sets only mention action types both partners can perform
+  (a cooperation on an action foreign to one side blocks forever —
+  legal but almost always a modelling error, reported as a warning);
+* sequential positions (prefix continuations, cell contents, choice
+  operands) hold genuinely sequential components after constant
+  resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import RateError, WellFormednessError
+from repro.pepa.environment import Environment, PepaModel
+from repro.pepa.semantics import apparent_rate
+from repro.pepa.syntax import (
+    Cell,
+    Choice,
+    Const,
+    Cooperation,
+    Expression,
+    Hiding,
+    Prefix,
+    Sequential,
+    action_set,
+    constants_of,
+)
+
+__all__ = ["CheckReport", "check_model", "assert_well_formed"]
+
+
+@dataclass
+class CheckReport:
+    """Outcome of the static checks: hard errors and advisory warnings."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise WellFormednessError summarising any errors."""
+        if self.errors:
+            raise WellFormednessError("; ".join(self.errors))
+
+
+def check_model(model: PepaModel) -> CheckReport:
+    """Run every static check; returns a report of errors and warnings."""
+    report = CheckReport()
+    env = model.environment
+    _check_defined(model, report)
+    if report.errors:
+        return report
+    _check_guardedness(env, report)
+    _check_mixed_choice(model, report)
+    _check_cooperation_sets(model.system, env, report)
+    _check_sequential_positions(model, report)
+    return report
+
+
+def assert_well_formed(model: PepaModel) -> None:
+    """Raise :class:`WellFormednessError` on the first category of failure."""
+    check_model(model).raise_if_failed()
+
+
+# ----------------------------------------------------------------------
+def _check_defined(model: PepaModel, report: CheckReport) -> None:
+    env = model.environment
+    referenced: set[str] = set(constants_of(model.system))
+    for name, body in env.components.items():
+        referenced |= constants_of(body)
+    for name in sorted(referenced):
+        if name not in env:
+            report.errors.append(f"undefined component constant {name!r}")
+    for name in env.components:
+        if not _reachable_from_system(name, model):
+            report.warnings.append(f"component {name!r} is defined but never used")
+
+
+def _reachable_from_system(name: str, model: PepaModel) -> bool:
+    seen: set[str] = set()
+    frontier = set(constants_of(model.system))
+    while frontier:
+        current = frontier.pop()
+        if current == name:
+            return True
+        if current in seen or current not in model.environment:
+            continue
+        seen.add(current)
+        frontier |= set(constants_of(model.environment.components[current]))
+    return False
+
+
+def _check_guardedness(env: Environment, report: CheckReport) -> None:
+    """A constant is unguarded if it can reach itself through choice /
+    hiding / cooperation / constant references without crossing a
+    prefix."""
+
+    def unguarded_refs(expr: Expression) -> frozenset[str]:
+        if isinstance(expr, Prefix):
+            return frozenset()  # the prefix guards everything below
+        if isinstance(expr, Choice):
+            return unguarded_refs(expr.left) | unguarded_refs(expr.right)
+        if isinstance(expr, Const):
+            return frozenset({expr.name})
+        if isinstance(expr, Cooperation):
+            return unguarded_refs(expr.left) | unguarded_refs(expr.right)
+        if isinstance(expr, Hiding):
+            return unguarded_refs(expr.expr)
+        if isinstance(expr, Cell):
+            return frozenset() if expr.content is None else unguarded_refs(expr.content)
+        raise TypeError(f"not a PEPA expression: {expr!r}")
+
+    graph = {
+        name: sorted(r for r in unguarded_refs(body) if r in env.components)
+        for name, body in env.components.items()
+    }
+    # DFS for a cycle in the unguarded-reference graph
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in graph}
+
+    def dfs(node: str, stack: list[str]) -> list[str] | None:
+        colour[node] = GREY
+        stack.append(node)
+        for nxt in graph[node]:
+            if colour[nxt] == GREY:
+                return stack[stack.index(nxt):] + [nxt]
+            if colour[nxt] == WHITE:
+                cycle = dfs(nxt, stack)
+                if cycle:
+                    return cycle
+        stack.pop()
+        colour[node] = BLACK
+        return None
+
+    for name in sorted(graph):
+        if colour[name] == WHITE:
+            cycle = dfs(name, [])
+            if cycle:
+                report.errors.append(
+                    "unguarded recursion through " + " -> ".join(cycle)
+                )
+                return
+
+
+def _check_mixed_choice(model: PepaModel, report: CheckReport) -> None:
+    """Apparent-rate computation raises RateError on active+passive
+    mixing; probe every defined sequential component."""
+    env = model.environment
+    for name, body in sorted(env.components.items()):
+        if not isinstance(body, Sequential):
+            continue
+        for action in sorted(action_set(body)):
+            try:
+                apparent_rate(body, action, env)
+            except RateError:
+                report.errors.append(
+                    f"component {name!r} enables both active and passive "
+                    f"activities of type {action!r}"
+                )
+            except WellFormednessError:
+                # unguarded recursion already reported separately
+                return
+
+
+def _check_cooperation_sets(expr: Expression, env: Environment, report: CheckReport) -> None:
+    if isinstance(expr, Cooperation):
+        left_alpha = env.alphabet(expr.left)
+        right_alpha = env.alphabet(expr.right)
+        for action in sorted(expr.actions):
+            if action not in left_alpha or action not in right_alpha:
+                side = "left" if action not in left_alpha else "right"
+                report.warnings.append(
+                    f"cooperation on {action!r} but the {side} partner never "
+                    "performs it (the activity is permanently blocked)"
+                )
+        _check_cooperation_sets(expr.left, env, report)
+        _check_cooperation_sets(expr.right, env, report)
+    elif isinstance(expr, Hiding):
+        _check_cooperation_sets(expr.expr, env, report)
+
+
+def _check_sequential_positions(model: PepaModel, report: CheckReport) -> None:
+    env = model.environment
+
+    def is_sequential_resolved(expr: Expression, visiting: frozenset[str]) -> bool:
+        if isinstance(expr, Const):
+            if expr.name in visiting or expr.name not in env:
+                return True  # cycles are sequential-safe; undefined reported already
+            return is_sequential_resolved(env.resolve(expr.name), visiting | {expr.name})
+        return isinstance(expr, Sequential)
+
+    def walk(expr: Expression, context: str) -> None:
+        if isinstance(expr, Prefix):
+            if not is_sequential_resolved(expr.continuation, frozenset()):
+                report.errors.append(
+                    f"{context}: prefix continuation {expr.continuation} resolves "
+                    "to a concurrent component"
+                )
+            walk(expr.continuation, context)
+        elif isinstance(expr, Choice):
+            for side in (expr.left, expr.right):
+                if not is_sequential_resolved(side, frozenset()):
+                    report.errors.append(
+                        f"{context}: choice operand {side} resolves to a concurrent component"
+                    )
+                walk(side, context)
+        elif isinstance(expr, Cooperation):
+            walk(expr.left, context)
+            walk(expr.right, context)
+        elif isinstance(expr, Hiding):
+            walk(expr.expr, context)
+        elif isinstance(expr, Cell):
+            if expr.content is not None and not is_sequential_resolved(expr.content, frozenset()):
+                report.errors.append(f"{context}: cell content {expr.content} is not sequential")
+
+    for name, body in sorted(env.components.items()):
+        walk(body, f"definition of {name!r}")
+    walk(model.system, "system equation")

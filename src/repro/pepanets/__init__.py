@@ -1,0 +1,68 @@
+"""PEPA nets: the paper's performance-modelling formalism (substrate S4).
+
+Coloured stochastic Petri nets whose tokens are PEPA terms with state
+and identity; local transitions model computation within a location,
+net-level firings model mobility between locations.
+
+Public surface::
+
+    from repro.pepanets import parse_net, analyse_net
+
+    net = parse_net(SOURCE)
+    result = analyse_net(net)
+    result.throughput("transmit")          # a firing (movement) rate
+    result.location_distribution("File")   # where the tokens live
+"""
+
+from repro.pepanets.abstraction import occupancy_counts, project_marking, to_petri_net
+from repro.pepanets.firing import (
+    DerivativeSets,
+    FiringInstance,
+    eligible_tokens,
+    enabled_transitions,
+    firing_instances,
+    has_concession,
+    vacant_cells,
+)
+from repro.pepanets.measures import NetAnalysis, analyse_net, ctmc_of_net
+from repro.pepanets.parser import parse_net
+from repro.pepanets.semantics import NetStateSpace, explore_net, net_arcs
+from repro.pepanets.syntax import (
+    NetMarking,
+    NetTransitionSpec,
+    PepaNet,
+    PlaceDef,
+    derivative_set,
+    find_cells,
+    replace_cell,
+)
+from repro.pepanets.wellformed import assert_net_well_formed, check_net
+
+__all__ = [
+    "PepaNet",
+    "PlaceDef",
+    "NetTransitionSpec",
+    "NetMarking",
+    "find_cells",
+    "replace_cell",
+    "derivative_set",
+    "parse_net",
+    "DerivativeSets",
+    "FiringInstance",
+    "eligible_tokens",
+    "vacant_cells",
+    "has_concession",
+    "enabled_transitions",
+    "firing_instances",
+    "NetStateSpace",
+    "explore_net",
+    "net_arcs",
+    "NetAnalysis",
+    "analyse_net",
+    "ctmc_of_net",
+    "check_net",
+    "assert_net_well_formed",
+    "to_petri_net",
+    "project_marking",
+    "occupancy_counts",
+]

@@ -1,0 +1,69 @@
+"""Abstraction of a PEPA net to its underlying classical Petri net.
+
+The paper contrasts PEPA nets with classical nets: "In classical Petri
+nets tokens are identitiless ... In contrast, in PEPA nets our tokens
+have state and identity."  Forgetting token state and identity yields a
+classical P/T net — one (capacity-bounded) place per PEPA-net place,
+one transition per net-level transition, the marking counting occupied
+cells.  The abstraction is sound for *occupancy* questions:
+
+* every reachable PEPA-net marking projects to a reachable marking of
+  the abstraction (the converse need not hold — token state can forbid
+  firings the structure alone would allow);
+* therefore structural facts about the abstraction (place bounds, token
+  conservation P-invariants) are valid for the PEPA net too.
+
+This makes the whole :mod:`repro.petri` analysis suite (invariants,
+boundedness, liveness on the abstraction) applicable to PEPA nets —
+a cheap pre-analysis before the full marking-space derivation, and
+exactly the relationship the two formalisms have in the literature.
+"""
+
+from __future__ import annotations
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.pepanets.syntax import NetMarking, PepaNet, find_cells
+
+__all__ = ["to_petri_net", "project_marking", "occupancy_counts"]
+
+
+def occupancy_counts(marking: NetMarking) -> dict[str, int]:
+    """Occupied-cell count per place of a PEPA-net marking."""
+    return {
+        place: sum(
+            1 for _, cell in find_cells(marking.state_of(place)) if cell.content is not None
+        )
+        for place in marking.place_names
+    }
+
+
+def to_petri_net(net: PepaNet) -> PetriNet:
+    """The classical abstraction: cells → capacity, tokens → counts,
+    net transitions → P/T transitions (rates become the label rate's
+    value when active, 1.0 when passive, so the GSPN interpretation
+    stays runnable)."""
+    abstract = PetriNet(name="abstraction")
+    initial = net.initial_marking()
+    counts = occupancy_counts(initial)
+    for place in net.places.values():
+        capacity = len(find_cells(place.template))
+        abstract.add_place(place.name, tokens=counts[place.name], capacity=capacity)
+    for spec in net.transitions.values():
+        inputs: dict[str, int] = {}
+        for p in spec.inputs:
+            inputs[p] = inputs.get(p, 0) + 1
+        outputs: dict[str, int] = {}
+        for p in spec.outputs:
+            outputs[p] = outputs.get(p, 0) + 1
+        rate = 1.0 if spec.rate.is_passive() else spec.rate.value
+        abstract.add_transition(
+            spec.name, inputs, outputs, priority=spec.priority, rate=rate
+        )
+    return abstract
+
+
+def project_marking(marking: NetMarking, abstract: PetriNet) -> Marking:
+    """Project a PEPA-net marking onto the abstraction's marking space."""
+    counts = occupancy_counts(marking)
+    return Marking.from_dict(counts, order=sorted(abstract.places))

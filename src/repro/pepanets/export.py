@@ -1,0 +1,87 @@
+"""Visual and explicit-state exports for PEPA nets.
+
+* :func:`net_structure_dot` — the net-level structure (places as
+  circles showing their cell families and static components, net
+  transitions as boxes labelled with their firing activity and rate),
+  the picture the paper draws for its examples;
+* :func:`marking_space_dot` — the full marking-level LTS with arcs
+  labelled ``action, rate`` and firings highlighted;
+* the CTMC-level exporters of :mod:`repro.ctmc.export` apply unchanged
+  via :func:`repro.pepanets.measures.ctmc_of_net`.
+"""
+
+from __future__ import annotations
+
+from repro.pepanets.semantics import NetStateSpace
+from repro.pepanets.syntax import PepaNet, find_cells
+
+__all__ = ["net_structure_dot", "marking_space_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def net_structure_dot(net: PepaNet) -> str:
+    """Graphviz source for the net's place/transition structure."""
+    lines = [
+        "digraph pepanet {",
+        "  rankdir=LR;",
+        '  node [fontsize=10, fontname="Helvetica"];',
+    ]
+    initial = net.initial_marking()
+    for place in net.places.values():
+        cells = find_cells(initial.state_of(place.name))
+        tokens = [str(c.content) for _, c in cells if c.content is not None]
+        families = ", ".join(place.cell_families())
+        label = f"{place.name}\\ncells: {families}"
+        if tokens:
+            label += "\\ntokens: " + ", ".join(tokens)
+        lines.append(
+            f'  p_{place.name} [shape=ellipse, label="{_escape(label)}"];'
+        )
+    for spec in net.transitions.values():
+        label = f"{spec.name}\\n({spec.action}, {spec.rate})"
+        if spec.priority != 1:
+            label += f"\\npriority {spec.priority}"
+        lines.append(
+            f'  t_{spec.name} [shape=box, style=filled, fillcolor=lightgrey, '
+            f'label="{_escape(label)}"];'
+        )
+        for place in spec.inputs:
+            lines.append(f"  p_{place} -> t_{spec.name};")
+        for place in spec.outputs:
+            lines.append(f"  t_{spec.name} -> p_{place};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def marking_space_dot(space: NetStateSpace, *, max_states: int = 150) -> str:
+    """Graphviz source for the marking-level LTS.
+
+    Firing arcs (mobility events) are drawn bold; local activities
+    plain.  Refuses unreasonably large spaces — render the CTMC with
+    PRISM or inspect measures instead.
+    """
+    if space.size > max_states:
+        raise ValueError(
+            f"refusing to render {space.size} markings as dot (limit {max_states})"
+        )
+    firings = space.firing_actions
+    lines = [
+        "digraph markings {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=9, fontname="Helvetica"];',
+    ]
+    for i in range(space.size):
+        label = _escape(space.state_label(i))
+        extra = ", style=bold" if i == space.initial else ""
+        lines.append(f'  m{i} [label="{label}"{extra}];')
+    for arc in space.arcs:
+        style = ' style=bold color="black"' if arc.action in firings else ' color="grey40"'
+        lines.append(
+            f'  m{arc.source} -> m{arc.target} '
+            f'[label="{_escape(arc.action)}, {arc.rate:g}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Measures over solved PEPA nets.
+
+Adds to the plain-PEPA measures the mobility-specific questions:
+
+* where is a token? — the steady-state probability that some cell at a
+  given place is occupied (optionally by a given family);
+* throughput of firings (movement events) vs local activities;
+* per-place occupancy counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ctmc import rewards
+from repro.ctmc.chain import CTMC, build_ctmc
+from repro.ctmc.steady import steady_state
+from repro.exceptions import SolverError
+from repro.pepa.statespace import DEFAULT_MAX_STATES
+from repro.pepanets.semantics import NetStateSpace, explore_net
+from repro.pepanets.syntax import NetMarking, PepaNet, find_cells
+
+__all__ = ["NetAnalysis", "analyse_net", "ctmc_of_net"]
+
+
+def ctmc_of_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES) -> tuple[NetStateSpace, CTMC]:
+    """Derive the marking space of ``net`` and its CTMC."""
+    space = explore_net(net, max_states=max_states)
+    transitions = [(a.source, a.action, a.rate, a.target) for a in space.arcs]
+    labels = [space.state_label(i) for i in range(space.size)]
+    return space, build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
+
+
+class NetAnalysis:
+    """A solved PEPA net with measure accessors."""
+
+    def __init__(self, net: PepaNet, space: NetStateSpace, chain: CTMC, pi: np.ndarray,
+                 solver: str = "direct"):
+        self.net = net
+        self.space = space
+        self.chain = chain
+        self.pi = pi
+        self.solver = solver
+
+    @property
+    def n_states(self) -> int:
+        return self.chain.n_states
+
+    def throughput(self, action: str) -> float:
+        """Completions per time unit of a local activity *or* a firing
+        type — firings are activities too, so the same measure applies
+        (this is the number the reflector writes on ``<<move>>``
+        activities)."""
+        return rewards.throughput(self.chain, action, self.pi)
+
+    def all_throughputs(self) -> dict[str, float]:
+        """Throughput of every action (local and firing), keyed by name."""
+        return rewards.all_throughputs(self.chain, self.pi)
+
+    def firing_throughputs(self) -> dict[str, float]:
+        """Throughput of the firing (mobility) actions only."""
+        return {
+            a: v
+            for a, v in self.all_throughputs().items()
+            if a in self.space.firing_actions
+        }
+
+    # ------------------------------------------------------------------
+    # Mobility measures
+    # ------------------------------------------------------------------
+    def occupancy(self, place: str, family: str | None = None) -> float:
+        """Expected number of occupied cells at ``place`` (of ``family``,
+        if given) in steady state."""
+        counts = np.fromiter(
+            (self._count(m, place, family) for m in self.space.markings),
+            dtype=float,
+            count=self.space.size,
+        )
+        return float(self.pi @ counts)
+
+    def probability_at(self, place: str, family: str | None = None) -> float:
+        """Probability that at least one (matching) token is at ``place``."""
+        mask = np.fromiter(
+            (self._count(m, place, family) > 0 for m in self.space.markings),
+            dtype=bool,
+            count=self.space.size,
+        )
+        return float(self.pi[mask].sum())
+
+    def location_distribution(self, family: str | None = None) -> dict[str, float]:
+        """Expected occupied-cell count per place — the steady-state
+        'where do tokens live' picture of the mobile system."""
+        return {
+            place: self.occupancy(place, family) for place in self.net.place_order()
+        }
+
+    def probability_of_local_state(self, name: str) -> float:
+        """Probability that ``name`` appears as a whole identifier in the
+        marking (some component is in that local state)."""
+        import re
+
+        pattern = rf"\b{re.escape(name)}\b"
+        return rewards.probability_by_label(self.chain, pattern, self.pi, regex=True)
+
+    # ------------------------------------------------------------------
+    # Time-dependent mobility measures
+    # ------------------------------------------------------------------
+    def transient_probability_at(
+        self, place: str, t: float, family: str | None = None
+    ) -> float:
+        """P(at least one matching token is at ``place`` at time ``t``),
+        from the net's initial marking — e.g. "has the PDA session
+        reached transmitter_2 within 10 seconds?"."""
+        from repro.ctmc.transient import transient_distribution
+
+        dist = transient_distribution(self.chain, t, self.chain.initial)
+        return float(
+            sum(
+                p
+                for p, m in zip(dist, self.space.markings)
+                if self._count(m, place, family) > 0
+            )
+        )
+
+    def mean_time_to_reach(self, place: str, family: str | None = None) -> float:
+        """Expected time until a matching token first occupies
+        ``place``, from the initial marking."""
+        from repro.ctmc.passage import mean_passage_time
+
+        targets = [
+            i
+            for i, m in enumerate(self.space.markings)
+            if self._count(m, place, family) > 0
+        ]
+        if not targets:
+            raise SolverError(
+                f"no reachable marking puts a matching token at {place!r}"
+            )
+        return mean_passage_time(self.chain, self.chain.initial, targets)
+
+    @staticmethod
+    def _count(marking: NetMarking, place: str, family: str | None) -> int:
+        expr = marking.state_of(place)
+        n = 0
+        for _, cell in find_cells(expr):
+            if cell.content is not None and (family is None or cell.family == family):
+                n += 1
+        return n
+
+
+def analyse_net(
+    net: PepaNet,
+    *,
+    solver: str = "direct",
+    max_states: int = DEFAULT_MAX_STATES,
+    reducible: str = "bscc",
+) -> NetAnalysis:
+    """Derive and solve a PEPA net; returns a :class:`NetAnalysis`.
+
+    Mobility models routinely have a transient start-up phase (a token
+    transmitted exactly once never comes back), so the reducible policy
+    defaults to ``"bscc"``: probability mass settles on the unique
+    recurrent class.  Pass ``reducible="error"`` to insist on a fully
+    irreducible marking space.
+    """
+    space, chain = ctmc_of_net(net, max_states=max_states)
+    pi = steady_state(chain, method=solver, reducible=reducible)
+    return NetAnalysis(net, space, chain, pi, solver=solver)

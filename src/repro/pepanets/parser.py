@@ -1,0 +1,204 @@
+"""Parser for textual PEPA nets.
+
+The surface syntax extends the PEPA syntax (see
+:mod:`repro.pepa.parser`) with two statement forms::
+
+    // a place: initial cell contents on the left, context on the right
+    P1[IM]  = IM[_];
+    P2[_]   = File[_] <openread, read, close> FileReader;
+
+    // a net-level transition: label (action, rate[, priority]) and arcs
+    transmit = (transmit, r_t) : P1 -> P2;
+    swap     = (exchange, 1.0, 2) : A, B -> B, A;
+
+The left-hand bracket of a place definition lists the *initial content*
+of each cell of the context, positionally: ``_`` for vacant, a
+component constant (or parenthesised sequential expression) for a
+token.  This mirrors the paper's pictures, where the marking is drawn
+inside the places (``InstantMessage[IM]``).
+
+Rate constants and component definitions are exactly as in plain PEPA
+and may appear in any order.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PepaSyntaxError, WellFormednessError
+from repro.pepa.environment import Environment
+from repro.pepa.lexer import Token, TokenStream, tokenize
+from repro.pepa.parser import (
+    _eval_rate_expr,
+    _is_definition,
+    _Parser,
+    _rate_refs,
+    _split_statements,
+    _to_rate,
+)
+from repro.pepa.syntax import Sequential
+from repro.pepanets.syntax import NetTransitionSpec, PepaNet, PlaceDef
+from repro.utils.ordering import topological_order
+
+__all__ = ["parse_net"]
+
+
+def _statement_kind(stmt: list[Token]) -> str:
+    if any(t.kind == "ARROW" for t in stmt):
+        return "transition"
+    if len(stmt) >= 2 and stmt[0].kind == "IDENT" and stmt[1].kind == "LBRACK":
+        return "place"
+    if _is_definition(stmt):
+        return "rate" if not stmt[0].text[0].isupper() else "component"
+    raise PepaSyntaxError(
+        f"unrecognised statement starting with {stmt[0].text!r}",
+        stmt[0].line,
+        stmt[0].column,
+    )
+
+
+def _stream_of(stmt: list[Token], offset: int = 0) -> TokenStream:
+    tail = stmt[offset:]
+    last = stmt[-1]
+    return TokenStream(tail + [Token("EOF", "", last.line, last.column)])
+
+
+def parse_net(source: str) -> PepaNet:
+    """Parse a complete PEPA net model."""
+    tokens = tokenize(source)
+    statements = _split_statements(tokens)
+    if not statements:
+        raise PepaSyntaxError("empty PEPA net model")
+
+    buckets: dict[str, list[list[Token]]] = {
+        "rate": [], "component": [], "place": [], "transition": []
+    }
+    for stmt in statements:
+        buckets[_statement_kind(stmt)].append(stmt)
+    if not buckets["place"]:
+        raise PepaSyntaxError("a PEPA net needs at least one place definition")
+
+    rates = _resolve_rates(buckets["rate"])
+
+    env = Environment(rates=dict(rates))
+    for stmt in buckets["component"]:
+        name = stmt[0].text
+        stream = _stream_of(stmt, 2)
+        parser = _Parser(stream, rates)
+        body = parser.parse_composite()
+        if not stream.at("EOF"):
+            raise stream.error(f"unexpected trailing tokens in definition of {name!r}")
+        env.define(name, body)
+
+    net = PepaNet(environment=env)
+    for stmt in buckets["place"]:
+        net.add_place(_parse_place(stmt, rates, env))
+    for stmt in buckets["transition"]:
+        net.add_transition(_parse_transition(stmt, rates))
+    return net
+
+
+def _resolve_rates(rate_stmts: list[list[Token]]) -> dict[str, float]:
+    rate_exprs: dict[str, object] = {}
+    for stmt in rate_stmts:
+        name = stmt[0].text
+        if name in rate_exprs:
+            raise PepaSyntaxError(
+                f"rate constant {name!r} defined twice", stmt[0].line, stmt[0].column
+            )
+        stream = _stream_of(stmt, 2)
+        parser = _Parser(stream, {})
+        expr = parser.parse_rate_expr()
+        if not stream.at("EOF"):
+            raise stream.error("unexpected trailing tokens in rate definition")
+        rate_exprs[name] = expr
+    edges = {
+        name: [ref for ref in _rate_refs(expr) if ref in rate_exprs]
+        for name, expr in rate_exprs.items()
+    }
+    try:
+        order = topological_order(rate_exprs.keys(), edges)
+    except Exception as exc:
+        raise WellFormednessError(f"cyclic rate definitions: {exc}") from exc
+    rates: dict[str, float] = {}
+    for name in reversed(order):
+        value = _eval_rate_expr(rate_exprs[name], rates)
+        if isinstance(value, tuple):
+            raise WellFormednessError(
+                f"rate constant {name!r} resolves to a passive rate"
+            )
+        rates[name] = value
+    return rates
+
+
+def _parse_place(stmt: list[Token], rates: dict[str, float], env: Environment) -> PlaceDef:
+    stream = _stream_of(stmt)
+    name_tok = stream.expect("IDENT", "place name")
+    if not name_tok.text[0].isupper():
+        raise PepaSyntaxError(
+            f"place names begin upper-case, got {name_tok.text!r}",
+            name_tok.line,
+            name_tok.column,
+        )
+    stream.expect("LBRACK")
+    parser = _Parser(stream, rates)
+    contents: list[Sequential | None] = []
+    while not stream.at("RBRACK"):
+        if stream.at("UNDERSCORE"):
+            stream.advance()
+            contents.append(None)
+        else:
+            component = parser.parse_seq_factor()
+            contents.append(component)
+        if stream.at("COMMA"):
+            stream.advance()
+    stream.expect("RBRACK")
+    stream.expect("DEF", "'='")
+    template = parser.parse_composite()
+    if not stream.at("EOF"):
+        raise stream.error(f"unexpected trailing tokens in place {name_tok.text!r}")
+    template = env.resolve_wildcards(template)
+    return PlaceDef(name_tok.text, template, tuple(contents))
+
+
+def _parse_transition(stmt: list[Token], rates: dict[str, float]) -> NetTransitionSpec:
+    stream = _stream_of(stmt)
+    name_tok = stream.expect("IDENT", "net transition name")
+    stream.expect("DEF", "'='")
+    stream.expect("LPAREN")
+    action_tok = stream.expect("IDENT", "firing action type")
+    if action_tok.text[0].isupper():
+        raise PepaSyntaxError(
+            f"firing action types begin lower-case, got {action_tok.text!r}",
+            action_tok.line,
+            action_tok.column,
+        )
+    stream.expect("COMMA")
+    parser = _Parser(stream, rates)
+    rate = parser.parse_rate_value()
+    priority = 1
+    if stream.at("COMMA"):
+        stream.advance()
+        prio_tok = stream.expect("NUMBER", "priority")
+        priority = int(float(prio_tok.text))
+    stream.expect("RPAREN")
+    stream.expect("COLON", "':'")
+    inputs = _parse_place_list(stream)
+    stream.expect("ARROW", "'->'")
+    outputs = _parse_place_list(stream)
+    if not stream.at("EOF"):
+        raise stream.error(f"unexpected trailing tokens in net transition {name_tok.text!r}")
+    return NetTransitionSpec(
+        name=name_tok.text,
+        action=action_tok.text,
+        rate=rate,
+        inputs=inputs,
+        outputs=outputs,
+        priority=priority,
+    )
+
+
+def _parse_place_list(stream: TokenStream) -> tuple[str, ...]:
+    places = [stream.expect("IDENT", "place name").text]
+    while stream.at("COMMA"):
+        stream.advance()
+        places.append(stream.expect("IDENT", "place name").text)
+    return tuple(places)

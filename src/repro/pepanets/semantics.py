@@ -1,0 +1,118 @@
+"""Marking-level semantics of PEPA nets.
+
+The paper distinguishes two kinds of state change (Section 2.2):
+
+* **transitions of PEPA components** — local evolution inside one
+  place (small-scale changes of state): these are the PEPA derivatives
+  of the place's context expression with firing types excluded;
+* **firings of the net** — macro-step changes moving tokens between
+  places, per Definitions 2–6 (:mod:`repro.pepanets.firing`).
+
+Treating each marking as a distinct state yields the CTMC
+("The structured operational semantics ... shows how a CTMC can be
+derived, treating each marking as a distinct state").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.pepa.semantics import derivatives
+from repro.pepa.statespace import DEFAULT_MAX_STATES, LabelledArc
+from repro.pepanets.firing import DerivativeSets, firing_instances
+from repro.pepanets.syntax import NetMarking, PepaNet
+
+__all__ = ["NetStateSpace", "explore_net", "net_arcs"]
+
+
+@dataclass
+class NetStateSpace:
+    """The reachable markings of a PEPA net with all labelled arcs.
+
+    Arc actions are either local PEPA action types or firing action
+    types; :attr:`firing_actions` tells them apart for measures.
+    """
+
+    net: PepaNet
+    markings: list[NetMarking]
+    arcs: list[LabelledArc]
+    index: dict[NetMarking, int] = field(repr=False, default_factory=dict)
+
+    @property
+    def initial(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return len(self.markings)
+
+    def __len__(self) -> int:
+        return len(self.markings)
+
+    @property
+    def firing_actions(self) -> frozenset[str]:
+        return self.net.firing_actions
+
+    def actions(self) -> frozenset[str]:
+        """Every action type labelling some arc of the marking space."""
+        return frozenset(a.action for a in self.arcs)
+
+    def deadlocks(self) -> list[int]:
+        """Indices of markings with no outgoing arcs."""
+        sources = {a.source for a in self.arcs}
+        return [i for i in range(self.size) if i not in sources]
+
+    def state_label(self, i: int) -> str:
+        """Human-readable rendering of marking ``i``."""
+        return str(self.markings[i])
+
+
+def net_arcs(
+    net: PepaNet, marking: NetMarking, ds: DerivativeSets
+) -> list[tuple[str, float, NetMarking]]:
+    """All outgoing (action, rate, successor) of one marking: local
+    transitions of every place plus enabled net firings."""
+    env = net.environment
+    exclude = net.firing_actions
+    out: list[tuple[str, float, NetMarking]] = []
+    for place in marking.place_names:
+        expr = marking.state_of(place)
+        for tr in derivatives(expr, env, exclude=exclude):
+            if tr.rate.is_passive():
+                raise WellFormednessError(
+                    f"place {place!r}: local activity ({tr.action}, {tr.rate}) is "
+                    "passive at place level and has no partner"
+                )
+            out.append((tr.action, tr.rate.value, marking.with_state(place, tr.target)))
+    for firing in firing_instances(net, marking, env, ds):
+        out.append((firing.action, firing.rate, firing.marking))
+    return out
+
+
+def explore_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES) -> NetStateSpace:
+    """Breadth-first derivation of the net's marking space."""
+    ds = DerivativeSets(net.environment)
+    initial = net.initial_marking()
+    index: dict[NetMarking, int] = {initial: 0}
+    markings: list[NetMarking] = [initial]
+    arcs: list[LabelledArc] = []
+    queue: deque[NetMarking] = deque([initial])
+
+    while queue:
+        marking = queue.popleft()
+        src = index[marking]
+        for action, rate, successor in net_arcs(net, marking, ds):
+            tgt = index.get(successor)
+            if tgt is None:
+                if len(markings) >= max_states:
+                    raise StateSpaceError(
+                        f"PEPA-net marking space exceeds {max_states} states"
+                    )
+                tgt = len(markings)
+                index[successor] = tgt
+                markings.append(successor)
+                queue.append(successor)
+            arcs.append(LabelledArc(src, action, rate, tgt))
+    return NetStateSpace(net=net, markings=markings, arcs=arcs, index=index)

@@ -1,0 +1,113 @@
+"""Static checks specific to PEPA nets.
+
+Beyond the plain-PEPA checks (delegated per component), a net must
+satisfy:
+
+* **balance** — every net transition has as many input as output places
+  ("we require that the net is balanced in the sense that, for each
+  transition, the number of input cells is equal to the number of
+  output cells");
+* every place context contains **at least one cell** (enforced at
+  :class:`PlaceDef` construction, revalidated here);
+* initial cell contents are **type-correct**: each declared content
+  belongs to the derivative set of its cell's family;
+* firing action types and net-transition names do not collide with
+  component constants in confusing ways (names are checked for
+  definedness);
+* every firing type is **performable by some token family** appearing
+  in a cell of one of its input places — otherwise the transition is
+  permanently dead (warning).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WellFormednessError
+from repro.pepa.environment import Environment
+from repro.pepa.syntax import Const, constants_of
+from repro.pepa.wellformed import CheckReport
+from repro.pepanets.syntax import PepaNet, derivative_set, find_cells
+
+__all__ = ["check_net", "assert_net_well_formed"]
+
+
+def check_net(net: PepaNet) -> CheckReport:
+    """Run every net-level static check; returns a report."""
+    report = CheckReport()
+    env = net.environment
+    _check_definitions(net, env, report)
+    if report.errors:
+        return report
+    _check_balance(net, report)
+    _check_initial_types(net, env, report)
+    _check_firing_feasibility(net, env, report)
+    return report
+
+
+def assert_net_well_formed(net: PepaNet) -> None:
+    """Raise WellFormednessError on the first failing check category."""
+    check_net(net).raise_if_failed()
+
+
+def _check_definitions(net: PepaNet, env: Environment, report: CheckReport) -> None:
+    if not net.places:
+        report.errors.append("a PEPA net needs at least one place")
+        return
+    referenced: set[str] = set()
+    for place in net.places.values():
+        referenced |= set(constants_of(place.template))
+        for content in place.initial_contents:
+            if content is not None:
+                referenced |= set(constants_of(content))
+    for name in sorted(referenced):
+        if name not in env:
+            report.errors.append(f"undefined component constant {name!r}")
+
+
+def _check_balance(net: PepaNet, report: CheckReport) -> None:
+    for spec in net.transitions.values():
+        if not spec.is_balanced():
+            report.errors.append(
+                f"net transition {spec.name!r} is unbalanced: "
+                f"{len(spec.inputs)} input place(s) vs {len(spec.outputs)} output place(s)"
+            )
+
+
+def _check_initial_types(net: PepaNet, env: Environment, report: CheckReport) -> None:
+    for place in net.places.values():
+        cells = find_cells(place.template)
+        for (path, cell), content in zip(cells, place.initial_contents):
+            if content is None:
+                continue
+            try:
+                ds = derivative_set(cell.family, env)
+            except WellFormednessError as exc:
+                report.errors.append(str(exc))
+                continue
+            if content not in ds:
+                report.errors.append(
+                    f"place {place.name!r}: initial content {content} is not a "
+                    f"derivative of cell family {cell.family!r}"
+                )
+
+
+def _check_firing_feasibility(net: PepaNet, env: Environment, report: CheckReport) -> None:
+    for spec in net.transitions.values():
+        feasible = False
+        for place_name in spec.inputs:
+            place = net.places[place_name]
+            for _, cell in find_cells(place.template):
+                try:
+                    alphabet = env.alphabet(Const(cell.family))
+                except WellFormednessError:
+                    continue
+                if spec.action in alphabet:
+                    feasible = True
+                    break
+            if feasible:
+                break
+        if not feasible:
+            report.warnings.append(
+                f"net transition {spec.name!r}: no token family reachable at its "
+                f"input place(s) ever performs firing type {spec.action!r}; "
+                "the transition is permanently dead"
+            )

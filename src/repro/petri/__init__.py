@@ -1,0 +1,49 @@
+"""Classical and stochastic Petri nets (paper substrate S3).
+
+The identitiless-token baseline that PEPA nets generalise: P/T nets
+with arc weights, capacities and priorities; reachability analysis;
+P/T-invariants; and the exponential (GSPN-style) timed interpretation
+mapped to a CTMC.
+"""
+
+from repro.petri.coverability import (
+    OMEGA,
+    CoverabilityGraph,
+    OmegaMarking,
+    build_coverability_graph,
+)
+from repro.petri.gspn import StochasticPetriNet, spn_to_ctmc
+from repro.petri.structural import (
+    commoner_check,
+    is_siphon,
+    is_trap,
+    maximal_marked_trap,
+    minimal_siphons,
+)
+from repro.petri.invariants import conserved_token_sum, p_invariants, t_invariants
+from repro.petri.marking import Marking
+from repro.petri.net import NetTransition, PetriNet, Place
+from repro.petri.reachability import ReachabilityGraph, build_reachability_graph
+
+__all__ = [
+    "PetriNet",
+    "Place",
+    "NetTransition",
+    "Marking",
+    "ReachabilityGraph",
+    "build_reachability_graph",
+    "p_invariants",
+    "t_invariants",
+    "conserved_token_sum",
+    "StochasticPetriNet",
+    "spn_to_ctmc",
+    "OMEGA",
+    "OmegaMarking",
+    "CoverabilityGraph",
+    "build_coverability_graph",
+    "is_siphon",
+    "is_trap",
+    "minimal_siphons",
+    "maximal_marked_trap",
+    "commoner_check",
+]

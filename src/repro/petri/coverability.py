@@ -1,0 +1,197 @@
+"""Coverability analysis (Karp–Miller) for P/T nets.
+
+The reachability builder (:mod:`repro.petri.reachability`) refuses
+unbounded nets; the coverability graph *analyses* them instead: when a
+new marking strictly covers an ancestor, the strictly-grown places are
+accelerated to ω ("arbitrarily many tokens"), guaranteeing a finite
+graph for every net.  It answers:
+
+* which places are **unbounded** (reach ω);
+* the exact **bound** of each bounded place;
+* whether a given marking is **coverable** from the initial marking.
+
+Priorities are deliberately ignored here — the Karp–Miller construction
+is only sound for plain firing semantics, and a coverability statement
+under priorities would be misleading.  A net with priorities is
+accepted, with a warning recorded on the graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.petri.net import NetTransition, PetriNet
+
+__all__ = ["OMEGA", "OmegaMarking", "CoverabilityGraph", "build_coverability_graph"]
+
+#: The "arbitrarily many" token count.
+OMEGA = float("inf")
+
+
+@dataclass(frozen=True)
+class OmegaMarking:
+    """A marking whose counts may be ω (represented as ``math.inf``)."""
+
+    order: tuple[str, ...]
+    counts: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.order) != len(self.counts):
+            raise WellFormednessError("marking order/count length mismatch")
+        for c in self.counts:
+            if c != OMEGA and (c < 0 or int(c) != c):
+                raise WellFormednessError(f"invalid token count {c!r}")
+
+    def __getitem__(self, place: str) -> float:
+        try:
+            return self.counts[self.order.index(place)]
+        except ValueError:
+            raise KeyError(f"unknown place {place!r}") from None
+
+    def covers(self, other: "OmegaMarking") -> bool:
+        """Componentwise >= (with omega dominating everything)."""
+        return self.order == other.order and all(
+            a >= b for a, b in zip(self.counts, other.counts)
+        )
+
+    def strictly_covers(self, other: "OmegaMarking") -> bool:
+        """Covers and differs in at least one place."""
+        return self.covers(other) and self.counts != other.counts
+
+    def with_omega_where_greater(
+        self, ancestor: "OmegaMarking", accelerable: frozenset[str] | None = None
+    ) -> "OmegaMarking":
+        """Accelerate strictly-grown places to ω.  Places outside
+        ``accelerable`` (e.g. capacity-bounded ones, which can never be
+        unbounded) keep their finite count."""
+        counts = tuple(
+            OMEGA
+            if a > b and (accelerable is None or p in accelerable)
+            else a
+            for p, a, b in zip(self.order, self.counts, ancestor.counts)
+        )
+        return OmegaMarking(self.order, counts)
+
+    def is_omega(self, place: str) -> bool:
+        """True when the place holds arbitrarily many tokens here."""
+        return self[place] == OMEGA
+
+    def __str__(self) -> str:
+        inside = ", ".join(
+            f"{p}:{'ω' if c == OMEGA else int(c)}"
+            for p, c in zip(self.order, self.counts)
+            if c != 0
+        )
+        return "{" + inside + "}"
+
+
+@dataclass
+class CoverabilityGraph:
+    net: PetriNet
+    markings: list[OmegaMarking]
+    edges: list[tuple[int, str, int]]
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.markings)
+
+    def unbounded_places(self) -> frozenset[str]:
+        """Places that reach omega somewhere in the graph."""
+        return frozenset(
+            place
+            for place in self.net.places
+            if any(m.is_omega(place) for m in self.markings)
+        )
+
+    def is_bounded(self) -> bool:
+        """True when no place is unbounded."""
+        return not self.unbounded_places()
+
+    def bound_of(self, place: str) -> float:
+        """Maximum token count of the place (``OMEGA`` if unbounded)."""
+        return max(m[place] for m in self.markings)
+
+    def is_coverable(self, target: dict[str, int]) -> bool:
+        """Can some reachable marking dominate ``target``?"""
+        order = self.markings[0].order
+        goal = OmegaMarking(order, tuple(float(target.get(p, 0)) for p in order))
+        return any(m.covers(goal) for m in self.markings)
+
+
+def _fire_omega(net: PetriNet, t: NetTransition, marking: OmegaMarking) -> OmegaMarking | None:
+    """Fire under ω semantics; ``None`` when not enabled.  Capacities
+    are honoured for finite counts; an ω place absorbs anything."""
+    counts = dict(zip(marking.order, marking.counts))
+    for place, weight in t.inputs:
+        if counts[place] != OMEGA and counts[place] < weight:
+            return None
+    for place, weight in t.outputs:
+        cap = net.places[place].capacity
+        if cap is not None and counts[place] != OMEGA:
+            consumed = dict(t.inputs).get(place, 0)
+            if counts[place] - consumed + weight > cap:
+                return None
+    for place, weight in t.inputs:
+        if counts[place] != OMEGA:
+            counts[place] -= weight
+    for place, weight in t.outputs:
+        if counts[place] != OMEGA:
+            counts[place] += weight
+    return OmegaMarking(marking.order, tuple(counts[p] for p in marking.order))
+
+
+def build_coverability_graph(
+    net: PetriNet, *, max_markings: int = 200_000
+) -> CoverabilityGraph:
+    """The Karp–Miller graph (finite for every net)."""
+    order = tuple(sorted(net.places))
+    m0 = net.initial_marking
+    initial = OmegaMarking(order, tuple(float(m0[p]) for p in order))
+    warnings: list[str] = []
+    if any(t.priority != 0 for t in net.transitions.values()) and len(
+        {t.priority for t in net.transitions.values()}
+    ) > 1:
+        warnings.append(
+            "net uses priorities; the coverability graph ignores them "
+            "(it over-approximates the prioritised behaviour)"
+        )
+
+    accelerable = frozenset(
+        name for name, place in net.places.items() if place.capacity is None
+    )
+    index: dict[OmegaMarking, int] = {initial: 0}
+    markings: list[OmegaMarking] = [initial]
+    parent: dict[int, int | None] = {0: None}
+    edges: list[tuple[int, str, int]] = []
+    queue: deque[int] = deque([0])
+
+    while queue:
+        current = queue.popleft()
+        marking = markings[current]
+        for name in sorted(net.transitions):
+            successor = _fire_omega(net, net.transitions[name], marking)
+            if successor is None:
+                continue
+            # acceleration against every ancestor on the path
+            walker: int | None = current
+            while walker is not None:
+                ancestor = markings[walker]
+                if successor.strictly_covers(ancestor):
+                    successor = successor.with_omega_where_greater(ancestor, accelerable)
+                walker = parent[walker]
+            nxt = index.get(successor)
+            if nxt is None:
+                if len(markings) >= max_markings:
+                    raise StateSpaceError(
+                        f"coverability graph exceeds {max_markings} nodes"
+                    )
+                nxt = len(markings)
+                index[successor] = nxt
+                markings.append(successor)
+                parent[nxt] = current
+                queue.append(nxt)
+            edges.append((current, name, nxt))
+    return CoverabilityGraph(net=net, markings=markings, edges=edges, warnings=warnings)

@@ -1,0 +1,68 @@
+"""Graphviz rendering of P/T nets and their reachability graphs."""
+
+from __future__ import annotations
+
+from repro.petri.net import PetriNet
+from repro.petri.reachability import ReachabilityGraph
+
+__all__ = ["petri_net_dot", "reachability_graph_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def petri_net_dot(net: PetriNet) -> str:
+    """The net structure: places as circles (token count inside),
+    transitions as bars, arc weights on the edges."""
+    m0 = net.initial_marking
+    lines = [
+        "digraph petrinet {",
+        "  rankdir=LR;",
+        '  node [fontsize=10, fontname="Helvetica"];',
+    ]
+    for name, place in net.places.items():
+        tokens = m0[name]
+        dot_marks = "•" * tokens if tokens <= 4 else f"{tokens}"
+        label = f"{name}\\n{dot_marks}" if tokens else name
+        if place.capacity is not None:
+            label += f"\\n(cap {place.capacity})"
+        lines.append(f'  p_{name} [shape=circle, label="{_escape(label)}"];')
+    for t in net.transitions.values():
+        label = t.name
+        if t.priority:
+            label += f"\\nprio {t.priority}"
+        if t.rate is not None:
+            label += f"\\nrate {t.rate:g}"
+        lines.append(
+            f'  t_{t.name} [shape=box, height=0.2, style=filled, '
+            f'fillcolor=black, fontcolor=white, label="{_escape(label)}"];'
+        )
+        for place, weight in t.inputs:
+            suffix = f' [label="{weight}"]' if weight > 1 else ""
+            lines.append(f"  p_{place} -> t_{t.name}{suffix};")
+        for place, weight in t.outputs:
+            suffix = f' [label="{weight}"]' if weight > 1 else ""
+            lines.append(f"  t_{t.name} -> p_{place}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reachability_graph_dot(graph: ReachabilityGraph, *, max_markings: int = 150) -> str:
+    """The reachability graph with transition names on the arcs."""
+    if graph.size > max_markings:
+        raise ValueError(
+            f"refusing to render {graph.size} markings as dot (limit {max_markings})"
+        )
+    lines = [
+        "digraph reachability {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=9, fontname="Helvetica"];',
+    ]
+    for i, marking in enumerate(graph.markings):
+        extra = ", style=bold" if i == 0 else ""
+        lines.append(f'  m{i} [label="{_escape(str(marking))}"{extra}];')
+    for source, name, target in graph.edges:
+        lines.append(f'  m{source} -> m{target} [label="{_escape(name)}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Structural analysis: P- and T-invariants over the rationals.
+
+A P-invariant is a vector ``y >= 0`` with ``yᵀC = 0`` (token-weighted
+sums conserved by every firing); a T-invariant is ``x >= 0`` with
+``Cx = 0`` (firing-count vectors returning to the start marking).  We
+compute a rational basis of the left/right null space with exact
+``fractions.Fraction`` Gaussian elimination — floating point would
+produce spurious "almost-invariants" — and then scale each basis vector
+to the smallest integer form.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.petri.net import PetriNet
+
+__all__ = ["p_invariants", "t_invariants", "conserved_token_sum"]
+
+
+def _null_space_basis(matrix: list[list[Fraction]]) -> list[list[Fraction]]:
+    """Basis of the (right) null space of ``matrix`` by exact RREF."""
+    if not matrix:
+        return []
+    rows = [row[:] for row in matrix]
+    n_cols = len(rows[0])
+    pivots: list[int] = []
+    r = 0
+    for c in range(n_cols):
+        pivot_row = next((i for i in range(r, len(rows)) if rows[i][c] != 0), None)
+        if pivot_row is None:
+            continue
+        rows[r], rows[pivot_row] = rows[pivot_row], rows[r]
+        factor = rows[r][c]
+        rows[r] = [v / factor for v in rows[r]]
+        for i in range(len(rows)):
+            if i != r and rows[i][c] != 0:
+                scale = rows[i][c]
+                rows[i] = [a - scale * b for a, b in zip(rows[i], rows[r])]
+        pivots.append(c)
+        r += 1
+        if r == len(rows):
+            break
+    free_cols = [c for c in range(n_cols) if c not in pivots]
+    basis = []
+    for free in free_cols:
+        vec = [Fraction(0)] * n_cols
+        vec[free] = Fraction(1)
+        for row_idx, pivot_col in enumerate(pivots):
+            vec[pivot_col] = -rows[row_idx][free]
+        basis.append(vec)
+    return basis
+
+
+def _integerise(vec: list[Fraction]) -> list[int]:
+    """Scale a rational vector to coprime integers (sign: first nonzero
+    positive)."""
+    from math import gcd, lcm
+
+    denominators = [f.denominator for f in vec if f != 0]
+    if not denominators:
+        return [0] * len(vec)
+    scale = lcm(*denominators) if len(denominators) > 1 else denominators[0]
+    ints = [int(f * scale) for f in vec]
+    g = 0
+    for v in ints:
+        g = gcd(g, abs(v))
+    if g > 1:
+        ints = [v // g for v in ints]
+    first = next((v for v in ints if v != 0), 0)
+    if first < 0:
+        ints = [-v for v in ints]
+    return ints
+
+
+def p_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """Integer P-invariant basis as {place: weight} maps (zero weights
+    omitted)."""
+    places, _, C = net.incidence_matrix()
+    # left null space of C = right null space of Cᵀ
+    transposed = [[Fraction(C[p][t]) for p in range(len(places))] for t in range(len(C[0]))] if C else []
+    basis = _null_space_basis(transposed) if transposed else []
+    out = []
+    for vec in basis:
+        ints = _integerise(vec)
+        out.append({places[i]: w for i, w in enumerate(ints) if w != 0})
+    return out
+
+
+def t_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """Integer T-invariant basis as {transition: count} maps."""
+    _, transitions, C = net.incidence_matrix()
+    matrix = [[Fraction(v) for v in row] for row in C]
+    basis = _null_space_basis(matrix) if matrix else []
+    out = []
+    for vec in basis:
+        ints = _integerise(vec)
+        out.append({transitions[i]: w for i, w in enumerate(ints) if w != 0})
+    return out
+
+
+def conserved_token_sum(net: PetriNet, invariant: dict[str, int]) -> int:
+    """The weighted token sum of an invariant at the initial marking —
+    constant across all reachable markings when the invariant is valid."""
+    m0 = net.initial_marking
+    return sum(weight * m0[place] for place, weight in invariant.items())

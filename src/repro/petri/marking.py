@@ -1,0 +1,56 @@
+"""Markings: immutable token-count vectors keyed by place name.
+
+Stored as a tuple aligned with a canonical place order so markings are
+hashable (reachability-graph keys) and cheap to compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import WellFormednessError
+
+__all__ = ["Marking"]
+
+
+@dataclass(frozen=True)
+class Marking:
+    """Token counts over an ordered tuple of place names."""
+
+    order: tuple[str, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.order) != len(self.counts):
+            raise WellFormednessError("marking order/count length mismatch")
+        if any(c < 0 for c in self.counts):
+            raise WellFormednessError("negative token count")
+
+    @classmethod
+    def from_dict(cls, counts: dict[str, int], order: list[str] | tuple[str, ...]) -> "Marking":
+        order_t = tuple(order)
+        return cls(order_t, tuple(int(counts.get(p, 0)) for p in order_t))
+
+    def __getitem__(self, place: str) -> int:
+        try:
+            return self.counts[self.order.index(place)]
+        except ValueError:
+            raise KeyError(f"unknown place {place!r}") from None
+
+    def to_dict(self) -> dict[str, int]:
+        """The marking as a {place: tokens} mapping."""
+        return dict(zip(self.order, self.counts))
+
+    def total(self) -> int:
+        """The total token count over all places."""
+        return sum(self.counts)
+
+    def covers(self, other: "Marking") -> bool:
+        """Componentwise >= (used by boundedness/coverability checks)."""
+        if self.order != other.order:
+            raise WellFormednessError("markings over different place orders")
+        return all(a >= b for a, b in zip(self.counts, other.counts))
+
+    def __str__(self) -> str:
+        inside = ", ".join(f"{p}:{c}" for p, c in zip(self.order, self.counts) if c)
+        return "{" + inside + "}"

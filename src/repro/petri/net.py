@@ -1,0 +1,186 @@
+"""Classical place/transition Petri nets with arc weights and priorities.
+
+This is the substrate the PEPA-nets formalism generalises: the paper
+contrasts PEPA nets with "classical Petri nets [where] tokens are
+identitiless, and can be viewed as being consumed from input places and
+created into output places".  We implement that baseline faithfully —
+including the priority semantics PEPA nets inherit (a transition with
+concession only fires if no higher-priority transition has concession)
+— so the two formalisms can be compared like-for-like in the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import WellFormednessError
+from repro.petri.marking import Marking
+
+__all__ = ["Place", "NetTransition", "PetriNet"]
+
+
+@dataclass(frozen=True)
+class Place:
+    """A net place, optionally capacity-bounded (``None`` = unbounded)."""
+
+    name: str
+    capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise WellFormednessError(f"place {self.name!r}: capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class NetTransition:
+    """A transition with weighted input/output arcs and a priority.
+
+    Higher ``priority`` values pre-empt lower ones, matching the PEPA
+    nets priority function π.  ``rate`` is only used by the stochastic
+    interpretation (:mod:`repro.petri.gspn`); the untimed semantics
+    ignores it.
+    """
+
+    name: str
+    inputs: tuple[tuple[str, int], ...]
+    outputs: tuple[tuple[str, int], ...]
+    priority: int = 0
+    rate: float | None = None
+
+    def __post_init__(self) -> None:
+        for place, weight in self.inputs + self.outputs:
+            if weight < 1:
+                raise WellFormednessError(
+                    f"transition {self.name!r}: arc weight to {place!r} must be >= 1"
+                )
+
+    def input_places(self) -> tuple[str, ...]:
+        """The places the transition consumes from."""
+        return tuple(p for p, _ in self.inputs)
+
+    def output_places(self) -> tuple[str, ...]:
+        """The places the transition produces into."""
+        return tuple(p for p, _ in self.outputs)
+
+
+class PetriNet:
+    """An immutable-after-build P/T net with an initial marking."""
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self.places: dict[str, Place] = {}
+        self.transitions: dict[str, NetTransition] = {}
+        self._initial: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_place(self, name: str, tokens: int = 0, capacity: int | None = None) -> Place:
+        """Add a place with initial tokens and optional capacity."""
+        if name in self.places:
+            raise WellFormednessError(f"place {name!r} already exists")
+        place = Place(name, capacity)
+        if tokens < 0:
+            raise WellFormednessError(f"place {name!r}: initial tokens must be >= 0")
+        if capacity is not None and tokens > capacity:
+            raise WellFormednessError(f"place {name!r}: initial tokens exceed capacity")
+        self.places[name] = place
+        self._initial[name] = tokens
+        return place
+
+    def add_transition(
+        self,
+        name: str,
+        inputs: dict[str, int] | list[str],
+        outputs: dict[str, int] | list[str],
+        *,
+        priority: int = 0,
+        rate: float | None = None,
+    ) -> NetTransition:
+        """Add a transition with weighted input/output arcs."""
+        if name in self.transitions:
+            raise WellFormednessError(f"transition {name!r} already exists")
+        ins = tuple(sorted(self._arcs(inputs).items()))
+        outs = tuple(sorted(self._arcs(outputs).items()))
+        for place, _ in ins + outs:
+            if place not in self.places:
+                raise WellFormednessError(f"transition {name!r}: unknown place {place!r}")
+        transition = NetTransition(name, ins, outs, priority=priority, rate=rate)
+        self.transitions[name] = transition
+        return transition
+
+    @staticmethod
+    def _arcs(spec: dict[str, int] | list[str]) -> dict[str, int]:
+        if isinstance(spec, dict):
+            return dict(spec)
+        arcs: dict[str, int] = {}
+        for place in spec:
+            arcs[place] = arcs.get(place, 0) + 1
+        return arcs
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    @property
+    def initial_marking(self) -> Marking:
+        return Marking.from_dict(self._initial, order=sorted(self.places))
+
+    def has_concession(self, transition: NetTransition, marking: Marking) -> bool:
+        """Enough input tokens and enough output capacity."""
+        for place, weight in transition.inputs:
+            if marking[place] < weight:
+                return False
+        for place, weight in transition.outputs:
+            cap = self.places[place].capacity
+            if cap is not None:
+                consumed = dict(transition.inputs).get(place, 0)
+                if marking[place] - consumed + weight > cap:
+                    return False
+        return True
+
+    def enabled_transitions(self, marking: Marking) -> list[NetTransition]:
+        """Transitions that may fire: concession filtered by priority."""
+        with_concession = [
+            t for t in self.transitions.values() if self.has_concession(t, marking)
+        ]
+        if not with_concession:
+            return []
+        top = max(t.priority for t in with_concession)
+        return sorted(
+            (t for t in with_concession if t.priority == top), key=lambda t: t.name
+        )
+
+    def fire(self, transition: NetTransition, marking: Marking) -> Marking:
+        """The successor marking; raises without concession."""
+        if not self.has_concession(transition, marking):
+            raise WellFormednessError(
+                f"transition {transition.name!r} has no concession in {marking}"
+            )
+        counts = marking.to_dict()
+        for place, weight in transition.inputs:
+            counts[place] -= weight
+        for place, weight in transition.outputs:
+            counts[place] = counts.get(place, 0) + weight
+        return Marking.from_dict(counts, order=sorted(self.places))
+
+    # ------------------------------------------------------------------
+    def incidence_matrix(self) -> tuple[list[str], list[str], list[list[int]]]:
+        """(place order, transition order, C) with C[p][t] = out - in."""
+        places = sorted(self.places)
+        transitions = sorted(self.transitions)
+        C = [[0] * len(transitions) for _ in places]
+        p_index = {p: i for i, p in enumerate(places)}
+        for j, tname in enumerate(transitions):
+            t = self.transitions[tname]
+            for place, weight in t.inputs:
+                C[p_index[place]][j] -= weight
+            for place, weight in t.outputs:
+                C[p_index[place]][j] += weight
+        return places, transitions, C
+
+    def __repr__(self) -> str:
+        return (
+            f"PetriNet({self.name!r}, places={len(self.places)}, "
+            f"transitions={len(self.transitions)})"
+        )

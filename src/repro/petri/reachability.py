@@ -1,0 +1,146 @@
+"""Reachability analysis for P/T nets.
+
+Builds the explicit reachability graph (bounded, with a state ceiling)
+and answers the classic behavioural questions: boundedness (via a
+coverability-style check during exploration), deadlock states, liveness
+of individual transitions, and home-marking detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.exceptions import StateSpaceError
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+__all__ = ["ReachabilityGraph", "build_reachability_graph"]
+
+DEFAULT_MAX_MARKINGS = 500_000
+
+
+@dataclass
+class ReachabilityGraph:
+    """The reachable markings of a net, with the firing relation."""
+
+    net: PetriNet
+    markings: list[Marking]
+    index: dict[Marking, int] = field(repr=False)
+    edges: list[tuple[int, str, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.markings)
+
+    def deadlocks(self) -> list[int]:
+        """Indices of markings enabling no transition."""
+        sources = {s for s, _, _ in self.edges}
+        return [i for i in range(self.size) if i not in sources]
+
+    def is_deadlock_free(self) -> bool:
+        """True when every reachable marking enables something."""
+        return not self.deadlocks()
+
+    def bound_of(self, place: str) -> int:
+        """The maximum observed token count of ``place`` (its k-bound)."""
+        return max(m[place] for m in self.markings)
+
+    def is_safe(self) -> bool:
+        """1-bounded everywhere."""
+        return all(max(m.counts) <= 1 for m in self.markings)
+
+    def fired_transitions(self) -> frozenset[str]:
+        """Transitions that fire somewhere in the graph."""
+        return frozenset(t for _, t, _ in self.edges)
+
+    def dead_transitions(self) -> frozenset[str]:
+        """Transitions that never fire from any reachable marking."""
+        return frozenset(self.net.transitions) - self.fired_transitions()
+
+    def live_transitions(self) -> frozenset[str]:
+        """Transitions fireable again from every reachable marking
+        (L4-liveness on the finite graph: each transition labels an edge
+        reachable from every node)."""
+        graph = self.to_networkx()
+        live: set[str] = set()
+        # nodes from which each transition-labelled edge is reachable
+        for t in self.net.transitions:
+            edge_sources = {s for s, name, _ in self.edges if name == t}
+            if not edge_sources:
+                continue
+            reverse = graph.reverse(copy=False)
+            reachable_back: set[int] = set()
+            for src in edge_sources:
+                reachable_back |= {src} | nx.descendants(reverse, src)
+            if reachable_back >= set(range(self.size)):
+                live.add(t)
+        return frozenset(live)
+
+    def home_markings(self) -> list[int]:
+        """Markings reachable from every reachable marking."""
+        graph = self.to_networkx()
+        sccs = list(nx.strongly_connected_components(graph))
+        condensed = nx.condensation(graph, sccs)
+        terminal = [n for n in condensed.nodes if condensed.out_degree(n) == 0]
+        if len(terminal) != 1:
+            return []
+        return sorted(sccs[terminal[0]])
+
+    def to_networkx(self) -> "nx.MultiDiGraph":
+        """The graph as a networkx MultiDiGraph (edge label = transition)."""
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(range(self.size))
+        for s, t, d in self.edges:
+            graph.add_edge(s, d, label=t)
+        return graph
+
+
+def build_reachability_graph(
+    net: PetriNet, *, max_markings: int = DEFAULT_MAX_MARKINGS
+) -> ReachabilityGraph:
+    """BFS over the firing relation.
+
+    Unbounded nets are detected by the ω-free coverability heuristic: if
+    a newly reached marking strictly covers an ancestor on its path, the
+    net is unbounded and exploration aborts with a clear error rather
+    than running to the state ceiling.
+    """
+    initial = net.initial_marking
+    index: dict[Marking, int] = {initial: 0}
+    markings: list[Marking] = [initial]
+    # ancestor chains for the coverability check: parent pointers
+    parent: dict[int, int | None] = {0: None}
+    edges: list[tuple[int, str, int]] = []
+    queue: deque[int] = deque([0])
+
+    while queue:
+        current = queue.popleft()
+        marking = markings[current]
+        for transition in net.enabled_transitions(marking):
+            successor = net.fire(transition, marking)
+            nxt = index.get(successor)
+            if nxt is None:
+                # coverability: walk ancestors; strict covering => unbounded
+                walker: int | None = current
+                while walker is not None:
+                    ancestor = markings[walker]
+                    if successor.covers(ancestor) and successor != ancestor:
+                        raise StateSpaceError(
+                            f"net {net.name!r} is unbounded: marking {successor} "
+                            f"strictly covers ancestor {ancestor}"
+                        )
+                    walker = parent[walker]
+                if len(markings) >= max_markings:
+                    raise StateSpaceError(
+                        f"reachability graph exceeds {max_markings} markings"
+                    )
+                nxt = len(markings)
+                index[successor] = nxt
+                markings.append(successor)
+                parent[nxt] = current
+                queue.append(nxt)
+            edges.append((current, transition.name, nxt))
+    return ReachabilityGraph(net=net, markings=markings, index=index, edges=edges)

@@ -1,0 +1,145 @@
+"""Siphons and traps: classical structural liveness analysis.
+
+A **siphon** is a place set S with •S ⊆ S• (every transition feeding S
+also takes from it): once S empties it stays empty, permanently
+disabling S•.  A **trap** is the dual, S• ⊆ •S: once marked, always
+marked.  The Commoner condition — every minimal siphon contains an
+initially-marked trap — certifies deadlock-freedom for free-choice
+nets.
+
+Minimal-siphon enumeration is NP-hard in general; we implement the
+standard refinement algorithm (shrink a candidate set until it is a
+siphon, branch on violating places) with an explicit work cap, which is
+ample for the structural size of extracted PEPA-net abstractions.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StateSpaceError
+from repro.petri.net import PetriNet
+
+__all__ = ["is_siphon", "is_trap", "minimal_siphons", "maximal_marked_trap", "commoner_check"]
+
+
+def _preset_of_places(net: PetriNet, places: frozenset[str]) -> frozenset[str]:
+    """Transitions with an output arc into the set (•S)."""
+    return frozenset(
+        t.name for t in net.transitions.values()
+        if any(p in places for p in t.output_places())
+    )
+
+
+def _postset_of_places(net: PetriNet, places: frozenset[str]) -> frozenset[str]:
+    """Transitions with an input arc from the set (S•)."""
+    return frozenset(
+        t.name for t in net.transitions.values()
+        if any(p in places for p in t.input_places())
+    )
+
+
+def is_siphon(net: PetriNet, places: set[str] | frozenset[str]) -> bool:
+    """True when the place set satisfies the siphon condition (preset within postset)."""
+    s = frozenset(places)
+    if not s or not s <= set(net.places):
+        return False
+    return _preset_of_places(net, s) <= _postset_of_places(net, s)
+
+
+def is_trap(net: PetriNet, places: set[str] | frozenset[str]) -> bool:
+    """True when the place set satisfies the trap condition (postset within preset)."""
+    s = frozenset(places)
+    if not s or not s <= set(net.places):
+        return False
+    return _postset_of_places(net, s) <= _preset_of_places(net, s)
+
+
+def minimal_siphons(net: PetriNet, *, max_work: int = 100_000) -> list[frozenset[str]]:
+    """All minimal (inclusion-wise) non-empty siphons.
+
+    Branch-and-bound: starting from each single place, grow the set to
+    repair violations (a transition in •S but not in S• forces adding
+    one of its input places — branch over the choices), then keep the
+    inclusion-minimal results.
+    """
+    siphons: set[frozenset[str]] = set()
+    work = 0
+
+    def violating_transition(s: frozenset[str]) -> tuple[str, ...] | None:
+        """Input places of some transition that feeds S without taking
+        from it; None when S is a siphon."""
+        post = _postset_of_places(net, s)
+        for t in net.transitions.values():
+            if t.name in post:
+                continue
+            if any(p in s for p in t.output_places()):
+                inputs = t.input_places()
+                if not inputs:
+                    return ()  # irreparable: a source transition feeds S
+                return inputs
+        return None
+
+    def explore(s: frozenset[str]) -> None:
+        nonlocal work
+        work += 1
+        if work > max_work:
+            raise StateSpaceError(f"siphon enumeration exceeded {max_work} steps")
+        if any(existing <= s for existing in siphons):
+            return  # dominated by a known (smaller or equal) siphon
+        repair = violating_transition(s)
+        if repair is None:
+            # s is a siphon; drop any supersets already collected
+            for existing in list(siphons):
+                if s <= existing and s != existing:
+                    siphons.discard(existing)
+            siphons.add(s)
+            return
+        if repair == ():
+            return  # cannot be repaired (source transition feeds the set)
+        for place in repair:
+            explore(s | {place})
+
+    for place in sorted(net.places):
+        explore(frozenset({place}))
+    # final minimality sweep
+    return sorted(
+        (s for s in siphons if not any(o < s for o in siphons)),
+        key=lambda s: (len(s), sorted(s)),
+    )
+
+
+def maximal_marked_trap(net: PetriNet, within: frozenset[str]) -> frozenset[str]:
+    """The largest trap inside ``within`` that is marked at M0 (may be
+    empty).  Standard greedy shrinking: repeatedly remove places whose
+    emptying cannot be prevented (a transition consumes from them
+    without refilling the set)."""
+    s = set(within)
+    changed = True
+    while changed and s:
+        changed = False
+        pre = _preset_of_places(net, frozenset(s))
+        for t in net.transitions.values():
+            if t.name in pre:
+                continue
+            consumed = [p for p in t.input_places() if p in s]
+            if consumed:
+                for p in consumed:
+                    s.discard(p)
+                changed = True
+    m0 = net.initial_marking
+    if any(m0[p] > 0 for p in s):
+        return frozenset(s)
+    return frozenset()
+
+
+def commoner_check(net: PetriNet, *, max_work: int = 100_000) -> tuple[bool, list[frozenset[str]]]:
+    """Commoner's condition: every minimal siphon contains an
+    initially-marked trap.  Returns (holds, offending siphons).
+
+    Sufficient for liveness of free-choice nets and a useful deadlock
+    smell for anything else.
+    """
+    offenders = []
+    for siphon in minimal_siphons(net, max_work=max_work):
+        if not maximal_marked_trap(net, siphon):
+            offenders.append(siphon)
+    return (not offenders, offenders)

@@ -1,0 +1,20 @@
+"""Reflectors: analysis results → annotated UML models (paper S8)."""
+
+from repro.reflect.activity_reflector import (
+    reflect_activity_results,
+    results_of_net_analysis,
+)
+from repro.reflect.results import ResultRow, ResultTable
+from repro.reflect.statechart_reflector import (
+    reflect_state_probabilities,
+    results_of_model_analysis,
+)
+
+__all__ = [
+    "ResultTable",
+    "ResultRow",
+    "results_of_net_analysis",
+    "reflect_activity_results",
+    "results_of_model_analysis",
+    "reflect_state_probabilities",
+]

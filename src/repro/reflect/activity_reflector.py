@@ -1,0 +1,70 @@
+"""Reflecting PEPA-net results onto activity diagrams (Figures 6/7).
+
+"With an activity diagram the modelling focus is on activities, and so
+the performance results which are written back to the diagram also
+centre on activities, recording throughput."  Every action state of the
+diagram — moves included, since firings are activities too — receives a
+``throughput`` tagged value; places receive nothing (they are
+locations, not model elements of the diagram).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReflectionError
+from repro.extract.activity2pepanet import ExtractionResult
+from repro.pepanets.measures import NetAnalysis
+from repro.reflect.results import ResultTable
+from repro.uml.activity import ActivityGraph
+from repro.uml.model import TAG_THROUGHPUT
+
+__all__ = ["results_of_net_analysis", "reflect_activity_results"]
+
+
+def results_of_net_analysis(
+    extraction: ExtractionResult, analysis: NetAnalysis
+) -> ResultTable:
+    """Build the result table the reflector consumes: one throughput row
+    per UML activity (and per synthetic reset firing), plus steady-state
+    occupancy per place — useful diagnostics even though only activity
+    rows are written back to the diagram."""
+    table = ResultTable()
+    seen_actions: set[str] = set()
+    for node in extraction.graph.actions():
+        action = extraction.pepa_action_of(node)
+        if action in seen_actions:
+            continue
+        seen_actions.add(action)
+        kind = "firing" if node.is_move else "activity"
+        table.add(kind, action, "throughput", analysis.throughput(action))
+    for action in extraction.reset_actions:
+        table.add("firing", action, "throughput", analysis.throughput(action))
+    for place, occupancy in analysis.location_distribution().items():
+        table.add("place", place, "occupancy", occupancy)
+    return table
+
+
+def reflect_activity_results(
+    extraction: ExtractionResult,
+    table: ResultTable,
+    *,
+    digits: int = 6,
+) -> ActivityGraph:
+    """Annotate the diagram in place: every action state gets a
+    ``throughput`` tagged value.  Returns the same graph for chaining.
+
+    Raises :class:`ReflectionError` if the table lacks a row for some
+    activity — a symptom of reflecting against the wrong model.
+    """
+    graph = extraction.graph
+    for node in graph.actions():
+        action = extraction.pepa_action_of(node)
+        kind = "firing" if node.is_move else "activity"
+        try:
+            value = table.value(kind, action, "throughput")
+        except ReflectionError:
+            raise ReflectionError(
+                f"result table has no throughput for {kind} {action!r} "
+                f"(UML activity {node.name!r})"
+            ) from None
+        node.set_tag(TAG_THROUGHPUT, f"{value:.{digits}g}")
+    return graph

@@ -1,0 +1,124 @@
+"""The analysis result table (the ``.xmltable`` of Figure 4).
+
+The PEPA Workbench for PEPA nets hands its results to the Reflector as
+an XML table; we reproduce the shape: rows of (kind, subject, measure,
+value), serialisable to a small XML dialect and parseable back, so the
+reflection step can run from a file exactly as the original pipeline
+did.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ReflectionError
+
+__all__ = ["ResultRow", "ResultTable"]
+
+_KINDS = ("activity", "state", "firing", "place")
+_MEASURES = ("throughput", "probability", "occupancy")
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One measurement: e.g. (activity, 'download file', throughput, 0.42)."""
+
+    kind: str
+    subject: str
+    measure: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ReflectionError(f"unknown result kind {self.kind!r}")
+        if self.measure not in _MEASURES:
+            raise ReflectionError(f"unknown measure {self.measure!r}")
+
+
+class ResultTable:
+    """An ordered collection of result rows with lookup helpers."""
+
+    def __init__(self, rows: list[ResultRow] | None = None):
+        self.rows: list[ResultRow] = list(rows or [])
+
+    def add(self, kind: str, subject: str, measure: str, value: float) -> ResultRow:
+        """Append a row; kind and measure are validated."""
+        row = ResultRow(kind, subject, measure, float(value))
+        self.rows.append(row)
+        return row
+
+    def value(self, kind: str, subject: str, measure: str) -> float:
+        """Look up one measurement; raises when absent."""
+        for row in self.rows:
+            if (row.kind, row.subject, row.measure) == (kind, subject, measure):
+                return row.value
+        raise ReflectionError(
+            f"no {measure} result for {kind} {subject!r} in the table"
+        )
+
+    def subjects(self, kind: str) -> list[str]:
+        """The distinct subjects of one kind, in insertion order."""
+        seen: list[str] = []
+        for row in self.rows:
+            if row.kind == kind and row.subject not in seen:
+                seen.append(row.subject)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # XML round trip
+    # ------------------------------------------------------------------
+    def to_xml(self) -> str:
+        """Serialise the table as the .xmltable XML dialect."""
+        root = ET.Element("resultTable")
+        for row in self.rows:
+            ET.SubElement(
+                root,
+                "result",
+                {
+                    "kind": row.kind,
+                    "subject": row.subject,
+                    "measure": row.measure,
+                    "value": f"{row.value:.12g}",
+                },
+            )
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ResultTable":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ReflectionError(f"result table is not well-formed XML: {exc}") from exc
+        if root.tag != "resultTable":
+            raise ReflectionError(f"expected <resultTable>, got <{root.tag}>")
+        table = cls()
+        for el in root:
+            if el.tag != "result":
+                raise ReflectionError(f"unexpected element <{el.tag}> in result table")
+            try:
+                table.add(
+                    el.attrib["kind"], el.attrib["subject"], el.attrib["measure"],
+                    float(el.attrib["value"]),
+                )
+            except KeyError as exc:
+                raise ReflectionError(f"result row missing attribute {exc}") from exc
+        return table
+
+    def write(self, path: str | Path) -> Path:
+        """Write the XML form to a file and return the path."""
+        path = Path(path)
+        path.write_text(self.to_xml())
+        return path
+
+    @classmethod
+    def read(cls, path: str | Path) -> "ResultTable":
+        return cls.from_xml(Path(path).read_text())

@@ -1,0 +1,56 @@
+"""Reflecting steady-state probabilities onto state diagrams.
+
+"The purpose of a state diagram is to expose the states of interest
+... and here a different performance measure is more appropriate,
+namely the steady-state probabilities of the states."  Each simple
+state receives a ``steadyStateProbability`` tagged value: the total
+probability of the global states in which the component currently
+occupies that local state.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReflectionError
+from repro.extract.statechart2pepa import StatechartExtraction
+from repro.pepa.measures import ModelAnalysis
+from repro.reflect.results import ResultTable
+from repro.uml.model import TAG_PROBABILITY
+from repro.uml.statechart import StateMachine
+
+__all__ = ["results_of_model_analysis", "reflect_state_probabilities"]
+
+
+def results_of_model_analysis(
+    extractions: list[StatechartExtraction], analysis: ModelAnalysis
+) -> ResultTable:
+    """One probability row per simple state of every machine."""
+    table = ResultTable()
+    for extraction in extractions:
+        for state in extraction.machine.simple_states():
+            constant = extraction.state_constants[state.xmi_id]
+            probability = analysis.probability_of_local_state(constant)
+            table.add("state", constant, "probability", probability)
+    for action, value in analysis.all_throughputs().items():
+        table.add("activity", action, "throughput", value)
+    return table
+
+
+def reflect_state_probabilities(
+    extraction: StatechartExtraction,
+    table: ResultTable,
+    *,
+    digits: int = 6,
+) -> StateMachine:
+    """Annotate the machine's states in place; returns it for chaining."""
+    machine = extraction.machine
+    for state in machine.simple_states():
+        constant = extraction.state_constants[state.xmi_id]
+        try:
+            value = table.value("state", constant, "probability")
+        except ReflectionError:
+            raise ReflectionError(
+                f"result table has no probability for state {state.name!r} "
+                f"(PEPA constant {constant!r})"
+            ) from None
+        state.set_tag(TAG_PROBABILITY, f"{value:.{digits}g}")
+    return machine

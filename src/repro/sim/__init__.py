@@ -1,0 +1,31 @@
+"""Stochastic simulation of PEPA/PEPA-net models (substrate S10)."""
+
+from repro.sim.estimators import (
+    Estimate,
+    estimate_probability,
+    estimate_throughput,
+    estimate_transient_probability,
+    replicate,
+)
+from repro.sim.ssa import (
+    SimulationResult,
+    net_transition_fn,
+    pepa_transition_fn,
+    simulate,
+    simulate_net,
+    simulate_pepa,
+)
+
+__all__ = [
+    "simulate",
+    "simulate_pepa",
+    "simulate_net",
+    "pepa_transition_fn",
+    "net_transition_fn",
+    "SimulationResult",
+    "replicate",
+    "Estimate",
+    "estimate_throughput",
+    "estimate_probability",
+    "estimate_transient_probability",
+]

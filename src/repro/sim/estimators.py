@@ -1,0 +1,121 @@
+"""Replication-based estimators with confidence intervals.
+
+"Approximate solutions require the calculation of confidence
+intervals" — these helpers run independent replications (distinct
+seeds) of an SSA experiment and report mean, half-width and interval
+at the requested confidence level, using the Student-t quantile from
+scipy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import SimulationError
+from repro.sim.ssa import SimulationResult, TransitionFn, simulate
+
+__all__ = ["Estimate", "replicate", "estimate_throughput", "estimate_probability"]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A replicated point estimate with its confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n_replications: int
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    def covers(self, value: float) -> bool:
+        """True when the confidence interval contains the value."""
+        low, high = self.interval
+        return low <= value <= high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.6g} ± {self.half_width:.3g} "
+            f"({self.confidence:.0%}, n={self.n_replications})"
+        )
+
+
+def replicate(
+    transitions: TransitionFn,
+    initial: Hashable,
+    t_end: float,
+    *,
+    n_replications: int = 10,
+    warmup: float = 0.0,
+    base_seed: int = 0,
+    snapshot_times: list[float] | None = None,
+) -> list[SimulationResult]:
+    """Run independent replications with distinct, reproducible seeds."""
+    if n_replications < 2:
+        raise SimulationError("need at least 2 replications for an interval")
+    seeds = np.random.SeedSequence(base_seed).spawn(n_replications)
+    return [
+        simulate(transitions, initial, t_end,
+                 seed=np.random.default_rng(s), warmup=warmup,
+                 snapshot_times=list(snapshot_times) if snapshot_times else None)
+        for s in seeds
+    ]
+
+
+def _interval(samples: np.ndarray, confidence: float) -> Estimate:
+    n = len(samples)
+    mean = float(samples.mean())
+    if n < 2:
+        raise SimulationError("need at least 2 samples")
+    sem = float(samples.std(ddof=1)) / np.sqrt(n)
+    t_quantile = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return Estimate(mean, t_quantile * sem, confidence, n)
+
+
+def estimate_throughput(
+    results: list[SimulationResult], action: str, *, confidence: float = 0.95
+) -> Estimate:
+    """Replication-mean throughput of one action, with a t-interval."""
+    samples = np.array([r.throughput(action) for r in results])
+    return _interval(samples, confidence)
+
+
+def estimate_probability(
+    results: list[SimulationResult],
+    predicate: Callable[[Hashable], bool],
+    *,
+    confidence: float = 0.95,
+) -> Estimate:
+    """Replication-mean time-fraction in matching states, with a t-interval."""
+    samples = np.array([r.probability(predicate) for r in results])
+    return _interval(samples, confidence)
+
+
+def estimate_transient_probability(
+    results: list[SimulationResult],
+    time: float,
+    predicate: Callable[[Hashable], bool],
+    *,
+    confidence: float = 0.95,
+) -> Estimate:
+    """``P[predicate(X_t)]`` from per-replication snapshots.
+
+    Every replication must have been run with ``snapshot_times``
+    including ``time``; the estimate is the replication mean of the 0/1
+    indicator (a Bernoulli proportion with a t-interval).
+    """
+    samples = []
+    for r in results:
+        if time not in r.snapshots:
+            raise SimulationError(
+                f"replication has no snapshot at t={time}; pass "
+                "snapshot_times to simulate()"
+            )
+        samples.append(1.0 if predicate(r.snapshots[time]) else 0.0)
+    return _interval(np.array(samples), confidence)

@@ -1,0 +1,36 @@
+"""UML models with the mobility notation (paper substrate S5/S6).
+
+Activity graphs with ``<<move>>`` stereotypes and ``atloc`` tags
+(Baumeister et al.), statecharts, XMI interchange, Poseidon layout
+handling and a miniature metadata repository.
+"""
+
+from repro.uml.activity import ActivityEdge, ActivityGraph, ActivityNode
+from repro.uml.model import (
+    STEREOTYPE_MOVE,
+    TAG_ATLOC,
+    TAG_PROBABILITY,
+    TAG_RATE,
+    TAG_THROUGHPUT,
+    UmlElement,
+    UmlModel,
+)
+from repro.uml.statechart import State, StateMachine, StateTransition
+from repro.uml.validate import validate_for_extraction
+
+__all__ = [
+    "UmlElement",
+    "UmlModel",
+    "ActivityGraph",
+    "ActivityNode",
+    "ActivityEdge",
+    "StateMachine",
+    "State",
+    "StateTransition",
+    "validate_for_extraction",
+    "STEREOTYPE_MOVE",
+    "TAG_ATLOC",
+    "TAG_RATE",
+    "TAG_THROUGHPUT",
+    "TAG_PROBABILITY",
+]

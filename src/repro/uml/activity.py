@@ -1,0 +1,230 @@
+"""UML activity graphs with the Baumeister et al. mobility notation.
+
+An activity graph contains:
+
+* **action states** — the activities; a location-changing activity
+  carries the ``<<move>>`` stereotype (Figure 2's ``transmit``,
+  Figure 5's ``handover``);
+* **object flow states** — object boxes such as ``f*: FILE``, each
+  tagged ``atloc = <location>``; the star suffixes distinguish the
+  object's successive states;
+* **pseudostates** — the initial marker and decision diamonds;
+* **final states**;
+* **transitions** — control flow (action → action/decision/final) and
+  object flow (action ↔ object box) alike, exactly as UML draws them.
+
+The builder API is used by the workload generators; the XMI layer
+round-trips the same structure.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import UmlModelError
+from repro.uml.model import STEREOTYPE_MOVE, TAG_ATLOC, TAG_RATE, UmlElement
+
+__all__ = ["ActivityNode", "ActivityEdge", "ActivityGraph", "NODE_KINDS"]
+
+NODE_KINDS = ("initial", "action", "decision", "final", "object", "fork", "join")
+
+_OBJECT_NAME_RE = re.compile(r"^\s*(?P<obj>[A-Za-z_][\w]*)(?P<stars>\**)\s*:\s*(?P<cls>[A-Za-z_][\w]*)\s*$")
+
+
+@dataclass
+class ActivityNode(UmlElement):
+    """A node of the graph; ``kind`` is one of :data:`NODE_KINDS`."""
+
+    kind: str = "action"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind not in NODE_KINDS:
+            raise UmlModelError(f"unknown activity node kind {self.kind!r}")
+
+    # -- object-box helpers -------------------------------------------
+    def object_parts(self) -> tuple[str, int, str]:
+        """For an object node named like ``f**: FILE``: the object name,
+        the star count (state variant) and the class name."""
+        if self.kind != "object":
+            raise UmlModelError(f"{self.name!r} is not an object node")
+        m = _OBJECT_NAME_RE.match(self.name)
+        if not m:
+            raise UmlModelError(
+                f"object node name {self.name!r} is not of the form 'obj: Class'"
+            )
+        return m.group("obj"), len(m.group("stars")), m.group("cls")
+
+    @property
+    def object_name(self) -> str:
+        return self.object_parts()[0]
+
+    @property
+    def class_name(self) -> str:
+        return self.object_parts()[2]
+
+
+@dataclass
+class ActivityEdge(UmlElement):
+    """A transition between two nodes (by ``xmi.id``)."""
+
+    source: str = ""
+    target: str = ""
+    guard: str | None = None
+
+
+class ActivityGraph:
+    """A mutable activity-diagram builder plus query helpers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.xmi_id = ActivityNode(name=name).xmi_id  # reuse the id scheme
+        self.nodes: dict[str, ActivityNode] = {}
+        self.edges: list[ActivityEdge] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add(self, node: ActivityNode) -> ActivityNode:
+        if node.xmi_id in self.nodes:
+            raise UmlModelError(f"node id {node.xmi_id!r} already present")
+        self.nodes[node.xmi_id] = node
+        return node
+
+    def add_initial(self, name: str = "Initial_State_1") -> ActivityNode:
+        """Add the initial pseudostate node."""
+        return self._add(ActivityNode(name=name, kind="initial"))
+
+    def add_action(self, name: str, *, move: bool = False, rate: float | None = None) -> ActivityNode:
+        """Add an action state, optionally <<move>>-stereotyped and rate-tagged."""
+        node = ActivityNode(name=name, kind="action")
+        if move:
+            node.add_stereotype(STEREOTYPE_MOVE)
+        if rate is not None:
+            node.set_tag(TAG_RATE, str(rate))
+        return self._add(node)
+
+    def add_decision(self, name: str = "") -> ActivityNode:
+        """Add a decision diamond (choice pseudostate)."""
+        return self._add(ActivityNode(name=name, kind="decision"))
+
+    def add_fork(self, name: str = "") -> ActivityNode:
+        """A fork bar: control splits into concurrent branches.  Listed
+        as future work in the paper's Section 6; supported by our
+        extractor under the restrictions documented in
+        :mod:`repro.extract.activity2pepanet`."""
+        return self._add(ActivityNode(name=name, kind="fork"))
+
+    def add_join(self, name: str = "") -> ActivityNode:
+        """A join bar: concurrent branches synchronise."""
+        return self._add(ActivityNode(name=name, kind="join"))
+
+    def add_final(self, name: str = "") -> ActivityNode:
+        """Add a final state node."""
+        return self._add(ActivityNode(name=name, kind="final"))
+
+    def add_object(self, name: str, *, atloc: str | None = None) -> ActivityNode:
+        """Add an object box named 'obj: Class', optionally with an atloc tag."""
+        node = ActivityNode(name=name, kind="object")
+        if atloc is not None:
+            node.set_tag(TAG_ATLOC, atloc)
+        node.object_parts()  # validate the name shape eagerly
+        return self._add(node)
+
+    def connect(self, source: ActivityNode | str, target: ActivityNode | str,
+                *, guard: str | None = None) -> ActivityEdge:
+        """Add a transition between two nodes (ids are validated)."""
+        src = source.xmi_id if isinstance(source, ActivityNode) else source
+        tgt = target.xmi_id if isinstance(target, ActivityNode) else target
+        for ref in (src, tgt):
+            if ref not in self.nodes:
+                raise UmlModelError(f"edge endpoint {ref!r} is not a node of {self.name!r}")
+        edge = ActivityEdge(source=src, target=tgt, guard=guard)
+        self.edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Queries (what the extractor needs)
+    # ------------------------------------------------------------------
+    def node(self, xmi_id: str) -> ActivityNode:
+        """Look up a node by xmi.id; raises when absent."""
+        try:
+            return self.nodes[xmi_id]
+        except KeyError:
+            raise UmlModelError(f"no node {xmi_id!r} in {self.name!r}") from None
+
+    def nodes_of_kind(self, kind: str) -> list[ActivityNode]:
+        """All nodes of one kind, in insertion order."""
+        return [n for n in self.nodes.values() if n.kind == kind]
+
+    def actions(self) -> list[ActivityNode]:
+        """All action states, in insertion order."""
+        return self.nodes_of_kind("action")
+
+    def objects(self) -> list[ActivityNode]:
+        """All object boxes, in insertion order."""
+        return self.nodes_of_kind("object")
+
+    def action_by_name(self, name: str) -> ActivityNode:
+        """The first action state with the given name; raises when absent."""
+        for n in self.actions():
+            if n.name == name:
+                return n
+        raise UmlModelError(f"no action named {name!r} in {self.name!r}")
+
+    def successors(self, node: ActivityNode | str) -> list[ActivityNode]:
+        """Target nodes of the edges leaving a node."""
+        ref = node.xmi_id if isinstance(node, ActivityNode) else node
+        return [self.nodes[e.target] for e in self.edges if e.source == ref]
+
+    def predecessors(self, node: ActivityNode | str) -> list[ActivityNode]:
+        """Source nodes of the edges entering a node."""
+        ref = node.xmi_id if isinstance(node, ActivityNode) else node
+        return [self.nodes[e.source] for e in self.edges if e.target == ref]
+
+    def inputs_of(self, action: ActivityNode) -> list[ActivityNode]:
+        """Object boxes flowing *into* an action."""
+        return [n for n in self.predecessors(action) if n.kind == "object"]
+
+    def outputs_of(self, action: ActivityNode) -> list[ActivityNode]:
+        """Object boxes flowing *out of* an action."""
+        return [n for n in self.successors(action) if n.kind == "object"]
+
+    def control_successors(self, node: ActivityNode) -> list[ActivityNode]:
+        """Successors that are not object boxes (control flow only)."""
+        return [n for n in self.successors(node) if n.kind != "object"]
+
+    def control_predecessors(self, node: ActivityNode) -> list[ActivityNode]:
+        """Predecessors that are not object boxes."""
+        return [n for n in self.predecessors(node) if n.kind != "object"]
+
+    def initial_node(self) -> ActivityNode:
+        """The unique initial node; raises when missing or duplicated."""
+        initials = self.nodes_of_kind("initial")
+        if len(initials) != 1:
+            raise UmlModelError(
+                f"activity graph {self.name!r} has {len(initials)} initial nodes; "
+                "exactly one is required"
+            )
+        return initials[0]
+
+    def move_actions(self) -> list[ActivityNode]:
+        """All <<move>>-stereotyped action states."""
+        return [n for n in self.actions() if n.is_move]
+
+    def locations(self) -> list[str]:
+        """All distinct ``atloc`` values, in first-appearance order —
+        these become the places of the extracted PEPA net."""
+        seen: list[str] = []
+        for node in self.nodes.values():
+            loc = node.atloc
+            if loc is not None and loc not in seen:
+                seen.append(loc)
+        return seen
+
+    def all_elements(self) -> list[UmlElement]:
+        """Every node and edge, for id lookups and annotation sweeps."""
+        out: list[UmlElement] = list(self.nodes.values())
+        out.extend(self.edges)
+        return out

@@ -1,0 +1,144 @@
+"""Core UML model elements (paper substrate S5).
+
+A deliberately small UML 1.4-flavoured metamodel covering exactly what
+the paper's tool chain consumes: models owning activity graphs and
+state machines, elements carrying stereotypes (``<<move>>``) and tagged
+values (``atloc = ...``, and the reflected ``throughput`` /
+``steadyStateProbability`` results).
+
+Crucially — and this is the paper's headline interoperability claim —
+mobility is expressed with *standard* UML extension mechanisms only
+(stereotypes and tagged values), so models remain processable by
+unmodified UML tools.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.exceptions import UmlModelError
+
+__all__ = [
+    "STEREOTYPE_MOVE",
+    "TAG_ATLOC",
+    "TAG_RATE",
+    "TAG_THROUGHPUT",
+    "TAG_PROBABILITY",
+    "UmlElement",
+    "UmlModel",
+]
+
+#: The Baumeister et al. stereotype marking a location-changing activity.
+STEREOTYPE_MOVE = "move"
+#: The tagged value recording an object's current location.
+TAG_ATLOC = "atloc"
+#: Optional modeller-supplied rate annotation on activities/transitions.
+TAG_RATE = "rate"
+#: Reflected result: steady-state throughput of an activity.
+TAG_THROUGHPUT = "throughput"
+#: Reflected result: steady-state probability of a state.
+TAG_PROBABILITY = "steadyStateProbability"
+
+
+_id_counter = itertools.count(1)
+
+
+def _fresh_id(prefix: str) -> str:
+    return f"{prefix}.{next(_id_counter)}"
+
+
+@dataclass
+class UmlElement:
+    """Base class: every element has an ``xmi.id``, an optional name,
+    stereotypes and tagged values."""
+
+    name: str = ""
+    xmi_id: str = ""
+    stereotypes: set[str] = field(default_factory=set)
+    tagged_values: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.xmi_id:
+            self.xmi_id = _fresh_id(type(self).__name__)
+
+    # ------------------------------------------------------------------
+    def has_stereotype(self, name: str) -> bool:
+        """True when the element carries the stereotype."""
+        return name in self.stereotypes
+
+    def add_stereotype(self, name: str) -> "UmlElement":
+        """Attach a stereotype; returns self for chaining."""
+        self.stereotypes.add(name)
+        return self
+
+    def tag(self, key: str) -> str | None:
+        """The value of a tagged value, or None."""
+        return self.tagged_values.get(key)
+
+    def set_tag(self, key: str, value: str) -> "UmlElement":
+        """Set a tagged value (stringified); returns self for chaining."""
+        self.tagged_values[key] = str(value)
+        return self
+
+    @property
+    def is_move(self) -> bool:
+        return self.has_stereotype(STEREOTYPE_MOVE)
+
+    @property
+    def atloc(self) -> str | None:
+        return self.tag(TAG_ATLOC)
+
+
+@dataclass
+class UmlModel(UmlElement):
+    """A UML model: a named container of diagrams.
+
+    ``activity_graphs`` and ``state_machines`` are the two diagram kinds
+    Choreographer analyses (Sections 3 and 5 of the paper).
+    """
+
+    activity_graphs: list = field(default_factory=list)
+    state_machines: list = field(default_factory=list)
+
+    def add_activity_graph(self, graph) -> None:
+        """Attach an activity graph; duplicate names are rejected."""
+        if any(g.name == graph.name for g in self.activity_graphs):
+            raise UmlModelError(f"activity graph {graph.name!r} already in model")
+        self.activity_graphs.append(graph)
+
+    def add_state_machine(self, machine) -> None:
+        """Attach a state machine; duplicate names are rejected."""
+        if any(m.name == machine.name for m in self.state_machines):
+            raise UmlModelError(f"state machine {machine.name!r} already in model")
+        self.state_machines.append(machine)
+
+    def activity_graph(self, name: str):
+        """Look up an activity graph by name; raises when absent."""
+        for g in self.activity_graphs:
+            if g.name == name:
+                return g
+        raise UmlModelError(f"no activity graph named {name!r}")
+
+    def state_machine(self, name: str):
+        """Look up a state machine by name; raises when absent."""
+        for m in self.state_machines:
+            if m.name == name:
+                return m
+        raise UmlModelError(f"no state machine named {name!r}")
+
+    def all_elements(self) -> list[UmlElement]:
+        """Every element of the model, diagrams included."""
+        out: list[UmlElement] = [self]
+        for g in self.activity_graphs:
+            out.extend(g.all_elements())
+        for m in self.state_machines:
+            out.extend(m.all_elements())
+        return out
+
+    def element_by_id(self, xmi_id: str) -> UmlElement:
+        """Look up any element by xmi.id; raises when absent."""
+        for el in self.all_elements():
+            if el.xmi_id == xmi_id:
+                return el
+        raise UmlModelError(f"no element with xmi.id {xmi_id!r}")

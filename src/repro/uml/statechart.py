@@ -1,0 +1,153 @@
+"""UML state diagrams (Harel statechart variant, paper Figures 8/9).
+
+A state machine records the behaviour of one class: simple states in
+rounded boxes, transitions labelled by the activity that causes them,
+each with an (optional, tool-supplied) exponential rate.  The
+Choreographer maps state machines to PEPA sequential components and
+reflects steady-state probabilities back onto the states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import UmlModelError
+from repro.uml.model import TAG_RATE, UmlElement
+
+__all__ = ["State", "StateTransition", "StateMachine"]
+
+
+@dataclass
+class State(UmlElement):
+    """A state: ``kind`` is ``"initial"`` (pseudostate) or ``"simple"``."""
+
+    kind: str = "simple"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind not in ("initial", "simple"):
+            raise UmlModelError(f"unknown state kind {self.kind!r}")
+
+
+@dataclass
+class StateTransition(UmlElement):
+    """A transition labelled by its triggering activity.
+
+    The ``rate`` tagged value (if present) carries the exponential rate
+    estimate; the paper notes "A rate (not shown) is associated with
+    every activity".
+    """
+
+    source: str = ""
+    target: str = ""
+    trigger: str = ""
+
+    @property
+    def rate(self) -> float | None:
+        raw = self.tag(TAG_RATE)
+        return float(raw) if raw is not None else None
+
+
+class StateMachine:
+    """A state diagram for one class."""
+
+    def __init__(self, name: str, context_class: str = ""):
+        self.name = name
+        self.context_class = context_class or name
+        self.xmi_id = State(name=name).xmi_id
+        self.states: dict[str, State] = {}
+        self.transitions: list[StateTransition] = []
+
+    # ------------------------------------------------------------------
+    def add_initial(self, name: str = "Initial_State") -> State:
+        """Add the initial pseudostate."""
+        state = State(name=name, kind="initial")
+        self.states[state.xmi_id] = state
+        return state
+
+    def add_state(self, name: str) -> State:
+        """Add a simple state; duplicate names are rejected."""
+        if any(s.name == name for s in self.states.values()):
+            raise UmlModelError(f"state {name!r} already in {self.name!r}")
+        state = State(name=name, kind="simple")
+        self.states[state.xmi_id] = state
+        return state
+
+    def add_transition(
+        self,
+        source: State | str,
+        target: State | str,
+        trigger: str,
+        *,
+        rate: float | None = None,
+    ) -> StateTransition:
+        """Add a trigger-labelled transition, optionally rate-tagged."""
+        src = source.xmi_id if isinstance(source, State) else source
+        tgt = target.xmi_id if isinstance(target, State) else target
+        for ref in (src, tgt):
+            if ref not in self.states:
+                raise UmlModelError(f"transition endpoint {ref!r} is not a state")
+        tr = StateTransition(source=src, target=tgt, trigger=trigger)
+        if rate is not None:
+            tr.set_tag(TAG_RATE, str(rate))
+        self.transitions.append(tr)
+        return tr
+
+    # ------------------------------------------------------------------
+    def state(self, xmi_id: str) -> State:
+        """Look up a state by xmi.id; raises when absent."""
+        try:
+            return self.states[xmi_id]
+        except KeyError:
+            raise UmlModelError(f"no state {xmi_id!r} in {self.name!r}") from None
+
+    def state_by_name(self, name: str) -> State:
+        """Look up a state by name; raises when absent."""
+        for s in self.states.values():
+            if s.name == name:
+                return s
+        raise UmlModelError(f"no state named {name!r} in {self.name!r}")
+
+    def simple_states(self) -> list[State]:
+        """All simple (non-pseudo) states, in insertion order."""
+        return [s for s in self.states.values() if s.kind == "simple"]
+
+    def initial_state(self) -> State:
+        """The unique initial pseudostate; raises otherwise."""
+        initials = [s for s in self.states.values() if s.kind == "initial"]
+        if len(initials) != 1:
+            raise UmlModelError(
+                f"state machine {self.name!r} has {len(initials)} initial "
+                "pseudostates; exactly one is required"
+            )
+        return initials[0]
+
+    def outgoing(self, state: State | str) -> list[StateTransition]:
+        """The transitions leaving a state."""
+        ref = state.xmi_id if isinstance(state, State) else state
+        return [t for t in self.transitions if t.source == ref]
+
+    def start_state(self) -> State:
+        """The simple state the initial pseudostate points at."""
+        initial = self.initial_state()
+        targets = self.outgoing(initial)
+        if len(targets) != 1:
+            raise UmlModelError(
+                f"the initial pseudostate of {self.name!r} must have exactly "
+                f"one outgoing transition, found {len(targets)}"
+            )
+        return self.state(targets[0].target)
+
+    def triggers(self) -> list[str]:
+        """Distinct trigger names in first-appearance order."""
+        seen: list[str] = []
+        for t in self.transitions:
+            if t.trigger and t.trigger not in seen:
+                seen.append(t.trigger)
+        return seen
+
+    def all_elements(self) -> list[UmlElement]:
+        """Every state and transition, for id lookups."""
+        out: list[UmlElement] = list(self.states.values())
+        out.extend(self.transitions)
+        return out

@@ -1,0 +1,144 @@
+"""Extractor-side validation of activity diagrams (paper Section 6).
+
+"The activity diagrams which are covered by the current version of the
+PEPA net Extractor/Reflector module have to follow some restrictions."
+We enforce the restrictions the mapping of Section 3 assumes, with
+diagnostics precise enough to fix the diagram:
+
+* exactly one initial node;
+* no fork/join/merge nodes (the node kinds simply do not exist in our
+  builder, but imported XMI could smuggle unknown kinds — rejected at
+  parse time) and decisions only between activities;
+* every object box in a diagram that uses mobility carries an ``atloc``
+  tag;
+* an object's activities are related only by sequence or binary choice
+  (each action has at most one control successor unless it feeds a
+  decision; decisions have at least two outgoing transitions);
+* every ``<<move>>`` action has equally many input and output object
+  flows (the balance condition of the PEPA net it compiles to);
+* object state variants (star counts) never decrease along a flow —
+  a diagnostic for miswired object chains.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ExtractionError
+from repro.uml.activity import ActivityGraph, ActivityNode
+
+__all__ = ["validate_for_extraction"]
+
+
+def validate_for_extraction(graph: ActivityGraph) -> list[str]:
+    """Return a list of problems; empty means the diagram is extractable.
+
+    Raises nothing itself — the extractor wraps non-empty results in an
+    :class:`ExtractionError`."""
+    problems: list[str] = []
+
+    initials = graph.nodes_of_kind("initial")
+    if len(initials) != 1:
+        problems.append(
+            f"diagram {graph.name!r} has {len(initials)} initial nodes; expected exactly 1"
+        )
+
+    uses_mobility = bool(graph.move_actions()) or any(
+        n.atloc is not None for n in graph.nodes.values()
+    )
+
+    for obj in graph.objects():
+        try:
+            obj.object_parts()
+        except Exception as exc:
+            problems.append(str(exc))
+            continue
+        if uses_mobility and obj.atloc is None:
+            problems.append(
+                f"object box {obj.name!r} lacks an atloc tag but the diagram "
+                "uses mobility"
+            )
+
+    for action in graph.actions():
+        control_out = graph.control_successors(action)
+        non_final = [n for n in control_out if n.kind != "final"]
+        if len(non_final) > 2:
+            problems.append(
+                f"action {action.name!r} has {len(non_final)} control successors; "
+                "only sequencing and binary choice are supported"
+            )
+        if action.is_move:
+            n_in = len(graph.inputs_of(action))
+            n_out = len(graph.outputs_of(action))
+            if n_in != n_out:
+                problems.append(
+                    f"<<move>> action {action.name!r} has {n_in} input but "
+                    f"{n_out} output object flows; moves must be balanced"
+                )
+            if n_in == 0:
+                problems.append(
+                    f"<<move>> action {action.name!r} moves no object; attach "
+                    "object flows"
+                )
+
+    for decision in graph.nodes_of_kind("decision"):
+        out = graph.control_successors(decision)
+        if len(out) < 2:
+            problems.append(
+                f"decision node {decision.xmi_id!r} has {len(out)} outgoing "
+                "transitions; a choice needs at least 2"
+            )
+
+    for fork in graph.nodes_of_kind("fork"):
+        out = graph.control_successors(fork)
+        if len(out) < 2:
+            problems.append(
+                f"fork node {fork.xmi_id!r} has {len(out)} outgoing "
+                "transitions; a fork needs at least 2 branches"
+            )
+    for join in graph.nodes_of_kind("join"):
+        incoming = graph.control_predecessors(join)
+        outgoing = graph.control_successors(join)
+        if len(incoming) < 2:
+            problems.append(
+                f"join node {join.xmi_id!r} has {len(incoming)} incoming "
+                "transitions; a join synchronises at least 2 branches"
+            )
+        if len(outgoing) > 1:
+            problems.append(
+                f"join node {join.xmi_id!r} has {len(outgoing)} outgoing "
+                "transitions; at most 1 is supported"
+            )
+
+    for edge in graph.edges:
+        src = graph.nodes[edge.source]
+        tgt = graph.nodes[edge.target]
+        if src.kind == "object" and tgt.kind == "object":
+            problems.append(
+                f"object boxes {src.name!r} and {tgt.name!r} are connected "
+                "directly; object flow must pass through an activity"
+            )
+        if src.kind == "final":
+            problems.append(f"final node {src.xmi_id!r} has an outgoing transition")
+
+    _check_variant_monotonicity(graph, problems)
+    return problems
+
+
+def _check_variant_monotonicity(graph: ActivityGraph, problems: list[str]) -> None:
+    for action in graph.actions():
+        for src in graph.inputs_of(action):
+            for dst in graph.outputs_of(action):
+                try:
+                    s_obj, s_stars, s_cls = src.object_parts()
+                    d_obj, d_stars, d_cls = dst.object_parts()
+                except Exception:
+                    continue  # malformed names reported elsewhere
+                if src.atloc != dst.atloc:
+                    # variants restart after a move to a new location
+                    # (Figure 2: f*** at p1 becomes f at p2)
+                    continue
+                if s_obj == d_obj and s_cls == d_cls and d_stars < s_stars:
+                    problems.append(
+                        f"activity {action.name!r}: object {s_obj!r} flows from "
+                        f"variant {'*' * s_stars or '(none)'} back to "
+                        f"{'*' * d_stars or '(none)'}; variants must not decrease"
+                    )

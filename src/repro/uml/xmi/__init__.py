@@ -1,0 +1,41 @@
+"""XMI interchange, Poseidon pre/post-processing and the metadata
+repository (paper substrate S6, Figure 4's connector boxes)."""
+
+from repro.uml.xmi.mdr import (
+    UML14_METAMODEL,
+    MdrObject,
+    MetaAttribute,
+    MetaClass,
+    Metamodel,
+    Repository,
+)
+from repro.uml.xmi.poseidon import (
+    NS_POSEIDON,
+    add_synthetic_layout,
+    extract_layout,
+    postprocess,
+    preprocess,
+)
+from repro.uml.xmi.reader import mdr_to_model, read_model, xml_to_mdr
+from repro.uml.xmi.writer import NS_UML, mdr_to_xml, model_to_mdr, write_model
+
+__all__ = [
+    "Repository",
+    "Metamodel",
+    "MetaClass",
+    "MetaAttribute",
+    "MdrObject",
+    "UML14_METAMODEL",
+    "read_model",
+    "write_model",
+    "xml_to_mdr",
+    "mdr_to_model",
+    "model_to_mdr",
+    "mdr_to_xml",
+    "NS_UML",
+    "NS_POSEIDON",
+    "preprocess",
+    "postprocess",
+    "add_synthetic_layout",
+    "extract_layout",
+]

@@ -1,0 +1,225 @@
+"""A miniature Metadata Repository (MDR), standing in for NetBeans MDR.
+
+The paper's Extractor/Reflector deliberately goes through a metadata
+repository rather than a raw DOM: a MOF metamodel is imported first,
+and models are then instantiated, navigated and mutated through
+metamodel-derived interfaces ("MDR's interfaces for accessing and
+manipulating the UML model reduce the amount of code that has to be
+written" — Section 4).  We reproduce that architecture:
+
+* :class:`Metamodel` — class descriptors with attribute/reference
+  declarations (our UML 1.4 subset ships as :data:`UML14_METAMODEL`);
+* :class:`Repository` — imports a metamodel, then owns *extents* of
+  instances;
+* :class:`MdrObject` — a reflective instance: ``get``/``set`` validate
+  every access against the metamodel, so a typo in the extractor is an
+  immediate :class:`XmiError` instead of silently-missing data.
+
+Models enter and leave the repository as XMI via
+:mod:`repro.uml.xmi.reader` / :mod:`repro.uml.xmi.writer`, which are
+written *against this API* — exactly the layering of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import XmiError
+
+__all__ = ["MetaAttribute", "MetaClass", "Metamodel", "MdrObject", "Repository", "UML14_METAMODEL"]
+
+
+@dataclass(frozen=True)
+class MetaAttribute:
+    """An attribute declaration: plain string, or a reference (id)."""
+
+    name: str
+    kind: str = "string"  # "string" | "id"
+    required: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("string", "id"):
+            raise XmiError(f"unknown attribute kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class MetaClass:
+    """A metaclass: attributes plus which child element kinds it owns."""
+
+    name: str
+    attributes: tuple[MetaAttribute, ...] = ()
+    children: tuple[str, ...] = ()
+
+    def attribute(self, name: str) -> MetaAttribute:
+        """The attribute declaration; raises on unknown names."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise XmiError(f"metaclass {self.name!r} has no attribute {name!r}")
+
+    def allows_child(self, class_name: str) -> bool:
+        """True when instances may contain that metaclass."""
+        return class_name in self.children
+
+
+@dataclass(frozen=True)
+class Metamodel:
+    """A named, versioned set of metaclasses."""
+
+    name: str
+    version: str
+    classes: dict[str, MetaClass] = field(default_factory=dict)
+
+    def metaclass(self, name: str) -> MetaClass:
+        """The metaclass by name; raises for names outside the metamodel."""
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise XmiError(
+                f"element {name!r} is not part of the {self.name} "
+                f"{self.version} metamodel"
+            ) from None
+
+
+def _mm(name: str, attrs: list[tuple[str, str] | tuple[str, str, bool]], children: list[str]) -> MetaClass:
+    parsed = []
+    for a in attrs:
+        if len(a) == 3:
+            parsed.append(MetaAttribute(a[0], a[1], a[2]))
+        else:
+            parsed.append(MetaAttribute(a[0], a[1]))
+    return MetaClass(name, tuple(parsed), tuple(children))
+
+
+#: The UML 1.4 subset Choreographer works with ("we have chosen the UML
+#: metamodel version 1.4, because it is the basis of the Poseidon UML
+#: tool used in the DEGAS project").
+UML14_METAMODEL = Metamodel(
+    "UML",
+    "1.4",
+    {
+        c.name: c
+        for c in [
+            _mm("Model", [("xmi.id", "id", True), ("name", "string")],
+                ["ActivityGraph", "StateMachine", "TaggedValue", "Stereotype"]),
+            _mm("ActivityGraph", [("xmi.id", "id", True), ("name", "string")],
+                ["ActionState", "Pseudostate", "FinalState", "ObjectFlowState",
+                 "Transition"]),
+            _mm("StateMachine",
+                [("xmi.id", "id", True), ("name", "string"), ("context", "string")],
+                ["SimpleState", "Pseudostate", "FinalState", "Transition"]),
+            _mm("ActionState", [("xmi.id", "id", True), ("name", "string")],
+                ["TaggedValue", "Stereotype"]),
+            _mm("SimpleState", [("xmi.id", "id", True), ("name", "string")],
+                ["TaggedValue", "Stereotype"]),
+            _mm("Pseudostate",
+                [("xmi.id", "id", True), ("name", "string"), ("kind", "string", True)],
+                ["TaggedValue"]),
+            _mm("FinalState", [("xmi.id", "id", True), ("name", "string")],
+                ["TaggedValue"]),
+            _mm("ObjectFlowState", [("xmi.id", "id", True), ("name", "string")],
+                ["TaggedValue", "Stereotype"]),
+            _mm("Transition",
+                [("xmi.id", "id", True), ("name", "string"), ("source", "id", True),
+                 ("target", "id", True), ("trigger", "string"), ("guard", "string")],
+                ["TaggedValue"]),
+            _mm("TaggedValue", [("tag", "string", True), ("value", "string", True)], []),
+            _mm("Stereotype", [("name", "string", True)], []),
+        ]
+    },
+)
+
+
+class MdrObject:
+    """A reflective metamodel instance."""
+
+    def __init__(self, metaclass: MetaClass, repository: "Repository"):
+        self._metaclass = metaclass
+        self._repository = repository
+        self._values: dict[str, str] = {}
+        self.children: list[MdrObject] = []
+
+    @property
+    def metaclass_name(self) -> str:
+        return self._metaclass.name
+
+    def get(self, attribute: str) -> str | None:
+        """Read an attribute (name validated against the metamodel)."""
+        self._metaclass.attribute(attribute)  # validates the name
+        return self._values.get(attribute)
+
+    def set(self, attribute: str, value: str) -> "MdrObject":
+        """Write an attribute (name validated); returns self for chaining."""
+        self._metaclass.attribute(attribute)
+        self._values[attribute] = str(value)
+        return self
+
+    def require(self, attribute: str) -> str:
+        """Read a required attribute; raises when unset."""
+        value = self.get(attribute)
+        if value is None:
+            raise XmiError(
+                f"{self.metaclass_name} instance is missing required "
+                f"attribute {attribute!r}"
+            )
+        return value
+
+    def add_child(self, child: "MdrObject") -> "MdrObject":
+        """Attach a child instance; containment rules are enforced."""
+        if not self._metaclass.allows_child(child.metaclass_name):
+            raise XmiError(
+                f"{self.metaclass_name} may not contain {child.metaclass_name}"
+            )
+        self.children.append(child)
+        return child
+
+    def children_of(self, class_name: str) -> list["MdrObject"]:
+        """The child instances of one metaclass."""
+        return [c for c in self.children if c.metaclass_name == class_name]
+
+    def validate(self) -> None:
+        """Check required attributes, recursively."""
+        for attr in self._metaclass.attributes:
+            if attr.required and attr.name not in self._values:
+                raise XmiError(
+                    f"{self.metaclass_name} instance is missing required "
+                    f"attribute {attr.name!r}"
+                )
+        for child in self.children:
+            child.validate()
+
+
+class Repository:
+    """Owns one imported metamodel and any number of extents."""
+
+    def __init__(self) -> None:
+        self._metamodel: Metamodel | None = None
+        self.extents: dict[str, list[MdrObject]] = {}
+
+    def import_metamodel(self, metamodel: Metamodel) -> None:
+        """Install the metamodel; a conflicting re-import raises."""
+        if self._metamodel is not None and self._metamodel is not metamodel:
+            raise XmiError("a different metamodel is already imported")
+        self._metamodel = metamodel
+
+    @property
+    def metamodel(self) -> Metamodel:
+        if self._metamodel is None:
+            raise XmiError("no metamodel imported; call import_metamodel first")
+        return self._metamodel
+
+    def create_extent(self, name: str) -> list[MdrObject]:
+        """Create a named extent; duplicates are rejected."""
+        if name in self.extents:
+            raise XmiError(f"extent {name!r} already exists")
+        self.extents[name] = []
+        return self.extents[name]
+
+    def instantiate(self, class_name: str, extent: str | None = None) -> MdrObject:
+        """Create an instance of a metaclass, optionally in an extent."""
+        obj = MdrObject(self.metamodel.metaclass(class_name), self)
+        if extent is not None:
+            if extent not in self.extents:
+                raise XmiError(f"unknown extent {extent!r}")
+            self.extents[extent].append(obj)
+        return obj

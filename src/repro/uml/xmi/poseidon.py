@@ -1,0 +1,130 @@
+"""Poseidon pre- and postprocessing (paper Figure 4).
+
+Poseidon for UML stores diagram layout in additional XMI elements that
+the UML metamodel does not know about, so MDR refuses them.  The
+paper's solution is a tool-specific *preprocessor* that removes the
+layout before extraction, and a *postprocessor* that merges the layout
+of the original project back into the reflected model ("we want to
+reuse the layout data of the original model for the reflected UML
+model where possible").
+
+Our stand-in Poseidon dialect keeps layout in a ``Poseidon:Diagrams``
+sibling of ``XMI.content``: one ``Poseidon:NodeLayout`` per element,
+keyed by ``xmi.idref``.  The merge is id-based, so layout survives for
+every element still present after reflection and is dropped for
+elements that disappeared — the behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.exceptions import XmiError
+
+__all__ = [
+    "NS_POSEIDON",
+    "preprocess",
+    "postprocess",
+    "add_synthetic_layout",
+    "extract_layout",
+]
+
+NS_POSEIDON = "com.gentleware.poseidon"
+ET.register_namespace("Poseidon", NS_POSEIDON)
+
+
+def _parse(text: str) -> ET.Element:
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmiError(f"not well-formed XML: {exc}") from exc
+
+
+def _is_poseidon(element: ET.Element) -> bool:
+    return element.tag.startswith(f"{{{NS_POSEIDON}}}")
+
+
+def preprocess(text: str) -> str:
+    """Strip every Poseidon-specific element so the document conforms to
+    the pure UML metamodel (the 'Poseidon preprocessor' box)."""
+    root = _parse(text)
+    _strip(root)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def _strip(element: ET.Element) -> None:
+    for child in list(element):
+        if _is_poseidon(child):
+            element.remove(child)
+        else:
+            _strip(child)
+
+
+def extract_layout(text: str) -> dict[str, ET.Element]:
+    """The layout blocks of a Poseidon document, keyed by the element id
+    they decorate."""
+    root = _parse(text)
+    layout: dict[str, ET.Element] = {}
+    for diagrams in root.iter(f"{{{NS_POSEIDON}}}Diagrams"):
+        for block in diagrams:
+            idref = block.get("xmi.idref")
+            if idref is None:
+                raise XmiError("Poseidon layout block without xmi.idref")
+            layout[idref] = block
+    return layout
+
+
+def postprocess(reflected_text: str, original_poseidon_text: str) -> str:
+    """Merge the original project's layout into the reflected model (the
+    'Poseidon postprocessor' box).
+
+    Layout blocks whose ``xmi.idref`` no longer resolves are dropped —
+    reflection may have removed elements; everything else is carried
+    over verbatim so the user's diagram arrangement survives the
+    analysis round trip.
+    """
+    reflected = _parse(reflected_text)
+    layout = extract_layout(original_poseidon_text)
+    present_ids = {
+        el.get("xmi.id")
+        for el in reflected.iter()
+        if el.get("xmi.id") is not None
+    }
+    diagrams = ET.Element(f"{{{NS_POSEIDON}}}Diagrams")
+    for idref, block in sorted(layout.items()):
+        if idref in present_ids:
+            diagrams.append(block)
+    if len(diagrams):
+        reflected.append(diagrams)
+    ET.indent(reflected)
+    return ET.tostring(reflected, encoding="unicode", xml_declaration=True)
+
+
+def add_synthetic_layout(text: str, *, grid: int = 80) -> str:
+    """Decorate a plain XMI document with Poseidon-style layout blocks
+    (one per identified element, on a simple grid).
+
+    Used by tests and examples to synthesise realistic Poseidon project
+    files, standing in for diagrams drawn by hand in the real tool.
+    """
+    root = _parse(text)
+    diagrams = ET.Element(f"{{{NS_POSEIDON}}}Diagrams")
+    x = y = 0
+    for el in root.iter():
+        xmi_id = el.get("xmi.id")
+        if xmi_id is None:
+            continue
+        block = ET.SubElement(diagrams, f"{{{NS_POSEIDON}}}NodeLayout")
+        block.set("xmi.idref", xmi_id)
+        block.set("x", str(x))
+        block.set("y", str(y))
+        block.set("width", "120")
+        block.set("height", "40")
+        x += grid
+        if x > 5 * grid:
+            x = 0
+            y += grid
+    root.append(diagrams)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)

@@ -1,0 +1,15 @@
+"""Small shared utilities: deterministic ordering, name generation,
+pretty formatting.  Nothing here knows about PEPA or UML."""
+
+from repro.utils.naming import fresh_name, sanitize_identifier
+from repro.utils.ordering import stable_sorted, topological_order
+from repro.utils.formatting import format_rate, format_table
+
+__all__ = [
+    "fresh_name",
+    "sanitize_identifier",
+    "stable_sorted",
+    "topological_order",
+    "format_rate",
+    "format_table",
+]

@@ -1,0 +1,59 @@
+"""Plain-text formatting for reports and the CLI.
+
+The Choreographer reporting layer prints aligned tables of activity
+throughputs and state probabilities; these helpers keep that rendering
+in one place and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_rate(value: float, *, digits: int = 6) -> str:
+    """Format a rate/probability compactly: fixed point for moderate
+    magnitudes, scientific otherwise, trailing zeros trimmed.
+
+    >>> format_rate(0.25)
+    '0.25'
+    >>> format_rate(1.23456789e-9)
+    '1.234568e-09'
+    """
+    if value == 0.0:
+        return "0"
+    if 1e-4 <= abs(value) < 1e7:
+        text = f"{value:.{digits}f}".rstrip("0").rstrip(".")
+        return text if text not in ("", "-") else "0"
+    return f"{value:.{digits}e}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    Columns are sized to the widest cell; numeric cells are
+    right-aligned, text cells left-aligned.
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    numeric = [True] * len(headers)
+    for row in rows:
+        cells = []
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                cells.append(format_rate(cell))
+            else:
+                cells.append(str(cell))
+                numeric[i] = numeric[i] and isinstance(cell, (int, float))
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for ridx, row in enumerate(rendered):
+        parts = []
+        for i, cell in enumerate(row):
+            if numeric[i] and ridx > 0:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        lines.append("  ".join(parts).rstrip())
+        if ridx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

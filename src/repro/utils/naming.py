@@ -1,0 +1,58 @@
+"""Deterministic name utilities.
+
+The extractor synthesises PEPA identifiers from UML element names, which
+may contain spaces, punctuation or collide with each other.  These
+helpers keep generated names valid and unique without any global mutable
+state (a counter is threaded through explicitly via the ``taken`` set),
+so repeated extractions of the same model produce identical output.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_]")
+_LEADING_RE = re.compile(r"^[^A-Za-z]+")
+
+
+def sanitize_identifier(raw: str, *, upper_initial: bool = False) -> str:
+    """Turn an arbitrary UML label into a valid PEPA identifier.
+
+    Spaces and punctuation become underscores, leading non-letters are
+    dropped, and the empty result falls back to ``"x"``.  When
+    ``upper_initial`` is true the first character is upper-cased, which
+    is the PEPA convention for component constants (action types stay
+    lower-case).
+
+    >>> sanitize_identifier("detect weak signal")
+    'detect_weak_signal'
+    >>> sanitize_identifier("f*: FILE", upper_initial=True)
+    'F_FILE'
+    """
+    cleaned = _IDENT_RE.sub("_", raw.strip())
+    cleaned = _LEADING_RE.sub("", cleaned)
+    cleaned = re.sub(r"__+", "_", cleaned).strip("_")
+    if not cleaned:
+        cleaned = "x"
+    if upper_initial:
+        cleaned = cleaned[0].upper() + cleaned[1:]
+    else:
+        cleaned = cleaned[0].lower() + cleaned[1:]
+    return cleaned
+
+
+def fresh_name(base: str, taken: Iterable[str]) -> str:
+    """Return ``base`` or ``base_2``, ``base_3``, ... — whichever is the
+    first not present in ``taken``.
+
+    >>> fresh_name("P", {"P", "P_2"})
+    'P_3'
+    """
+    taken_set = set(taken)
+    if base not in taken_set:
+        return base
+    i = 2
+    while f"{base}_{i}" in taken_set:
+        i += 1
+    return f"{base}_{i}"

@@ -1,0 +1,72 @@
+"""Deterministic ordering helpers.
+
+State-space exploration must be reproducible run-to-run so that state
+indices (and hence solver output ordering, benchmark keys, and golden
+test values) are stable.  Everything that iterates over sets in this
+library routes through :func:`stable_sorted`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping
+from typing import TypeVar
+
+from repro.exceptions import ReproError
+
+T = TypeVar("T")
+
+
+def stable_sorted(items: Iterable[T], key: Callable[[T], object] | None = None) -> list[T]:
+    """Sort with a total, deterministic order even for mixed key types.
+
+    Python refuses to compare e.g. ``int`` with ``str``; we prefix every
+    key with its type name so heterogeneous collections still sort
+    deterministically.
+    """
+    if key is None:
+        key = lambda x: x  # noqa: E731 - tiny identity
+
+    def wrapped(item: T) -> tuple[str, object]:
+        k = key(item)
+        return (type(k).__name__, _comparable(k))
+
+    return sorted(items, key=wrapped)
+
+
+def _comparable(value: object) -> object:
+    if isinstance(value, (tuple, list)):
+        return tuple((type(v).__name__, _comparable(v)) for v in value)
+    if isinstance(value, frozenset):
+        return tuple(sorted((type(v).__name__, _comparable(v)) for v in value))
+    return value
+
+
+def topological_order(nodes: Iterable[Hashable], edges: Mapping[Hashable, Iterable[Hashable]]) -> list:
+    """Kahn's algorithm with deterministic tie-breaking.
+
+    ``edges[n]`` lists the successors of ``n``.  Raises
+    :class:`ReproError` on a cycle, naming one node on it.
+    """
+    nodes = stable_sorted(nodes)
+    succ = {n: stable_sorted(edges.get(n, ())) for n in nodes}
+    indeg: dict[Hashable, int] = {n: 0 for n in nodes}
+    for n in nodes:
+        for m in succ[n]:
+            if m not in indeg:
+                raise ReproError(f"edge target {m!r} is not a node")
+            indeg[m] += 1
+    ready = [n for n in nodes if indeg[n] == 0]
+    out: list = []
+    while ready:
+        n = ready.pop(0)
+        out.append(n)
+        newly = []
+        for m in succ[n]:
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                newly.append(m)
+        ready = stable_sorted(ready + newly)
+    if len(out) != len(nodes):
+        cyclic = stable_sorted(n for n in nodes if indeg[n] > 0)
+        raise ReproError(f"cycle detected involving {cyclic[0]!r}")
+    return out

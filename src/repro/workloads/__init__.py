@@ -1,0 +1,51 @@
+"""Ready-made workload models: every example in the paper plus the
+parameterised families the benchmarks sweep (substrate S11)."""
+
+from repro.workloads.fileactivity import FILE_PEPA_SOURCE, FILE_RATES, build_file_activity_diagram
+from repro.workloads.instantmessage import (
+    IM_PEPANET_SOURCE,
+    IM_RATES,
+    build_instant_message_diagram,
+)
+from repro.workloads.meeting import MEETING_RATES, build_meeting_diagram
+from repro.workloads.pda import PDA_ACTIVITIES, PDA_RATES, build_pda_activity_diagram
+from repro.workloads.scaling import (
+    client_server_model,
+    courier_ring_net,
+    roaming_fleet_net,
+    symmetric_branches_model,
+    tandem_queue_model,
+)
+from repro.workloads.webserver import (
+    CLIENT_STATES,
+    SERVER_STATES,
+    TOMCAT_RATES,
+    build_client_statechart,
+    build_server_statechart,
+    build_web_model,
+)
+
+__all__ = [
+    "build_file_activity_diagram",
+    "FILE_RATES",
+    "FILE_PEPA_SOURCE",
+    "build_instant_message_diagram",
+    "IM_RATES",
+    "IM_PEPANET_SOURCE",
+    "build_pda_activity_diagram",
+    "PDA_RATES",
+    "PDA_ACTIVITIES",
+    "build_meeting_diagram",
+    "MEETING_RATES",
+    "build_client_statechart",
+    "build_server_statechart",
+    "build_web_model",
+    "TOMCAT_RATES",
+    "CLIENT_STATES",
+    "SERVER_STATES",
+    "client_server_model",
+    "courier_ring_net",
+    "roaming_fleet_net",
+    "symmetric_branches_model",
+    "tandem_queue_model",
+]

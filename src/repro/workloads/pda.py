@@ -1,0 +1,89 @@
+"""Figure 5 workload: the PDA user on a moving train.
+
+A PDA downloads dynamically-generated pages over a connection to a
+stationary transmitter.  As the train moves the signal weakens, other
+transmitters are searched for, and the connection is handed over — a
+``<<move>>`` activity from ``transmitter_1`` to ``transmitter_2``.  The
+handover must happen but is not certain to succeed: with equal
+probability the download continues or is aborted (the paper sets the
+two outcomes equiprobable).
+
+The session object ``s: SESSION`` flows through every activity, so the
+extracted PEPA net has two places (the transmitters), one ``handover``
+net transition, and — because throughput is a steady-state measure — a
+synthetic ``reset_s`` firing that starts the next handover cycle (the
+train keeps moving, so transmitter_2 plays the role of transmitter_1
+for the following cell).
+"""
+
+from __future__ import annotations
+
+from repro.uml.activity import ActivityGraph
+
+__all__ = ["PDA_RATES", "build_pda_activity_diagram", "PDA_ACTIVITIES"]
+
+#: Synthetic rates (events/second) for the PDA scenario: downloading a
+#: file takes ~2 s, noticing a weak signal ~0.2 s, scanning ~0.5 s, the
+#: handover ~1 s; the post-handover bookkeeping is fast.  ``reset_s``
+#: paces how soon the next cell boundary arrives.
+PDA_RATES: dict[str, float] = {
+    "download_file": 0.5,
+    "detect_weak_signal": 5.0,
+    "search_for_other_transmitters": 2.0,
+    "handover": 1.0,
+    "abort_download": 4.0,
+    "continue_download": 4.0,
+    "reset_s": 1.0,
+}
+
+#: The activity names of Figure 5, in diagram order.
+PDA_ACTIVITIES = (
+    "download file",
+    "detect weak signal",
+    "search for other transmitters",
+    "handover",
+    "abort download",
+    "continue download",
+)
+
+
+def build_pda_activity_diagram() -> ActivityGraph:
+    """The diagram of Figure 5."""
+    g = ActivityGraph("pda-handover")
+    init = g.add_initial("Initial_State_1")
+    download = g.add_action("download file")
+    detect = g.add_action("detect weak signal")
+    search = g.add_action("search for other transmitters")
+    handover = g.add_action("handover", move=True)
+    abort = g.add_action("abort download")
+    cont = g.add_action("continue download")
+
+    g.connect(init, download)
+    g.connect(download, detect)
+    g.connect(detect, search)
+    g.connect(search, handover)
+    # two possible outcomes, equally likely (equal rates below)
+    g.connect(handover, abort)
+    g.connect(handover, cont)
+
+    s0 = g.add_object("s: SESSION", atloc="transmitter_1")
+    s1 = g.add_object("s*: SESSION", atloc="transmitter_1")
+    s2 = g.add_object("s**: SESSION", atloc="transmitter_1")
+    s3 = g.add_object("s***: SESSION", atloc="transmitter_1")
+    g.connect(s0, download)
+    g.connect(download, s1)
+    g.connect(s1, detect)
+    g.connect(detect, s2)
+    g.connect(s2, search)
+    g.connect(search, s3)
+    g.connect(s3, handover)
+
+    t0 = g.add_object("s: SESSION", atloc="transmitter_2")
+    g.connect(handover, t0)
+    g.connect(t0, abort)
+    g.connect(t0, cont)
+    ta = g.add_object("s*: SESSION", atloc="transmitter_2")
+    tc = g.add_object("s**: SESSION", atloc="transmitter_2")
+    g.connect(abort, ta)
+    g.connect(cont, tc)
+    return g

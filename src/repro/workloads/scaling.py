@@ -1,0 +1,168 @@
+"""Parameterised model families for the scaling/ablation benchmarks.
+
+The paper names state-space explosion as the cost of exact numerical
+solution; these families let the benchmarks measure exactly that —
+state-space growth, per-solver scaling, and the payoff of exact
+lumping on symmetric nets.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WellFormednessError
+from repro.pepa.environment import Environment, PepaModel
+from repro.pepa.parser import parse_model
+from repro.pepa.rates import ActiveRate, PassiveRate
+from repro.pepa.syntax import Cell, Const, Cooperation, Expression, Prefix
+from repro.pepanets.syntax import NetTransitionSpec, PepaNet, PlaceDef
+
+__all__ = [
+    "client_server_model",
+    "courier_ring_net",
+    "roaming_fleet_net",
+    "symmetric_branches_model",
+    "tandem_queue_model",
+]
+
+
+def client_server_model(n_clients: int, *, think_rate: float = 1.0,
+                        request_rate: float = 2.0,
+                        serve_rate: float = 5.0) -> PepaModel:
+    """``n`` clients sharing one single-request server.
+
+    Each client thinks *independently* (a local ``think`` stage) before
+    requesting, so client phases interleave freely and the state space
+    grows as ``2^(n-1)·(n+2)`` — the explosion the paper warns about.
+    """
+    if n_clients < 1:
+        raise WellFormednessError("need at least one client")
+    env = Environment()
+    env.define("Think", Prefix("think", ActiveRate(think_rate), Const("Ready")))
+    env.define("Ready", Prefix("request", ActiveRate(request_rate), Const("Wait")))
+    env.define("Wait", Prefix("response", PassiveRate(), Const("Think")))
+    env.define("Idle", Prefix("request", PassiveRate(), Const("Serve")))
+    env.define("Serve", Prefix("response", ActiveRate(serve_rate), Const("Idle")))
+    clients: Expression = Const("Think")
+    for _ in range(n_clients - 1):
+        clients = Cooperation(clients, Const("Think"), frozenset())
+    system = Cooperation(clients, Const("Idle"), frozenset({"request", "response"}))
+    return PepaModel(env, system)
+
+
+def courier_ring_net(n_places: int, n_couriers: int = 1, *, hop_rate: float = 2.0) -> PepaNet:
+    """``n_couriers`` identical tokens hopping around ``n_places``
+    locations: marking count grows combinatorially in both parameters.
+
+    Every place carries ``n_couriers`` cells so any token distribution
+    is representable.
+    """
+    if n_places < 2:
+        raise WellFormednessError("a ring needs at least two places")
+    if n_couriers < 1:
+        raise WellFormednessError("need at least one courier")
+    env = Environment()
+    env.define("Courier", Prefix("hop", ActiveRate(hop_rate), Const("Courier")))
+    net = PepaNet(environment=env)
+    for i in range(n_places):
+        template: Expression = Cell("Courier", None)
+        for _ in range(n_couriers - 1):
+            template = Cooperation(template, Cell("Courier", None), frozenset())
+        contents = tuple(
+            Const("Courier") if (i == 0 and k < n_couriers) else None
+            for k in range(n_couriers)
+        )
+        net.add_place(PlaceDef(f"L{i}", template, contents))
+    for i in range(n_places):
+        net.add_transition(
+            NetTransitionSpec(
+                name=f"hop_{i}",
+                action="hop",
+                rate=ActiveRate(hop_rate),
+                inputs=(f"L{i}",),
+                outputs=(f"L{(i + 1) % n_places}",),
+            )
+        )
+    return net
+
+
+def symmetric_branches_model(n_branches: int, *, out_rate: float = 1.0,
+                             back_rate: float = 3.0) -> PepaModel:
+    """A hub with ``n`` interchangeable branches — fully lumpable, so
+    the lumping ablation can demonstrate ``n+1 → 2`` state reduction."""
+    if n_branches < 1:
+        raise WellFormednessError("need at least one branch")
+    lines = [f"Hub = " + " + ".join(
+        f"(out{i}, {out_rate}).Branch{i}" for i in range(n_branches)
+    ) + ";"]
+    for i in range(n_branches):
+        lines.append(f"Branch{i} = (back{i}, {back_rate}).Hub;")
+    lines.append("Hub")
+    return parse_model("\n".join(lines))
+
+
+def roaming_fleet_net(n_sessions: int, n_transmitters: int, *,
+                      download_rate: float = 1.0, handover_rate: float = 0.5) -> PepaNet:
+    """A fleet of PDA sessions roaming a ring of transmitters — the
+    paper's Figure 5 scenario scaled in both dimensions.
+
+    Each transmitter hosts up to ``n_sessions`` concurrent sessions
+    (cells); each session alternates downloading with handing over to
+    the next transmitter.  Used by the PEPA-net scaling benchmark.
+    """
+    if n_sessions < 1 or n_transmitters < 2:
+        raise WellFormednessError("need >= 1 session and >= 2 transmitters")
+    env = Environment()
+    env.define(
+        "Session",
+        Prefix("download", ActiveRate(download_rate), Const("Roaming")),
+    )
+    env.define("Roaming", Prefix("handover", ActiveRate(handover_rate), Const("Session")))
+    net = PepaNet(environment=env)
+    for i in range(n_transmitters):
+        template: Expression = Cell("Session", None)
+        for _ in range(n_sessions - 1):
+            template = Cooperation(template, Cell("Session", None), frozenset())
+        contents = tuple(
+            Const("Session") if (i == 0) else None for _ in range(n_sessions)
+        )
+        net.add_place(PlaceDef(f"T{i}", template, contents))
+    for i in range(n_transmitters):
+        net.add_transition(
+            NetTransitionSpec(
+                name=f"handover_{i}",
+                action="handover",
+                rate=ActiveRate(handover_rate),
+                inputs=(f"T{i}",),
+                outputs=(f"T{(i + 1) % n_transmitters}",),
+            )
+        )
+    return net
+
+
+def tandem_queue_model(stages: int, capacity: int, *, arrival: float = 1.0,
+                       service: float = 2.0) -> PepaModel:
+    """A tandem of finite queues expressed in PEPA: stage ``k`` passes
+    jobs to stage ``k+1``; each stage is a birth-death component of the
+    given capacity.  State count is ``(capacity+1)^stages``."""
+    if stages < 1 or capacity < 1:
+        raise WellFormednessError("stages and capacity must be >= 1")
+    lines: list[str] = []
+    for s in range(stages):
+        take = f"mv{s}"            # action that fills stage s
+        give = f"mv{s + 1}"        # action that drains stage s
+        take_rate = str(arrival) if s == 0 else "T"
+        for level in range(capacity + 1):
+            terms = []
+            if level < capacity:
+                terms.append(f"({take}, {take_rate}).S{s}_{level + 1}")
+            if level > 0:
+                terms.append(f"({give}, {service}).S{s}_{level - 1}")
+            lines.append(f"S{s}_{level} = " + " + ".join(terms) + ";")
+    # sink consumes the final stage's output at full speed
+    lines.append(f"Sink = (mv{stages}, T).Sink;")
+    system_parts = [f"S{s}_0" for s in range(stages)] + ["Sink"]
+    system = system_parts[0]
+    for s in range(1, len(system_parts)):
+        shared = f"mv{s}"
+        system = f"({system}) <{shared}> {system_parts[s]}"
+    lines.append(system)
+    return parse_model("\n".join(lines))

@@ -1,0 +1,144 @@
+"""Figures 8/9 workload: the request/response view of the mobile PDA
+user — a client talking to a Tomcat web server serving JSP pages.
+
+* **Client** (Figure 8): generates HTTP requests, waits for the
+  response, then does local processing before the next request.
+* **Server** (Figure 9): accepts a request, locates the JSP source,
+  translates it to Java, compiles it to a servlet, executes the servlet
+  and returns the generated HTML.
+
+The paper's closing experiment compares the server **with and without
+Tomcat's resident-servlet optimisation**: after the first
+locate-translate-compile-execute cycle the servlet stays in memory and
+subsequent requests bypass translation and compilation.  The authors
+estimated rates "by timing a range of JSP pages"; lacking their
+measurements we use synthetic, order-of-magnitude-plausible estimates
+(documented below and in EXPERIMENTS.md) — the *shape* of the result
+(a large reduction in response waiting delay, growing with
+compilation cost) does not depend on the exact numbers.
+
+Rates are attached to individual transitions (not a global table)
+because ``request``/``response`` must be active on one side and passive
+on the other.
+"""
+
+from __future__ import annotations
+
+from repro.extract.statechart2pepa import StatechartExtraction, compose_state_machines
+from repro.pepa.environment import PepaModel
+from repro.uml.model import TAG_RATE
+from repro.uml.statechart import StateMachine
+
+__all__ = [
+    "TOMCAT_RATES",
+    "build_client_statechart",
+    "build_server_statechart",
+    "build_web_model",
+    "CLIENT_STATES",
+    "SERVER_STATES",
+]
+
+#: Synthetic rate estimates (events/second), standing in for the
+#: authors' Tomcat timings:
+#:
+#: ===============  ======  =============================================
+#: activity          rate   interpretation
+#: ===============  ======  =============================================
+#: request            2.0   client issues a request every ~0.5 s
+#: offlineprocessing  1.0   ~1 s of local processing per page
+#: locatejsp        200.0   finding the JSP source: ~5 ms
+#: translate          0.5   JSP → Java source: ~2 s
+#: compile            1.0   Java → servlet: ~1 s
+#: execute           50.0   servlet run: ~20 ms
+#: response         100.0   shipping the HTML: ~10 ms
+#: servlethit       190.0   cache lookup, hit (95 % of lookups)
+#: servletmiss       10.0   cache lookup, miss (5 %)
+#: ===============  ======  =============================================
+TOMCAT_RATES: dict[str, float] = {
+    "request": 2.0,
+    "offlineprocessing": 1.0,
+    "locatejsp": 200.0,
+    "translate": 0.5,
+    "compile": 1.0,
+    "execute": 50.0,
+    "response": 100.0,
+    "servlethit": 190.0,
+    "servletmiss": 10.0,
+}
+
+CLIENT_STATES = ("GenerateRequest", "WaitForResponse", "ProcessResponse")
+SERVER_STATES = (
+    "ServerIdle",
+    "ProcessRequest",
+    "AccessJSPFile",
+    "GeneratedJavaCode",
+    "CompiledJavaCode",
+    "SendHTTPResponse",
+)
+
+
+def build_client_statechart(rates: dict[str, float] | None = None) -> StateMachine:
+    """Figure 8.  The client is active on ``request`` and
+    ``offlineprocessing`` and passively accepts the ``response``."""
+    r = {**TOMCAT_RATES, **(rates or {})}
+    sm = StateMachine("Client")
+    init = sm.add_initial()
+    generate = sm.add_state("GenerateRequest")
+    wait = sm.add_state("WaitForResponse")
+    process = sm.add_state("ProcessResponse")
+    sm.add_transition(init, generate, "")
+    sm.add_transition(generate, wait, "request", rate=r["request"])
+    sm.add_transition(wait, process, "response").set_tag(TAG_RATE, "T")
+    sm.add_transition(process, generate, "offlineprocessing", rate=r["offlineprocessing"])
+    return sm
+
+
+def build_server_statechart(
+    *, cached: bool = False, rates: dict[str, float] | None = None
+) -> StateMachine:
+    """Figure 9 (``cached=False``), or the same server with Tomcat's
+    resident-servlet optimisation (``cached=True``).
+
+    The optimised server resolves each request through a servlet
+    lookup: a hit (weight ``servlethit``) goes straight to execution;
+    a miss (weight ``servletmiss``) pays the full
+    locate-translate-compile cycle.
+    """
+    r = {**TOMCAT_RATES, **(rates or {})}
+    name = "ServerCached" if cached else "Server"
+    sm = StateMachine(name, context_class="Server")
+    init = sm.add_initial()
+    idle = sm.add_state("ServerIdle")
+    processing = sm.add_state("ProcessRequest")
+    access = sm.add_state("AccessJSPFile")
+    generated = sm.add_state("GeneratedJavaCode")
+    compiled = sm.add_state("CompiledJavaCode")
+    sending = sm.add_state("SendHTTPResponse")
+
+    sm.add_transition(init, idle, "")
+    sm.add_transition(idle, processing, "request").set_tag(TAG_RATE, "T")
+    if cached:
+        resident = sm.add_state("ExecuteResidentServlet")
+        sm.add_transition(processing, resident, "servlethit", rate=r["servlethit"])
+        sm.add_transition(processing, access, "servletmiss", rate=r["servletmiss"])
+        sm.add_transition(resident, sending, "execute", rate=r["execute"])
+    else:
+        sm.add_transition(processing, access, "locatejsp", rate=r["locatejsp"])
+    sm.add_transition(access, generated, "translate", rate=r["translate"])
+    sm.add_transition(generated, compiled, "compile", rate=r["compile"])
+    sm.add_transition(compiled, sending, "execute", rate=r["execute"])
+    sm.add_transition(sending, idle, "response", rate=r["response"])
+    return sm
+
+
+def build_web_model(
+    *, cached: bool = False, rates: dict[str, float] | None = None
+) -> tuple[PepaModel, list[StatechartExtraction]]:
+    """The composed client ⋈ server PEPA model.
+
+    Client and server cooperate on their shared triggers, ``request``
+    and ``response`` — the coupling of Section 5.
+    """
+    client = build_client_statechart(rates)
+    server = build_server_statechart(cached=cached, rates=rates)
+    return compose_state_machines([client, server])

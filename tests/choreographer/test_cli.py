@@ -1,0 +1,186 @@
+"""Unit tests for the choreographer CLI."""
+
+import pytest
+
+from repro.choreographer.cli import main
+from repro.uml.model import UmlModel
+from repro.uml.xmi import add_synthetic_layout, write_model
+from repro.workloads import build_instant_message_diagram, build_client_statechart
+
+
+@pytest.fixture()
+def xmi_file(tmp_path):
+    model = UmlModel(name="project")
+    model.add_activity_graph(build_instant_message_diagram())
+    model.add_state_machine(build_client_statechart())
+    # the client alone blocks on its passive 'response'; drop it for CLI
+    model.state_machines.clear()
+    path = tmp_path / "model.xmi"
+    path.write_text(add_synthetic_layout(write_model(model)))
+    return path
+
+
+@pytest.fixture()
+def pepa_file(tmp_path):
+    path = tmp_path / "model.pepa"
+    path.write_text("P = (a, 2.0).Q; Q = (b, 1.0).P; P")
+    return path
+
+
+@pytest.fixture()
+def net_file(tmp_path):
+    path = tmp_path / "model.pepanet"
+    path.write_text(
+        """
+        Tok = (go, 1).Tok;
+        A[Tok] = Tok[_];
+        B[_] = Tok[_];
+        ab = (go, 1) : A -> B;
+        ba = (go, 1) : B -> A;
+        """
+    )
+    return path
+
+
+class TestAnalyse:
+    def test_analyse_prints_report_and_writes_output(self, xmi_file, tmp_path, capsys):
+        out = tmp_path / "reflected.xmi"
+        code = main(["analyse", str(xmi_file), "-o", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "transmit" in captured
+        assert out.exists()
+        assert "throughput" in out.read_text()
+
+    def test_analyse_with_rates_file(self, xmi_file, tmp_path, capsys):
+        rates = tmp_path / "m.rates"
+        rates.write_text("transmit = 5.0\n")
+        code = main(["analyse", str(xmi_file), "--rates", str(rates)])
+        assert code == 0
+
+    def test_missing_file_is_error(self, capsys):
+        code = main(["analyse", "no/such/file.xmi"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPepa:
+    def test_solve_and_report(self, pepa_file, capsys):
+        code = main(["pepa", str(pepa_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 states" in out
+        assert "throughput" in out
+
+    def test_prism_export(self, pepa_file, tmp_path, capsys):
+        stem = tmp_path / "out" / "model"
+        stem.parent.mkdir()
+        code = main(["pepa", str(pepa_file), "--export-prism", str(stem)])
+        assert code == 0
+        assert (tmp_path / "out" / "model.tra").exists()
+
+    def test_solver_flag(self, pepa_file, capsys):
+        code = main(["pepa", str(pepa_file), "--solver", "power"])
+        assert code == 0
+        assert "power" in capsys.readouterr().out
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pepa"
+        bad.write_text("P = = ;")
+        code = main(["pepa", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestNet:
+    def test_solve_and_report(self, net_file, capsys):
+        code = main(["net", str(net_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 markings" in out
+        assert "mean tokens" in out
+
+
+class TestSimulate:
+    def test_simulate_pepa_model(self, pepa_file, capsys):
+        code = main(["simulate", str(pepa_file), "--t-end", "200",
+                     "--replications", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replications" in out
+        assert "a" in out and "b" in out
+
+    def test_simulate_net(self, net_file, capsys):
+        code = main(["simulate", str(net_file), "--t-end", "200",
+                     "--replications", "4", "--warmup", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "go" in out
+
+    def test_simulate_reproducible(self, pepa_file, capsys):
+        main(["simulate", str(pepa_file), "--t-end", "100", "--replications", "3"])
+        first = capsys.readouterr().out
+        main(["simulate", str(pepa_file), "--t-end", "100", "--replications", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestSensitivity:
+    def test_profile_printed(self, pepa_file, capsys):
+        code = main(["sensitivity", str(pepa_file), "--measure", "a"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sensitivity" in out
+        assert "a" in out and "b" in out
+
+    def test_unknown_measure_is_error(self, pepa_file, capsys):
+        code = main(["sensitivity", str(pepa_file), "--measure", "ghost"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDot:
+    def test_net_both_views_to_stdout(self, net_file, capsys):
+        code = main(["dot", str(net_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digraph pepanet" in out
+        assert "digraph markings" in out
+
+    def test_pepa_states_view(self, pepa_file, capsys):
+        code = main(["dot", str(pepa_file), "--what", "states"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digraph pepa" in out
+
+    def test_pepa_structure_view_is_error(self, pepa_file, capsys):
+        code = main(["dot", str(pepa_file), "--what", "structure"])
+        assert code == 2
+        assert "structure" in capsys.readouterr().err
+
+    def test_write_files(self, net_file, tmp_path, capsys):
+        stem = tmp_path / "render"
+        code = main(["dot", str(net_file), "-o", str(stem)])
+        assert code == 0
+        assert (tmp_path / "render.structure.dot").exists()
+        assert (tmp_path / "render.states.dot").exists()
+
+
+class TestValidate:
+    def test_valid_model(self, xmi_file, capsys):
+        code = main(["validate", str(xmi_file)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_model(self, tmp_path, capsys):
+        from repro.uml.activity import ActivityGraph
+
+        model = UmlModel(name="bad")
+        g = ActivityGraph("broken")
+        g.add_action("a")  # no initial node
+        model.add_activity_graph(g)
+        path = tmp_path / "bad.xmi"
+        path.write_text(write_model(model))
+        code = main(["validate", str(path)])
+        assert code == 1
+        assert "initial" in capsys.readouterr().out

@@ -1,0 +1,33 @@
+"""Tests for the one-command experiment reproduction module."""
+
+from repro.choreographer.cli import main
+from repro.choreographer.experiments import render_report, run_all_experiments
+
+
+class TestRunAll:
+    def test_all_experiments_pass(self):
+        records = run_all_experiments()
+        assert len(records) == 6
+        for record in records:
+            assert record.ok, f"{record.experiment}: {record.checks}"
+
+    def test_metrics_present(self):
+        records = run_all_experiments()
+        by_id = {r.experiment: r for r in records}
+        assert by_id["E9"].metrics["reduction_factor"] > 10
+        assert by_id["E5/E6"].metrics["markings"] == 6
+        assert by_id["E2"].metrics["published_net_markings"] == 4
+
+    def test_report_renders_all_rows(self):
+        records = run_all_experiments()
+        report = render_report(records)
+        for record in records:
+            assert record.experiment in report
+        assert "✓" in report
+        assert "FAILED" not in report
+
+    def test_cli_entry_point(self, capsys):
+        code = main(["experiments"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E9" in out and "reduction_factor" in out

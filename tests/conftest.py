@@ -1,0 +1,37 @@
+"""Shared fixtures: canonical models used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pepa import parse_model
+
+
+FILE_MODEL_SRC = """
+// Figure 1 of the paper: the File protocol with a passive reader.
+r_o = 2.0; r_r = 10.0; r_w = 4.0; r_c = 1.0;
+File = (openread, r_o).InStream + (openwrite, r_o).OutStream;
+InStream = (read, r_r).InStream + (close, r_c).File;
+OutStream = (write, r_w).OutStream + (close, r_c).File;
+FileReader = (openread, T).Reading + (openwrite, T).Writing;
+Reading = (read, T).Reading + (close, T).FileReader;
+Writing = (write, T).Writing + (close, T).FileReader;
+File <openread, openwrite, read, write, close> FileReader
+"""
+
+TWO_STATE_SRC = """
+r_up = 3.0; r_down = 1.0;
+On = (switch_off, r_down).Off;
+Off = (switch_on, r_up).On;
+On
+"""
+
+
+@pytest.fixture
+def file_model():
+    return parse_model(FILE_MODEL_SRC)
+
+
+@pytest.fixture
+def two_state_model():
+    return parse_model(TWO_STATE_SRC)

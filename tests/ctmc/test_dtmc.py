@@ -1,0 +1,70 @@
+"""Unit tests for the embedded DTMC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import build_ctmc, ctmc_pi_from_embedded, steady_state
+from repro.ctmc.dtmc import dtmc_stationary, embedded_dtmc
+from repro.exceptions import SolverError
+
+
+def chain_with_choice():
+    return build_ctmc(
+        3,
+        [(0, "l", 1.0, 1), (0, "r", 3.0, 2), (1, "x", 5.0, 0), (2, "y", 0.5, 0)],
+    )
+
+
+class TestEmbedded:
+    def test_rows_are_stochastic(self):
+        P = embedded_dtmc(chain_with_choice())
+        sums = np.asarray(P.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_branch_probabilities(self):
+        P = embedded_dtmc(chain_with_choice())
+        assert math.isclose(P[0, 1], 0.25)
+        assert math.isclose(P[0, 2], 0.75)
+
+    def test_absorbing_state_gets_self_loop(self):
+        chain = build_ctmc(2, [(0, "go", 1.0, 1)])
+        P = embedded_dtmc(chain)
+        assert P[1, 1] == 1.0
+
+
+class TestCrossCheck:
+    def test_embedded_route_matches_direct_solver(self):
+        chain = chain_with_choice()
+        pi_direct = steady_state(chain)
+        pi_embedded = ctmc_pi_from_embedded(chain)
+        assert np.allclose(pi_direct, pi_embedded, atol=1e-8)
+
+    def test_birth_death_cross_check(self):
+        transitions = []
+        for i in range(5):
+            transitions.append((i, "birth", 2.0, i + 1))
+            transitions.append((i + 1, "death", 3.0, i))
+        chain = build_ctmc(6, transitions)
+        assert np.allclose(steady_state(chain), ctmc_pi_from_embedded(chain), atol=1e-8)
+
+    def test_absorbing_chain_rejected(self):
+        chain = build_ctmc(2, [(0, "go", 1.0, 1)])
+        with pytest.raises(SolverError, match="absorbing"):
+            ctmc_pi_from_embedded(chain)
+
+    def test_dtmc_stationary_on_periodic_chain(self):
+        """A two-cycle is periodic; damping must still converge to
+        (1/2, 1/2)."""
+        import scipy.sparse as sp
+
+        P = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        nu = dtmc_stationary(P)
+        assert np.allclose(nu, [0.5, 0.5], atol=1e-8)
+
+    def test_non_square_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(SolverError):
+            dtmc_stationary(sp.csr_matrix((2, 3)))

@@ -1,0 +1,89 @@
+"""Unit tests for CTMC export formats."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import build_ctmc, to_dot, to_matrix_market, to_prism, write_prism_files
+
+
+def sample_chain():
+    return build_ctmc(
+        3,
+        [(0, "a", 1.0, 1), (1, "b", 2.0, 2), (2, "c", 0.5, 0)],
+        labels=["S0", "S1", "S2"],
+    )
+
+
+class TestPrism:
+    def test_tra_header_and_rows(self):
+        tra, _, _ = to_prism(sample_chain())
+        lines = tra.strip().splitlines()
+        assert lines[0] == "3 3"
+        assert lines[1].startswith("0 1 ")
+        assert len(lines) == 4
+
+    def test_sta_enumerates_states(self):
+        _, sta, _ = to_prism(sample_chain())
+        lines = sta.strip().splitlines()
+        assert lines[0] == "(s)"
+        assert lines[1] == "0:(0)"
+        assert len(lines) == 4
+
+    def test_lab_marks_initial(self):
+        _, _, lab = to_prism(sample_chain())
+        assert '0="init"' in lab
+        assert "\n0: 0" in lab
+
+    def test_lab_marks_deadlocks(self):
+        chain = build_ctmc(2, [(0, "a", 1.0, 1)])
+        _, _, lab = to_prism(chain)
+        assert "1: 1" in lab
+
+    def test_write_files(self, tmp_path):
+        paths = write_prism_files(sample_chain(), tmp_path / "model")
+        for p in paths:
+            assert p.exists()
+            assert p.read_text()
+        assert {p.suffix for p in paths} == {".tra", ".sta", ".lab"}
+
+    def test_transitions_sorted(self):
+        chain = build_ctmc(3, [(2, "z", 1.0, 0), (0, "a", 1.0, 2), (1, "m", 1.0, 0)])
+        tra, _, _ = to_prism(chain)
+        rows = [tuple(map(float, line.split()[:2])) for line in tra.strip().splitlines()[1:]]
+        assert rows == sorted(rows)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        import scipy.io
+
+        chain = sample_chain()
+        path = to_matrix_market(chain, tmp_path / "gen.mtx")
+        loaded = scipy.io.mmread(str(path)).tocsr()
+        assert np.allclose(loaded.toarray(), chain.Q.toarray())
+
+
+class TestDot:
+    def test_contains_states_and_arcs(self):
+        dot = to_dot(sample_chain())
+        assert dot.startswith("digraph")
+        assert 'label="S1"' in dot
+        assert "s0 -> s1" in dot
+
+    def test_initial_state_highlighted(self):
+        dot = to_dot(sample_chain())
+        assert "doublecircle" in dot
+
+    def test_size_limit(self):
+        big = build_ctmc(
+            300,
+            [(i, "step", 1.0, (i + 1) % 300) for i in range(300)],
+        )
+        with pytest.raises(ValueError, match="refusing"):
+            to_dot(big)
+
+    def test_quotes_escaped(self):
+        chain = build_ctmc(2, [(0, "a", 1.0, 1), (1, "b", 1.0, 0)],
+                           labels=['say "hi"', "other"])
+        dot = to_dot(chain)
+        assert '"say \'hi\'"' in dot.replace("label=", "", 1) or "say 'hi'" in dot

@@ -1,0 +1,119 @@
+"""Unit tests for exact lumping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import build_ctmc, lump, steady_state
+from repro.ctmc.lumping import coarsest_lumping, verify_lumpable
+
+
+def symmetric_pair():
+    """Two interchangeable 'replica' states 1 and 2 between hub states 0
+    and 3: {1, 2} is lumpable."""
+    return build_ctmc(
+        4,
+        [
+            (0, "out", 1.0, 1),
+            (0, "out", 1.0, 2),
+            (1, "fwd", 2.0, 3),
+            (2, "fwd", 2.0, 3),
+            (3, "home", 4.0, 0),
+        ],
+        labels=["hub", "r1", "r2", "sink"],
+    )
+
+
+class TestCoarsestLumping:
+    def test_symmetric_states_merge(self):
+        blocks = coarsest_lumping(symmetric_pair())
+        sizes = sorted(len(b) for b in blocks)
+        assert sizes == [1, 1, 2]
+        merged = next(b for b in blocks if len(b) == 2)
+        assert sorted(merged.tolist()) == [1, 2]
+
+    def test_initial_partition_respected(self):
+        chain = symmetric_pair()
+        # force r1 and r2 apart via the initial partition
+        blocks = coarsest_lumping(chain, lambda i, lbl: lbl)
+        assert all(len(b) == 1 for b in blocks)
+
+    def test_asymmetric_rates_do_not_merge(self):
+        chain = build_ctmc(
+            4,
+            [
+                (0, "out", 1.0, 1),
+                (0, "out", 1.0, 2),
+                (1, "fwd", 2.0, 3),
+                (2, "fwd", 5.0, 3),  # different rate: not lumpable
+                (3, "home", 4.0, 0),
+            ],
+        )
+        blocks = coarsest_lumping(chain)
+        assert all(len(b) == 1 for b in blocks)
+
+    def test_verify_lumpable(self):
+        chain = symmetric_pair()
+        good = [np.array([0]), np.array([1, 2]), np.array([3])]
+        bad = [np.array([0, 1]), np.array([2]), np.array([3])]
+        assert verify_lumpable(chain, good)
+        assert not verify_lumpable(chain, bad)
+
+
+class TestQuotientChain:
+    def test_stationary_distribution_aggregates(self):
+        chain = symmetric_pair()
+        lumped = lump(chain)
+        pi_full = steady_state(chain)
+        pi_lumped = steady_state(lumped.chain)
+        for b, members in enumerate(lumped.blocks):
+            assert math.isclose(pi_lumped[b], pi_full[members].sum(), rel_tol=1e-9)
+
+    def test_generator_rows_sum_to_zero(self):
+        lumped = lump(symmetric_pair())
+        sums = np.asarray(lumped.chain.Q.sum(axis=1)).ravel()
+        assert np.allclose(sums, 0.0)
+
+    def test_throughput_preserved(self):
+        from repro.ctmc import throughput
+
+        chain = symmetric_pair()
+        lumped = lump(chain)
+        for action in chain.action_rates:
+            assert math.isclose(
+                throughput(chain, action),
+                throughput(lumped.chain, action),
+                rel_tol=1e-9,
+            )
+
+    def test_lift_distributes_uniformly(self):
+        chain = symmetric_pair()
+        lumped = lump(chain)
+        pi_lumped = steady_state(lumped.chain)
+        lifted = lumped.lift(pi_lumped, chain)
+        assert math.isclose(lifted.sum(), 1.0, rel_tol=1e-9)
+        # symmetric states get equal shares — which here is also exact
+        pi_full = steady_state(chain)
+        assert np.allclose(lifted, pi_full, atol=1e-9)
+
+    def test_initial_state_mapped(self):
+        chain = symmetric_pair()
+        lumped = lump(chain)
+        assert lumped.chain.initial == int(lumped.block_of[chain.initial])
+
+    def test_larger_symmetric_ring(self):
+        """N identical parallel branches collapse to one."""
+        n_branches = 5
+        transitions = []
+        # state 0 = hub; states 1..n = branches; all identical
+        for b in range(1, n_branches + 1):
+            transitions.append((0, "go", 1.0, b))
+            transitions.append((b, "ret", 3.0, 0))
+        chain = build_ctmc(n_branches + 1, transitions)
+        lumped = lump(chain)
+        assert lumped.n_blocks == 2
+        pi = steady_state(lumped.chain)
+        # hub sees exit rate n*1, branches return at 3
+        expected_hub = 3.0 / (3.0 + n_branches)
+        assert math.isclose(pi[lumped.block_of[0]], expected_hub, rel_tol=1e-9)

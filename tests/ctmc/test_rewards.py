@@ -1,0 +1,103 @@
+"""Unit tests for reward measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    all_throughputs,
+    build_ctmc,
+    expectation,
+    mean_population,
+    probability_by_label,
+    throughput,
+    utilisation,
+)
+from repro.exceptions import SolverError
+
+
+def queue_chain():
+    """M/M/1/3 with arrival 1, service 2; labels carry the queue length."""
+    transitions = []
+    for i in range(3):
+        transitions.append((i, "arrive", 1.0, i + 1))
+        transitions.append((i + 1, "serve", 2.0, i))
+    return build_ctmc(4, transitions, labels=[f"len={i}" for i in range(4)])
+
+
+class TestThroughput:
+    def test_flow_balance(self):
+        chain = queue_chain()
+        assert math.isclose(throughput(chain, "arrive"), throughput(chain, "serve"), rel_tol=1e-9)
+
+    def test_unknown_action_is_zero(self):
+        assert throughput(queue_chain(), "ghost") == 0.0
+
+    def test_all_throughputs_sorted_keys(self):
+        ths = all_throughputs(queue_chain())
+        assert list(ths) == ["arrive", "serve"]
+
+    def test_explicit_pi_used(self):
+        chain = queue_chain()
+        pi = np.array([1.0, 0.0, 0.0, 0.0])
+        # in state 0 only arrivals occur, at rate 1
+        assert throughput(chain, "arrive", pi) == 1.0
+        assert throughput(chain, "serve", pi) == 0.0
+
+
+class TestExpectation:
+    def test_vector_rewards(self):
+        chain = queue_chain()
+        lengths = np.arange(4, dtype=float)
+        mean_len = expectation(chain, lengths)
+        rho = 0.5
+        weights = rho ** np.arange(4)
+        expected = (weights * np.arange(4)).sum() / weights.sum()
+        assert math.isclose(mean_len, expected, rel_tol=1e-9)
+
+    def test_sparse_mapping_rewards(self):
+        chain = queue_chain()
+        assert math.isclose(
+            expectation(chain, {3: 1.0}),
+            probability_by_label(chain, "len=3"),
+            rel_tol=1e-12,
+        )
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SolverError):
+            expectation(queue_chain(), np.ones(7))
+
+    def test_bad_mapping_state_rejected(self):
+        with pytest.raises(SolverError):
+            expectation(queue_chain(), {99: 1.0})
+
+
+class TestProbabilities:
+    def test_labels_partition(self):
+        chain = queue_chain()
+        total = sum(probability_by_label(chain, f"len={i}") for i in range(4))
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_regex_matching(self):
+        chain = queue_chain()
+        p_nonzero = probability_by_label(chain, r"len=[123]", regex=True)
+        p0 = probability_by_label(chain, "len=0")
+        assert math.isclose(p_nonzero + p0, 1.0, rel_tol=1e-9)
+
+    def test_unlabelled_chain_rejected(self):
+        chain = build_ctmc(2, [(0, "a", 1.0, 1), (1, "b", 1.0, 0)])
+        with pytest.raises(SolverError, match="labels"):
+            probability_by_label(chain, "x")
+
+    def test_utilisation_by_index(self):
+        chain = queue_chain()
+        busy = utilisation(chain, lambda i, lbl: i > 0)
+        assert math.isclose(busy, 1.0 - probability_by_label(chain, "len=0"), rel_tol=1e-9)
+
+
+class TestPopulation:
+    def test_mean_queue_length_from_labels(self):
+        chain = queue_chain()
+        mean_len = mean_population(chain, lambda lbl: int(lbl.split("=")[1]))
+        assert math.isclose(mean_len, expectation(chain, np.arange(4.0)), rel_tol=1e-12)

@@ -1,0 +1,110 @@
+"""Unit and property tests for the steady-state solvers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import CTMC, build_ctmc, steady_state
+from repro.ctmc.steady import SOLVERS
+from repro.exceptions import SolverError
+
+ALL_METHODS = sorted(SOLVERS)
+
+
+def birth_death(n: int, birth: float, death: float) -> CTMC:
+    """M/M/1/n queue: closed-form geometric stationary distribution."""
+    transitions = []
+    for i in range(n):
+        transitions.append((i, "arrive", birth, i + 1))
+        transitions.append((i + 1, "serve", death, i))
+    return build_ctmc(n + 1, transitions, labels=[f"q{i}" for i in range(n + 1)])
+
+
+def geometric_pi(n: int, rho: float) -> np.ndarray:
+    weights = rho ** np.arange(n + 1)
+    return weights / weights.sum()
+
+
+class TestAnalyticAgreement:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_two_state(self, method):
+        chain = build_ctmc(2, [(0, "d", 1.0, 1), (1, "u", 3.0, 0)])
+        pi = steady_state(chain, method)
+        assert np.allclose(pi, [0.75, 0.25], atol=1e-7)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_birth_death_geometric(self, method):
+        chain = birth_death(8, birth=1.0, death=2.0)
+        pi = steady_state(chain, method)
+        assert np.allclose(pi, geometric_pi(8, 0.5), atol=1e-6)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_uniform_cycle(self, method):
+        n = 6
+        chain = build_ctmc(n, [(i, "step", 2.0, (i + 1) % n) for i in range(n)])
+        pi = steady_state(chain, method)
+        assert np.allclose(pi, np.full(n, 1 / n), atol=1e-6)
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        chain = birth_death(2, 1.0, 1.0)
+        with pytest.raises(SolverError, match="unknown"):
+            steady_state(chain, "quantum")
+
+    def test_reducible_chain_rejected(self):
+        chain = build_ctmc(3, [(0, "a", 1.0, 1), (1, "b", 1.0, 2)])
+        with pytest.raises(SolverError, match="irreducible"):
+            steady_state(chain)
+
+    def test_reducible_error_names_absorbing_state(self):
+        chain = build_ctmc(2, [(0, "a", 1.0, 1)], labels=["start", "sink"])
+        with pytest.raises(SolverError, match="sink"):
+            steady_state(chain)
+
+    def test_check_can_be_skipped_for_known_irreducible(self):
+        chain = birth_death(3, 1.0, 1.0)
+        pi = steady_state(chain, check_irreducible=False)
+        assert math.isclose(pi.sum(), 1.0)
+
+    def test_single_state(self):
+        chain = CTMC(build_ctmc(2, [(0, "a", 1.0, 1), (1, "b", 1.0, 0)]).Q[:1, :1].tocsr() * 0)
+        pi = steady_state(chain)
+        assert pi.tolist() == [1.0]
+
+    def test_empty_chain_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(SolverError):
+            steady_state(CTMC(sp.csr_matrix((0, 0))))
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_ergodic_chain_balance(self, n, seed):
+        """On random irreducible chains the direct solver satisfies
+        global balance and agrees with the power method."""
+        rng = np.random.default_rng(seed)
+        transitions = []
+        # Ring to guarantee irreducibility, plus random extra edges.
+        for i in range(n):
+            transitions.append((i, "ring", float(rng.uniform(0.5, 2.0)), (i + 1) % n))
+        for _ in range(n):
+            i, j = rng.integers(0, n, size=2)
+            if i != j:
+                transitions.append((int(i), "extra", float(rng.uniform(0.1, 3.0)), int(j)))
+        chain = build_ctmc(n, transitions)
+        pi = steady_state(chain, "direct")
+        assert math.isclose(pi.sum(), 1.0, rel_tol=1e-9)
+        # global balance: pi Q = 0
+        residual = np.abs(pi @ chain.Q.toarray()).max()
+        assert residual < 1e-8
+        pi_power = steady_state(chain, "power", tol=1e-13)
+        assert np.allclose(pi, pi_power, atol=1e-6)

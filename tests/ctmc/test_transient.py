@@ -1,0 +1,90 @@
+"""Unit tests for transient analysis (uniformization)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import build_ctmc, steady_state, transient_curve, transient_distribution
+from repro.ctmc.transient import expected_rewards_at
+from repro.exceptions import SolverError
+
+
+def two_state(a=1.0, b=3.0):
+    return build_ctmc(2, [(0, "down", a, 1), (1, "up", b, 0)])
+
+
+def analytic_two_state(t, a=1.0, b=3.0):
+    """P(state 0 at t | start 0) for the 2-state chain: closed form."""
+    s = a + b
+    return b / s + (a / s) * math.exp(-s * t)
+
+
+class TestAgainstClosedForm:
+    @pytest.mark.parametrize("t", [0.0, 0.1, 0.5, 1.0, 5.0])
+    def test_two_state_exact(self, t):
+        chain = two_state()
+        dist = transient_distribution(chain, t, 0)
+        assert math.isclose(dist[0], analytic_two_state(t), abs_tol=1e-9)
+
+    def test_expm_matches_uniformization(self):
+        chain = two_state()
+        u = transient_distribution(chain, 0.7, 0, method="uniformization")
+        e = transient_distribution(chain, 0.7, 0, method="expm")
+        assert np.allclose(u, e, atol=1e-9)
+
+    def test_long_run_converges_to_steady_state(self):
+        chain = two_state()
+        pi = steady_state(chain)
+        dist = transient_distribution(chain, 100.0, 0)
+        assert np.allclose(dist, pi, atol=1e-9)
+
+    def test_pure_death_chain_absorbs(self):
+        chain = build_ctmc(3, [(0, "d", 2.0, 1), (1, "d", 2.0, 2)])
+        dist = transient_distribution(chain, 50.0, 0)
+        assert math.isclose(dist[2], 1.0, abs_tol=1e-8)
+
+
+class TestInterfaces:
+    def test_distribution_initial_vector(self):
+        chain = two_state()
+        half = np.array([0.5, 0.5])
+        dist = transient_distribution(chain, 0.0, half)
+        assert np.allclose(dist, half)
+
+    def test_bad_initial_distribution_rejected(self):
+        chain = two_state()
+        with pytest.raises(SolverError):
+            transient_distribution(chain, 1.0, np.array([0.7, 0.7]))
+        with pytest.raises(SolverError):
+            transient_distribution(chain, 1.0, np.array([1.5, -0.5]))
+
+    def test_initial_index_out_of_range(self):
+        with pytest.raises(SolverError):
+            transient_distribution(two_state(), 1.0, 7)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SolverError):
+            transient_distribution(two_state(), -0.1, 0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SolverError, match="unknown transient"):
+            transient_distribution(two_state(), 1.0, 0, method="magic")
+
+    def test_curve_matches_pointwise(self):
+        chain = two_state()
+        times = np.array([0.1, 0.4, 1.0])
+        curve = transient_curve(chain, times, 0)
+        for row, t in zip(curve, times):
+            assert np.allclose(row, transient_distribution(chain, float(t), 0), atol=1e-9)
+
+    def test_curve_requires_sorted_times(self):
+        with pytest.raises(SolverError, match="sorted"):
+            transient_curve(two_state(), np.array([1.0, 0.5]), 0)
+
+    def test_expected_rewards(self):
+        chain = two_state()
+        r = expected_rewards_at(chain, 0.0, np.array([1.0, 0.0]), 0)
+        assert r == 1.0
+        r_inf = expected_rewards_at(chain, 100.0, np.array([1.0, 0.0]), 0)
+        assert math.isclose(r_inf, 0.75, abs_tol=1e-8)

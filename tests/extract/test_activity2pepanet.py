@@ -1,0 +1,259 @@
+"""Unit tests for the Section 3 mapping (activity diagram → PEPA net)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExtractionError
+from repro.extract import extract_activity_diagram
+from repro.pepanets import analyse_net, check_net, explore_net
+from repro.uml.activity import ActivityGraph
+from repro.workloads import (
+    FILE_RATES,
+    IM_RATES,
+    PDA_RATES,
+    build_file_activity_diagram,
+    build_instant_message_diagram,
+    build_pda_activity_diagram,
+)
+
+
+class TestMappingRules:
+    """Each row of the paper's translation table."""
+
+    def test_locations_become_places(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), IM_RATES)
+        assert set(result.net.places) == {"p1", "p2"}
+
+    def test_moves_become_net_transitions(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), IM_RATES)
+        moves = [t for t in result.net.transitions.values() if t.action == "transmit"]
+        assert len(moves) == 1
+        assert moves[0].inputs == ("p1",)
+        assert moves[0].outputs == ("p2",)
+
+    def test_objects_become_tokens(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), IM_RATES)
+        assert list(result.token_families) == ["f"]
+        family = result.token_families["f"]
+        assert family in result.net.environment.components
+
+    def test_object_activities_become_token_activities(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), IM_RATES)
+        family = result.token_families["f"]
+        env = result.net.environment
+        alphabet = env.alphabet(env.resolve(family))
+        for action in ("openwrite", "write", "close", "transmit", "openread", "read"):
+            assert action in alphabet
+
+    def test_first_location_hosts_initial_token(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), IM_RATES)
+        marking = result.net.initial_marking()
+        from repro.pepanets import find_cells
+
+        p1_cells = find_cells(marking.state_of("p1"))
+        p2_cells = find_cells(marking.state_of("p2"))
+        assert any(c.content is not None for _, c in p1_cells)
+        assert all(c.content is None for _, c in p2_cells)
+
+    def test_no_atloc_yields_single_place(self):
+        result = extract_activity_diagram(build_file_activity_diagram(), FILE_RATES)
+        assert list(result.net.places) == ["local"]
+        assert not [t for t in result.net.transitions.values() if t.action != "reset_f"]
+
+    def test_extracted_net_is_well_formed(self):
+        for build, rates in (
+            (build_file_activity_diagram, FILE_RATES),
+            (build_instant_message_diagram, IM_RATES),
+            (build_pda_activity_diagram, PDA_RATES),
+        ):
+            result = extract_activity_diagram(build(), rates)
+            assert check_net(result.net).ok
+
+
+class TestRecurrence:
+    def test_reset_firing_added_for_displaced_token(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), IM_RATES)
+        assert result.reset_actions == ["reset_f"]
+        resets = [t for t in result.net.transitions.values() if t.action == "reset_f"]
+        assert len(resets) == 1
+        assert resets[0].inputs == ("p2",)
+        assert resets[0].outputs == ("p1",)
+
+    def test_no_reset_for_home_token(self):
+        result = extract_activity_diagram(build_file_activity_diagram(), FILE_RATES)
+        assert result.reset_actions == []
+
+    def test_loop_false_rejects_acyclic_diagram(self):
+        with pytest.raises(ExtractionError, match="loop"):
+            extract_activity_diagram(build_file_activity_diagram(), FILE_RATES, loop=False)
+
+    def test_extracted_nets_are_recurrent(self):
+        result = extract_activity_diagram(build_pda_activity_diagram(), PDA_RATES)
+        analysis = analyse_net(result.net, reducible="error")
+        assert analysis.n_states > 0
+
+
+class TestRates:
+    def test_rates_applied_to_token_activities(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), IM_RATES)
+        env = result.net.environment
+        family = result.token_families["f"]
+        from repro.pepa.semantics import derivatives
+
+        [first] = derivatives(env.resolve(family), env)
+        assert first.action == "openwrite"
+        assert math.isclose(first.rate.value, IM_RATES["openwrite"])
+
+    def test_default_rate_when_unspecified(self):
+        result = extract_activity_diagram(build_instant_message_diagram(), {})
+        env = result.net.environment
+        from repro.pepa.semantics import derivatives
+
+        [first] = derivatives(env.resolve(result.token_families["f"]), env)
+        assert math.isclose(first.rate.value, 1.0)
+
+    def test_rate_tags_used(self):
+        g = ActivityGraph("tagged")
+        init = g.add_initial()
+        a = g.add_action("work", rate=7.0)
+        obj = g.add_object("o: OBJ")
+        g.connect(init, a)
+        g.connect(obj, a)
+        result = extract_activity_diagram(g)
+        env = result.net.environment
+        from repro.pepa.semantics import derivatives
+
+        [t] = derivatives(env.resolve(result.token_families["o"]), env)
+        assert math.isclose(t.rate.value, 7.0)
+
+
+class TestChoice:
+    def test_decision_produces_choice(self):
+        result = extract_activity_diagram(build_file_activity_diagram(), FILE_RATES)
+        env = result.net.environment
+        family = result.token_families["f"]
+        from repro.pepa.semantics import derivatives
+
+        first = derivatives(env.resolve(family), env)
+        assert {t.action for t in first} == {"openread", "openwrite"}
+
+    def test_implicit_choice_after_move(self):
+        result = extract_activity_diagram(build_pda_activity_diagram(), PDA_RATES)
+        space = explore_net(result.net)
+        actions = space.actions()
+        assert "abort_download" in actions and "continue_download" in actions
+
+
+class TestStaticComponents:
+    def build_with_static(self) -> ActivityGraph:
+        """An object-less 'log' activity between two object activities."""
+        g = ActivityGraph("with-static")
+        init = g.add_initial()
+        work = g.add_action("work")
+        log = g.add_action("log")  # no object flow: static component
+        done = g.add_action("finish")
+        g.connect(init, work)
+        g.connect(work, log)
+        g.connect(log, done)
+        o1 = g.add_object("o: OBJ", atloc="site")
+        o2 = g.add_object("o*: OBJ", atloc="site")
+        g.connect(o1, work)
+        g.connect(work, o2)
+        o3 = g.add_object("o**: OBJ", atloc="site")
+        g.connect(o2, done)
+        g.connect(done, o3)
+        return g
+
+    def test_objectless_activity_becomes_static_component(self):
+        result = extract_activity_diagram(self.build_with_static())
+        assert "site" in result.static_components
+        static = result.static_components["site"]
+        env = result.net.environment
+        assert "log" in env.alphabet(env.resolve(static))
+
+    def test_static_component_lives_in_place_context(self):
+        result = extract_activity_diagram(self.build_with_static())
+        template = str(result.net.places["site"].template)
+        assert result.static_components["site"] in template
+
+    def test_performed_by_tag_overrides_heuristic(self):
+        """Section 6's suggested refinement: an explicit performedBy tag
+        places the object-less activity regardless of control flow."""
+        g = self.build_with_static()
+        # add a remote location and pin 'log' to it
+        remote_obj = g.add_object("r: OBJ", atloc="datacentre")
+        g.connect(g.action_by_name("finish"), remote_obj)
+        g.action_by_name("log").set_tag("performedBy", "datacentre")
+        result = extract_activity_diagram(g)
+        assert "datacentre" in result.static_components
+        assert "site" not in result.static_components
+
+    def test_performed_by_unknown_location_rejected(self):
+        g = self.build_with_static()
+        g.action_by_name("log").set_tag("performedBy", "narnia")
+        with pytest.raises(ExtractionError, match="narnia"):
+            extract_activity_diagram(g)
+
+    def test_static_assigned_to_last_moved_location(self):
+        """An object-less activity after a move belongs to the move's
+        target location."""
+        g = ActivityGraph("moving-static")
+        init = g.add_initial()
+        move = g.add_action("go", move=True)
+        log = g.add_action("log_arrival")  # object-less, after the move
+        g.connect(init, move)
+        g.connect(move, log)
+        a0 = g.add_object("o: OBJ", atloc="here")
+        a1 = g.add_object("o: OBJ", atloc="there")
+        g.connect(a0, move)
+        g.connect(move, a1)
+        result = extract_activity_diagram(g)
+        assert "there" in result.static_components
+        assert "here" not in result.static_components
+
+
+class TestDiagnostics:
+    def test_invalid_diagram_rejected(self):
+        g = ActivityGraph("bad")
+        g.add_action("a")  # no initial node
+        with pytest.raises(ExtractionError, match="restrictions"):
+            extract_activity_diagram(g)
+
+    def test_no_objects_rejected(self):
+        g = ActivityGraph("empty")
+        init = g.add_initial()
+        a = g.add_action("a")
+        g.connect(init, a)
+        with pytest.raises(ExtractionError, match="no object flows"):
+            extract_activity_diagram(g)
+
+    def test_conflicting_classes_rejected(self):
+        g = ActivityGraph("conflict")
+        init = g.add_initial()
+        a = g.add_action("a")
+        g.connect(init, a)
+        g.connect(g.add_object("o: FIRST"), a)
+        g.connect(a, g.add_object("o: SECOND"))
+        with pytest.raises(ExtractionError, match="two classes"):
+            extract_activity_diagram(g)
+
+    def test_move_and_plain_name_clash_rejected(self):
+        g = ActivityGraph("clash")
+        init = g.add_initial()
+        mv = g.add_action("jump", move=True)
+        plain = g.add_action("jump")
+        g.connect(init, mv)
+        g.connect(mv, plain)
+        o0 = g.add_object("o: OBJ", atloc="a")
+        o1 = g.add_object("o: OBJ", atloc="b")
+        g.connect(o0, mv)
+        g.connect(mv, o1)
+        g.connect(o1, plain)
+        with pytest.raises(ExtractionError, match="rename"):
+            extract_activity_diagram(g)
+
+    def test_pepa_action_of_unknown_node(self):
+        result = extract_activity_diagram(build_file_activity_diagram(), FILE_RATES)
+        with pytest.raises(ExtractionError):
+            result.pepa_action_of("no-such-id")

@@ -1,0 +1,235 @@
+"""Tests for fork/join extraction (the paper's Section 6 future-work
+item, implemented here)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExtractionError
+from repro.extract import extract_activity_diagram
+from repro.pepanets import analyse_net, explore_net
+from repro.uml.activity import ActivityGraph
+from repro.uml.validate import validate_for_extraction
+
+
+def parallel_prep_diagram() -> ActivityGraph:
+    """Two objects prepared on concurrent branches, then a joint step:
+
+        init → fork →(branch 1) cook   →(join)→ serve
+                    →(branch 2) brew   →
+    both at one location, so the join synchronises through the place.
+    """
+    g = ActivityGraph("kitchen")
+    init = g.add_initial()
+    fork = g.add_fork()
+    cook = g.add_action("cook")
+    brew = g.add_action("brew")
+    join = g.add_join()
+    serve = g.add_action("serve")
+    g.connect(init, fork)
+    g.connect(fork, cook)
+    g.connect(fork, brew)
+    g.connect(cook, join)
+    g.connect(brew, join)
+    g.connect(join, serve)
+
+    d0 = g.add_object("d: DISH", atloc="kitchen")
+    d1 = g.add_object("d*: DISH", atloc="kitchen")
+    g.connect(d0, cook)
+    g.connect(cook, d1)
+    t0 = g.add_object("t: TEA", atloc="kitchen")
+    t1 = g.add_object("t*: TEA", atloc="kitchen")
+    g.connect(t0, brew)
+    g.connect(brew, t1)
+    # both objects take part in serving
+    d2 = g.add_object("d**: DISH", atloc="kitchen")
+    t2 = g.add_object("t**: TEA", atloc="kitchen")
+    g.connect(d1, serve)
+    g.connect(t1, serve)
+    g.connect(serve, d2)
+    g.connect(serve, t2)
+    return g
+
+
+RATES = {"cook": 2.0, "brew": 3.0, "serve": 5.0}
+
+
+class TestValidation:
+    def test_diagram_passes_validation(self):
+        assert validate_for_extraction(parallel_prep_diagram()) == []
+
+    def test_degenerate_fork_flagged(self):
+        g = ActivityGraph("g")
+        init = g.add_initial()
+        fork = g.add_fork()
+        a = g.add_action("a")
+        g.connect(init, fork)
+        g.connect(fork, a)
+        problems = validate_for_extraction(g)
+        assert any("fork" in p for p in problems)
+
+    def test_degenerate_join_flagged(self):
+        g = ActivityGraph("g")
+        init = g.add_initial()
+        join = g.add_join()
+        a = g.add_action("a")
+        g.connect(init, a)
+        g.connect(a, join)
+        problems = validate_for_extraction(g)
+        assert any("join" in p for p in problems)
+
+
+class TestExtraction:
+    def test_tokens_follow_their_branches(self):
+        result = extract_activity_diagram(parallel_prep_diagram(), RATES)
+        env = result.net.environment
+        dish = result.token_families["d"]
+        tea = result.token_families["t"]
+        dish_alpha = env.alphabet(env.resolve(dish))
+        tea_alpha = env.alphabet(env.resolve(tea))
+        assert "cook" in dish_alpha and "brew" not in dish_alpha
+        assert "brew" in tea_alpha and "cook" not in tea_alpha
+
+    def test_join_action_shared(self):
+        result = extract_activity_diagram(parallel_prep_diagram(), RATES)
+        env = result.net.environment
+        for obj in ("d", "t"):
+            family = result.token_families[obj]
+            assert "join_1" in env.alphabet(env.resolve(family))
+        # the place context synchronises on it
+        place = result.net.places["kitchen"]
+        assert "join_1" in place.template.actions
+
+    def test_barrier_semantics(self):
+        """Neither token can serve before both finish their branch: no
+        marking enables serve together with cook or brew pending."""
+        result = extract_activity_diagram(parallel_prep_diagram(), RATES)
+        space = explore_net(result.net)
+        # serve only ever follows the synchronised join
+        serve_sources = {a.source for a in space.arcs if a.action == "serve"}
+        join_targets = {a.target for a in space.arcs if a.action == "join_1"}
+        assert serve_sources <= join_targets
+
+    def test_cycle_throughputs(self):
+        result = extract_activity_diagram(parallel_prep_diagram(), RATES)
+        analysis = analyse_net(result.net)
+        ths = analysis.all_throughputs()
+        # one cook, one brew, one join, one serve per cycle
+        assert math.isclose(ths["cook"], ths["brew"], rel_tol=1e-9)
+        assert math.isclose(ths["cook"], ths["serve"], rel_tol=1e-9)
+        assert math.isclose(ths["cook"], ths["join_1"], rel_tol=1e-9)
+
+    def test_parallelism_speeds_up_vs_sequential(self):
+        """The whole point of the fork: mean cycle time is shorter than
+        the sequential cook-then-brew arrangement."""
+        parallel = extract_activity_diagram(parallel_prep_diagram(), RATES,
+                                            join_rate=1e6)
+        tp_parallel = analyse_net(parallel.net).throughput("serve")
+
+        g = ActivityGraph("sequential")
+        init = g.add_initial()
+        cook = g.add_action("cook")
+        brew = g.add_action("brew")
+        serve = g.add_action("serve")
+        g.connect(init, cook)
+        g.connect(cook, brew)
+        g.connect(brew, serve)
+        d0 = g.add_object("d: DISH", atloc="kitchen")
+        d1 = g.add_object("d*: DISH", atloc="kitchen")
+        d2 = g.add_object("d**: DISH", atloc="kitchen")
+        g.connect(d0, cook)
+        g.connect(cook, d1)
+        g.connect(d1, brew)
+        g.connect(brew, d2)
+        g.connect(d2, serve)
+        d3 = g.add_object("d***: DISH", atloc="kitchen")
+        g.connect(serve, d3)
+        tp_sequential = analyse_net(
+            extract_activity_diagram(g, RATES).net
+        ).throughput("serve")
+        assert tp_parallel > tp_sequential
+
+
+class TestRestrictions:
+    def test_object_spanning_branches_rejected(self):
+        g = parallel_prep_diagram()
+        # wire the dish into the brew branch too
+        brew = g.action_by_name("brew")
+        extra = g.add_object("d*: DISH", atloc="kitchen")
+        g.connect(extra, brew)
+        with pytest.raises(ExtractionError, match="branches"):
+            extract_activity_diagram(g, RATES)
+
+    def test_nested_forks_rejected(self):
+        g = ActivityGraph("nested")
+        init = g.add_initial()
+        outer = g.add_fork()
+        inner = g.add_fork()
+        a, b, c = g.add_action("a"), g.add_action("b"), g.add_action("c")
+        join = g.add_join()
+        g.connect(init, outer)
+        g.connect(outer, inner)
+        g.connect(outer, a)
+        g.connect(inner, b)
+        g.connect(inner, c)
+        g.connect(a, join)
+        g.connect(b, join)
+        g.connect(c, join)
+        obj = g.add_object("o: OBJ", atloc="p")
+        g.connect(obj, a)
+        with pytest.raises(ExtractionError, match="nested"):
+            extract_activity_diagram(g, RATES)
+
+    def test_branches_to_different_joins_rejected(self):
+        g = ActivityGraph("diverging")
+        init = g.add_initial()
+        fork = g.add_fork()
+        a, b = g.add_action("a"), g.add_action("b")
+        j1, j2 = g.add_join(), g.add_join()
+        g.connect(init, fork)
+        g.connect(fork, a)
+        g.connect(fork, b)
+        g.connect(a, j1)
+        g.connect(b, j2)
+        # make each join structurally valid (>= 2 incoming)
+        x, y = g.add_action("x"), g.add_action("y")
+        g.connect(x, j1)
+        g.connect(y, j2)
+        obj = g.add_object("o: OBJ", atloc="p")
+        g.connect(obj, a)
+        with pytest.raises(ExtractionError, match="exactly one join"):
+            extract_activity_diagram(g, RATES)
+
+    def test_dislocated_join_participants_rejected(self):
+        """One branch moves its object elsewhere: the participants are
+        no longer co-located at the join."""
+        g = ActivityGraph("dislocated")
+        init = g.add_initial()
+        fork = g.add_fork()
+        stay = g.add_action("stay_work")
+        move = g.add_action("go", move=True)
+        join = g.add_join()
+        after = g.add_action("after")
+        g.connect(init, fork)
+        g.connect(fork, stay)
+        g.connect(fork, move)
+        g.connect(stay, join)
+        g.connect(move, join)
+        g.connect(join, after)
+        a0 = g.add_object("a: OBJ", atloc="here")
+        a1 = g.add_object("a*: OBJ", atloc="here")
+        g.connect(a0, stay)
+        g.connect(stay, a1)
+        b0 = g.add_object("b: OBJ", atloc="here")
+        b1 = g.add_object("b: OBJ", atloc="there")
+        g.connect(b0, move)
+        g.connect(move, b1)
+        # both continue into 'after' so both participate in the join
+        g.connect(a1, after)
+        g.connect(b1, after)
+        a2 = g.add_object("a**: OBJ", atloc="here")
+        b2 = g.add_object("b*: OBJ", atloc="there")
+        g.connect(after, a2)
+        g.connect(after, b2)
+        with pytest.raises(ExtractionError, match="co-located"):
+            extract_activity_diagram(g, RATES)

@@ -1,0 +1,135 @@
+"""Tests for multi-token extraction (the rendezvous workload) and the
+unordered-selection firing rule it depends on."""
+
+import math
+
+import pytest
+
+from repro.extract import extract_activity_diagram
+from repro.pepanets import (
+    DerivativeSets,
+    analyse_net,
+    check_net,
+    firing_instances,
+    parse_net,
+)
+from repro.workloads import MEETING_RATES, build_meeting_diagram
+
+
+@pytest.fixture(scope="module")
+def meeting():
+    return extract_activity_diagram(build_meeting_diagram(), MEETING_RATES)
+
+
+class TestMeetingExtraction:
+    def test_two_tokens(self, meeting):
+        assert set(meeting.token_families) == {"a", "b"}
+        assert meeting.token_families["a"] != meeting.token_families["b"]
+
+    def test_places(self, meeting):
+        assert set(meeting.net.places) == {"lab", "hub", "office"}
+
+    def test_shared_activity_in_cooperation_set(self, meeting):
+        """exchange_data must synchronise the two agents' cells."""
+        hub = meeting.net.places["hub"]
+        assert "exchange_data" in str(hub.template)
+        from repro.pepa.syntax import Cooperation
+
+        assert isinstance(hub.template, Cooperation)
+        assert "exchange_data" in hub.template.actions
+
+    def test_joint_move_is_multi_arc_transition(self, meeting):
+        home = next(
+            t for t in meeting.net.transitions.values() if t.action == "travel_home"
+        )
+        assert home.inputs == ("hub", "hub")
+        assert home.outputs == ("lab", "lab")
+        assert home.is_balanced()
+
+    def test_net_well_formed(self, meeting):
+        report = check_net(meeting.net)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_cycle_throughputs_all_equal(self, meeting):
+        analysis = analyse_net(meeting.net)
+        values = list(analysis.all_throughputs().values())
+        for v in values[1:]:
+            assert math.isclose(v, values[0], rel_tol=1e-9)
+
+    def test_two_tokens_conserved(self, meeting):
+        analysis = analyse_net(meeting.net)
+        total = sum(analysis.location_distribution().values())
+        assert math.isclose(total, 2.0, rel_tol=1e-9)
+
+    def test_rendezvous_requires_both_agents(self, meeting):
+        """exchange_data only ever happens in markings where both cells
+        at the hub are occupied."""
+        analysis = analyse_net(meeting.net)
+        space = analysis.space
+        for arc in space.arcs:
+            if arc.action == "exchange_data":
+                marking = space.markings[arc.source]
+                hub = str(marking.state_of("hub"))
+                assert "[_]" not in hub.replace(" ", "")
+
+
+class TestUnorderedSelectionRule:
+    def test_joint_move_no_double_counting(self):
+        net = parse_net(
+            """
+            Tok = (swap, 1).Tok;
+            A[Tok, Tok] = Tok[_] || Tok[_];
+            B[_, _] = Tok[_] || Tok[_];
+            swap = (swap, 1) : A, A -> B, B;
+            """
+        )
+        instances = firing_instances(
+            net, net.initial_marking(), net.environment, DerivativeSets(net.environment)
+        )
+        # one physical selection (both tokens), two phi bijections
+        assert len(instances) == 2
+        assert math.isclose(sum(i.rate for i in instances), 1.0, rel_tol=1e-12)
+
+    def test_choose_two_of_three_weights(self):
+        """Three eligible tokens with rates 1, 1, 2: the pair weights
+        are proportional to the rate products 1, 2, 2."""
+        net = parse_net(
+            """
+            Slow = (go, 1).Slow;
+            Fast = (go, 2).Fast;
+            A[Slow, Slow, Fast] = Slow[_] || (Slow[_] || Fast[_]);
+            B[_, _] = Slow[_] || Fast[_];
+            move = (go, 10) : A, A -> B, B;
+            """
+        )
+        instances = firing_instances(
+            net, net.initial_marking(), net.environment, DerivativeSets(net.environment)
+        )
+        # raw selections and product weights: {s1,s2} w=1, {s1,f} w=2,
+        # {s2,f} w=2 (total 5).  B offers one Slow and one Fast cell, so
+        # the all-Slow pair is type-blocked and only the mixed pairs fire.
+        assert len(instances) == 2
+        assert math.isclose(instances[0].rate, instances[1].rate, rel_tol=1e-12)
+        # floor = min(label 10, place apparent 1+1+2) = 4; each mixed
+        # pair carries share 2/5 of it.
+        total = sum(i.rate for i in instances)
+        assert math.isclose(total, 4.0 * 4.0 / 5.0, rel_tol=1e-12)
+
+    def test_single_place_rule_unchanged(self):
+        """k=1 reduces to the classic apparent-rate ratio."""
+        net = parse_net(
+            """
+            Tok = (go, 1).Done + (go, 3).Done;
+            Done = (rest, 1).Done;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, 8) : A -> B;
+            """
+        )
+        instances = firing_instances(
+            net, net.initial_marking(), net.environment, DerivativeSets(net.environment)
+        )
+        rates = sorted(i.rate for i in instances)
+        assert math.isclose(rates[0], 1.0)
+        assert math.isclose(rates[1], 3.0)

@@ -1,0 +1,82 @@
+"""Unit tests for rate tables and .rates files."""
+
+import pytest
+
+from repro.exceptions import ExtractionError
+from repro.extract import RateTable, load_rates, parse_rates
+from repro.pepa.rates import ActiveRate, PassiveRate
+
+
+class TestRateTable:
+    def test_lookup_precedence_table_over_tag(self):
+        table = RateTable.from_numbers({"go": 5.0})
+        assert table.lookup("go", tagged="1.0") == ActiveRate(5.0)
+
+    def test_lookup_tag_over_default(self):
+        table = RateTable.from_numbers({})
+        assert table.lookup("go", tagged="2.5") == ActiveRate(2.5)
+
+    def test_lookup_default(self):
+        table = RateTable.from_numbers({}, default=3.0)
+        assert table.lookup("go") == ActiveRate(3.0)
+
+    def test_passive_in_mapping(self):
+        table = RateTable.from_numbers({"response": "T"})
+        assert table.lookup("response") == PassiveRate(1.0)
+
+    def test_passive_in_tag(self):
+        table = RateTable.from_numbers({})
+        assert table.lookup("response", tagged="infty") == PassiveRate(1.0)
+
+    def test_bad_string_value_rejected(self):
+        with pytest.raises(ExtractionError, match="number or 'T'"):
+            RateTable.from_numbers({"go": "fast"})
+
+    def test_bad_tag_rejected(self):
+        table = RateTable.from_numbers({})
+        with pytest.raises(ExtractionError, match="unparsable"):
+            table.lookup("go", tagged="quick")
+
+    def test_unused_tracking(self):
+        table = RateTable.from_numbers({"a": 1.0, "b": 2.0})
+        table.lookup("a")
+        assert table.unused == {"b"}
+
+
+class TestRatesFile:
+    def test_parse_basic(self):
+        table = parse_rates("a = 1.5\nb=2\n")
+        assert table.lookup("a") == ActiveRate(1.5)
+        assert table.lookup("b") == ActiveRate(2.0)
+
+    def test_comments_and_blanks(self):
+        table = parse_rates("# header\n\na = 1.0  # trailing\n")
+        assert "a" in table
+        assert len(table) == 1
+
+    def test_passive_and_semicolons(self):
+        table = parse_rates("response = T\nrequest = 2.0;\n")
+        assert table.lookup("response").is_passive()
+        assert table.lookup("request") == ActiveRate(2.0)
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ExtractionError, match="line 1"):
+            parse_rates("just a name")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ExtractionError, match="duplicate"):
+            parse_rates("a = 1\na = 2")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExtractionError, match="empty"):
+            parse_rates(" = 2")
+
+    def test_unparsable_value_rejected(self):
+        with pytest.raises(ExtractionError, match="unparsable"):
+            parse_rates("a = fast")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "m.rates"
+        path.write_text("x = 4.0\n")
+        table = load_rates(path)
+        assert table.lookup("x") == ActiveRate(4.0)

@@ -1,0 +1,121 @@
+"""Unit tests for statechart → PEPA extraction and composition."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExtractionError
+from repro.extract import compose_state_machines, extract_state_machine
+from repro.pepa.measures import analyse
+from repro.pepa.semantics import derivatives
+from repro.uml.statechart import StateMachine
+from repro.workloads import build_client_statechart, build_server_statechart
+
+
+class TestSingleMachine:
+    def test_client_states_become_constants(self):
+        extraction = extract_state_machine(build_client_statechart())
+        env = extraction.environment
+        for name in ("GenerateRequest", "WaitForResponse", "ProcessResponse"):
+            assert extraction.constant_of_state(name) in env.components
+
+    def test_start_constant_follows_initial(self):
+        extraction = extract_state_machine(build_client_statechart())
+        assert extraction.constant_of_state("GenerateRequest") == extraction.start_constant
+
+    def test_transition_becomes_prefix_with_rate(self):
+        extraction = extract_state_machine(build_client_statechart())
+        env = extraction.environment
+        body = env.resolve(extraction.constant_of_state("GenerateRequest"))
+        [t] = derivatives(body, env)
+        assert t.action == "request"
+        assert math.isclose(t.rate.value, 2.0)
+
+    def test_passive_rate_tag(self):
+        extraction = extract_state_machine(build_client_statechart())
+        env = extraction.environment
+        body = env.resolve(extraction.constant_of_state("WaitForResponse"))
+        [t] = derivatives(body, env)
+        assert t.action == "response"
+        assert t.rate.is_passive()
+
+    def test_branching_state_becomes_choice(self):
+        extraction = extract_state_machine(build_server_statechart(cached=True))
+        env = extraction.environment
+        body = env.resolve(extraction.constant_of_state("ProcessRequest"))
+        actions = {t.action for t in derivatives(body, env)}
+        assert actions == {"servlethit", "servletmiss"}
+
+    def test_empty_machine_rejected(self):
+        sm = StateMachine("Empty")
+        sm.add_initial()
+        with pytest.raises(ExtractionError, match="no simple states"):
+            extract_state_machine(sm)
+
+    def test_sink_state_rejected(self):
+        sm = StateMachine("Sink")
+        init = sm.add_initial()
+        a = sm.add_state("A")
+        b = sm.add_state("B")
+        sm.add_transition(init, a, "")
+        sm.add_transition(a, b, "go")
+        with pytest.raises(ExtractionError, match="no outgoing"):
+            extract_state_machine(sm)
+
+    def test_missing_trigger_rejected(self):
+        sm = StateMachine("M")
+        init = sm.add_initial()
+        a = sm.add_state("A")
+        b = sm.add_state("B")
+        sm.add_transition(init, a, "")
+        sm.add_transition(a, b, "")
+        sm.add_transition(b, a, "back")
+        with pytest.raises(ExtractionError, match="no.*trigger"):
+            extract_state_machine(sm)
+
+
+class TestComposition:
+    def test_shared_triggers_synchronise(self):
+        model, extractions = compose_state_machines(
+            [build_client_statechart(), build_server_statechart()]
+        )
+        from repro.pepa.syntax import Cooperation
+
+        assert isinstance(model.system, Cooperation)
+        assert model.system.actions == frozenset({"request", "response"})
+
+    def test_none_policy_interleaves(self):
+        model, _ = compose_state_machines(
+            [build_client_statechart(), build_server_statechart()],
+            cooperation="none",
+        )
+        assert model.system.actions == frozenset()
+
+    def test_composed_model_solves(self):
+        model, _ = compose_state_machines(
+            [build_client_statechart(), build_server_statechart()]
+        )
+        analysis = analyse(model)
+        assert analysis.n_states == 7
+        total = sum(p for _, p in analysis.state_probabilities())
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_name_collisions_get_prefixes(self):
+        m1 = build_client_statechart()
+        m2 = build_client_statechart()
+        m2.name = "Client2"
+        # both machines have a GenerateRequest state; constants must differ
+        model, extractions = compose_state_machines([m1, m2], cooperation="none")
+        c1 = extractions[0].constant_of_state("GenerateRequest")
+        c2 = extractions[1].constant_of_state("GenerateRequest")
+        assert c1 != c2
+        assert c1 in model.environment.components
+        assert c2 in model.environment.components
+
+    def test_no_machines_rejected(self):
+        with pytest.raises(ExtractionError, match="no state machines"):
+            compose_state_machines([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExtractionError, match="policy"):
+            compose_state_machines([build_client_statechart()], cooperation="psychic")

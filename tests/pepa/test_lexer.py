@@ -1,0 +1,111 @@
+"""Unit tests for the shared tokenizer."""
+
+import pytest
+
+from repro.exceptions import PepaSyntaxError
+from repro.pepa.lexer import TokenStream, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestTokenKinds:
+    def test_simple_definition(self):
+        assert kinds("P = (a, 1.0).P;") == [
+            "IDENT", "DEF", "LPAREN", "IDENT", "COMMA", "NUMBER", "RPAREN",
+            "DOT", "IDENT", "SEMI", "EOF",
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 .5 1e3 2.5e-2")
+        assert [t.text for t in toks[:-1]] == ["1", "2.5", ".5", "1e3", "2.5e-2"]
+        assert all(t.kind == "NUMBER" for t in toks[:-1])
+
+    def test_cooperation_tokens(self):
+        assert kinds("P <a, b> Q") == [
+            "IDENT", "LANGLE", "IDENT", "COMMA", "IDENT", "RANGLE", "IDENT", "EOF"
+        ]
+
+    def test_parallel_bars(self):
+        assert kinds("P || Q") == ["IDENT", "PAR", "IDENT", "EOF"]
+
+    def test_underscore_is_special_only_alone(self):
+        assert kinds("_")[0] == "UNDERSCORE"
+        assert kinds("_foo")[0] == "IDENT"
+
+    def test_identifier_with_prime(self):
+        toks = tokenize("File'")
+        assert toks[0].kind == "IDENT" and toks[0].text == "File'"
+
+    def test_arrow(self):
+        assert kinds("P1 -> P2") == ["IDENT", "ARROW", "IDENT", "EOF"]
+
+
+class TestComments:
+    def test_line_comment_slash(self):
+        assert kinds("P // the rest is ignored\nQ") == ["IDENT", "IDENT", "EOF"]
+
+    def test_line_comment_percent(self):
+        assert kinds("P % PEPA-style comment\nQ") == ["IDENT", "IDENT", "EOF"]
+
+    def test_block_comment(self):
+        assert kinds("P /* multi\nline */ Q") == ["IDENT", "IDENT", "EOF"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PepaSyntaxError):
+            tokenize("P /* never closed")
+
+    def test_slash_still_lexes_as_hiding(self):
+        assert kinds("P/{a}") == ["IDENT", "SLASH", "LBRACE", "IDENT", "RBRACE", "EOF"]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("P\n  Q")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_position_after_block_comment(self):
+        toks = tokenize("/* one\ntwo */ P")
+        assert toks[0].line == 2
+
+    def test_error_carries_position(self):
+        with pytest.raises(PepaSyntaxError) as exc:
+            tokenize("P = @")
+        assert exc.value.line == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(PepaSyntaxError):
+            tokenize("P ? Q")
+
+
+class TestTokenStream:
+    def test_expect_and_advance(self):
+        s = TokenStream(tokenize("P = Q"))
+        assert s.expect("IDENT").text == "P"
+        assert s.expect("DEF").text == "="
+        assert s.expect("IDENT").text == "Q"
+        assert s.at("EOF")
+
+    def test_expect_failure_mentions_found_token(self):
+        s = TokenStream(tokenize("P"))
+        with pytest.raises(PepaSyntaxError, match="'P'"):
+            s.expect("NUMBER")
+
+    def test_save_restore(self):
+        s = TokenStream(tokenize("A B C"))
+        mark = s.save()
+        s.advance()
+        s.advance()
+        s.restore(mark)
+        assert s.current.text == "A"
+
+    def test_peek_clamps_at_eof(self):
+        s = TokenStream(tokenize("A"))
+        assert s.peek(10).kind == "EOF"
+
+    def test_advance_at_eof_is_stable(self):
+        s = TokenStream(tokenize(""))
+        assert s.advance().kind == "EOF"
+        assert s.advance().kind == "EOF"

@@ -1,0 +1,200 @@
+"""Unit tests for the PEPA parser."""
+
+import pytest
+
+from repro.exceptions import PepaSyntaxError, WellFormednessError
+from repro.pepa import (
+    Cell,
+    Choice,
+    Const,
+    Cooperation,
+    Hiding,
+    Prefix,
+    parse_expression,
+    parse_model,
+    parse_rate,
+)
+from repro.pepa.rates import ActiveRate, PassiveRate
+
+
+class TestExpressions:
+    def test_constant(self):
+        assert parse_expression("File") == Const("File")
+
+    def test_prefix(self):
+        expr = parse_expression("(read, 2.0).File")
+        assert expr == Prefix("read", ActiveRate(2.0), Const("File"))
+
+    def test_nested_prefix(self):
+        expr = parse_expression("(a, 1).(b, 2).P")
+        assert expr == Prefix("a", ActiveRate(1.0), Prefix("b", ActiveRate(2.0), Const("P")))
+
+    def test_choice(self):
+        expr = parse_expression("(a, 1).P + (b, 2).Q")
+        assert isinstance(expr, Choice)
+        assert expr.left.action == "a"
+        assert expr.right.action == "b"
+
+    def test_choice_is_left_associative(self):
+        expr = parse_expression("(a,1).P + (b,1).P + (c,1).P")
+        assert isinstance(expr, Choice) and isinstance(expr.left, Choice)
+
+    def test_cooperation_with_set(self):
+        expr = parse_expression("P <a, b> Q")
+        assert expr == Cooperation(Const("P"), Const("Q"), frozenset({"a", "b"}))
+
+    def test_empty_cooperation_forms(self):
+        assert parse_expression("P || Q") == Cooperation(Const("P"), Const("Q"), frozenset())
+        assert parse_expression("P <> Q") == Cooperation(Const("P"), Const("Q"), frozenset())
+
+    def test_wildcard_cooperation(self):
+        expr = parse_expression("P <*> Q")
+        assert expr.actions == frozenset({"*"})
+
+    def test_cooperation_left_associative(self):
+        expr = parse_expression("P <a> Q <b> R")
+        assert isinstance(expr, Cooperation)
+        assert isinstance(expr.left, Cooperation)
+        assert expr.actions == frozenset({"b"})
+
+    def test_parenthesised_cooperation(self):
+        expr = parse_expression("P <a> (Q <b> R)")
+        assert isinstance(expr.right, Cooperation)
+        assert expr.actions == frozenset({"a"})
+
+    def test_hiding(self):
+        expr = parse_expression("P/{a, b}")
+        assert expr == Hiding(Const("P"), frozenset({"a", "b"}))
+
+    def test_hiding_binds_tighter_than_cooperation(self):
+        expr = parse_expression("P/{a} <b> Q")
+        assert isinstance(expr, Cooperation)
+        assert isinstance(expr.left, Hiding)
+
+    def test_cells(self):
+        assert parse_expression("File[_]") == Cell("File", None)
+        assert parse_expression("File[]") == Cell("File", None)
+        assert parse_expression("File[IM]") == Cell("File", Const("IM"))
+
+    def test_cell_with_prefix_content(self):
+        expr = parse_expression("File[(a, 1).P]")
+        assert isinstance(expr, Cell) and isinstance(expr.content, Prefix)
+
+    def test_prefix_continuation_parenthesised_choice(self):
+        expr = parse_expression("(a, 1).((b, 1).P + (c, 1).Q)")
+        assert isinstance(expr, Prefix) and isinstance(expr.continuation, Choice)
+
+    def test_lowercase_component_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="upper-case"):
+            parse_expression("file")
+
+    def test_choice_of_composites_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="sequential"):
+            parse_expression("(P <a> Q) + R")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PepaSyntaxError):
+            parse_expression("P Q")
+
+
+class TestRates:
+    def test_literal(self):
+        assert parse_rate("2.5") == ActiveRate(2.5)
+
+    def test_passive_forms(self):
+        assert parse_rate("T") == PassiveRate(1.0)
+        assert parse_rate("infty") == PassiveRate(1.0)
+        assert parse_rate("2*T") == PassiveRate(2.0)
+        assert parse_rate("T*3") == PassiveRate(3.0)
+
+    def test_arithmetic(self):
+        assert parse_rate("1 + 2*3") == ActiveRate(7.0)
+        assert parse_rate("(1 + 2)*3") == ActiveRate(9.0)
+        assert parse_rate("10/4") == ActiveRate(2.5)
+
+    def test_rate_constant_lookup(self):
+        assert parse_rate("r*2", {"r": 1.5}) == ActiveRate(3.0)
+
+    def test_undefined_rate_constant(self):
+        with pytest.raises(PepaSyntaxError, match="undefined rate"):
+            parse_rate("nope")
+
+    def test_passive_addition_rejected(self):
+        with pytest.raises(Exception):
+            parse_rate("T + T")
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(Exception):
+            parse_rate("0")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(Exception):
+            parse_rate("-1")
+
+
+class TestModels:
+    def test_full_model_roundtrip(self, file_model):
+        assert "File" in file_model.environment.components
+        assert file_model.environment.rates["r_r"] == 10.0
+        assert isinstance(file_model.system, Cooperation)
+
+    def test_rate_definitions_any_order(self):
+        model = parse_model(
+            """
+            a = b * 2;
+            b = 3;
+            P = (go, a).P;
+            P
+            """
+        )
+        assert model.environment.rates["a"] == 6.0
+
+    def test_cyclic_rate_definitions_rejected(self):
+        with pytest.raises(WellFormednessError, match="cyclic"):
+            parse_model("a = b; b = a; P = (go, a).P; P")
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(WellFormednessError, match="twice"):
+            parse_model("P = (a,1).P; P = (b,1).P; P")
+
+    def test_duplicate_rate_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="twice"):
+            parse_model("r = 1; r = 2; P = (a,r).P; P")
+
+    def test_missing_system_equation(self):
+        with pytest.raises(PepaSyntaxError, match="system equation"):
+            parse_model("P = (a,1).P;")
+
+    def test_two_system_equations_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="system equation"):
+            parse_model("P = (a,1).P; P; P")
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="empty"):
+            parse_model("   ")
+
+    def test_wildcard_resolved_in_system(self):
+        model = parse_model(
+            """
+            P = (a, 1).P;
+            Q = (a, T).Q;
+            P <*> Q
+            """
+        )
+        assert model.system.actions == frozenset({"a"})
+
+    def test_comments_everywhere(self):
+        model = parse_model(
+            """
+            // header comment
+            r = 1.0; % percent comment
+            P = (a, r).P; /* block */
+            P
+            """
+        )
+        assert model.environment.rates["r"] == 1.0
+
+    def test_str_rendering_reparses(self, file_model):
+        text = str(file_model)
+        reparsed = parse_model(text)
+        assert reparsed.environment.components.keys() == file_model.environment.components.keys()

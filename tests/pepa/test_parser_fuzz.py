@@ -1,0 +1,71 @@
+"""Fuzzing the parsers: arbitrary text must either parse or raise a
+positioned PepaSyntaxError / library error — never an uncontrolled
+exception."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.pepa.parser import parse_expression, parse_model, parse_rate
+from repro.pepanets.parser import parse_net
+
+SETTINGS = dict(max_examples=150, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+# characters the lexer knows, plus junk it must reject cleanly
+ALPHABET = "PQRabc()<>[]{}+.,;=/*|_ \n\t0123456789T#@$"
+texts = st.text(alphabet=ALPHABET, min_size=0, max_size=80)
+
+
+@settings(**SETTINGS)
+@given(texts)
+def test_parse_model_is_total(source):
+    try:
+        parse_model(source)
+    except ReproError:
+        pass
+    except RecursionError:  # pragma: no cover - should never happen
+        raise AssertionError("parser blew the stack")
+
+
+@settings(**SETTINGS)
+@given(texts)
+def test_parse_expression_is_total(source):
+    try:
+        parse_expression(source)
+    except ReproError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(texts)
+def test_parse_net_is_total(source):
+    try:
+        parse_net(source)
+    except ReproError:
+        pass
+
+
+@settings(**SETTINGS)
+@given(texts)
+def test_parse_rate_is_total(source):
+    try:
+        parse_rate(source)
+    except (ReproError, OverflowError):
+        # OverflowError: literals like 9e999999 overflow float(); the
+        # lexer accepts them as NUMBER tokens, float() rejects them
+        pass
+
+
+def test_mutated_good_model_never_crashes_uncontrolled():
+    """Single-character deletions of a valid model all fail cleanly or
+    still parse."""
+    good = (
+        "r = 2.0; P = (a, r).Q; Q = (b, T).P; S = (a, 1).S; P <b> S"
+    )
+    for i in range(len(good)):
+        mutated = good[:i] + good[i + 1:]
+        try:
+            parse_model(mutated)
+        except ReproError:
+            pass

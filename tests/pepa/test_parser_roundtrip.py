@@ -1,0 +1,98 @@
+"""Property: printing and re-parsing any expression is the identity.
+
+A hypothesis strategy generates random well-formed PEPA ASTs (including
+cells, hiding, nested cooperations and weighted passive rates); the
+parser must reproduce each tree exactly from its string rendering.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pepa import parse_expression
+from repro.pepa.export import derivation_graph_dot
+from repro.pepa.rates import ActiveRate, PassiveRate
+from repro.pepa.syntax import Cell, Choice, Const, Cooperation, Hiding, Prefix
+
+actions = st.sampled_from(["a", "b", "c", "go", "work"])
+constants = st.sampled_from(["P", "Q", "Reader", "File"])
+active_rates = st.floats(min_value=0.01, max_value=99.0,
+                         allow_nan=False, allow_infinity=False).map(
+    lambda v: ActiveRate(round(v, 4))
+)
+passive_rates = st.one_of(
+    st.just(PassiveRate(1.0)),
+    st.floats(min_value=0.5, max_value=9.0, allow_nan=False).map(
+        lambda w: PassiveRate(round(w, 3))
+    ),
+)
+rates = st.one_of(active_rates, passive_rates)
+
+
+@st.composite
+def sequentials(draw, depth=2):
+    if depth == 0:
+        return Const(draw(constants))
+    kind = draw(st.sampled_from(["const", "prefix", "choice"]))
+    if kind == "const":
+        return Const(draw(constants))
+    if kind == "prefix":
+        return Prefix(draw(actions), draw(rates), draw(sequentials(depth - 1)))
+    return Choice(draw(sequentials(depth - 1)), draw(sequentials(depth - 1)))
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        return draw(st.one_of(
+            sequentials(1),
+            st.builds(Cell, constants, st.none()),
+        ))
+    kind = draw(st.sampled_from(["seq", "coop", "hide", "cell"]))
+    if kind == "seq":
+        return draw(sequentials(depth))
+    if kind == "coop":
+        acts = frozenset(draw(st.sets(actions, max_size=2)))
+        return Cooperation(draw(expressions(depth - 1)), draw(expressions(depth - 1)), acts)
+    if kind == "hide":
+        acts = frozenset(draw(st.sets(actions, min_size=1, max_size=2)))
+        return Hiding(draw(expressions(depth - 1)), acts)
+    content = draw(st.one_of(st.none(), sequentials(1)))
+    return Cell(draw(constants), content)
+
+
+SETTINGS = dict(max_examples=200, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(**SETTINGS)
+@given(expressions())
+def test_print_parse_identity(expr):
+    assert parse_expression(str(expr)) == expr
+
+
+@settings(**SETTINGS)
+@given(sequentials(3))
+def test_sequential_print_parse_identity(expr):
+    assert parse_expression(str(expr)) == expr
+
+
+class TestDerivationGraphDot:
+    def test_two_state_render(self, two_state_model):
+        from repro.pepa import derive
+
+        space = derive(two_state_model)
+        dot = derivation_graph_dot(space)
+        assert dot.startswith("digraph pepa")
+        assert "switch_off" in dot and "switch_on" in dot
+        assert "penwidth=2" in dot  # initial state highlighted
+
+    def test_size_limit(self, file_model):
+        from repro.pepa import derive
+
+        space = derive(file_model)
+        import pytest
+
+        with pytest.raises(ValueError, match="refusing"):
+            derivation_graph_dot(space, max_states=1)

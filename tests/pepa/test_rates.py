@@ -1,0 +1,143 @@
+"""Unit tests for the PEPA rate algebra."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import RateError
+from repro.pepa.rates import (
+    PASSIVE,
+    ActiveRate,
+    PassiveRate,
+    as_rate,
+    cooperation_rate,
+    rate_min,
+    rate_ratio,
+    rate_sum,
+)
+
+positive = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestConstruction:
+    def test_active_requires_positive(self):
+        with pytest.raises(RateError):
+            ActiveRate(0.0)
+        with pytest.raises(RateError):
+            ActiveRate(-1.0)
+
+    def test_active_rejects_nan_inf(self):
+        with pytest.raises(RateError):
+            ActiveRate(float("nan"))
+        with pytest.raises(RateError):
+            ActiveRate(float("inf"))
+
+    def test_passive_requires_positive_weight(self):
+        with pytest.raises(RateError):
+            PassiveRate(0.0)
+        with pytest.raises(RateError):
+            PassiveRate(-2.0)
+
+    def test_passive_has_no_value(self):
+        with pytest.raises(RateError):
+            _ = PASSIVE.value
+
+    def test_as_rate_coerces_numbers(self):
+        assert as_rate(2.5) == ActiveRate(2.5)
+        assert as_rate(PASSIVE) is PASSIVE
+
+    def test_str_forms(self):
+        assert str(ActiveRate(2.0)) == "2"
+        assert str(PASSIVE) == "T"
+        assert str(PassiveRate(2.0)) == "2*T"
+
+    def test_hashable_and_frozen(self):
+        assert hash(ActiveRate(1.0)) == hash(ActiveRate(1.0))
+        with pytest.raises(Exception):
+            ActiveRate(1.0).rate = 2.0  # type: ignore[misc]
+
+
+class TestArithmetic:
+    def test_sum_actives(self):
+        assert rate_sum(ActiveRate(1.0), ActiveRate(2.5)) == ActiveRate(3.5)
+
+    def test_sum_passives_adds_weights(self):
+        assert rate_sum(PassiveRate(1.0), PassiveRate(2.0)) == PassiveRate(3.0)
+
+    def test_sum_mixed_is_illegal(self):
+        with pytest.raises(RateError):
+            rate_sum(ActiveRate(1.0), PASSIVE)
+        with pytest.raises(RateError):
+            rate_sum(PASSIVE, ActiveRate(1.0))
+
+    def test_min_passive_dominates(self):
+        assert rate_min(ActiveRate(3.0), PASSIVE) == ActiveRate(3.0)
+        assert rate_min(PassiveRate(7.0), ActiveRate(0.1)) == ActiveRate(0.1)
+
+    def test_min_two_passives(self):
+        assert rate_min(PassiveRate(2.0), PassiveRate(5.0)) == PassiveRate(2.0)
+
+    def test_min_two_actives(self):
+        assert rate_min(ActiveRate(2.0), ActiveRate(5.0)) == ActiveRate(2.0)
+
+    def test_ratio_like_kinds(self):
+        assert rate_ratio(ActiveRate(1.0), ActiveRate(4.0)) == 0.25
+        assert rate_ratio(PassiveRate(1.0), PassiveRate(2.0)) == 0.5
+
+    def test_ratio_mixed_is_illegal(self):
+        with pytest.raises(RateError):
+            rate_ratio(ActiveRate(1.0), PASSIVE)
+
+
+class TestCooperationRate:
+    def test_active_active_min_law(self):
+        # single activity each side: rate = min(r1, r2)
+        r = cooperation_rate(ActiveRate(2.0), ActiveRate(5.0), ActiveRate(2.0), ActiveRate(5.0))
+        assert r == ActiveRate(2.0)
+
+    def test_passive_side_adopts_active_rate(self):
+        r = cooperation_rate(PASSIVE, ActiveRate(3.0), PASSIVE, ActiveRate(3.0))
+        assert r == ActiveRate(3.0)
+
+    def test_weighted_passive_splits_probabilistically(self):
+        # two passive partners with weights 1 and 3 share an active rate 4
+        apparent_passive = PassiveRate(4.0)
+        r1 = cooperation_rate(PassiveRate(1.0), ActiveRate(4.0), apparent_passive, ActiveRate(4.0))
+        r3 = cooperation_rate(PassiveRate(3.0), ActiveRate(4.0), apparent_passive, ActiveRate(4.0))
+        assert math.isclose(r1.value, 1.0)
+        assert math.isclose(r3.value, 3.0)
+        assert math.isclose(r1.value + r3.value, 4.0)
+
+    def test_both_passive_stays_passive(self):
+        r = cooperation_rate(PASSIVE, PASSIVE, PASSIVE, PASSIVE)
+        assert r.is_passive()
+
+    @given(positive, positive)
+    def test_bounded_capacity(self, r1, r2):
+        """The cooperation of single activities never exceeds either rate."""
+        rate = cooperation_rate(ActiveRate(r1), ActiveRate(r2), ActiveRate(r1), ActiveRate(r2))
+        assert rate.value <= min(r1, r2) * (1 + 1e-12)
+
+    @given(positive, positive, positive)
+    def test_apparent_rate_shares_sum_to_min(self, r1a, r1b, r2):
+        """Two competing activities on the left sharing one right partner:
+        total cooperation rate equals min(apparent_left, r2)."""
+        apparent_left = ActiveRate(r1a + r1b)
+        total = (
+            cooperation_rate(ActiveRate(r1a), ActiveRate(r2), apparent_left, ActiveRate(r2)).value
+            + cooperation_rate(ActiveRate(r1b), ActiveRate(r2), apparent_left, ActiveRate(r2)).value
+        )
+        assert math.isclose(total, min(r1a + r1b, r2), rel_tol=1e-9)
+
+
+@given(positive, positive)
+def test_rate_sum_commutes(a, b):
+    assert math.isclose(rate_sum(ActiveRate(a), ActiveRate(b)).value,
+                        rate_sum(ActiveRate(b), ActiveRate(a)).value)
+
+
+@given(positive, positive)
+def test_rate_min_commutes(a, b):
+    assert rate_min(ActiveRate(a), ActiveRate(b)) == rate_min(ActiveRate(b), ActiveRate(a))

@@ -1,0 +1,213 @@
+"""Unit tests for the PEPA operational semantics."""
+
+import math
+
+import pytest
+
+from repro.exceptions import WellFormednessError
+from repro.pepa import (
+    Cell,
+    Const,
+    Cooperation,
+    Hiding,
+    Prefix,
+    apparent_rate,
+    derivatives,
+    enabled_actions,
+    parse_expression,
+    parse_model,
+)
+from repro.pepa.environment import Environment
+from repro.pepa.rates import ActiveRate, PassiveRate
+
+
+def env_of(*defs: tuple[str, str]) -> Environment:
+    env = Environment()
+    for name, body in defs:
+        env.define(name, parse_expression(body))
+    return env
+
+
+class TestBasicRules:
+    def test_prefix(self):
+        env = Environment()
+        ts = derivatives(parse_expression("(a, 2).P"), env)
+        assert len(ts) == 1
+        assert ts[0].action == "a"
+        assert ts[0].rate == ActiveRate(2.0)
+        assert ts[0].target == Const("P")
+
+    def test_choice_collects_both_branches(self):
+        env = Environment()
+        ts = derivatives(parse_expression("(a, 1).P + (b, 2).Q"), env)
+        assert {(t.action, t.target) for t in ts} == {("a", Const("P")), ("b", Const("Q"))}
+
+    def test_choice_is_a_multiset(self):
+        """Two identical activities race: both derivations are kept."""
+        env = Environment()
+        ts = derivatives(parse_expression("(a, 1).P + (a, 1).P"), env)
+        assert len(ts) == 2
+
+    def test_constant_unfolds(self):
+        env = env_of(("P", "(a, 1).P"))
+        ts = derivatives(Const("P"), env)
+        assert len(ts) == 1 and ts[0].target == Const("P")
+
+    def test_undefined_constant(self):
+        with pytest.raises(WellFormednessError, match="undefined"):
+            derivatives(Const("Nope"), Environment())
+
+    def test_unguarded_recursion_detected(self):
+        env = env_of(("X", "X"))
+        with pytest.raises(WellFormednessError, match="unguarded"):
+            derivatives(Const("X"), env)
+
+    def test_exclude_suppresses_actions(self):
+        env = Environment()
+        ts = derivatives(parse_expression("(a, 1).P + (b, 2).Q"), env, exclude=frozenset({"a"}))
+        assert [t.action for t in ts] == ["b"]
+
+
+class TestHiding:
+    def test_hidden_action_becomes_tau(self):
+        env = env_of(("P", "(a, 1).P"))
+        ts = derivatives(parse_expression("P/{a}"), env)
+        assert ts[0].action == "tau"
+        assert ts[0].rate == ActiveRate(1.0)
+        assert isinstance(ts[0].target, Hiding)
+
+    def test_unhidden_action_passes_through(self):
+        env = env_of(("P", "(a, 1).P + (b, 2).P"))
+        ts = derivatives(parse_expression("P/{a}"), env)
+        assert {t.action for t in ts} == {"tau", "b"}
+
+    def test_hidden_action_has_no_apparent_rate(self):
+        env = env_of(("P", "(a, 1).P"))
+        assert apparent_rate(parse_expression("P/{a}"), "a", env) is None
+
+
+class TestCooperation:
+    def test_interleaving_outside_set(self):
+        env = env_of(("P", "(a, 1).P"), ("Q", "(b, 2).Q"))
+        ts = derivatives(parse_expression("P || Q"), env)
+        assert {t.action for t in ts} == {"a", "b"}
+        assert len(ts) == 2
+
+    def test_shared_action_synchronises(self):
+        env = env_of(("P", "(a, 2).P"), ("Q", "(a, 5).Q"))
+        ts = derivatives(parse_expression("P <a> Q"), env)
+        assert len(ts) == 1
+        assert math.isclose(ts[0].rate.value, 2.0)  # min law
+
+    def test_shared_action_blocked_when_one_side_cannot(self):
+        env = env_of(("P", "(a, 2).P"), ("Q", "(b, 5).Q"))
+        ts = derivatives(parse_expression("P <a> Q"), env)
+        # P's a is blocked; only Q's independent b remains
+        assert {t.action for t in ts} == {"b"}
+
+    def test_passive_cooperation_adopts_active_rate(self):
+        env = env_of(("P", "(a, 3).P"), ("Q", "(a, T).Q"))
+        ts = derivatives(parse_expression("P <a> Q"), env)
+        assert len(ts) == 1
+        assert math.isclose(ts[0].rate.value, 3.0)
+
+    def test_two_passive_branches_split_by_weight(self):
+        env = env_of(
+            ("P", "(a, 4).P"),
+            ("Q", "(a, T).Q1 + (a, 3*T).Q2"),
+            ("Q1", "(b, 1).Q1"),
+            ("Q2", "(b, 1).Q2"),
+        )
+        ts = derivatives(parse_expression("P <a> Q"), env)
+        rates = sorted(t.rate.value for t in ts)
+        assert len(ts) == 2
+        assert math.isclose(rates[0], 1.0)
+        assert math.isclose(rates[1], 3.0)
+        assert math.isclose(sum(rates), 4.0)
+
+    def test_competing_actives_bounded_capacity(self):
+        """Two active a-activities on the left, one rate-3 partner on the
+        right: the total a-rate is min(1+2, 3) = 3, split 1:2."""
+        env = env_of(
+            ("P", "(a, 1).P1 + (a, 2).P2"),
+            ("P1", "(b, 1).P1"),
+            ("P2", "(b, 1).P2"),
+            ("Q", "(a, 3).Q"),
+        )
+        ts = derivatives(parse_expression("P <a> Q"), env)
+        rates = sorted(t.rate.value for t in ts)
+        assert math.isclose(sum(rates), 3.0)
+        assert math.isclose(rates[0] * 2, rates[1])
+
+    def test_nested_passive_resolution(self):
+        """(Q1 || Q2) both passive in a, cooperating with an active P:
+        total rate is P's rate, split evenly."""
+        env = env_of(
+            ("P", "(a, 6).P"),
+            ("Q", "(a, T).Q"),
+        )
+        ts = derivatives(parse_expression("P <a> (Q || Q)"), env)
+        assert len(ts) == 2
+        for t in ts:
+            assert math.isclose(t.rate.value, 3.0)
+
+    def test_target_structure_preserved(self):
+        env = env_of(("P", "(a, 1).P"), ("Q", "(a, T).Q"))
+        ts = derivatives(parse_expression("P <a> Q"), env)
+        assert isinstance(ts[0].target, Cooperation)
+        assert ts[0].target.actions == frozenset({"a"})
+
+
+class TestCells:
+    def test_vacant_cell_is_inert(self):
+        env = env_of(("File", "(a, 1).File"))
+        assert derivatives(Cell("File", None), env) == []
+
+    def test_full_cell_behaves_as_content(self):
+        env = env_of(("File", "(a, 1).Done"), ("Done", "(b, 1).Done"))
+        ts = derivatives(Cell("File", Const("File")), env)
+        assert len(ts) == 1
+        assert ts[0].target == Cell("File", Const("Done"))
+
+    def test_cell_apparent_rate(self):
+        env = env_of(("File", "(a, 2).File"))
+        assert apparent_rate(Cell("File", Const("File")), "a", env) == ActiveRate(2.0)
+        assert apparent_rate(Cell("File", None), "a", env) is None
+
+
+class TestApparentRates:
+    def test_choice_sums(self):
+        env = Environment()
+        expr = parse_expression("(a, 1).P + (a, 2.5).Q")
+        assert apparent_rate(expr, "a", env) == ActiveRate(3.5)
+
+    def test_passive_weights_sum(self):
+        env = Environment()
+        expr = parse_expression("(a, T).P + (a, 2*T).Q")
+        assert apparent_rate(expr, "a", env) == PassiveRate(3.0)
+
+    def test_cooperation_shared_takes_min(self):
+        env = env_of(("P", "(a, 2).P"), ("Q", "(a, 5).Q"))
+        assert apparent_rate(parse_expression("P <a> Q"), "a", env) == ActiveRate(2.0)
+
+    def test_cooperation_unshared_sums(self):
+        env = env_of(("P", "(a, 2).P"), ("Q", "(a, 5).Q"))
+        assert apparent_rate(parse_expression("P || Q"), "a", env) == ActiveRate(7.0)
+
+    def test_absent_action_is_none(self):
+        env = Environment()
+        assert apparent_rate(parse_expression("(a, 1).P"), "z", env) is None
+
+
+class TestEnabledActions:
+    def test_enabled_set(self, file_model):
+        acts = enabled_actions(file_model.system, file_model.environment)
+        assert acts == frozenset({"openread", "openwrite"})
+
+    def test_protocol_property_no_write_after_openread(self, file_model):
+        """Paper: 'read and write operations cannot be interleaved'."""
+        env = file_model.environment
+        ts = derivatives(file_model.system, env)
+        in_stream = next(t.target for t in ts if t.action == "openread")
+        assert "write" not in enabled_actions(in_stream, env)
+        assert enabled_actions(in_stream, env) == frozenset({"read", "close"})

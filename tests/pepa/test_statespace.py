@@ -1,0 +1,106 @@
+"""Unit tests for state-space derivation."""
+
+import pytest
+
+from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.pepa import derive, parse_model
+
+FILE_SRC = """
+r_o = 2.0; r_r = 10.0; r_w = 4.0; r_c = 1.0;
+File = (openread, r_o).InStream + (openwrite, r_o).OutStream;
+InStream = (read, r_r).InStream + (close, r_c).File;
+OutStream = (write, r_w).OutStream + (close, r_c).File;
+FileReader = (openread, T).Reading + (openwrite, T).Writing;
+Reading = (read, T).Reading + (close, T).FileReader;
+Writing = (write, T).Writing + (close, T).FileReader;
+File <openread, openwrite, read, write, close> FileReader
+"""
+
+
+class TestExploration:
+    def test_two_state_cycle(self, two_state_model):
+        space = derive(two_state_model)
+        assert space.size == 2
+        assert len(space.arcs) == 2
+        assert space.initial == 0
+
+    def test_file_model_space(self, file_model):
+        space = derive(file_model)
+        # File/Reader, InStream/Reading, OutStream/Writing
+        assert space.size == 3
+        assert space.actions() == {"openread", "openwrite", "read", "write", "close"}
+
+    def test_deterministic_state_order(self, file_model):
+        s1 = derive(file_model)
+        s2 = derive(parse_model(FILE_SRC))
+        assert [str(x) for x in s1.states] == [str(x) for x in s2.states]
+        assert s1.arcs == s2.arcs
+
+    def test_no_deadlocks_in_cyclic_model(self, file_model):
+        assert derive(file_model).deadlocks() == []
+
+    def test_cooperation_deadlock_detected(self):
+        """After the shared 'a', each side insists on an action the other
+        cannot match inside the cooperation set: a genuine deadlock."""
+        model = parse_model(
+            """
+            X = (a, 1).Y;  Y = (b, 1).Y;
+            Z = (a, T).W;  W = (c, 1).W;
+            X <a, b, c> Z
+            """
+        )
+        space = derive(model)
+        assert space.size == 2
+        assert len(space.deadlocks()) == 1
+
+    def test_state_bound_enforced(self):
+        model = parse_model(
+            """
+            P = (a, 1).P1; P1 = (a, 1).P2; P2 = (a, 1).P3; P3 = (a, 1).P;
+            P || (P || (P || P))
+            """
+        )
+        with pytest.raises(StateSpaceError, match="bound"):
+            derive(model, max_states=10)
+
+    def test_passive_at_top_level_rejected(self):
+        model = parse_model("P = (a, T).P; P")
+        with pytest.raises(WellFormednessError, match="passive"):
+            derive(model)
+
+    def test_successors(self, two_state_model):
+        space = derive(two_state_model)
+        succ = space.successors(0)
+        assert len(succ) == 1
+        assert succ[0].target == 1
+
+    def test_arcs_by_action(self, two_state_model):
+        space = derive(two_state_model)
+        offs = space.arcs_by_action("switch_off")
+        ons = space.arcs_by_action("switch_on")
+        assert len(offs) == 1 and len(ons) == 1
+        assert offs[0].rate == 1.0 and ons[0].rate == 3.0
+
+    def test_parallel_components_interleave(self):
+        model = parse_model("P = (a, 1).Q; Q = (b, 1).P; P || P")
+        space = derive(model)
+        assert space.size == 4  # {P,Q} x {P,Q}
+        assert len(space.arcs) == 8
+
+    def test_hiding_keeps_space_size(self):
+        plain = parse_model("P = (a, 1).Q; Q = (b, 2).P; P")
+        hidden = parse_model("P = (a, 1).Q; Q = (b, 2).P; P/{b}")
+        assert derive(plain).size == derive(hidden).size
+        space = derive(hidden)
+        assert "tau" in space.actions()
+
+    def test_multiset_transitions_both_recorded(self):
+        model = parse_model("P = (a, 1).Q + (a, 1).Q; Q = (b, 1).P; P")
+        space = derive(model)
+        assert len([a for a in space.arcs if a.action == "a"]) == 2
+
+    def test_state_label_is_printable(self, file_model):
+        space = derive(file_model)
+        for i in range(space.size):
+            assert isinstance(space.state_label(i), str)
+            assert space.state_label(i)

@@ -1,0 +1,118 @@
+"""Unit tests for the static well-formedness checks."""
+
+import pytest
+
+from repro.exceptions import WellFormednessError
+from repro.pepa import assert_well_formed, check_model, parse_model
+
+
+class TestCleanModels:
+    def test_file_model_is_clean(self, file_model):
+        report = check_model(file_model)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_assert_passes(self, two_state_model):
+        assert_well_formed(two_state_model)
+
+
+class TestUndefinedConstants:
+    def test_in_definition_body(self):
+        model = parse_model("P = (a, 1).Missing; P")
+        report = check_model(model)
+        assert any("Missing" in e for e in report.errors)
+
+    def test_in_system_equation(self):
+        model = parse_model("P = (a, 1).P; P || Ghost")
+        report = check_model(model)
+        assert any("Ghost" in e for e in report.errors)
+
+    def test_raise_if_failed(self):
+        model = parse_model("P = (a, 1).Missing; P")
+        with pytest.raises(WellFormednessError, match="Missing"):
+            assert_well_formed(model)
+
+
+class TestGuardedness:
+    def test_direct_self_reference(self):
+        model = parse_model("X = X; X")
+        report = check_model(model)
+        assert any("unguarded" in e for e in report.errors)
+
+    def test_mutual_unguarded_cycle(self):
+        model = parse_model("X = Y; Y = X; X")
+        report = check_model(model)
+        assert any("unguarded" in e for e in report.errors)
+
+    def test_unguarded_through_choice(self):
+        model = parse_model("X = (a, 1).X + X; X")
+        report = check_model(model)
+        assert any("unguarded" in e for e in report.errors)
+
+    def test_guarded_recursion_is_fine(self):
+        model = parse_model("X = (a, 1).X; X")
+        assert check_model(model).ok
+
+    def test_guarded_mutual_recursion_is_fine(self):
+        model = parse_model("X = (a, 1).Y; Y = (b, 1).X; X")
+        assert check_model(model).ok
+
+
+class TestMixedChoice:
+    def test_active_plus_passive_same_type(self):
+        model = parse_model("P = (a, 1).P + (a, T).P; Q = (a, 1).Q; P <a> Q")
+        report = check_model(model)
+        assert any("active and passive" in e for e in report.errors)
+
+    def test_active_plus_passive_different_types_ok(self):
+        model = parse_model("P = (a, 1).P + (b, T).P; Q = (b, 1).Q; P <b> Q")
+        assert check_model(model).ok
+
+
+class TestCooperationSets:
+    def test_foreign_action_warns(self):
+        model = parse_model("P = (a, 1).P; Q = (b, 1).Q; P <c, a> Q")
+        report = check_model(model)
+        assert report.ok  # warning, not error
+        assert any("'c'" in w for w in report.warnings)
+
+    def test_one_sided_action_warns(self):
+        model = parse_model("P = (a, 1).P; Q = (b, 1).Q; P <b> Q")
+        report = check_model(model)
+        assert any("'b'" in w for w in report.warnings)
+
+    def test_wildcard_cooperation_never_warns(self):
+        model = parse_model("P = (a, 1).P; Q = (a, T).Q; P <*> Q")
+        report = check_model(model)
+        assert report.warnings == []
+
+
+class TestUnusedComponents:
+    def test_unused_definition_warns(self):
+        model = parse_model("P = (a, 1).P; Orphan = (b, 1).Orphan; P")
+        report = check_model(model)
+        assert any("Orphan" in w for w in report.warnings)
+
+    def test_transitively_used_is_not_flagged(self):
+        model = parse_model("P = (a, 1).Q; Q = (b, 1).P; P")
+        report = check_model(model)
+        assert report.warnings == []
+
+
+class TestSequentialPositions:
+    def test_concurrent_continuation_rejected(self):
+        model = parse_model(
+            """
+            A = (x, 1).A;
+            Par = A || A;
+            P = (a, 1).Par;
+            P
+            """
+        )
+        report = check_model(model)
+        assert any("concurrent" in e for e in report.errors)
+
+    def test_sequential_alias_chain_accepted(self):
+        model = parse_model("A = B; B = (x, 1).A; P = (a, 1).A; P")
+        report = check_model(model)
+        assert report.ok

@@ -1,0 +1,49 @@
+"""Shared PEPA-net fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pepanets import parse_net
+
+INSTANT_MESSAGE_SRC = """
+// Section 2.2 of the paper: an instant message transmitted from P1 to
+// a reader at P2.
+r_t = 1.0; r_o = 2.0; r_r = 10.0; r_w = 4.0; r_c = 1.0;
+IM = (transmit, r_t).File;
+File = (openread, r_o).InStream + (openwrite, r_o).OutStream;
+InStream = (read, r_r).InStream + (close, r_c).File;
+OutStream = (write, r_w).OutStream + (close, r_c).File;
+FileReader = (openread, T).Reading + (openwrite, T).Writing;
+Reading = (read, T).Reading + (close, T).FileReader;
+Writing = (write, T).Writing + (close, T).FileReader;
+
+P1[IM] = IM[_];
+P2[_] = File[_] <openread, openwrite, read, write, close> FileReader;
+
+transmit = (transmit, r_t) : P1 -> P2;
+"""
+
+RING_SRC = """
+// a courier token hopping around three locations forever
+r_hop = 2.0;
+Courier = (hop, r_hop).Courier;
+
+A[Courier] = Courier[_];
+B[_] = Courier[_];
+C[_] = Courier[_];
+
+hop_ab = (hop, r_hop) : A -> B;
+hop_bc = (hop, r_hop) : B -> C;
+hop_ca = (hop, r_hop) : C -> A;
+"""
+
+
+@pytest.fixture
+def im_net():
+    return parse_net(INSTANT_MESSAGE_SRC)
+
+
+@pytest.fixture
+def ring_net():
+    return parse_net(RING_SRC)

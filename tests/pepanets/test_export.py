@@ -1,0 +1,62 @@
+"""Unit tests for PEPA-net exports."""
+
+import pytest
+
+from repro.pepanets import explore_net
+from repro.pepanets.export import marking_space_dot, net_structure_dot
+from repro.workloads import courier_ring_net
+
+
+class TestNetStructureDot:
+    def test_contains_places_and_transitions(self, im_net):
+        dot = net_structure_dot(im_net)
+        assert dot.startswith("digraph pepanet")
+        assert "p_P1" in dot and "p_P2" in dot
+        assert "t_transmit" in dot
+        assert "p_P1 -> t_transmit" in dot
+        assert "t_transmit -> p_P2" in dot
+
+    def test_initial_tokens_shown(self, im_net):
+        dot = net_structure_dot(im_net)
+        assert "tokens: IM" in dot
+
+    def test_priority_annotated_when_nontrivial(self):
+        from repro.pepanets import parse_net
+
+        net = parse_net(
+            """
+            Tok = (go, 1).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            fast = (go, 1, 7) : A -> B;
+            """
+        )
+        assert "priority 7" in net_structure_dot(net)
+
+    def test_quotes_escaped(self, im_net):
+        dot = net_structure_dot(im_net)
+        # a syntactically plausible dot file: balanced braces, no bare quotes
+        assert dot.count("{") == dot.count("}")
+
+
+class TestMarkingSpaceDot:
+    def test_firings_bold_locals_grey(self, im_net):
+        space = explore_net(im_net)
+        dot = marking_space_dot(space)
+        assert "style=bold color" in dot   # the transmit arc
+        assert 'color="grey40"' in dot     # local activities
+
+    def test_initial_marking_highlighted(self, im_net):
+        space = explore_net(im_net)
+        dot = marking_space_dot(space)
+        assert "m0 [" in dot and "style=bold]" in dot
+
+    def test_size_limit(self):
+        space = explore_net(courier_ring_net(6, 3))
+        with pytest.raises(ValueError, match="refusing"):
+            marking_space_dot(space, max_states=5)
+
+    def test_arc_labels_carry_rates(self, ring_net):
+        space = explore_net(ring_net)
+        dot = marking_space_dot(space)
+        assert "hop, 2" in dot

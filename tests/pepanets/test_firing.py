@@ -1,0 +1,265 @@
+"""Unit tests for the firing semantics (Definitions 2-6)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import WellFormednessError
+from repro.pepanets import (
+    DerivativeSets,
+    eligible_tokens,
+    enabled_transitions,
+    firing_instances,
+    has_concession,
+    parse_net,
+    vacant_cells,
+)
+
+
+def net_of(src: str):
+    net = parse_net(src)
+    return net, net.initial_marking(), DerivativeSets(net.environment)
+
+
+class TestEnabling:
+    def test_eligible_tokens_found(self, im_net):
+        marking = im_net.initial_marking()
+        elig = eligible_tokens(marking.state_of("P1"), "transmit", im_net.environment)
+        assert len(elig) == 1
+        _, cell, tr = elig[0]
+        assert cell.family == "IM"
+        assert tr.action == "transmit"
+
+    def test_no_eligible_token_in_empty_place(self, im_net):
+        marking = im_net.initial_marking()
+        assert eligible_tokens(marking.state_of("P2"), "transmit", im_net.environment) == []
+
+    def test_vacant_cells(self, im_net):
+        marking = im_net.initial_marking()
+        assert len(vacant_cells(marking.state_of("P2"))) == 1
+        assert vacant_cells(marking.state_of("P1")) == []
+
+
+class TestConcession:
+    def test_transmit_has_concession_initially(self, im_net):
+        marking = im_net.initial_marking()
+        ds = DerivativeSets(im_net.environment)
+        spec = im_net.transitions["transmit"]
+        assert has_concession(im_net, marking, spec, im_net.environment, ds)
+
+    def test_no_concession_without_vacant_output(self):
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 1).Tok;
+            A[Tok] = Tok[_];
+            B[Tok] = Tok[_];   // output cell already occupied
+            move = (go, 1) : A -> B;
+            """
+        )
+        spec = net.transitions["move"]
+        assert not has_concession(net, marking, spec, net.environment, ds)
+        assert firing_instances(net, marking, net.environment, ds) == []
+
+    def test_type_preservation_blocks_wrong_family(self):
+        """A Dog token cannot enter a Cat cell even if both perform the
+        firing action (Definition 4's type-preserving bijection)."""
+        net, marking, ds = net_of(
+            """
+            Dog = (go, 1).Dog;
+            Cat = (go, 1).Cat;
+            A[Dog] = Dog[_];
+            B[_] = Cat[_];
+            move = (go, 1) : A -> B;
+            """
+        )
+        spec = net.transitions["move"]
+        assert not has_concession(net, marking, spec, net.environment, ds)
+
+    def test_cross_family_via_derivative_set(self, im_net):
+        """IM's transmit-derivative is File, which IS admitted by the
+        File cell at P2 — the paper's own example."""
+        marking = im_net.initial_marking()
+        ds = DerivativeSets(im_net.environment)
+        instances = firing_instances(im_net, marking, im_net.environment, ds)
+        assert len(instances) == 1
+        assert instances[0].action == "transmit"
+
+
+class TestPriorities:
+    def test_higher_priority_preempts(self):
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 1).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            C[_] = Tok[_];
+            slow = (go, 1, 1) : A -> B;
+            fast = (go, 1, 5) : A -> C;
+            """
+        )
+        enabled = enabled_transitions(net, marking, net.environment, ds)
+        assert [t.name for t in enabled] == ["fast"]
+        instances = firing_instances(net, marking, net.environment, ds)
+        assert {i.transition for i in instances} == {"fast"}
+
+    def test_blocked_high_priority_unblocks_low(self):
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 1).Tok;
+            Other = (noop, 1).Other;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            Full[Other] = Other[_];
+            slow = (go, 1, 1) : A -> B;
+            fast = (go, 1, 5) : A -> Full;   // no vacant cell at Full
+            """
+        )
+        enabled = enabled_transitions(net, marking, net.environment, ds)
+        assert [t.name for t in enabled] == ["slow"]
+
+
+class TestFiringRates:
+    def test_active_token_active_label_min_law(self):
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 2).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, 5) : A -> B;
+            """
+        )
+        [inst] = firing_instances(net, marking, net.environment, ds)
+        assert math.isclose(inst.rate, 2.0)  # min(5, 2)
+
+    def test_passive_token_adopts_label_rate(self):
+        net, marking, ds = net_of(
+            """
+            Tok = (go, T).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, 3) : A -> B;
+            """
+        )
+        [inst] = firing_instances(net, marking, net.environment, ds)
+        assert math.isclose(inst.rate, 3.0)
+
+    def test_passive_label_adopts_token_rate(self):
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 4).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, T) : A -> B;
+            """
+        )
+        [inst] = firing_instances(net, marking, net.environment, ds)
+        assert math.isclose(inst.rate, 4.0)
+
+    def test_all_passive_rejected(self):
+        net, marking, ds = net_of(
+            """
+            Tok = (go, T).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, T) : A -> B;
+            """
+        )
+        with pytest.raises(WellFormednessError, match="passive"):
+            firing_instances(net, marking, net.environment, ds)
+
+    def test_competing_tokens_share_capacity(self):
+        """Two tokens at A race for one vacant cell at B: total firing
+        rate is min(label, r1+r2), split in proportion to rates."""
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 1).Done;
+            Done = (rest, 1).Done;
+            A[Tok, Tok] = Tok[_] || Tok[_];
+            B[_] = Tok[_];
+            move = (go, 10) : A -> B;
+            """
+        )
+        instances = firing_instances(net, marking, net.environment, ds)
+        assert len(instances) == 2
+        total = sum(i.rate for i in instances)
+        assert math.isclose(total, 2.0)  # min(10, 1+1)
+        assert math.isclose(instances[0].rate, instances[1].rate)
+
+    def test_token_choice_probabilistic_split(self):
+        """A token with two go-derivatives splits the firing rate by the
+        activity-rate ratio."""
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 1).Left + (go, 3).Right;
+            Left = (l, 1).Left;
+            Right = (r, 1).Right;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, 8) : A -> B;
+            """
+        )
+        instances = firing_instances(net, marking, net.environment, ds)
+        rates = sorted(i.rate for i in instances)
+        # apparent token rate 4, label 8 -> floor 4, split 1:3
+        assert math.isclose(rates[0], 1.0)
+        assert math.isclose(rates[1], 3.0)
+
+    def test_multiple_vacant_cells_split_equally(self):
+        """Definition 6: several bijections phi are equally likely."""
+        net, marking, ds = net_of(
+            """
+            Tok = (go, 2).Tok;
+            A[Tok] = Tok[_];
+            B[_, _] = Tok[_] || Tok[_];
+            move = (go, 2) : A -> B;
+            """
+        )
+        instances = firing_instances(net, marking, net.environment, ds)
+        assert len(instances) == 2
+        for inst in instances:
+            assert math.isclose(inst.rate, 1.0)  # 2.0 split over 2 phis
+
+    def test_two_place_synchronised_move(self):
+        """A transition with two input and two output places moves both
+        tokens simultaneously."""
+        net, marking, ds = net_of(
+            """
+            Tok = (swap, 1).Tok;
+            A[Tok] = Tok[_];
+            B[Tok] = Tok[_];
+            C[_] = Tok[_];
+            D[_] = Tok[_];
+            swap = (swap, 1) : A, B -> C, D;
+            """
+        )
+        instances = firing_instances(net, marking, net.environment, ds)
+        # two bijections (A->C,B->D) and (A->D,B->C), same total rate 1
+        assert len(instances) == 2
+        assert math.isclose(sum(i.rate for i in instances), 1.0)
+        for inst in instances:
+            m = inst.marking
+            assert "Tok[_]" in str(m.state_of("A"))
+            assert "Tok[_]" in str(m.state_of("B"))
+
+
+class TestFiringEffects:
+    def test_token_moves_and_evolves(self, im_net):
+        marking = im_net.initial_marking()
+        ds = DerivativeSets(im_net.environment)
+        [inst] = firing_instances(im_net, marking, im_net.environment, ds)
+        new = inst.marking
+        assert "IM[_]" in str(new.state_of("P1"))
+        assert "File[File]" in str(new.state_of("P2"))
+
+    def test_mixed_active_passive_tokens_in_place_rejected(self):
+        net, marking, ds = net_of(
+            """
+            Act = (go, 1).Act;
+            Pas = (go, T).Pas;
+            A[Act, Pas] = Act[_] || Pas[_];
+            B[_] = Act[_];
+            move = (go, 1) : A -> B;
+            """
+        )
+        with pytest.raises(WellFormednessError, match="mixes active and passive"):
+            firing_instances(net, marking, net.environment, ds)

@@ -1,0 +1,154 @@
+"""Unit tests for the PEPA-net parser."""
+
+import pytest
+
+from repro.exceptions import PepaSyntaxError
+from repro.pepa import Const
+from repro.pepa.rates import ActiveRate, PassiveRate
+from repro.pepanets import parse_net
+
+
+class TestParsing:
+    def test_instant_message_structure(self, im_net):
+        assert set(im_net.places) == {"P1", "P2"}
+        assert set(im_net.transitions) == {"transmit"}
+        spec = im_net.transitions["transmit"]
+        assert spec.action == "transmit"
+        assert spec.rate == ActiveRate(1.0)
+        assert spec.inputs == ("P1",)
+        assert spec.outputs == ("P2",)
+        assert spec.priority == 1
+
+    def test_priority_parsed(self):
+        net = parse_net(
+            """
+            Tok = (go, 1).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            fast = (go, 1, 7) : A -> B;
+            """
+        )
+        assert net.transitions["fast"].priority == 7
+
+    def test_passive_label(self):
+        net = parse_net(
+            """
+            Tok = (go, 2).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, T) : A -> B;
+            """
+        )
+        assert net.transitions["move"].rate == PassiveRate(1.0)
+
+    def test_multi_place_arcs(self):
+        net = parse_net(
+            """
+            Tok = (swap, 1).Tok;
+            A[Tok] = Tok[_];
+            B[Tok] = Tok[_];
+            C[_] = Tok[_];
+            D[_] = Tok[_];
+            swap = (swap, 1) : A, B -> C, D;
+            """
+        )
+        assert net.transitions["swap"].inputs == ("A", "B")
+        assert net.transitions["swap"].outputs == ("C", "D")
+
+    def test_multi_cell_place(self):
+        net = parse_net(
+            """
+            Tok = (go, 1).Tok;
+            P[Tok, _] = Tok[_] || Tok[_];
+            Q[_] = Tok[_];
+            move = (go, 1) : P -> Q;
+            """
+        )
+        place = net.places["P"]
+        assert place.initial_contents == (Const("Tok"), None)
+
+    def test_wildcard_cooperation_in_place_resolved(self):
+        net = parse_net(
+            """
+            Tok = (work, 1).Tok + (go, 1).Tok;
+            Server = (work, T).Server;
+            A[Tok] = Tok[_] <*> Server;
+            B[_] = Tok[_];
+            move = (go, 1) : A -> B;
+            """
+        )
+        template = net.places["A"].template
+        # shared alphabet of Tok {work, go} and Server {work}
+        assert template.actions == frozenset({"work"})
+
+    def test_rates_resolve_across_sections(self):
+        net = parse_net(
+            """
+            speed = base * 2;
+            base = 1.5;
+            Tok = (go, speed).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, speed) : A -> B;
+            """
+        )
+        assert net.transitions["move"].rate == ActiveRate(3.0)
+
+
+class TestErrors:
+    def test_no_places_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="place"):
+            parse_net("Tok = (go, 1).Tok;")
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="empty"):
+            parse_net("  // nothing\n")
+
+    def test_lowercase_place_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="upper-case"):
+            parse_net("Tok = (go,1).Tok; p[Tok] = Tok[_]; t = (go,1) : p -> p;")
+
+    def test_uppercase_firing_action_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="lower-case"):
+            parse_net(
+                "Tok = (go,1).Tok; P[Tok] = Tok[_]; Q[_] = Tok[_];"
+                "t = (Go, 1) : P -> Q;"
+            )
+
+    def test_unknown_place_in_transition(self):
+        from repro.exceptions import WellFormednessError
+
+        with pytest.raises(WellFormednessError, match="unknown place"):
+            parse_net(
+                "Tok = (go,1).Tok; P[Tok] = Tok[_];"
+                "t = (go, 1) : P -> Nowhere;"
+            )
+
+    def test_bare_expression_statement_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="unrecognised"):
+            parse_net(
+                "Tok = (go,1).Tok; P[Tok] = Tok[_]; Q[_] = Tok[_];"
+                "t = (go,1) : P -> Q;"
+                "(Tok || Tok)"
+            )
+
+    def test_trailing_tokens_in_transition(self):
+        with pytest.raises(PepaSyntaxError, match="trailing"):
+            parse_net(
+                "Tok = (go,1).Tok; P[Tok] = Tok[_]; Q[_] = Tok[_];"
+                "t = (go,1) : P -> Q extra;"
+            )
+
+
+class TestRoundTrip:
+    def test_str_reparses(self, im_net):
+        text = str(im_net)
+        reparsed = parse_net(text)
+        assert set(reparsed.places) == set(im_net.places)
+        assert set(reparsed.transitions) == set(im_net.transitions)
+        assert reparsed.initial_marking() == im_net.initial_marking()
+
+    def test_ring_round_trip(self, ring_net):
+        reparsed = parse_net(str(ring_net))
+        assert reparsed.initial_marking() == ring_net.initial_marking()
+        assert reparsed.firing_actions == ring_net.firing_actions

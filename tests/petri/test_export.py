@@ -1,0 +1,51 @@
+"""Unit tests for Petri net dot exports."""
+
+import pytest
+
+from repro.petri import PetriNet, build_reachability_graph
+from repro.petri.export import petri_net_dot, reachability_graph_dot
+
+
+def sample_net() -> PetriNet:
+    net = PetriNet("sample")
+    net.add_place("p", tokens=2)
+    net.add_place("q", tokens=0, capacity=3)
+    net.add_transition("t", {"p": 2}, {"q": 1}, priority=1, rate=1.5)
+    net.add_transition("back", {"q": 1}, {"p": 2})
+    return net
+
+
+class TestNetDot:
+    def test_structure_rendered(self):
+        dot = petri_net_dot(sample_net())
+        assert dot.startswith("digraph petrinet")
+        assert "p_p" in dot and "t_t" in dot
+        assert "p_p -> t_t" in dot and "t_t -> p_q" in dot
+
+    def test_tokens_and_capacity_shown(self):
+        dot = petri_net_dot(sample_net())
+        assert "••" in dot
+        assert "cap 3" in dot
+
+    def test_arc_weights_labelled(self):
+        dot = petri_net_dot(sample_net())
+        assert 'label="2"' in dot
+
+    def test_rate_and_priority_shown(self):
+        dot = petri_net_dot(sample_net())
+        assert "rate 1.5" in dot
+        assert "prio 1" in dot
+
+
+class TestReachabilityDot:
+    def test_graph_rendered(self):
+        graph = build_reachability_graph(sample_net())
+        dot = reachability_graph_dot(graph)
+        assert dot.startswith("digraph reachability")
+        assert "m0 -> m1" in dot
+        assert "style=bold" in dot  # initial marking
+
+    def test_size_limit(self):
+        graph = build_reachability_graph(sample_net())
+        with pytest.raises(ValueError, match="refusing"):
+            reachability_graph_dot(graph, max_markings=0)

@@ -1,0 +1,88 @@
+"""Unit tests for the stochastic Petri net interpretation."""
+
+import math
+
+import pytest
+
+from repro.ctmc import steady_state, throughput
+from repro.exceptions import WellFormednessError
+from repro.petri import PetriNet, StochasticPetriNet, spn_to_ctmc
+
+
+def timed_ring(rates=(1.0, 2.0, 4.0)) -> StochasticPetriNet:
+    net = PetriNet("timed-ring")
+    for i in range(3):
+        net.add_place(f"p{i}", tokens=1 if i == 0 else 0)
+    for i, rate in enumerate(rates):
+        net.add_transition(f"t{i}", {f"p{i}": 1}, {f"p{(i + 1) % 3}": 1}, rate=rate)
+    return StochasticPetriNet(net)
+
+
+class TestValidation:
+    def test_missing_rate_rejected(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("t", {"p": 1}, {"p": 1})
+        with pytest.raises(WellFormednessError, match="rate"):
+            StochasticPetriNet(net)
+
+    def test_unknown_infinite_server_rejected(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("t", {"p": 1}, {"p": 1}, rate=1.0)
+        with pytest.raises(WellFormednessError, match="infinite-server"):
+            StochasticPetriNet(net, infinite_server=frozenset({"ghost"}))
+
+
+class TestCtmcDerivation:
+    def test_ring_stationary_inverse_rates(self):
+        spn = timed_ring()
+        _, chain = spn_to_ctmc(spn)
+        pi = steady_state(chain)
+        # residence inversely proportional to exit rate: weights 1, 1/2, 1/4
+        weights = [1.0, 0.5, 0.25]
+        expected = [w / sum(weights) for w in weights]
+        labels = chain.labels
+        for i, lbl in enumerate(labels):
+            for k in range(3):
+                if f"p{k}:1" in lbl:
+                    assert math.isclose(pi[i], expected[k], rel_tol=1e-9)
+
+    def test_throughputs_equal_around_ring(self):
+        _, chain = spn_to_ctmc(timed_ring())
+        ths = [throughput(chain, f"t{i}") for i in range(3)]
+        assert math.isclose(ths[0], ths[1], rel_tol=1e-9)
+        assert math.isclose(ths[1], ths[2], rel_tol=1e-9)
+
+    def test_infinite_server_scales_rate(self):
+        net = PetriNet()
+        net.add_place("jobs", tokens=3)
+        net.add_place("done", tokens=0)
+        net.add_transition("serve", {"jobs": 1}, {"done": 1}, rate=2.0)
+        net.add_transition("recycle", {"done": 3}, {"jobs": 3}, rate=1.0)
+        spn_is = StochasticPetriNet(net, infinite_server=frozenset({"serve"}))
+        marking = net.initial_marking
+        assert spn_is.firing_rate("serve", marking) == 6.0
+        spn_ss = StochasticPetriNet(net)
+        assert spn_ss.firing_rate("serve", marking) == 2.0
+
+    def test_enabling_degree_with_weights(self):
+        net = PetriNet()
+        net.add_place("p", tokens=5)
+        net.add_transition("t", {"p": 2}, {}, rate=1.0)
+        spn = StochasticPetriNet(net)
+        assert spn.enabling_degree("t", net.initial_marking) == 2
+
+    def test_priorities_respected_in_ctmc(self):
+        """A higher-priority transition starves a lower one sharing the
+        same input place, so the low transition never appears."""
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q", tokens=0)
+        net.add_transition("high", {"p": 1}, {"q": 1}, priority=2, rate=1.0)
+        net.add_transition("low", {"p": 1}, {"q": 1}, priority=1, rate=9.0)
+        net.add_transition("back", {"q": 1}, {"p": 1}, rate=1.0)
+        graph, chain = spn_to_ctmc(StochasticPetriNet(net))
+        assert "low" not in graph.fired_transitions()
+        assert throughput(chain, "low") == 0.0
+        assert throughput(chain, "high") > 0.0

@@ -1,0 +1,160 @@
+"""Unit tests for P/T nets, markings and firing."""
+
+import pytest
+
+from repro.exceptions import WellFormednessError
+from repro.petri import Marking, PetriNet
+
+
+def producer_consumer() -> PetriNet:
+    net = PetriNet("prodcons")
+    net.add_place("idle", tokens=1)
+    net.add_place("buffer", tokens=0, capacity=2)
+    net.add_place("consumed", tokens=0)
+    net.add_transition("produce", {"idle": 1}, {"idle": 1, "buffer": 1})
+    net.add_transition("consume", {"buffer": 1}, {"consumed": 1})
+    net.add_transition("reset", {"consumed": 1}, {})
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(WellFormednessError, match="already exists"):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("t", {"p": 1}, {})
+        with pytest.raises(WellFormednessError, match="already exists"):
+            net.add_transition("t", {"p": 1}, {})
+
+    def test_unknown_place_in_arc_rejected(self):
+        net = PetriNet()
+        with pytest.raises(WellFormednessError, match="unknown place"):
+            net.add_transition("t", {"ghost": 1}, {})
+
+    def test_zero_weight_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(WellFormednessError, match="weight"):
+            net.add_transition("t", {"p": 0}, {})
+
+    def test_negative_initial_tokens_rejected(self):
+        net = PetriNet()
+        with pytest.raises(WellFormednessError):
+            net.add_place("p", tokens=-1)
+
+    def test_initial_tokens_over_capacity_rejected(self):
+        net = PetriNet()
+        with pytest.raises(WellFormednessError, match="capacity"):
+            net.add_place("p", tokens=3, capacity=2)
+
+    def test_list_arc_spec_counts_duplicates(self):
+        net = PetriNet()
+        net.add_place("p", tokens=2)
+        t = net.add_transition("t", ["p", "p"], [])
+        assert t.inputs == (("p", 2),)
+
+
+class TestFiring:
+    def test_simple_fire_moves_tokens(self):
+        net = producer_consumer()
+        m1 = net.fire(net.transitions["produce"], net.initial_marking)
+        assert m1["buffer"] == 1
+        assert m1["idle"] == 1
+
+    def test_fire_without_concession_rejected(self):
+        net = producer_consumer()
+        with pytest.raises(WellFormednessError, match="concession"):
+            net.fire(net.transitions["consume"], net.initial_marking)
+
+    def test_capacity_blocks_concession(self):
+        net = producer_consumer()
+        m = net.initial_marking
+        m = net.fire(net.transitions["produce"], m)
+        m = net.fire(net.transitions["produce"], m)
+        assert m["buffer"] == 2
+        assert not net.has_concession(net.transitions["produce"], m)
+
+    def test_self_loop_respects_capacity_correctly(self):
+        """A transition that consumes and reproduces in a full place
+        still has concession (net change zero)."""
+        net = PetriNet()
+        net.add_place("p", tokens=1, capacity=1)
+        t = net.add_transition("t", {"p": 1}, {"p": 1})
+        assert net.has_concession(t, net.initial_marking)
+
+    def test_arc_weights(self):
+        net = PetriNet()
+        net.add_place("in", tokens=3)
+        net.add_place("out")
+        t = net.add_transition("t", {"in": 2}, {"out": 1})
+        m = net.fire(t, net.initial_marking)
+        assert m["in"] == 1 and m["out"] == 1
+        assert not net.has_concession(t, m)
+
+
+class TestPriorities:
+    def test_higher_priority_preempts(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("low", {"p": 1}, {}, priority=0)
+        net.add_transition("high", {"p": 1}, {}, priority=5)
+        enabled = net.enabled_transitions(net.initial_marking)
+        assert [t.name for t in enabled] == ["high"]
+
+    def test_equal_priorities_all_enabled(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("a", {"p": 1}, {})
+        net.add_transition("b", {"p": 1}, {})
+        enabled = net.enabled_transitions(net.initial_marking)
+        assert [t.name for t in enabled] == ["a", "b"]
+
+    def test_blocked_high_priority_unblocks_low(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q", tokens=0)
+        net.add_transition("low", {"p": 1}, {}, priority=0)
+        net.add_transition("high", {"q": 1}, {}, priority=5)
+        enabled = net.enabled_transitions(net.initial_marking)
+        assert [t.name for t in enabled] == ["low"]
+
+
+class TestMarking:
+    def test_from_dict_defaults_zero(self):
+        m = Marking.from_dict({"a": 1}, order=["a", "b"])
+        assert m["b"] == 0
+
+    def test_unknown_place_lookup(self):
+        m = Marking.from_dict({}, order=["a"])
+        with pytest.raises(KeyError):
+            m["zzz"]
+
+    def test_covers(self):
+        big = Marking.from_dict({"a": 2, "b": 1}, order=["a", "b"])
+        small = Marking.from_dict({"a": 1, "b": 1}, order=["a", "b"])
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_covers_different_orders_rejected(self):
+        a = Marking.from_dict({}, order=["a"])
+        b = Marking.from_dict({}, order=["b"])
+        with pytest.raises(WellFormednessError):
+            a.covers(b)
+
+    def test_str_hides_empty_places(self):
+        m = Marking.from_dict({"a": 1}, order=["a", "b"])
+        assert str(m) == "{a:1}"
+
+    def test_incidence_matrix(self):
+        net = producer_consumer()
+        places, transitions, C = net.incidence_matrix()
+        p = places.index("buffer")
+        t_prod = transitions.index("produce")
+        t_cons = transitions.index("consume")
+        assert C[p][t_prod] == 1
+        assert C[p][t_cons] == -1

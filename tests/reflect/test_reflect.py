@@ -1,0 +1,128 @@
+"""Unit tests for the reflector layer and the result table."""
+
+import math
+
+import pytest
+
+from repro.choreographer import Choreographer
+from repro.exceptions import ReflectionError
+from repro.extract import compose_state_machines, extract_activity_diagram
+from repro.pepa.measures import analyse
+from repro.pepanets.measures import analyse_net
+from repro.reflect import (
+    ResultTable,
+    reflect_activity_results,
+    reflect_state_probabilities,
+    results_of_model_analysis,
+    results_of_net_analysis,
+)
+from repro.uml.model import TAG_PROBABILITY, TAG_THROUGHPUT
+from repro.workloads import (
+    IM_RATES,
+    build_client_statechart,
+    build_instant_message_diagram,
+    build_server_statechart,
+)
+
+
+class TestResultTable:
+    def test_add_and_lookup(self):
+        table = ResultTable()
+        table.add("activity", "read", "throughput", 4.0)
+        assert table.value("activity", "read", "throughput") == 4.0
+
+    def test_missing_row_raises(self):
+        with pytest.raises(ReflectionError, match="no throughput"):
+            ResultTable().value("activity", "read", "throughput")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReflectionError, match="kind"):
+            ResultTable().add("galaxy", "x", "throughput", 1.0)
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ReflectionError, match="measure"):
+            ResultTable().add("activity", "x", "temperature", 1.0)
+
+    def test_xml_round_trip(self):
+        table = ResultTable()
+        table.add("activity", "read", "throughput", 4.0)
+        table.add("state", "Idle", "probability", 0.25)
+        restored = ResultTable.from_xml(table.to_xml())
+        assert len(restored) == 2
+        assert restored.value("state", "Idle", "probability") == 0.25
+
+    def test_file_round_trip(self, tmp_path):
+        table = ResultTable()
+        table.add("place", "p1", "occupancy", 0.5)
+        path = table.write(tmp_path / "results.xmltable")
+        assert ResultTable.read(path).value("place", "p1", "occupancy") == 0.5
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(ReflectionError, match="well-formed"):
+            ResultTable.from_xml("<oops")
+        with pytest.raises(ReflectionError, match="resultTable"):
+            ResultTable.from_xml("<wrong/>")
+
+    def test_subjects_by_kind(self):
+        table = ResultTable()
+        table.add("activity", "a", "throughput", 1.0)
+        table.add("activity", "b", "throughput", 1.0)
+        table.add("state", "s", "probability", 0.5)
+        assert table.subjects("activity") == ["a", "b"]
+
+
+class TestActivityReflection:
+    def outcome(self):
+        graph = build_instant_message_diagram()
+        extraction = extract_activity_diagram(graph, IM_RATES)
+        analysis = analyse_net(extraction.net)
+        return graph, extraction, analysis
+
+    def test_every_action_annotated(self):
+        graph, extraction, analysis = self.outcome()
+        table = results_of_net_analysis(extraction, analysis)
+        reflect_activity_results(extraction, table)
+        for action in graph.actions():
+            assert action.tag(TAG_THROUGHPUT) is not None
+
+    def test_annotation_matches_analysis(self):
+        graph, extraction, analysis = self.outcome()
+        table = results_of_net_analysis(extraction, analysis)
+        reflect_activity_results(extraction, table)
+        node = graph.action_by_name("transmit")
+        tagged = float(node.tag(TAG_THROUGHPUT))
+        assert math.isclose(tagged, analysis.throughput("transmit"), rel_tol=1e-5)
+
+    def test_table_has_place_occupancies(self):
+        _, extraction, analysis = self.outcome()
+        table = results_of_net_analysis(extraction, analysis)
+        assert set(table.subjects("place")) == {"p1", "p2"}
+
+    def test_reflection_against_wrong_table_raises(self):
+        _, extraction, _ = self.outcome()
+        with pytest.raises(ReflectionError, match="no throughput"):
+            reflect_activity_results(extraction, ResultTable())
+
+
+class TestStatechartReflection:
+    def test_states_annotated_with_probabilities(self):
+        machines = [build_client_statechart(), build_server_statechart()]
+        model, extractions = compose_state_machines(machines)
+        analysis = analyse(model)
+        table = results_of_model_analysis(extractions, analysis)
+        for extraction in extractions:
+            reflect_state_probabilities(extraction, table)
+        probs = [
+            float(s.tag(TAG_PROBABILITY))
+            for m in machines
+            for s in m.simple_states()
+        ]
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        client_probs = [float(s.tag(TAG_PROBABILITY)) for s in machines[0].simple_states()]
+        assert math.isclose(sum(client_probs), 1.0, rel_tol=1e-4)
+
+    def test_reflection_against_wrong_table_raises(self):
+        machines = [build_client_statechart()]
+        model, extractions = compose_state_machines(machines)
+        with pytest.raises(ReflectionError, match="no probability"):
+            reflect_state_probabilities(extractions[0], ResultTable())

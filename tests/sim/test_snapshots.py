@@ -1,0 +1,86 @@
+"""Tests for simulation snapshots and the transient estimator —
+cross-validating uniformization with an entirely independent method."""
+
+import math
+
+import pytest
+
+from repro.ctmc.transient import transient_distribution
+from repro.exceptions import SimulationError
+from repro.pepa.ctmcgen import ctmc_of_model
+from repro.pepa.parser import parse_model
+from repro.sim import (
+    estimate_transient_probability,
+    pepa_transition_fn,
+    replicate,
+    simulate_pepa,
+)
+
+TWO_STATE = parse_model("On = (off, 1.0).Off; Off = (on, 3.0).On; On")
+
+
+class TestSnapshots:
+    def test_snapshot_at_zero_is_initial_state(self):
+        r = simulate_pepa(TWO_STATE, 10.0, seed=1, snapshot_times=[0.0])
+        assert str(r.snapshots[0.0]) == "On"
+
+    def test_all_requested_snapshots_taken(self):
+        times = [0.5, 1.0, 7.5]
+        r = simulate_pepa(TWO_STATE, 10.0, seed=2, snapshot_times=times)
+        assert sorted(r.snapshots) == times
+
+    def test_snapshots_out_of_range_rejected(self):
+        with pytest.raises(SimulationError, match="within"):
+            simulate_pepa(TWO_STATE, 5.0, seed=0, snapshot_times=[6.0])
+        with pytest.raises(SimulationError, match="within"):
+            simulate_pepa(TWO_STATE, 5.0, seed=0, snapshot_times=[-1.0])
+
+    def test_snapshots_taken_in_deadlocked_run(self):
+        model = parse_model(
+            """
+            X = (a, 1).Y;  Y = (b, 1).Y;
+            Z = (a, T).W;  W = (c, 1).W;
+            X <a, b, c> Z
+            """
+        )
+        from repro.sim import simulate_pepa as sim
+
+        r = sim(model, 50.0, seed=0, snapshot_times=[0.1, 49.0])
+        assert r.deadlocked
+        assert sorted(r.snapshots) == [0.1, 49.0]
+
+    def test_reproducible(self):
+        a = simulate_pepa(TWO_STATE, 20.0, seed=9, snapshot_times=[5.0])
+        b = simulate_pepa(TWO_STATE, 20.0, seed=9, snapshot_times=[5.0])
+        assert a.snapshots == b.snapshots
+
+
+class TestTransientEstimator:
+    def test_interval_covers_uniformization(self):
+        """The Monte-Carlo transient estimate must cover the exact
+        uniformization value — two fully independent computations of
+        P(On at t)."""
+        t = 0.4
+        space, chain = ctmc_of_model(TWO_STATE)
+        exact = transient_distribution(chain, t, 0)
+        on_index = chain.labels.index("On")
+        p_exact = float(exact[on_index])
+
+        results = replicate(
+            pepa_transition_fn(TWO_STATE), TWO_STATE.system, 1.0,
+            n_replications=600, base_seed=7, snapshot_times=[t],
+        )
+        estimate = estimate_transient_probability(
+            results, t, lambda s: str(s) == "On", confidence=0.99
+        )
+        assert estimate.covers(p_exact)
+        # and the estimate is informative, not vacuous
+        assert estimate.half_width < 0.2
+
+    def test_missing_snapshot_rejected(self):
+        results = replicate(
+            pepa_transition_fn(TWO_STATE), TWO_STATE.system, 1.0,
+            n_replications=3, base_seed=1,
+        )
+        with pytest.raises(SimulationError, match="snapshot"):
+            estimate_transient_probability(results, 0.5, lambda s: True)

@@ -1,0 +1,148 @@
+"""Unit tests for the stochastic simulation engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.pepa.parser import parse_model
+from repro.pepa.measures import analyse
+from repro.pepanets.parser import parse_net
+from repro.pepanets.measures import analyse_net
+from repro.sim import (
+    estimate_probability,
+    estimate_throughput,
+    net_transition_fn,
+    pepa_transition_fn,
+    replicate,
+    simulate,
+    simulate_net,
+    simulate_pepa,
+)
+
+
+TWO_STATE = parse_model("On = (off, 1.0).Off; Off = (on, 3.0).On; On")
+
+RING_NET = parse_net(
+    """
+    Courier = (hop, 2.0).Courier;
+    A[Courier] = Courier[_];
+    B[_] = Courier[_];
+    C[_] = Courier[_];
+    ab = (hop, 2.0) : A -> B;
+    bc = (hop, 2.0) : B -> C;
+    ca = (hop, 2.0) : C -> A;
+    """
+)
+
+
+class TestEngine:
+    def test_reproducible_with_same_seed(self):
+        r1 = simulate_pepa(TWO_STATE, 100.0, seed=42)
+        r2 = simulate_pepa(TWO_STATE, 100.0, seed=42)
+        assert r1.action_counts == r2.action_counts
+        assert r1.residence == r2.residence
+
+    def test_different_seeds_differ(self):
+        r1 = simulate_pepa(TWO_STATE, 200.0, seed=1)
+        r2 = simulate_pepa(TWO_STATE, 200.0, seed=2)
+        assert r1.action_counts != r2.action_counts
+
+    def test_residence_sums_to_horizon(self):
+        r = simulate_pepa(TWO_STATE, 50.0, seed=7)
+        assert math.isclose(sum(r.residence.values()), 50.0, rel_tol=1e-9)
+
+    def test_warmup_excluded_from_counts(self):
+        r_cold = simulate_pepa(TWO_STATE, 50.0, seed=3, warmup=0.0)
+        r_warm = simulate_pepa(TWO_STATE, 50.0, seed=3, warmup=10.0)
+        assert math.isclose(sum(r_warm.residence.values()), 50.0, rel_tol=1e-9)
+        assert r_cold.t_end == r_warm.t_end
+
+    def test_deadlock_detected(self):
+        model = parse_model(
+            """
+            X = (a, 1).Y;  Y = (b, 1).Y;
+            Z = (a, T).W;  W = (c, 1).W;
+            X <a, b, c> Z
+            """
+        )
+        r = simulate_pepa(model, 10.0, seed=0)
+        assert r.deadlocked
+        assert math.isclose(sum(r.residence.values()), 10.0, rel_tol=1e-9)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_pepa(TWO_STATE, 0.0)
+
+    def test_event_cap(self):
+        with pytest.raises(SimulationError, match="events"):
+            simulate_pepa(TWO_STATE, 1e7, max_events=100)
+
+    def test_passive_top_level_rejected(self):
+        model = parse_model("P = (a, T).P; P")
+        with pytest.raises(SimulationError, match="passive"):
+            simulate_pepa(model, 1.0)
+
+
+class TestAgreementWithNumericalSolution:
+    """The headline property: SSA and the CTMC solver agree."""
+
+    def test_two_state_probability(self):
+        exact = analyse(TWO_STATE)
+        p_on_exact = exact.probability_of_local_state("On")
+        r = simulate_pepa(TWO_STATE, 5000.0, seed=11, warmup=50.0)
+        p_on_sim = r.probability(lambda s: str(s) == "On")
+        assert math.isclose(p_on_sim, p_on_exact, abs_tol=0.02)
+
+    def test_two_state_throughput(self):
+        exact = analyse(TWO_STATE)
+        r = simulate_pepa(TWO_STATE, 5000.0, seed=13, warmup=50.0)
+        assert math.isclose(r.throughput("off"), exact.throughput("off"), rel_tol=0.05)
+
+    def test_net_throughput(self):
+        exact = analyse_net(RING_NET, reducible="error")
+        r = simulate_net(RING_NET, 3000.0, seed=5, warmup=20.0)
+        assert math.isclose(r.throughput("hop"), exact.throughput("hop"), rel_tol=0.05)
+
+
+class TestEstimators:
+    def test_confidence_interval_covers_exact_value(self):
+        exact = analyse(TWO_STATE)
+        results = replicate(
+            pepa_transition_fn(TWO_STATE), TWO_STATE.system, 800.0,
+            n_replications=8, warmup=20.0, base_seed=17,
+        )
+        est = estimate_throughput(results, "off", confidence=0.99)
+        assert est.covers(exact.throughput("off"))
+        assert est.half_width > 0
+
+    def test_probability_estimator(self):
+        exact = analyse(TWO_STATE)
+        results = replicate(
+            pepa_transition_fn(TWO_STATE), TWO_STATE.system, 800.0,
+            n_replications=8, warmup=20.0, base_seed=23,
+        )
+        est = estimate_probability(results, lambda s: str(s) == "On", confidence=0.99)
+        assert est.covers(exact.probability_of_local_state("On"))
+
+    def test_estimate_formatting(self):
+        results = replicate(
+            pepa_transition_fn(TWO_STATE), TWO_STATE.system, 100.0,
+            n_replications=4, base_seed=3,
+        )
+        est = estimate_throughput(results, "off")
+        text = str(est)
+        assert "±" in text and "95%" in text
+
+    def test_too_few_replications_rejected(self):
+        with pytest.raises(SimulationError):
+            replicate(pepa_transition_fn(TWO_STATE), TWO_STATE.system, 10.0,
+                      n_replications=1)
+
+    def test_replications_are_independent_but_reproducible(self):
+        kwargs = dict(n_replications=3, base_seed=9)
+        a = replicate(pepa_transition_fn(TWO_STATE), TWO_STATE.system, 100.0, **kwargs)
+        b = replicate(pepa_transition_fn(TWO_STATE), TWO_STATE.system, 100.0, **kwargs)
+        assert [r.action_counts for r in a] == [r.action_counts for r in b]
+        assert a[0].action_counts != a[1].action_counts

@@ -1,0 +1,180 @@
+"""Unit tests for UML core elements, activity graphs and statecharts."""
+
+import pytest
+
+from repro.exceptions import UmlModelError
+from repro.uml import (
+    STEREOTYPE_MOVE,
+    ActivityGraph,
+    State,
+    StateMachine,
+    UmlElement,
+    UmlModel,
+)
+
+
+class TestUmlElement:
+    def test_ids_are_unique(self):
+        a, b = UmlElement(name="a"), UmlElement(name="b")
+        assert a.xmi_id != b.xmi_id
+
+    def test_stereotypes(self):
+        el = UmlElement(name="x")
+        assert not el.is_move
+        el.add_stereotype(STEREOTYPE_MOVE)
+        assert el.is_move
+
+    def test_tagged_values_stringify(self):
+        el = UmlElement(name="x")
+        el.set_tag("rate", 2.5)
+        assert el.tag("rate") == "2.5"
+        assert el.tag("missing") is None
+
+    def test_atloc_shortcut(self):
+        el = UmlElement(name="x")
+        el.set_tag("atloc", "p1")
+        assert el.atloc == "p1"
+
+
+class TestActivityGraph:
+    def test_object_name_parsing(self):
+        g = ActivityGraph("g")
+        obj = g.add_object("f**: FILE", atloc="p1")
+        name, stars, cls = obj.object_parts()
+        assert (name, stars, cls) == ("f", 2, "FILE")
+
+    def test_malformed_object_name_rejected(self):
+        g = ActivityGraph("g")
+        with pytest.raises(UmlModelError, match="obj: Class"):
+            g.add_object("not a name")
+
+    def test_object_parts_on_action_rejected(self):
+        g = ActivityGraph("g")
+        action = g.add_action("work")
+        with pytest.raises(UmlModelError, match="not an object"):
+            action.object_parts()
+
+    def test_connect_unknown_node_rejected(self):
+        g = ActivityGraph("g")
+        a = g.add_action("a")
+        with pytest.raises(UmlModelError, match="endpoint"):
+            g.connect(a, "nonexistent-id")
+
+    def test_object_flow_queries(self):
+        g = ActivityGraph("g")
+        a = g.add_action("write")
+        fin = g.add_object("f: FILE", atloc="p1")
+        fout = g.add_object("f*: FILE", atloc="p1")
+        g.connect(fin, a)
+        g.connect(a, fout)
+        assert g.inputs_of(a) == [fin]
+        assert g.outputs_of(a) == [fout]
+        assert g.control_successors(a) == []
+
+    def test_locations_in_first_appearance_order(self):
+        g = ActivityGraph("g")
+        g.add_object("a: X", atloc="p2")
+        g.add_object("b: X", atloc="p1")
+        g.add_object("c: X", atloc="p2")
+        assert g.locations() == ["p2", "p1"]
+
+    def test_move_actions(self):
+        g = ActivityGraph("g")
+        g.add_action("stay")
+        mv = g.add_action("handover", move=True)
+        assert g.move_actions() == [mv]
+
+    def test_initial_node_uniqueness(self):
+        g = ActivityGraph("g")
+        with pytest.raises(UmlModelError, match="initial"):
+            g.initial_node()
+        g.add_initial()
+        g.initial_node()
+        g.add_initial("second")
+        with pytest.raises(UmlModelError, match="initial"):
+            g.initial_node()
+
+    def test_action_by_name_missing(self):
+        g = ActivityGraph("g")
+        with pytest.raises(UmlModelError, match="no action"):
+            g.action_by_name("ghost")
+
+    def test_rate_tag_on_action(self):
+        g = ActivityGraph("g")
+        a = g.add_action("download", rate=1.5)
+        assert a.tag("rate") == "1.5"
+
+
+class TestStateMachine:
+    def test_duplicate_state_name_rejected(self):
+        sm = StateMachine("M")
+        sm.add_state("S")
+        with pytest.raises(UmlModelError, match="already"):
+            sm.add_state("S")
+
+    def test_transition_endpoints_validated(self):
+        sm = StateMachine("M")
+        s = sm.add_state("S")
+        with pytest.raises(UmlModelError, match="not a state"):
+            sm.add_transition(s, "ghost", "go")
+
+    def test_start_state(self):
+        sm = StateMachine("M")
+        init = sm.add_initial()
+        s = sm.add_state("S")
+        sm.add_transition(init, s, "")
+        assert sm.start_state() is s
+
+    def test_start_state_requires_single_outgoing(self):
+        sm = StateMachine("M")
+        init = sm.add_initial()
+        s1, s2 = sm.add_state("A"), sm.add_state("B")
+        sm.add_transition(init, s1, "")
+        sm.add_transition(init, s2, "")
+        with pytest.raises(UmlModelError, match="exactly"):
+            sm.start_state()
+
+    def test_transition_rate(self):
+        sm = StateMachine("M")
+        a, b = sm.add_state("A"), sm.add_state("B")
+        tr = sm.add_transition(a, b, "go", rate=3.5)
+        assert tr.rate == 3.5
+        tr2 = sm.add_transition(b, a, "back")
+        assert tr2.rate is None
+
+    def test_triggers_deduplicated_in_order(self):
+        sm = StateMachine("M")
+        a, b = sm.add_state("A"), sm.add_state("B")
+        sm.add_transition(a, b, "go")
+        sm.add_transition(b, a, "back")
+        sm.add_transition(a, a, "go")
+        assert sm.triggers() == ["go", "back"]
+
+    def test_kind_validation(self):
+        with pytest.raises(UmlModelError, match="kind"):
+            State(name="s", kind="nonsense")
+
+
+class TestUmlModel:
+    def test_lookup_by_name(self):
+        m = UmlModel(name="m")
+        g = ActivityGraph("flow")
+        m.add_activity_graph(g)
+        assert m.activity_graph("flow") is g
+        with pytest.raises(UmlModelError):
+            m.activity_graph("other")
+
+    def test_duplicate_graph_rejected(self):
+        m = UmlModel(name="m")
+        m.add_activity_graph(ActivityGraph("g"))
+        with pytest.raises(UmlModelError, match="already"):
+            m.add_activity_graph(ActivityGraph("g"))
+
+    def test_element_by_id(self):
+        m = UmlModel(name="m")
+        g = ActivityGraph("g")
+        node = g.add_action("a")
+        m.add_activity_graph(g)
+        assert m.element_by_id(node.xmi_id) is node
+        with pytest.raises(UmlModelError):
+            m.element_by_id("missing")

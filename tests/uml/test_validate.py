@@ -1,0 +1,121 @@
+"""Unit tests for extraction-restriction validation (paper section 6)."""
+
+from repro.uml import ActivityGraph, validate_for_extraction
+
+
+def minimal_mobile_graph() -> ActivityGraph:
+    g = ActivityGraph("mobile")
+    init = g.add_initial()
+    write = g.add_action("write")
+    move = g.add_action("transmit", move=True)
+    f0 = g.add_object("f: FILE", atloc="p1")
+    f1 = g.add_object("f*: FILE", atloc="p1")
+    f2 = g.add_object("f**: FILE", atloc="p2")
+    g.connect(init, write)
+    g.connect(write, move)
+    g.connect(f0, write)
+    g.connect(write, f1)
+    g.connect(f1, move)
+    g.connect(move, f2)
+    return g
+
+
+class TestCleanDiagram:
+    def test_minimal_mobile_graph_passes(self):
+        assert validate_for_extraction(minimal_mobile_graph()) == []
+
+
+class TestInitialNodes:
+    def test_missing_initial(self):
+        g = ActivityGraph("g")
+        g.add_action("a")
+        problems = validate_for_extraction(g)
+        assert any("initial" in p for p in problems)
+
+    def test_duplicate_initial(self):
+        g = minimal_mobile_graph()
+        g.add_initial("again")
+        assert any("initial" in p for p in validate_for_extraction(g))
+
+
+class TestMobilityTags:
+    def test_missing_atloc_flagged(self):
+        g = minimal_mobile_graph()
+        untagged = g.add_object("g: FILE")  # no atloc
+        g.connect(g.action_by_name("write"), untagged)
+        problems = validate_for_extraction(g)
+        assert any("atloc" in p for p in problems)
+
+    def test_atloc_not_required_without_mobility(self):
+        g = ActivityGraph("local")
+        init = g.add_initial()
+        a = g.add_action("work")
+        obj = g.add_object("f: FILE")  # no atloc, no moves anywhere
+        g.connect(init, a)
+        g.connect(obj, a)
+        assert validate_for_extraction(g) == []
+
+
+class TestMoveBalance:
+    def test_unbalanced_move_flagged(self):
+        g = minimal_mobile_graph()
+        move = g.action_by_name("transmit")
+        extra = g.add_object("x: FILE", atloc="p2")
+        g.connect(move, extra)  # now 1 in, 2 out
+        problems = validate_for_extraction(g)
+        assert any("balanced" in p for p in problems)
+
+    def test_move_without_objects_flagged(self):
+        g = ActivityGraph("g")
+        init = g.add_initial()
+        mv = g.add_action("teleport", move=True)
+        g.connect(init, mv)
+        problems = validate_for_extraction(g)
+        assert any("moves no object" in p for p in problems)
+
+
+class TestControlFlow:
+    def test_three_way_branch_flagged(self):
+        g = minimal_mobile_graph()
+        w = g.action_by_name("write")
+        for i in range(3):
+            g.connect(w, g.add_action(f"alt{i}"))
+        problems = validate_for_extraction(g)
+        assert any("binary choice" in p for p in problems)
+
+    def test_degenerate_decision_flagged(self):
+        g = minimal_mobile_graph()
+        d = g.add_decision()
+        g.connect(g.action_by_name("write"), d)
+        g.connect(d, g.action_by_name("transmit"))
+        problems = validate_for_extraction(g)
+        assert any("decision" in p for p in problems)
+
+    def test_object_to_object_edge_flagged(self):
+        g = minimal_mobile_graph()
+        a = g.add_object("y: FILE", atloc="p1")
+        b = g.add_object("z: FILE", atloc="p1")
+        g.connect(a, b)
+        problems = validate_for_extraction(g)
+        assert any("directly" in p for p in problems)
+
+    def test_outgoing_from_final_flagged(self):
+        g = minimal_mobile_graph()
+        fin = g.add_final()
+        g.connect(fin, g.action_by_name("write"))
+        problems = validate_for_extraction(g)
+        assert any("final" in p for p in problems)
+
+
+class TestVariants:
+    def test_decreasing_variant_flagged(self):
+        g = ActivityGraph("g")
+        init = g.add_initial()
+        a = g.add_action("undo")
+        before = g.add_object("f**: FILE", atloc="p1")
+        after = g.add_object("f: FILE", atloc="p1")
+        g.connect(init, a)
+        g.connect(before, a)
+        g.connect(a, after)
+        problems = validate_for_extraction(g)
+        assert any("variants must not decrease" in p for p in problems)

@@ -1,0 +1,206 @@
+"""Unit tests for XMI read/write, the MDR and Poseidon processing."""
+
+import pytest
+
+from repro.exceptions import XmiError
+from repro.uml import ActivityGraph, StateMachine, UmlModel
+from repro.uml.xmi import (
+    UML14_METAMODEL,
+    Repository,
+    add_synthetic_layout,
+    extract_layout,
+    postprocess,
+    preprocess,
+    read_model,
+    write_model,
+)
+
+
+def sample_model() -> UmlModel:
+    g = ActivityGraph("flow")
+    init = g.add_initial()
+    a = g.add_action("download file", rate=2.0)
+    mv = g.add_action("handover", move=True)
+    obj = g.add_object("u: SESSION", atloc="transmitter_1")
+    obj2 = g.add_object("u*: SESSION", atloc="transmitter_2")
+    g.connect(init, a)
+    g.connect(a, mv)
+    g.connect(obj, mv)
+    g.connect(mv, obj2)
+
+    sm = StateMachine("Client")
+    i = sm.add_initial()
+    s1 = sm.add_state("GenerateRequest")
+    s2 = sm.add_state("WaitForResponse")
+    sm.add_transition(i, s1, "")
+    sm.add_transition(s1, s2, "request", rate=2.0)
+    sm.add_transition(s2, s1, "response", rate=4.0)
+
+    model = UmlModel(name="sample")
+    model.add_activity_graph(g)
+    model.add_state_machine(sm)
+    return model
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        model = sample_model()
+        restored = read_model(write_model(model))
+        g = restored.activity_graph("flow")
+        assert {n.kind for n in g.nodes.values()} == {"initial", "action", "object"}
+        assert g.action_by_name("handover").is_move
+        assert g.action_by_name("download file").tag("rate") == "2.0"
+        assert g.locations() == ["transmitter_1", "transmitter_2"]
+        assert len(g.edges) == 4
+
+    def test_state_machine_preserved(self):
+        restored = read_model(write_model(sample_model()))
+        sm = restored.state_machine("Client")
+        assert {s.name for s in sm.simple_states()} == {"GenerateRequest", "WaitForResponse"}
+        assert sm.start_state().name == "GenerateRequest"
+        rates = {t.trigger: t.rate for t in sm.transitions if t.trigger}
+        assert rates == {"request": 2.0, "response": 4.0}
+
+    def test_ids_preserved(self):
+        model = sample_model()
+        restored = read_model(write_model(model))
+        original_ids = {e.xmi_id for e in model.all_elements()}
+        restored_ids = {e.xmi_id for e in restored.all_elements()}
+        assert original_ids == restored_ids
+
+    def test_double_round_trip_is_stable(self):
+        once = write_model(sample_model())
+        twice = write_model(read_model(once))
+        assert once == twice
+
+    def test_fork_join_round_trip(self):
+        g = ActivityGraph("parallel")
+        init = g.add_initial()
+        fork = g.add_fork("split")
+        a, b = g.add_action("a"), g.add_action("b")
+        join = g.add_join("barrier")
+        g.connect(init, fork)
+        g.connect(fork, a)
+        g.connect(fork, b)
+        g.connect(a, join)
+        g.connect(b, join)
+        model = UmlModel(name="fj")
+        model.add_activity_graph(g)
+        restored = read_model(write_model(model))
+        kinds = {n.kind for n in restored.activity_graph("parallel").nodes.values()}
+        assert "fork" in kinds and "join" in kinds
+        fork_node = next(
+            n for n in restored.activity_graph("parallel").nodes.values()
+            if n.kind == "fork"
+        )
+        assert fork_node.name == "split"
+
+
+class TestReaderValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(XmiError, match="well-formed"):
+            read_model("this is not xml <")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XmiError, match="root"):
+            read_model("<notXMI/>")
+
+    def test_wrong_metamodel_rejected(self):
+        text = write_model(sample_model()).replace('xmi.version="1.4"', 'xmi.version="2.0"')
+        with pytest.raises(XmiError, match="metamodel"):
+            read_model(text)
+
+    def test_missing_content_rejected(self):
+        with pytest.raises(XmiError, match="content"):
+            read_model("<XMI xmi.version='1.2'><XMI.header/></XMI>")
+
+    def test_foreign_element_rejected_without_preprocessor(self):
+        text = add_synthetic_layout(write_model(sample_model()))
+        # synthetic layout lives outside XMI.content, so craft one inside
+        poisoned = text.replace(
+            "<XMI.content>",
+            "<XMI.content><Poseidon:Junk xmlns:Poseidon='com.gentleware.poseidon'/>",
+        )
+        with pytest.raises(XmiError, match="preprocessor"):
+            read_model(poisoned)
+
+    def test_unknown_uml_element_rejected(self):
+        text = write_model(sample_model()).replace("UML:ActionState", "UML:Quantum")
+        with pytest.raises(XmiError, match="metamodel"):
+            read_model(text)
+
+
+class TestMdr:
+    def test_metamodel_attribute_validation(self):
+        repo = Repository()
+        repo.import_metamodel(UML14_METAMODEL)
+        obj = repo.instantiate("ActionState")
+        obj.set("name", "x")
+        with pytest.raises(XmiError, match="no attribute"):
+            obj.set("colour", "red")
+
+    def test_required_attributes_enforced(self):
+        repo = Repository()
+        repo.import_metamodel(UML14_METAMODEL)
+        obj = repo.instantiate("Transition")
+        obj.set("xmi.id", "t1")
+        with pytest.raises(XmiError, match="required"):
+            obj.validate()
+
+    def test_containment_rules_enforced(self):
+        repo = Repository()
+        repo.import_metamodel(UML14_METAMODEL)
+        model = repo.instantiate("Model")
+        action = repo.instantiate("ActionState")
+        with pytest.raises(XmiError, match="may not contain"):
+            model.add_child(action)
+
+    def test_requires_metamodel_import(self):
+        repo = Repository()
+        with pytest.raises(XmiError, match="metamodel"):
+            repo.instantiate("Model")
+
+    def test_extents(self):
+        repo = Repository()
+        repo.import_metamodel(UML14_METAMODEL)
+        repo.create_extent("a")
+        with pytest.raises(XmiError, match="already"):
+            repo.create_extent("a")
+        obj = repo.instantiate("Model", "a")
+        assert repo.extents["a"] == [obj]
+
+
+class TestPoseidon:
+    def test_preprocess_strips_layout(self):
+        decorated = add_synthetic_layout(write_model(sample_model()))
+        assert "Poseidon" in decorated
+        clean = preprocess(decorated)
+        assert "Poseidon" not in clean
+        read_model(clean)  # now conforms to the metamodel
+
+    def test_layout_extraction_keyed_by_id(self):
+        model = sample_model()
+        decorated = add_synthetic_layout(write_model(model))
+        layout = extract_layout(decorated)
+        assert model.xmi_id in layout
+        block = layout[model.xmi_id]
+        assert block.get("x") is not None
+
+    def test_postprocess_restores_layout(self):
+        model = sample_model()
+        decorated = add_synthetic_layout(write_model(model))
+        reflected = write_model(read_model(preprocess(decorated)))
+        merged = postprocess(reflected, decorated)
+        assert extract_layout(merged).keys() == extract_layout(decorated).keys()
+
+    def test_postprocess_drops_layout_of_removed_elements(self):
+        model = sample_model()
+        decorated = add_synthetic_layout(write_model(model))
+        # reflect a model with the state machine removed
+        smaller = read_model(preprocess(decorated))
+        smaller.state_machines.clear()
+        merged = postprocess(write_model(smaller), decorated)
+        remaining = extract_layout(merged)
+        sm_id = model.state_machines[0].xmi_id
+        assert sm_id not in remaining
+        assert model.activity_graphs[0].xmi_id in remaining

@@ -1,0 +1,103 @@
+"""Unit tests for shared utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.utils import (
+    format_rate,
+    format_table,
+    fresh_name,
+    sanitize_identifier,
+    stable_sorted,
+    topological_order,
+)
+
+
+class TestNaming:
+    def test_sanitize_spaces(self):
+        assert sanitize_identifier("detect weak signal") == "detect_weak_signal"
+
+    def test_sanitize_punctuation(self):
+        assert sanitize_identifier("f*: FILE", upper_initial=True) == "F_FILE"
+
+    def test_sanitize_leading_digits(self):
+        assert sanitize_identifier("123go") == "go"
+
+    def test_sanitize_empty_fallback(self):
+        assert sanitize_identifier("!!!") == "x"
+
+    def test_upper_initial(self):
+        assert sanitize_identifier("file", upper_initial=True) == "File"
+
+    def test_lower_initial_default(self):
+        assert sanitize_identifier("Transmit") == "transmit"
+
+    def test_fresh_name_no_clash(self):
+        assert fresh_name("P", set()) == "P"
+
+    def test_fresh_name_increments(self):
+        assert fresh_name("P", {"P"}) == "P_2"
+        assert fresh_name("P", {"P", "P_2", "P_3"}) == "P_4"
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_sanitize_always_valid(self, raw):
+        ident = sanitize_identifier(raw)
+        assert ident
+        assert ident[0].isalpha()
+        assert all(c.isalnum() or c == "_" for c in ident)
+
+
+class TestOrdering:
+    def test_stable_sorted_mixed_types(self):
+        out = stable_sorted([3, "b", 1, "a"])
+        assert out == [1, 3, "a", "b"]
+
+    def test_stable_sorted_tuples(self):
+        out = stable_sorted([(2, "x"), (1, "y")])
+        assert out == [(1, "y"), (2, "x")]
+
+    def test_topological_order_linear(self):
+        order = topological_order(["a", "b", "c"], {"a": ["b"], "b": ["c"]})
+        assert order == ["a", "b", "c"]
+
+    def test_topological_order_cycle_raises(self):
+        with pytest.raises(ReproError, match="cycle"):
+            topological_order(["a", "b"], {"a": ["b"], "b": ["a"]})
+
+    def test_topological_order_unknown_target(self):
+        with pytest.raises(ReproError, match="not a node"):
+            topological_order(["a"], {"a": ["ghost"]})
+
+    def test_topological_deterministic_ties(self):
+        order1 = topological_order(["b", "a", "c"], {})
+        order2 = topological_order(["c", "a", "b"], {})
+        assert order1 == order2 == ["a", "b", "c"]
+
+
+class TestFormatting:
+    def test_format_rate_plain(self):
+        assert format_rate(0.25) == "0.25"
+        assert format_rate(0.0) == "0"
+
+    def test_format_rate_scientific(self):
+        assert "e" in format_rate(1.2e-9)
+        assert "e" in format_rate(3.4e12)
+
+    def test_format_rate_trims_zeros(self):
+        assert format_rate(2.0) == "2"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 10.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert lines[2].split()[0] == "a"
+
+    def test_format_table_right_aligns_numbers(self):
+        table = format_table(["v"], [[1.0], [100.0]])
+        lines = table.splitlines()
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("100")

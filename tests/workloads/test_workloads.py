@@ -1,0 +1,159 @@
+"""Unit tests for the workload builders."""
+
+import math
+
+import pytest
+
+from repro.pepa.measures import analyse
+from repro.pepa.parser import parse_model
+from repro.pepanets.measures import analyse_net
+from repro.pepanets.parser import parse_net
+from repro.pepanets.semantics import explore_net
+from repro.pepa.statespace import derive
+from repro.uml.validate import validate_for_extraction
+from repro.workloads import (
+    FILE_PEPA_SOURCE,
+    IM_PEPANET_SOURCE,
+    TOMCAT_RATES,
+    build_client_statechart,
+    build_file_activity_diagram,
+    build_instant_message_diagram,
+    build_pda_activity_diagram,
+    build_server_statechart,
+    build_web_model,
+    client_server_model,
+    courier_ring_net,
+    symmetric_branches_model,
+    tandem_queue_model,
+)
+
+
+class TestPaperDiagrams:
+    @pytest.mark.parametrize(
+        "builder",
+        [build_file_activity_diagram, build_instant_message_diagram, build_pda_activity_diagram],
+    )
+    def test_diagrams_pass_extraction_validation(self, builder):
+        assert validate_for_extraction(builder()) == []
+
+    def test_file_sources_parse(self):
+        model = parse_model(FILE_PEPA_SOURCE)
+        assert "File" in model.environment.components
+
+    def test_im_pepanet_source_matches_paper_shape(self):
+        net = parse_net(IM_PEPANET_SOURCE)
+        space = explore_net(net)
+        assert space.size == 4
+        assert space.firing_actions == {"transmit"}
+
+
+class TestWebModel:
+    def test_uncached_state_count(self):
+        model, _ = build_web_model(cached=False)
+        assert derive(model).size == 7
+
+    def test_cached_state_count(self):
+        model, _ = build_web_model(cached=True)
+        assert derive(model).size == 8
+
+    def test_request_response_balance(self):
+        model, _ = build_web_model(cached=False)
+        a = analyse(model)
+        assert math.isclose(a.throughput("request"), a.throughput("response"), rel_tol=1e-9)
+
+    def test_cache_hit_ratio(self):
+        """servlethit:servletmiss = 19:1 by the configured weights."""
+        model, _ = build_web_model(cached=True)
+        a = analyse(model)
+        ratio = a.throughput("servlethit") / a.throughput("servletmiss")
+        assert math.isclose(ratio, TOMCAT_RATES["servlethit"] / TOMCAT_RATES["servletmiss"],
+                            rel_tol=1e-9)
+
+    def test_rates_override(self):
+        model, _ = build_web_model(cached=False, rates={"translate": 50.0})
+        a = analyse(model)
+        p_wait = a.probability_of_local_state("WaitForResponse")
+        model_slow, _ = build_web_model(cached=False)
+        a_slow = analyse(model_slow)
+        assert p_wait < a_slow.probability_of_local_state("WaitForResponse")
+
+    def test_statecharts_have_expected_states(self):
+        client = build_client_statechart()
+        assert {s.name for s in client.simple_states()} == {
+            "GenerateRequest", "WaitForResponse", "ProcessResponse"
+        }
+        server = build_server_statechart(cached=True)
+        assert "ExecuteResidentServlet" in {s.name for s in server.simple_states()}
+
+
+class TestScalingFamilies:
+    def test_client_server_state_growth(self):
+        sizes = [derive(client_server_model(n)).size for n in (1, 2, 3)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_client_server_solves(self):
+        a = analyse(client_server_model(3))
+        assert math.isclose(a.throughput("request"), a.throughput("response"), rel_tol=1e-9)
+
+    def test_courier_ring_marking_count(self):
+        # 1 courier on n places with 1 cell each: n markings
+        assert explore_net(courier_ring_net(4, 1)).size == 4
+
+    def test_courier_ring_multi_token(self):
+        space = explore_net(courier_ring_net(3, 2))
+        # 2 tokens over 3 places with 2 distinguishable cells each
+        assert space.size > 3
+        analysis = analyse_net(courier_ring_net(3, 2), reducible="bscc")
+        total = sum(analysis.location_distribution().values())
+        assert math.isclose(total, 2.0, rel_tol=1e-9)
+
+    def test_symmetric_branches_solve(self):
+        model = symmetric_branches_model(4)
+        a = analyse(model)
+        assert a.n_states == 5
+        p_hub = a.probability_of_local_state("Hub")
+        assert math.isclose(p_hub, 3.0 / (3.0 + 4), rel_tol=1e-9)
+
+    def test_tandem_queue_shape(self):
+        model = tandem_queue_model(2, 2)
+        space = derive(model)
+        assert space.size == 9  # 3 levels x 3 levels
+
+    def test_tandem_queue_flow_balance(self):
+        a = analyse(tandem_queue_model(2, 3))
+        assert math.isclose(a.throughput("mv0"), a.throughput("mv2"), rel_tol=1e-9)
+
+    def test_roaming_fleet_conserves_sessions(self):
+        from repro.workloads import roaming_fleet_net
+
+        net = roaming_fleet_net(2, 3)
+        analysis = analyse_net(net, reducible="bscc")
+        total = sum(analysis.location_distribution().values())
+        assert math.isclose(total, 2.0, rel_tol=1e-9)
+        assert analysis.throughput("handover") > 0
+
+    def test_roaming_fleet_growth(self):
+        from repro.workloads import roaming_fleet_net
+
+        small = explore_net(roaming_fleet_net(1, 3)).size
+        more_sessions = explore_net(roaming_fleet_net(2, 3)).size
+        more_cells = explore_net(roaming_fleet_net(1, 5)).size
+        assert more_sessions > small
+        assert more_cells > small
+
+    def test_parameter_validation(self):
+        from repro.exceptions import WellFormednessError
+        from repro.workloads import roaming_fleet_net
+
+        with pytest.raises(WellFormednessError):
+            client_server_model(0)
+        with pytest.raises(WellFormednessError):
+            courier_ring_net(1)
+        with pytest.raises(WellFormednessError):
+            symmetric_branches_model(0)
+        with pytest.raises(WellFormednessError):
+            tandem_queue_model(0, 1)
+        with pytest.raises(WellFormednessError):
+            roaming_fleet_net(0, 3)
+        with pytest.raises(WellFormednessError):
+            roaming_fleet_net(1, 1)
