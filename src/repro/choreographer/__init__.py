@@ -1,6 +1,13 @@
 """The Choreographer design platform (paper Section 4, substrate S9)."""
 
-from repro.choreographer.platform import ActivityOutcome, Choreographer, StatechartOutcome
+from repro.choreographer.platform import (
+    ActivityOutcome,
+    Choreographer,
+    PipelineFailure,
+    PipelineReport,
+    PipelineResult,
+    StatechartOutcome,
+)
 from repro.choreographer.reporting import activity_report, statechart_report
 from repro.choreographer.workbench import PepaNetWorkbench, PepaWorkbench
 
@@ -8,6 +15,9 @@ __all__ = [
     "Choreographer",
     "ActivityOutcome",
     "StatechartOutcome",
+    "PipelineFailure",
+    "PipelineReport",
+    "PipelineResult",
     "PepaWorkbench",
     "PepaNetWorkbench",
     "activity_report",

@@ -34,6 +34,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_resilience_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--solver-policy", metavar="METHODS",
+            help="comma-separated fallback chain (e.g. direct,gmres,power); "
+                 "overrides --solver and retries/falls back on failure")
+        cmd.add_argument(
+            "--deadline", type=float, metavar="SECONDS",
+            help="cooperative wall-clock budget for derivation and solving")
+        cmd.add_argument(
+            "-v", "--verbose", action="store_true",
+            help="print the solver attempt table (SolveDiagnostics)")
+
     analyse = sub.add_parser("analyse", help="run the full Figure 4 pipeline on an XMI file")
     analyse.add_argument("model", type=Path, help="Poseidon-flavoured XMI file")
     analyse.add_argument("--rates", type=Path, help=".rates file")
@@ -41,17 +53,24 @@ def build_parser() -> argparse.ArgumentParser:
     analyse.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
     analyse.add_argument("--reset-rate", type=float, default=1.0,
                          help="rate of synthetic token-return firings")
+    analyse.add_argument(
+        "--no-strict", dest="strict", action="store_false",
+        help="capture per-diagram failures into a pipeline report and keep "
+             "analysing the remaining diagrams instead of failing fast")
+    add_resilience_flags(analyse)
 
     pepa = sub.add_parser("pepa", help="solve a textual PEPA model")
     pepa.add_argument("model", type=Path)
     pepa.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
     pepa.add_argument("--export-prism", type=Path, metavar="STEM",
                       help="also write PRISM .tra/.sta/.lab files")
+    add_resilience_flags(pepa)
 
     net = sub.add_parser("net", help="solve a textual PEPA net")
     net.add_argument("model", type=Path)
     net.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
     net.add_argument("--export-prism", type=Path, metavar="STEM")
+    add_resilience_flags(net)
 
     validate = sub.add_parser("validate", help="check an XMI file against the extractor's restrictions")
     validate.add_argument("model", type=Path)
@@ -91,28 +110,48 @@ def _load_rate_table(path: Path | None) -> RateTable | None:
     return load_rates(path) if path else None
 
 
+def _print_diagnostics(analysis, verbose: bool) -> None:
+    """On --verbose, print the fallback solver's attempt table."""
+    diagnostics = getattr(analysis, "diagnostics", None)
+    if verbose and diagnostics is not None:
+        print(diagnostics.summary())
+        print(diagnostics.as_table())
+        print()
+
+
 def _cmd_analyse(args: argparse.Namespace) -> int:
-    platform = Choreographer(solver=args.solver)
+    platform = Choreographer(
+        solver=args.solver, solver_policy=args.solver_policy,
+        deadline=args.deadline, strict=args.strict,
+    )
     text = args.model.read_text()
-    reflected, activity_outcomes, statechart_outcomes = platform.process_xmi(
+    result = platform.process_xmi(
         text, _load_rate_table(args.rates), reset_rate=args.reset_rate
     )
-    for outcome in activity_outcomes:
+    for outcome in result.activity_outcomes:
         print(outcome.report())
+        _print_diagnostics(outcome.analysis, args.verbose)
         print()
-    for outcome in statechart_outcomes:
+    for outcome in result.statechart_outcomes:
         print(outcome.report())
+        _print_diagnostics(outcome.analysis, args.verbose)
         print()
+    if not result.report.ok:
+        print("degraded: some diagrams failed", file=sys.stderr)
+        print(result.report.summary(), file=sys.stderr)
     if args.output:
-        args.output.write_text(reflected)
+        args.output.write_text(result.document)
         print(f"reflected model written to {args.output}")
-    return 0
+    return 0 if result.report.ok else 3
 
 
 def _cmd_pepa(args: argparse.Namespace) -> int:
-    workbench = PepaWorkbench(solver=args.solver)
+    workbench = PepaWorkbench(
+        solver=args.solver, policy=args.solver_policy, deadline=args.deadline
+    )
     analysis = workbench.solve_source(args.model.read_text())
-    print(f"{analysis.n_states} states, solver={args.solver}")
+    print(f"{analysis.n_states} states, solver={analysis.solver}")
+    _print_diagnostics(analysis, args.verbose)
     rows = [[a, v] for a, v in analysis.all_throughputs().items()]
     print(format_table(["activity", "throughput"], rows))
     if args.export_prism:
@@ -122,9 +161,12 @@ def _cmd_pepa(args: argparse.Namespace) -> int:
 
 
 def _cmd_net(args: argparse.Namespace) -> int:
-    workbench = PepaNetWorkbench(solver=args.solver)
+    workbench = PepaNetWorkbench(
+        solver=args.solver, policy=args.solver_policy, deadline=args.deadline
+    )
     analysis = workbench.solve_source(args.model.read_text())
-    print(f"{analysis.n_states} markings, solver={args.solver}")
+    print(f"{analysis.n_states} markings, solver={analysis.solver}")
+    _print_diagnostics(analysis, args.verbose)
     rows = [[a, v] for a, v in analysis.all_throughputs().items()]
     print(format_table(["activity", "throughput"], rows))
     rows = [[p, v] for p, v in analysis.location_distribution().items()]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exceptions import ReproError
 from repro.extract.activity2pepanet import ExtractionResult, extract_activity_diagram
 from repro.extract.rates import RateTable
 from repro.extract.statechart2pepa import StatechartExtraction, compose_state_machines
@@ -31,7 +32,14 @@ from repro.uml.xmi.poseidon import postprocess, preprocess
 from repro.uml.xmi.reader import read_model
 from repro.uml.xmi.writer import write_model
 
-__all__ = ["ActivityOutcome", "StatechartOutcome", "Choreographer"]
+__all__ = [
+    "ActivityOutcome",
+    "StatechartOutcome",
+    "PipelineFailure",
+    "PipelineReport",
+    "PipelineResult",
+    "Choreographer",
+]
 
 
 @dataclass
@@ -75,18 +83,125 @@ class StatechartOutcome:
         return statechart_report(self)
 
 
+@dataclass
+class PipelineFailure:
+    """One captured per-diagram failure of the non-strict pipeline.
+
+    ``stage`` is the tool-chain stage that blew up (``extract``,
+    ``solve`` or ``reflect``); ``diagram`` names the offending diagram;
+    ``error`` is the original exception, and ``diagnostics`` carries
+    the :class:`~repro.resilience.fallback.SolveDiagnostics` attempt
+    log when the failure came out of the fallback solver chain.
+    """
+
+    stage: str
+    diagram: str
+    error: Exception
+    diagnostics: object | None = None
+
+    @property
+    def context(self) -> dict:
+        """The structured context of the underlying exception."""
+        return getattr(self.error, "context", {})
+
+    def describe(self) -> str:
+        """One line: diagram, stage, error type and message."""
+        return (
+            f"{self.diagram}: {self.stage} failed with "
+            f"{type(self.error).__name__}: {self.error}"
+        )
+
+
+@dataclass
+class PipelineReport:
+    """The failure ledger of one ``process_xmi(strict=False)`` run.
+
+    Empty when everything analysed cleanly; otherwise each
+    :class:`PipelineFailure` names the diagram and the stage that
+    failed, so one poisoned diagram in a multi-diagram document
+    degrades that diagram only instead of aborting the request.
+    """
+
+    failures: list[PipelineFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no diagram failed."""
+        return not self.failures
+
+    def add(self, stage: str, diagram: str, error: Exception) -> PipelineFailure:
+        """Record a failure (diagnostics harvested off the exception)."""
+        failure = PipelineFailure(
+            stage=stage, diagram=diagram, error=error,
+            diagnostics=getattr(error, "diagnostics", None),
+        )
+        self.failures.append(failure)
+        return failure
+
+    def summary(self) -> str:
+        """Multi-line human-readable failure summary."""
+        if self.ok:
+            return "all diagrams analysed"
+        return "\n".join(f.describe() for f in self.failures)
+
+
+@dataclass
+class PipelineResult:
+    """Everything ``process_xmi`` produced.
+
+    Iterating yields the legacy ``(document, activity_outcomes,
+    statechart_outcomes)`` triple, so existing ``a, b, c = ...``
+    call sites keep working; :attr:`report` additionally records any
+    per-diagram failures captured in non-strict mode.
+    """
+
+    document: str
+    activity_outcomes: list[ActivityOutcome]
+    statechart_outcomes: list[StatechartOutcome]
+    report: PipelineReport = field(default_factory=PipelineReport)
+
+    def __iter__(self):
+        yield self.document
+        yield self.activity_outcomes
+        yield self.statechart_outcomes
+
+
 class Choreographer:
     """The design platform facade.
 
     Parameters pick the numerical back end: ``solver`` is any method of
     :data:`repro.ctmc.steady.SOLVERS`; ``max_states`` bounds derivation.
+
+    Resilience knobs: ``solver_policy`` (a
+    :class:`~repro.resilience.fallback.FallbackPolicy` or a
+    comma-separated method list such as ``"direct,gmres,power"``)
+    routes every solve through the fallback chain; ``deadline``
+    (seconds) puts a cooperative budget on each derivation; ``strict``
+    sets the default failure policy of :meth:`process_xmi` — ``True``
+    fail-fast, ``False`` capture per-diagram failures into the
+    :class:`PipelineReport` and keep going.
     """
 
-    def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000):
+    def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
+                 solver_policy=None, deadline: float | None = None,
+                 strict: bool = True):
+        if isinstance(solver_policy, str):
+            from repro.resilience.fallback import FallbackPolicy
+
+            solver_policy = FallbackPolicy.parse(solver_policy)
         self.solver = solver
         self.max_states = max_states
-        self.pepa_workbench = PepaWorkbench(solver=solver, max_states=max_states)
-        self.net_workbench = PepaNetWorkbench(solver=solver, max_states=max_states)
+        self.solver_policy = solver_policy
+        self.deadline = deadline
+        self.strict = strict
+        self.pepa_workbench = PepaWorkbench(
+            solver=solver, max_states=max_states,
+            policy=solver_policy, deadline=deadline,
+        )
+        self.net_workbench = PepaNetWorkbench(
+            solver=solver, max_states=max_states,
+            policy=solver_policy, deadline=deadline,
+        )
 
     # ------------------------------------------------------------------
     # Activity diagrams (throughput analysis)
@@ -99,13 +214,24 @@ class Choreographer:
         loop: bool = True,
         reset_rate: float = 1.0,
     ) -> ActivityOutcome:
-        """extract → solve → reflect, returning all artefacts."""
-        extraction = extract_activity_diagram(
-            graph, rates, loop=loop, reset_rate=reset_rate
-        )
-        analysis = self.net_workbench.solve(extraction.net)
-        results = results_of_net_analysis(extraction, analysis)
-        reflect_activity_results(extraction, results)
+        """extract → solve → reflect, returning all artefacts.
+
+        Library errors are re-raised with ``stage`` and ``diagram``
+        merged into their :attr:`~repro.exceptions.ReproError.context`.
+        """
+        stage = "extract"
+        try:
+            extraction = extract_activity_diagram(
+                graph, rates, loop=loop, reset_rate=reset_rate
+            )
+            stage = "solve"
+            analysis = self.net_workbench.solve(extraction.net)
+            stage = "reflect"
+            results = results_of_net_analysis(extraction, analysis)
+            reflect_activity_results(extraction, results)
+        except ReproError as exc:
+            exc.context["pipeline_stage"] = stage
+            raise exc.with_context(stage=stage, diagram=graph.name)
         return ActivityOutcome(
             extraction=extraction, analysis=analysis, results=results, graph=graph
         )
@@ -120,12 +246,26 @@ class Choreographer:
         *,
         cooperation: str = "shared",
     ) -> StatechartOutcome:
-        """Compose, solve and reflect a set of state machines."""
-        model, extractions = compose_state_machines(machines, rates, cooperation=cooperation)
-        analysis = self.pepa_workbench.solve(model)
-        results = results_of_model_analysis(extractions, analysis)
-        for extraction in extractions:
-            reflect_state_probabilities(extraction, results)
+        """Compose, solve and reflect a set of state machines.
+
+        Library errors are re-raised with ``stage`` and ``diagram``
+        merged into their :attr:`~repro.exceptions.ReproError.context`.
+        """
+        names = ",".join(m.name for m in machines)
+        stage = "extract"
+        try:
+            model, extractions = compose_state_machines(
+                machines, rates, cooperation=cooperation
+            )
+            stage = "solve"
+            analysis = self.pepa_workbench.solve(model)
+            stage = "reflect"
+            results = results_of_model_analysis(extractions, analysis)
+            for extraction in extractions:
+                reflect_state_probabilities(extraction, results)
+        except ReproError as exc:
+            exc.context["pipeline_stage"] = stage
+            raise exc.with_context(stage=stage, diagram=names)
         return StatechartOutcome(
             extractions=extractions, analysis=analysis, results=results, machines=machines
         )
@@ -140,26 +280,67 @@ class Choreographer:
         *,
         loop: bool = True,
         reset_rate: float = 1.0,
-    ) -> tuple[str, list[ActivityOutcome], list[StatechartOutcome]]:
+        strict: bool | None = None,
+    ) -> PipelineResult:
         """Run the complete tool chain on a Poseidon-flavoured document.
 
-        Returns the reflected document (structure updated, original
-        layout merged back) plus the analysis outcomes.
+        Returns a :class:`PipelineResult` — iterable as the legacy
+        ``(document, activity_outcomes, statechart_outcomes)`` triple —
+        whose reflected document has structure updated and the original
+        layout merged back.
+
+        ``strict`` (default: the platform's ``strict`` setting)
+        controls per-diagram failure handling.  Strict mode fails fast,
+        exactly as the original pipeline did.  Non-strict mode captures
+        each diagram's failure (stage, diagram name, exception, solver
+        diagnostics) into ``result.report`` and still analyses and
+        reflects every remaining diagram — one malformed diagram in a
+        multi-diagram document degrades that diagram only.  Failures
+        while reading the document itself always raise: with no model
+        there is nothing to degrade to.
         """
+        strict = self.strict if strict is None else strict
         clean = preprocess(poseidon_text)
         model = read_model(clean)
-        activity_outcomes = [
-            self.analyse_activity_diagram(g, rates, loop=loop, reset_rate=reset_rate)
-            for g in model.activity_graphs
-        ]
-        statechart_outcomes = []
+        report = PipelineReport()
+
+        activity_outcomes: list[ActivityOutcome] = []
+        for graph in model.activity_graphs:
+            try:
+                activity_outcomes.append(
+                    self.analyse_activity_diagram(
+                        graph, rates, loop=loop, reset_rate=reset_rate
+                    )
+                )
+            except Exception as exc:
+                if strict:
+                    raise
+                ctx = getattr(exc, "context", {})
+                report.add(ctx.get("pipeline_stage", ctx.get("stage", "extract")),
+                           graph.name, exc)
+
+        statechart_outcomes: list[StatechartOutcome] = []
         if model.state_machines:
-            statechart_outcomes.append(
-                self.analyse_state_diagrams(model.state_machines, rates)
-            )
+            try:
+                statechart_outcomes.append(
+                    self.analyse_state_diagrams(model.state_machines, rates)
+                )
+            except Exception as exc:
+                if strict:
+                    raise
+                ctx = getattr(exc, "context", {})
+                names = ",".join(m.name for m in model.state_machines)
+                report.add(ctx.get("pipeline_stage", ctx.get("stage", "extract")),
+                           names, exc)
+
         reflected = write_model(model)
         merged = postprocess(reflected, poseidon_text)
-        return merged, activity_outcomes, statechart_outcomes
+        return PipelineResult(
+            document=merged,
+            activity_outcomes=activity_outcomes,
+            statechart_outcomes=statechart_outcomes,
+            report=report,
+        )
 
     @staticmethod
     def read(poseidon_text: str) -> UmlModel:

@@ -4,6 +4,13 @@ The paper builds on two tools: the PEPA Workbench [20] for plain PEPA
 models and the PEPA Workbench for PEPA nets [23].  These classes are
 their API images: parse/check/derive/solve with a chosen numerical
 method, caching nothing, raising early.
+
+Both facades optionally take a resilience configuration: ``policy``
+(a :class:`~repro.resilience.fallback.FallbackPolicy` or a
+comma-separated method list) routes the numerical solve through the
+fallback chain, and ``deadline`` (seconds) puts a fresh cooperative
+:class:`~repro.resilience.budget.ExecutionBudget` on each solve's
+state-space derivation.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from repro.pepanets.measures import NetAnalysis, analyse_net
 from repro.pepanets.parser import parse_net
 from repro.pepanets.syntax import PepaNet
 from repro.pepanets.wellformed import assert_net_well_formed
+from repro.resilience.budget import ExecutionBudget
 
 __all__ = ["PepaWorkbench", "PepaNetWorkbench"]
 
@@ -24,10 +32,17 @@ class PepaWorkbench:
     """Solve plain PEPA models (the Java-edition Workbench stand-in)."""
 
     def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
-                 reducible: str = "error"):
+                 reducible: str = "error", policy=None, deadline: float | None = None):
         self.solver = solver
         self.max_states = max_states
         self.reducible = reducible
+        self.policy = policy
+        self.deadline = deadline
+
+    def _budget(self) -> ExecutionBudget | None:
+        if self.deadline is None:
+            return None
+        return ExecutionBudget.of(deadline_seconds=self.deadline)
 
     def parse(self, source: str) -> PepaModel:
         """Parse source text and run the static well-formedness checks."""
@@ -40,7 +55,7 @@ class PepaWorkbench:
         assert_well_formed(model)
         return analyse(
             model, solver=self.solver, max_states=self.max_states,
-            reducible=self.reducible,
+            reducible=self.reducible, policy=self.policy, budget=self._budget(),
         )
 
     def solve_source(self, source: str) -> ModelAnalysis:
@@ -52,10 +67,17 @@ class PepaNetWorkbench:
     """Solve PEPA nets (the PEPA Workbench for PEPA nets stand-in)."""
 
     def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
-                 reducible: str = "bscc"):
+                 reducible: str = "bscc", policy=None, deadline: float | None = None):
         self.solver = solver
         self.max_states = max_states
         self.reducible = reducible
+        self.policy = policy
+        self.deadline = deadline
+
+    def _budget(self) -> ExecutionBudget | None:
+        if self.deadline is None:
+            return None
+        return ExecutionBudget.of(deadline_seconds=self.deadline)
 
     def parse(self, source: str) -> PepaNet:
         """Parse PEPA-net source and run the net-level static checks."""
@@ -68,7 +90,7 @@ class PepaNetWorkbench:
         assert_net_well_formed(net)
         return analyse_net(
             net, solver=self.solver, max_states=self.max_states,
-            reducible=self.reducible,
+            reducible=self.reducible, policy=self.policy, budget=self._budget(),
         )
 
     def solve_source(self, source: str) -> NetAnalysis:

@@ -18,11 +18,19 @@ paper builds on, and following the HPC guide's advice to prefer
 All methods require an irreducible chain; hand a reducible one to
 :func:`steady_state` and you get a :class:`SolverError` naming the
 offending structure (use :meth:`CTMC.bottom_sccs` to analyse further).
+
+Every solver callable takes ``(chain, tol, max_iterations)`` plus an
+optional fourth ``options`` mapping carrying per-attempt hints
+(``x0``, ``ilu_drop_tol``, ``ilu_fill_factor``) — the retry layer of
+:mod:`repro.resilience.fallback` uses these to perturb the starting
+vector and relax the preconditioner between attempts.  The pseudo
+method ``"fallback"`` routes through that fallback chain.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import inspect
+from collections.abc import Callable, Mapping
 
 import numpy as np
 import scipy.sparse as sp
@@ -45,6 +53,8 @@ def steady_state(
     max_iterations: int = _DEFAULT_MAXITER,
     check_irreducible: bool = True,
     reducible: str = "error",
+    policy=None,
+    solver_options: Mapping | None = None,
 ) -> np.ndarray:
     """The stationary distribution π of a CTMC.
 
@@ -58,9 +68,43 @@ def steady_state(
     one-shot instant-message transmission.  A chain with *several*
     bottom components has no initial-state-independent steady state and
     always raises.
+
+    ``method="fallback"`` (or any non-``None`` ``policy``) solves
+    through the resilient fallback chain of
+    :func:`repro.resilience.fallback.solve_with_fallback`: an ordered
+    list of methods tried in turn with bounded retries; ``policy`` may
+    be a :class:`~repro.resilience.fallback.FallbackPolicy` or a
+    comma-separated method list such as ``"direct,gmres,power"``.
+    Use :func:`~repro.resilience.fallback.solve_with_fallback` directly
+    when you also want the per-attempt diagnostics record.
+
+    ``solver_options`` forwards per-attempt hints (``x0``,
+    ``ilu_drop_tol``, ``ilu_fill_factor``) to solvers that accept them.
     """
     if reducible not in ("error", "bscc"):
         raise SolverError(f"unknown reducible policy {reducible!r}")
+    if method == "fallback" or policy is not None:
+        from repro.resilience.fallback import FallbackPolicy, solve_with_fallback
+
+        if policy is None:
+            policy = FallbackPolicy(tol=tol, max_iterations=max_iterations)
+        elif isinstance(policy, str):
+            policy = FallbackPolicy.parse(
+                policy, tol=tol, max_iterations=max_iterations
+            )
+        pi, _ = solve_with_fallback(
+            chain, policy,
+            check_irreducible=check_irreducible, reducible=reducible,
+        )
+        return pi
+    # Validate the method name first: a typo must fail in O(1), not
+    # after a full SCC analysis of a large chain.
+    try:
+        solver = SOLVERS[method]
+    except KeyError:
+        raise SolverError(
+            f"unknown steady-state method {method!r}; choose from {sorted(SOLVERS)}"
+        ) from None
     if chain.n_states == 0:
         raise SolverError("cannot solve an empty chain")
     if chain.n_states == 1:
@@ -77,29 +121,55 @@ def steady_state(
             sub = chain.restricted_to(members)
             pi_sub = steady_state(
                 sub, method, tol=tol, max_iterations=max_iterations,
-                check_irreducible=False,
+                check_irreducible=False, solver_options=solver_options,
             )
             pi = np.zeros(chain.n_states)
             pi[members] = pi_sub
             return pi
-        absorbing = chain.absorbing_states()
-        detail = (
-            f" (it has {len(absorbing)} absorbing state(s); the first is "
-            f"{chain.labels[absorbing[0]] if chain.labels is not None and len(chain.labels) else absorbing[0]!r})"
-            if absorbing.size
-            else ""
-        )
-        raise SolverError(
-            "steady-state analysis requires an irreducible chain" + detail
-        )
-    try:
-        solver = SOLVERS[method]
-    except KeyError:
-        raise SolverError(
-            f"unknown steady-state method {method!r}; choose from {sorted(SOLVERS)}"
-        ) from None
-    pi = solver(chain, tol, max_iterations)
+        raise _irreducibility_failure(chain)
+    pi = _call_solver(solver, chain, tol, max_iterations, solver_options)
     return _normalise(pi, method, tol)
+
+
+def _irreducibility_failure(chain: CTMC) -> SolverError:
+    """Build the reducible-chain error, naming absorbing states if any."""
+    absorbing = chain.absorbing_states()
+    detail = (
+        f" (it has {len(absorbing)} absorbing state(s); the first is "
+        f"{chain.labels[absorbing[0]] if chain.labels is not None and len(chain.labels) else absorbing[0]!r})"
+        if absorbing.size
+        else ""
+    )
+    return SolverError(
+        "steady-state analysis requires an irreducible chain" + detail
+    ).with_context(stage="solve")
+
+
+def _call_solver(solver, chain: CTMC, tol: float, max_iterations: int,
+                 options: Mapping | None) -> np.ndarray:
+    """Invoke a solver callable, passing ``options`` only if it takes them.
+
+    Keeps third-party three-argument solvers registered in
+    :data:`SOLVERS` working while the built-in solvers (and the
+    fault-injection wrappers) accept the fourth ``options`` parameter.
+    """
+    if options is None:
+        return solver(chain, tol, max_iterations)
+    try:
+        sig = inspect.signature(solver)
+    except (TypeError, ValueError):
+        return solver(chain, tol, max_iterations)
+    params = list(sig.parameters.values())
+    variadic = any(
+        p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD) for p in params
+    )
+    positional = [
+        p for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if variadic or len(positional) >= 4:
+        return solver(chain, tol, max_iterations, options)
+    return solver(chain, tol, max_iterations)
 
 
 def _normalise(pi: np.ndarray, method: str, tol: float) -> np.ndarray:
@@ -119,7 +189,8 @@ def _normalise(pi: np.ndarray, method: str, tol: float) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Individual methods
 # ----------------------------------------------------------------------
-def _solve_direct(chain: CTMC, tol: float, max_iterations: int) -> np.ndarray:
+def _solve_direct(chain: CTMC, tol: float, max_iterations: int,
+                  options: Mapping | None = None) -> np.ndarray:
     """Sparse LU on ``Qᵀ π = 0`` with one row replaced by ``Σπ = 1``."""
     n = chain.n_states
     A = chain.Q.transpose().tocsr(copy=True).tolil()
@@ -130,8 +201,10 @@ def _solve_direct(chain: CTMC, tol: float, max_iterations: int) -> np.ndarray:
     return np.asarray(pi).ravel()
 
 
-def _krylov(name: str) -> Callable[[CTMC, float, int], np.ndarray]:
-    def solve(chain: CTMC, tol: float, max_iterations: int) -> np.ndarray:
+def _krylov(name: str) -> Callable[..., np.ndarray]:
+    def solve(chain: CTMC, tol: float, max_iterations: int,
+              options: Mapping | None = None) -> np.ndarray:
+        options = options or {}
         n = chain.n_states
         A = chain.Q.transpose().tocsr(copy=True).tolil()
         A[n - 1, :] = np.ones(n)
@@ -139,11 +212,19 @@ def _krylov(name: str) -> Callable[[CTMC, float, int], np.ndarray]:
         b = np.zeros(n)
         b[n - 1] = 1.0
         try:
-            ilu = spla.spilu(A, drop_tol=1e-5, fill_factor=20)
+            ilu = spla.spilu(
+                A,
+                drop_tol=options.get("ilu_drop_tol", 1e-5),
+                fill_factor=options.get("ilu_fill_factor", 20),
+            )
             M = spla.LinearOperator((n, n), ilu.solve)
-        except RuntimeError:
+        except (RuntimeError, ValueError, MemoryError):
+            # spilu raises RuntimeError on exactly-singular factors, but
+            # near-singular or very large systems can also surface as
+            # ValueError/MemoryError — an unpreconditioned solve beats a
+            # crashed one in every case.
             M = None
-        x0 = np.full(n, 1.0 / n)
+        x0 = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
         fn = spla.gmres if name == "gmres" else spla.bicgstab
         kwargs = {"rtol": max(tol, 1e-12), "maxiter": max_iterations, "M": M, "x0": x0}
         if name == "gmres":
@@ -156,12 +237,16 @@ def _krylov(name: str) -> Callable[[CTMC, float, int], np.ndarray]:
     return solve
 
 
-def _solve_power(chain: CTMC, tol: float, max_iterations: int) -> np.ndarray:
+def _solve_power(chain: CTMC, tol: float, max_iterations: int,
+                 options: Mapping | None = None) -> np.ndarray:
     """Power iteration on the uniformized DTMC ``P = I + Q/Λ``."""
+    options = options or {}
     P, _ = chain.uniformized()
     PT = P.transpose().tocsr()
     n = chain.n_states
-    pi = np.full(n, 1.0 / n)
+    pi = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
+    pi = np.clip(pi, 0.0, None)
+    pi /= pi.sum()
     for _ in range(max_iterations):
         nxt = PT @ pi
         nxt /= nxt.sum()
@@ -171,7 +256,7 @@ def _solve_power(chain: CTMC, tol: float, max_iterations: int) -> np.ndarray:
     raise SolverError(f"power iteration did not converge in {max_iterations} steps")
 
 
-def _stationary_iteration(use_latest: bool) -> Callable[[CTMC, float, int], np.ndarray]:
+def _stationary_iteration(use_latest: bool) -> Callable[..., np.ndarray]:
     """Gauss–Seidel (``use_latest``) or Jacobi on ``πQ = 0``.
 
     Written over the transposed generator in CSR so each state's update
@@ -183,7 +268,8 @@ def _stationary_iteration(use_latest: bool) -> Callable[[CTMC, float, int], np.n
     # factor < 1 restores convergence without moving the fixed point.
     omega = 1.0 if use_latest else 0.7
 
-    def solve(chain: CTMC, tol: float, max_iterations: int) -> np.ndarray:
+    def solve(chain: CTMC, tol: float, max_iterations: int,
+              options: Mapping | None = None) -> np.ndarray:
         n = chain.n_states
         QT = chain.Q.transpose().tocsr()
         indptr, indices, data = QT.indptr, QT.indices, QT.data
@@ -218,7 +304,11 @@ def _stationary_iteration(use_latest: bool) -> Callable[[CTMC, float, int], np.n
     return solve
 
 
-SOLVERS: dict[str, Callable[[CTMC, float, int], np.ndarray]] = {
+#: The solver registry: name → callable ``(chain, tol, max_iterations,
+#: options=None)``.  :mod:`repro.resilience.faultinject` swaps entries
+#: in and out to inject failures, so callers should look a method up at
+#: call time rather than caching the callable.
+SOLVERS: dict[str, Callable[..., np.ndarray]] = {
     "direct": _solve_direct,
     "gmres": _krylov("gmres"),
     "bicgstab": _krylov("bicgstab"),

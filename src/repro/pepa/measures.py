@@ -31,12 +31,15 @@ class ModelAnalysis:
     """
 
     def __init__(self, model: PepaModel, space: StateSpace, chain: CTMC, pi: np.ndarray,
-                 solver: str = "direct"):
+                 solver: str = "direct", diagnostics=None):
         self.model = model
         self.space = space
         self.chain = chain
         self.pi = pi
         self.solver = solver
+        #: :class:`~repro.resilience.fallback.SolveDiagnostics` when the
+        #: model was solved through a fallback policy, else ``None``.
+        self.diagnostics = diagnostics
 
     # ------------------------------------------------------------------
     @property
@@ -101,13 +104,28 @@ def analyse(
     solver: str = "direct",
     max_states: int = DEFAULT_MAX_STATES,
     reducible: str = "error",
+    budget=None,
+    policy=None,
 ) -> ModelAnalysis:
     """Derive and solve ``model``; returns a :class:`ModelAnalysis`.
 
     ``reducible="bscc"`` permits models with a transient start-up phase
-    (see :func:`repro.ctmc.steady.steady_state`).
+    (see :func:`repro.ctmc.steady.steady_state`).  ``budget`` is an
+    optional :class:`~repro.resilience.budget.ExecutionBudget` bounding
+    the derivation; a non-``None`` ``policy``
+    (:class:`~repro.resilience.fallback.FallbackPolicy` or a
+    comma-separated method list) solves through the resilient fallback
+    chain and records per-attempt diagnostics on the returned analysis.
     """
-    space = derive(model, max_states=max_states)
+    space = derive(model, max_states=max_states, budget=budget)
     chain = ctmc_from_statespace(space)
-    pi = steady_state(chain, method=solver, reducible=reducible)
-    return ModelAnalysis(model, space, chain, pi, solver=solver)
+    diagnostics = None
+    if policy is not None:
+        from repro.resilience.fallback import solve_with_fallback
+
+        pi, diagnostics = solve_with_fallback(chain, policy, reducible=reducible)
+        solver = diagnostics.method or solver
+    else:
+        pi = steady_state(chain, method=solver, reducible=reducible)
+    return ModelAnalysis(model, space, chain, pi, solver=solver,
+                         diagnostics=diagnostics)

@@ -17,11 +17,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.exceptions import StateSpaceError, WellFormednessError
 from repro.pepa.environment import Environment, PepaModel
 from repro.pepa.semantics import Transition, derivatives
 from repro.pepa.syntax import Expression
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
+    from repro.resilience.budget import ExecutionBudget
 
 __all__ = ["LabelledArc", "StateSpace", "explore", "derive"]
 
@@ -94,11 +98,17 @@ def explore(
     *,
     max_states: int = DEFAULT_MAX_STATES,
     exclude: frozenset[str] = frozenset(),
+    budget: "ExecutionBudget | None" = None,
 ) -> StateSpace:
     """Breadth-first derivation of the reachable state space.
 
     ``exclude`` suppresses the given action types (used by the PEPA-net
-    layer to keep firings out of local derivation).
+    layer to keep firings out of local derivation).  ``budget`` adds a
+    cooperative wall-clock/state-count guard checked once per explored
+    state; when it runs out a
+    :class:`~repro.exceptions.BudgetExceededError` carrying the partial
+    frontier size and a resumable summary is raised instead of the
+    search silently grinding on.
     """
     index: dict[Expression, int] = {initial: 0}
     states: list[Expression] = [initial]
@@ -108,6 +118,10 @@ def explore(
     while queue:
         state = queue.popleft()
         src = index[state]
+        if budget is not None:
+            budget.checkpoint(
+                stage="pepa state space", explored=len(states), frontier=len(queue)
+            )
         for tr in derivatives(state, env, exclude=exclude):
             _require_active(tr, state)
             tgt = index.get(tr.target)
@@ -133,6 +147,13 @@ def _require_active(tr: Transition, state: Expression) -> None:
         )
 
 
-def derive(model: PepaModel, *, max_states: int = DEFAULT_MAX_STATES) -> StateSpace:
+def derive(
+    model: PepaModel,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+    budget: "ExecutionBudget | None" = None,
+) -> StateSpace:
     """Derive the state space of a complete model's system equation."""
-    return explore(model.system, model.environment, max_states=max_states)
+    return explore(
+        model.system, model.environment, max_states=max_states, budget=budget
+    )

@@ -23,9 +23,14 @@ from repro.pepanets.syntax import NetMarking, PepaNet, find_cells
 __all__ = ["NetAnalysis", "analyse_net", "ctmc_of_net"]
 
 
-def ctmc_of_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES) -> tuple[NetStateSpace, CTMC]:
-    """Derive the marking space of ``net`` and its CTMC."""
-    space = explore_net(net, max_states=max_states)
+def ctmc_of_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES,
+                budget=None) -> tuple[NetStateSpace, CTMC]:
+    """Derive the marking space of ``net`` and its CTMC.
+
+    ``budget`` is an optional cooperative
+    :class:`~repro.resilience.budget.ExecutionBudget`.
+    """
+    space = explore_net(net, max_states=max_states, budget=budget)
     transitions = [(a.source, a.action, a.rate, a.target) for a in space.arcs]
     labels = [space.state_label(i) for i in range(space.size)]
     return space, build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
@@ -35,12 +40,15 @@ class NetAnalysis:
     """A solved PEPA net with measure accessors."""
 
     def __init__(self, net: PepaNet, space: NetStateSpace, chain: CTMC, pi: np.ndarray,
-                 solver: str = "direct"):
+                 solver: str = "direct", diagnostics=None):
         self.net = net
         self.space = space
         self.chain = chain
         self.pi = pi
         self.solver = solver
+        #: :class:`~repro.resilience.fallback.SolveDiagnostics` when the
+        #: net was solved through a fallback policy, else ``None``.
+        self.diagnostics = diagnostics
 
     @property
     def n_states(self) -> int:
@@ -154,6 +162,8 @@ def analyse_net(
     solver: str = "direct",
     max_states: int = DEFAULT_MAX_STATES,
     reducible: str = "bscc",
+    budget=None,
+    policy=None,
 ) -> NetAnalysis:
     """Derive and solve a PEPA net; returns a :class:`NetAnalysis`.
 
@@ -162,7 +172,18 @@ def analyse_net(
     defaults to ``"bscc"``: probability mass settles on the unique
     recurrent class.  Pass ``reducible="error"`` to insist on a fully
     irreducible marking space.
+
+    ``budget`` bounds the marking-space derivation cooperatively; a
+    non-``None`` ``policy`` solves through the resilient fallback chain
+    (see :func:`repro.pepa.measures.analyse`).
     """
-    space, chain = ctmc_of_net(net, max_states=max_states)
-    pi = steady_state(chain, method=solver, reducible=reducible)
-    return NetAnalysis(net, space, chain, pi, solver=solver)
+    space, chain = ctmc_of_net(net, max_states=max_states, budget=budget)
+    diagnostics = None
+    if policy is not None:
+        from repro.resilience.fallback import solve_with_fallback
+
+        pi, diagnostics = solve_with_fallback(chain, policy, reducible=reducible)
+        solver = diagnostics.method or solver
+    else:
+        pi = steady_state(chain, method=solver, reducible=reducible)
+    return NetAnalysis(net, space, chain, pi, solver=solver, diagnostics=diagnostics)

@@ -91,8 +91,19 @@ def net_arcs(
     return out
 
 
-def explore_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES) -> NetStateSpace:
-    """Breadth-first derivation of the net's marking space."""
+def explore_net(
+    net: PepaNet,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+    budget=None,
+) -> NetStateSpace:
+    """Breadth-first derivation of the net's marking space.
+
+    ``budget`` is an optional
+    :class:`~repro.resilience.budget.ExecutionBudget` checked
+    cooperatively once per expanded marking; exhaustion raises a
+    resumable :class:`~repro.exceptions.BudgetExceededError`.
+    """
     ds = DerivativeSets(net.environment)
     initial = net.initial_marking()
     index: dict[NetMarking, int] = {initial: 0}
@@ -103,6 +114,11 @@ def explore_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES) -> NetSta
     while queue:
         marking = queue.popleft()
         src = index[marking]
+        if budget is not None:
+            budget.checkpoint(
+                stage="pepa-net marking space",
+                explored=len(markings), frontier=len(queue),
+            )
         for action, rate, successor in net_arcs(net, marking, ds):
             tgt = index.get(successor)
             if tgt is None:

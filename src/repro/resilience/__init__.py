@@ -1,0 +1,44 @@
+"""Resilience subsystem: fallback solver chains, execution budgets and
+deterministic fault injection.
+
+The Choreographer tool chain (UML → extract → PEPA net → CTMC solve →
+reflect) composes several fallible stages; this package supplies the
+machinery that keeps one failure from taking the whole run down:
+
+* :mod:`repro.resilience.fallback` — an ordered policy of steady-state
+  methods tried in turn, with bounded retry-with-backoff for iterative
+  methods and a structured :class:`~repro.resilience.fallback.SolveDiagnostics`
+  record of every attempt;
+* :mod:`repro.resilience.budget` — cooperative wall-clock/state-count
+  budgets threaded through state-space derivation, raising a resumable
+  :class:`~repro.exceptions.BudgetExceededError` instead of dying deep
+  in a loop;
+* :mod:`repro.resilience.faultinject` — deterministic wrappers around
+  :data:`repro.ctmc.steady.SOLVERS` entries that inject convergence
+  failures, NaN vectors, slow convergence or transient exceptions on
+  selected calls, used by the tests to prove the fallback and retry
+  logic actually engage.
+"""
+
+from repro.exceptions import BudgetExceededError
+from repro.resilience.budget import Deadline, ExecutionBudget
+from repro.resilience.fallback import (
+    AttemptRecord,
+    FallbackPolicy,
+    SolveDiagnostics,
+    solve_with_fallback,
+)
+from repro.resilience.faultinject import FaultInjector, FaultSpec, inject_fault
+
+__all__ = [
+    "AttemptRecord",
+    "BudgetExceededError",
+    "Deadline",
+    "ExecutionBudget",
+    "FallbackPolicy",
+    "FaultInjector",
+    "FaultSpec",
+    "SolveDiagnostics",
+    "inject_fault",
+    "solve_with_fallback",
+]

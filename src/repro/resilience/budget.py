@@ -1,0 +1,123 @@
+"""Cooperative execution budgets for long-running derivations.
+
+State-space exploration is the part of the tool chain that can run away
+— the paper is explicit that susceptibility to state-space explosion is
+the price of exact numerical solution.  The existing ``max_states``
+bound catches size blow-ups; a :class:`Deadline` adds the wall-clock
+dimension, and an :class:`ExecutionBudget` bundles both behind a single
+cooperative ``checkpoint()`` call that exploration loops invoke
+periodically.  When a budget runs out the loop raises
+:class:`~repro.exceptions.BudgetExceededError` carrying a resumable
+summary (stage, states explored, frontier size, elapsed time) instead
+of dying silently deep in the search.
+
+Budgets are *cooperative*: they are only enforced at checkpoint calls,
+never by pre-empting running code, so a single long numerical kernel
+can still overrun its deadline by the length of that one call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import BudgetExceededError
+
+__all__ = ["Deadline", "ExecutionBudget"]
+
+
+class Deadline:
+    """A wall-clock deadline measured against :func:`time.monotonic`.
+
+    Construct with :meth:`after` (relative seconds) or ``Deadline(None)``
+    for an unbounded deadline that never expires.
+    """
+
+    def __init__(self, seconds: float | None):
+        self.seconds = seconds
+        self._start = time.monotonic()
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        """A deadline expiring ``seconds`` from now (``None`` = never)."""
+        return cls(seconds)
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return time.monotonic() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (``inf`` for unbounded deadlines)."""
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline has passed."""
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:
+        if self.seconds is None:
+            return "Deadline(unbounded)"
+        return f"Deadline({self.seconds:g}s, {max(self.remaining(), 0.0):.3f}s left)"
+
+
+@dataclass
+class ExecutionBudget:
+    """Time and state-count limits checked cooperatively during search.
+
+    ``deadline`` bounds wall-clock time; ``max_states`` bounds the
+    number of explored states (on top of — and independent from — an
+    exploration's own ``max_states`` argument).  ``check_every``
+    rate-limits the clock reads: only every Nth :meth:`checkpoint` call
+    actually consults the deadline, so the guard adds negligible cost to
+    tight loops while still bounding overrun to ``check_every``
+    iterations.
+    """
+
+    deadline: Deadline | None = None
+    max_states: int | None = None
+    check_every: int = 64
+    _ticks: int = field(default=0, repr=False)
+
+    @classmethod
+    def of(cls, *, deadline_seconds: float | None = None,
+           max_states: int | None = None, check_every: int = 64) -> "ExecutionBudget":
+        """Build a budget from plain numbers (``None`` = unlimited)."""
+        deadline = Deadline.after(deadline_seconds) if deadline_seconds is not None else None
+        return cls(deadline=deadline, max_states=max_states, check_every=check_every)
+
+    def checkpoint(self, *, stage: str, explored: int, frontier: int = 0) -> None:
+        """Raise :class:`BudgetExceededError` if any limit is exhausted.
+
+        ``explored``/``frontier`` describe current progress and are
+        embedded in the error so the caller can report (or resume) the
+        partial work.  The state-count limit is checked on every call;
+        the clock only every ``check_every`` calls.
+        """
+        if self.max_states is not None and explored > self.max_states:
+            raise BudgetExceededError(
+                f"{stage}: explored {explored} states, over the budget of "
+                f"{self.max_states}",
+                stage=stage, explored=explored, frontier=frontier,
+                elapsed=self.deadline.elapsed() if self.deadline else None,
+                limit=f"max_states={self.max_states}",
+            )
+        if self.deadline is None:
+            return
+        self._ticks += 1
+        # Always consult the clock on the very first checkpoint (small
+        # explorations would otherwise never see the deadline), then
+        # only every ``check_every`` calls.
+        if (self._ticks - 1) % self.check_every:
+            return
+        if self.deadline.expired:
+            raise BudgetExceededError(
+                f"{stage}: wall-clock budget of {self.deadline.seconds:g}s "
+                f"exhausted after {explored} states "
+                f"({frontier} still on the frontier)",
+                stage=stage, explored=explored, frontier=frontier,
+                elapsed=self.deadline.elapsed(),
+                limit=f"deadline={self.deadline.seconds:g}s",
+            )

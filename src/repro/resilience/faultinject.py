@@ -1,0 +1,136 @@
+"""Deterministic fault injection for the steady-state solver registry.
+
+Robustness code that is never exercised is decoration.  This module
+wraps entries of :data:`repro.ctmc.steady.SOLVERS` so tests (and chaos
+drills) can make a chosen method fail in a controlled, reproducible way
+— a convergence failure on exactly the Nth call, a NaN vector, a zero
+vector, an artificial slowdown, or an arbitrary transient exception —
+and then prove that the fallback chain, the retry logic and the
+pipeline degradation actually engage.
+
+Faults are keyed on the wrapper's own 1-based call counter, so the
+injection is deterministic regardless of timing::
+
+    with inject_fault("direct", FaultSpec(kind="converge")):
+        pi, diag = solve_with_fallback(chain)   # direct fails, gmres wins
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ctmc.steady import SOLVERS, _call_solver
+from repro.exceptions import SolverError
+
+__all__ = ["FaultSpec", "FaultInjector", "inject_fault", "FAULT_KINDS"]
+
+#: The supported fault kinds (see :class:`FaultSpec`).
+FAULT_KINDS = ("converge", "nan", "zero", "slow", "exception")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject and when.
+
+    ``kind`` — ``"converge"`` raises a :class:`SolverError` as a
+    non-converging method would; ``"nan"`` returns an all-NaN vector;
+    ``"zero"`` returns an all-zero vector (both are rejected downstream
+    by normalisation); ``"slow"`` sleeps ``delay`` seconds and then
+    delegates to the real solver; ``"exception"`` raises
+    ``exception(message)`` (default :class:`RuntimeError`) — a
+    transient infrastructure fault.
+
+    ``calls`` lists the 1-based call indices that fault; every other
+    call passes straight through to the wrapped solver.
+    """
+
+    kind: str
+    calls: tuple[int, ...] = (1,)
+    delay: float = 0.0
+    exception: type[Exception] | None = None
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+
+    @classmethod
+    def first_n(cls, kind: str, n: int, **kw) -> "FaultSpec":
+        """A spec faulting the first ``n`` calls (transient-fault shape)."""
+        return cls(kind=kind, calls=tuple(range(1, n + 1)), **kw)
+
+    def applies_to(self, call_index: int) -> bool:
+        """True if the given 1-based call should fault."""
+        return call_index in self.calls
+
+
+class FaultInjector:
+    """Context manager that swaps one solver registry entry for a
+    faulting wrapper, restoring the original on exit.
+
+    Attributes after (or during) use: ``calls`` — how many times the
+    wrapped solver was invoked; ``log`` — a list of
+    ``(call_index, "fault" | "pass")`` pairs.
+    """
+
+    def __init__(self, method: str, spec: FaultSpec, solvers: dict | None = None):
+        self.method = method
+        self.spec = spec
+        self.solvers = SOLVERS if solvers is None else solvers
+        if method not in self.solvers:
+            raise SolverError(
+                f"cannot inject a fault into unknown method {method!r}"
+            )
+        self.calls = 0
+        self.log: list[tuple[int, str]] = []
+        self._original = None
+
+    def _wrapped(self, chain, tol, max_iterations, options=None):
+        self.calls += 1
+        idx = self.calls
+        spec = self.spec
+        if spec.applies_to(idx):
+            self.log.append((idx, "fault"))
+            if spec.kind == "converge":
+                raise SolverError(
+                    f"{spec.message}: injected convergence failure on "
+                    f"call {idx} of {self.method} (info=999)"
+                )
+            if spec.kind == "nan":
+                return np.full(chain.n_states, np.nan)
+            if spec.kind == "zero":
+                return np.zeros(chain.n_states)
+            if spec.kind == "exception":
+                raise (spec.exception or RuntimeError)(spec.message)
+            # "slow": delay, then behave normally
+            time.sleep(spec.delay)
+        else:
+            self.log.append((idx, "pass"))
+        return _call_solver(self._original, chain, tol, max_iterations, options)
+
+    def __enter__(self) -> "FaultInjector":
+        """Install the faulting wrapper in the registry."""
+        self._original = self.solvers[self.method]
+        self.solvers[self.method] = self._wrapped
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Restore the original solver, even if the block raised."""
+        self.solvers[self.method] = self._original
+        self._original = None
+
+
+def inject_fault(method: str, spec: FaultSpec,
+                 solvers: dict | None = None) -> FaultInjector:
+    """Convenience constructor: ``with inject_fault("gmres", spec): ...``.
+
+    Wraps ``solvers[method]`` (default: the live
+    :data:`repro.ctmc.steady.SOLVERS` registry) for the duration of the
+    ``with`` block.
+    """
+    return FaultInjector(method, spec, solvers=solvers)

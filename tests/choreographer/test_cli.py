@@ -184,3 +184,67 @@ class TestValidate:
         code = main(["validate", str(path)])
         assert code == 1
         assert "initial" in capsys.readouterr().out
+
+
+class TestResilienceFlags:
+    def test_pepa_solver_policy_verbose_prints_attempts(self, pepa_file, capsys):
+        code = main(["pepa", str(pepa_file),
+                     "--solver-policy", "direct,power", "--verbose"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solved by direct" in out
+        assert "converged" in out  # the SolveDiagnostics attempt table
+
+    def test_pepa_without_verbose_hides_attempts(self, pepa_file, capsys):
+        code = main(["pepa", str(pepa_file), "--solver-policy", "direct,power"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" not in out
+
+    def test_net_solver_policy(self, net_file, capsys):
+        code = main(["net", str(net_file), "--solver-policy", "direct,gmres", "-v"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solved by direct" in out
+
+    def test_bad_policy_is_cli_error(self, pepa_file, capsys):
+        code = main(["pepa", str(pepa_file), "--solver-policy", "quantum"])
+        assert code == 2
+        assert "unknown steady-state method" in capsys.readouterr().err
+
+    def test_analyse_no_strict_degrades(self, tmp_path, capsys):
+        from repro.uml.activity import ActivityGraph
+        from repro.workloads import build_instant_message_diagram
+
+        model = UmlModel(name="project")
+        model.add_activity_graph(build_instant_message_diagram())
+        poisoned = ActivityGraph("poisoned")
+        poisoned.add_action("orphan")  # no initial node: extraction fails
+        model.add_activity_graph(poisoned)
+        path = tmp_path / "mixed.xmi"
+        path.write_text(add_synthetic_layout(write_model(model)))
+
+        code = main(["analyse", str(path), "--no-strict"])
+        captured = capsys.readouterr()
+        assert code == 3  # degraded, not crashed
+        assert "transmit" in captured.out  # the good diagram analysed
+        assert "poisoned" in captured.err  # the report names the bad one
+
+    def test_analyse_strict_default_fails(self, tmp_path, capsys):
+        from repro.uml.activity import ActivityGraph
+
+        model = UmlModel(name="project")
+        poisoned = ActivityGraph("poisoned")
+        poisoned.add_action("orphan")
+        model.add_activity_graph(poisoned)
+        path = tmp_path / "bad.xmi"
+        path.write_text(add_synthetic_layout(write_model(model)))
+
+        code = main(["analyse", str(path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_deadline_flag_maps_budget_error_to_exit_2(self, pepa_file, capsys):
+        code = main(["pepa", str(pepa_file), "--deadline", "0.0"])
+        assert code == 2
+        assert "budget" in capsys.readouterr().err

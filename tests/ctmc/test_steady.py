@@ -108,3 +108,132 @@ class TestPropertyBased:
         assert residual < 1e-8
         pi_power = steady_state(chain, "power", tol=1e-13)
         assert np.allclose(pi, pi_power, atol=1e-6)
+
+
+class TestValidationOrdering:
+    """The method name must be validated before the (potentially
+    expensive) irreducibility analysis — a typo fails in O(1)."""
+
+    def test_unknown_method_beats_reducibility_check(self):
+        chain = build_ctmc(3, [(0, "a", 1.0, 1), (1, "b", 1.0, 2)])  # reducible
+        with pytest.raises(SolverError, match="unknown steady-state method"):
+            steady_state(chain, "quantum")
+
+    def test_unknown_method_skips_scc_analysis(self):
+        chain = birth_death(4, 1.0, 1.0)
+        calls = []
+        original = chain.is_irreducible
+        chain.is_irreducible = lambda: calls.append(1) or original()
+        with pytest.raises(SolverError, match="unknown"):
+            steady_state(chain, "tpyo")
+        assert calls == []
+
+
+class TestBsccPolicy:
+    def test_multiple_bottom_sccs_rejected(self):
+        # 1 -> 0 and 1 -> 2 with both {0} and {2} absorbing: the steady
+        # state depends on the initial state, so "bscc" must refuse.
+        chain = build_ctmc(
+            3, [(1, "left", 1.0, 0), (1, "right", 1.0, 2),
+                (0, "spin", 1.0, 0), (2, "spin", 1.0, 2)]
+        )
+        with pytest.raises(SolverError, match="2 bottom strongly connected"):
+            steady_state(chain, reducible="bscc")
+
+    def test_two_recurrent_classes_rejected(self):
+        # two disjoint 2-cycles reachable from a common start
+        chain = build_ctmc(
+            5,
+            [(0, "l", 1.0, 1), (0, "r", 1.0, 3),
+             (1, "a", 1.0, 2), (2, "b", 1.0, 1),
+             (3, "c", 1.0, 4), (4, "d", 1.0, 3)],
+        )
+        with pytest.raises(SolverError, match="depends on the initial state"):
+            steady_state(chain, reducible="bscc")
+
+    def test_unique_bscc_masses_transients_to_zero(self):
+        chain = build_ctmc(
+            3, [(0, "s", 1.0, 1), (1, "a", 1.0, 2), (2, "b", 3.0, 1)]
+        )
+        pi = steady_state(chain, reducible="bscc")
+        assert pi[0] == 0.0
+        assert np.allclose(pi[1:], [0.75, 0.25], atol=1e-9)
+
+    def test_unknown_reducible_policy_rejected(self):
+        chain = birth_death(2, 1.0, 1.0)
+        with pytest.raises(SolverError, match="reducible policy"):
+            steady_state(chain, reducible="maybe")
+
+
+class TestNormalisationRejections:
+    """Solvers returning garbage must be rejected by _normalise, never
+    silently renormalised into a plausible-looking answer."""
+
+    def _with_fake_solver(self, vector_fn):
+        def fake(chain, tol, max_iterations, options=None):
+            return vector_fn(chain.n_states)
+
+        SOLVERS["_fake"] = fake
+        try:
+            chain = birth_death(3, 1.0, 2.0)
+            return steady_state(chain, "_fake")
+        finally:
+            del SOLVERS["_fake"]
+
+    def test_nan_vector_rejected(self):
+        with pytest.raises(SolverError, match="non-finite"):
+            self._with_fake_solver(lambda n: np.full(n, np.nan))
+
+    def test_inf_vector_rejected(self):
+        with pytest.raises(SolverError, match="non-finite"):
+            self._with_fake_solver(lambda n: np.full(n, np.inf))
+
+    def test_materially_negative_vector_rejected(self):
+        def negative(n):
+            v = np.full(n, 1.0 / n)
+            v[0] = -0.5
+            return v
+
+        with pytest.raises(SolverError, match="negative"):
+            self._with_fake_solver(negative)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(SolverError, match="zero vector"):
+            self._with_fake_solver(np.zeros)
+
+    def test_tiny_negative_roundoff_clipped(self):
+        def roundoff(n):
+            v = np.full(n, 1.0 / n)
+            v[0] = -1e-12  # direct-solve round-off territory
+            return v
+
+        pi = self._with_fake_solver(roundoff)
+        assert pi.min() >= 0.0
+        assert math.isclose(pi.sum(), 1.0)
+
+
+class TestPreconditionerFallback:
+    def test_spilu_valueerror_falls_back_to_unpreconditioned(self, monkeypatch):
+        """spilu can raise ValueError/MemoryError on near-singular or
+        huge systems; the Krylov solvers must drop to M=None, not crash."""
+        import repro.ctmc.steady as steady_mod
+
+        def broken_spilu(*args, **kwargs):
+            raise ValueError("near-singular factorisation")
+
+        monkeypatch.setattr(steady_mod.spla, "spilu", broken_spilu)
+        chain = birth_death(6, 1.0, 2.0)
+        for method in ("gmres", "bicgstab"):
+            pi = steady_state(chain, method)
+            assert np.allclose(pi, geometric_pi(6, 0.5), atol=1e-6)
+
+    def test_spilu_memoryerror_falls_back(self, monkeypatch):
+        import repro.ctmc.steady as steady_mod
+
+        def huge_spilu(*args, **kwargs):
+            raise MemoryError("fill-in blew up")
+
+        monkeypatch.setattr(steady_mod.spla, "spilu", huge_spilu)
+        chain = birth_death(6, 1.0, 2.0)
+        pi = steady_state(chain, "gmres")
+        assert np.allclose(pi, geometric_pi(6, 0.5), atol=1e-6)

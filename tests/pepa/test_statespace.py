@@ -104,3 +104,25 @@ class TestExploration:
         for i in range(space.size):
             assert isinstance(space.state_label(i), str)
             assert space.state_label(i)
+
+
+class TestMaxStatesBoundary:
+    """The bound is inclusive: a model with exactly max_states states
+    derives; one short of that raises (off-by-one guard)."""
+
+    CYCLE_SRC = "P1 = (a, 1.0).P2; P2 = (b, 1.0).P3; P3 = (c, 1.0).P1; P1"
+
+    def test_exact_bound_succeeds(self):
+        model = parse_model(self.CYCLE_SRC)
+        space = derive(model, max_states=3)
+        assert space.size == 3
+
+    def test_one_below_bound_raises(self):
+        model = parse_model(self.CYCLE_SRC)
+        with pytest.raises(StateSpaceError, match="bound of 2"):
+            derive(model, max_states=2)
+
+    def test_error_mentions_remediation(self):
+        model = parse_model(self.CYCLE_SRC)
+        with pytest.raises(StateSpaceError, match="raise max_states"):
+            derive(model, max_states=1)

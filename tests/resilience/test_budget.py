@@ -1,0 +1,120 @@
+"""Tests for cooperative execution budgets (deadlines + state counts)."""
+
+import pytest
+
+from repro.exceptions import BudgetExceededError, ReproError
+from repro.pepa import parse_model
+from repro.pepa.statespace import derive
+from repro.pepanets.parser import parse_net
+from repro.pepanets.semantics import explore_net
+from repro.resilience import Deadline, ExecutionBudget
+
+CYCLE_SRC = "P1 = (a, 1.0).P2; P2 = (b, 1.0).P3; P3 = (c, 1.0).P1; P1"
+
+NET_SRC = """
+Tok = (go, 1).Tok;
+A[Tok] = Tok[_];
+B[_] = Tok[_];
+ab = (go, 1) : A -> B;
+ba = (go, 1) : B -> A;
+"""
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline.after(None)
+        assert not d.expired
+        assert d.remaining() == float("inf")
+
+    def test_zero_deadline_expires_immediately(self):
+        d = Deadline.after(0.0)
+        assert d.expired
+        assert d.remaining() <= 0.0
+
+    def test_elapsed_is_monotone(self):
+        d = Deadline.after(100.0)
+        first = d.elapsed()
+        second = d.elapsed()
+        assert 0.0 <= first <= second
+        assert not d.expired
+
+    def test_repr_mentions_budget(self):
+        assert "unbounded" in repr(Deadline.after(None))
+        assert "5" in repr(Deadline.after(5.0))
+
+
+class TestExecutionBudget:
+    def test_state_budget_raises_with_resumable_summary(self):
+        budget = ExecutionBudget.of(max_states=10)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.checkpoint(stage="demo", explored=11, frontier=4)
+        exc = info.value
+        assert exc.explored == 11
+        assert exc.frontier == 4
+        assert exc.stage == "demo"
+        assert "max_states=10" in exc.summary()
+        assert "frontier=4" in exc.summary()
+        # context mirrors the structured fields (uniform .context dict)
+        assert exc.context["stage"] == "demo"
+        assert exc.context["explored"] == 11
+
+    def test_under_budget_passes(self):
+        budget = ExecutionBudget.of(max_states=10, deadline_seconds=100.0)
+        for i in range(200):
+            budget.checkpoint(stage="demo", explored=5, frontier=0)
+
+    def test_deadline_budget_raises(self):
+        budget = ExecutionBudget.of(deadline_seconds=0.0, check_every=1)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.checkpoint(stage="demo", explored=3, frontier=1)
+        assert "deadline" in (info.value.limit or "")
+        assert info.value.elapsed is not None
+
+    def test_first_checkpoint_always_consults_clock(self):
+        budget = ExecutionBudget.of(deadline_seconds=0.0, check_every=64)
+        with pytest.raises(BudgetExceededError):
+            budget.checkpoint(stage="demo", explored=1)
+
+    def test_clock_checked_only_every_nth_call_after_first(self):
+        budget = ExecutionBudget.of(deadline_seconds=1000.0, check_every=5)
+        budget.checkpoint(stage="demo", explored=1)  # tick 1: checked, passes
+        budget.deadline.seconds = 0.0  # expire the deadline mid-run
+        for _ in range(4):  # ticks 2–5: rate-limited, not checked
+            budget.checkpoint(stage="demo", explored=1)
+        with pytest.raises(BudgetExceededError):  # tick 6: checked
+            budget.checkpoint(stage="demo", explored=1)
+
+    def test_is_a_repro_error(self):
+        assert issubclass(BudgetExceededError, ReproError)
+
+
+class TestBudgetedExploration:
+    def test_pepa_derivation_respects_deadline(self):
+        model = parse_model(CYCLE_SRC)
+        budget = ExecutionBudget.of(deadline_seconds=0.0, check_every=1)
+        with pytest.raises(BudgetExceededError) as info:
+            derive(model, budget=budget)
+        assert info.value.stage == "pepa state space"
+
+    def test_pepa_derivation_without_budget_unchanged(self):
+        model = parse_model(CYCLE_SRC)
+        assert derive(model).size == 3
+
+    def test_pepa_derivation_state_budget(self):
+        model = parse_model(CYCLE_SRC)
+        budget = ExecutionBudget.of(max_states=2)
+        with pytest.raises(BudgetExceededError) as info:
+            derive(model, budget=budget)
+        assert info.value.explored == 3
+
+    def test_net_exploration_respects_deadline(self):
+        net = parse_net(NET_SRC)
+        budget = ExecutionBudget.of(deadline_seconds=0.0, check_every=1)
+        with pytest.raises(BudgetExceededError) as info:
+            explore_net(net, budget=budget)
+        assert info.value.stage == "pepa-net marking space"
+
+    def test_net_exploration_with_roomy_budget_matches_plain(self):
+        net = parse_net(NET_SRC)
+        roomy = ExecutionBudget.of(deadline_seconds=300.0, max_states=10_000)
+        assert explore_net(net, budget=roomy).size == explore_net(net).size

@@ -1,0 +1,170 @@
+"""Tests for the fallback-chain steady-state solver."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import build_ctmc, steady_state
+from repro.exceptions import SolverError
+from repro.resilience import (
+    FallbackPolicy,
+    FaultSpec,
+    SolveDiagnostics,
+    inject_fault,
+    solve_with_fallback,
+)
+
+
+def birth_death(n: int, birth: float, death: float):
+    transitions = []
+    for i in range(n):
+        transitions.append((i, "arrive", birth, i + 1))
+        transitions.append((i + 1, "serve", death, i))
+    return build_ctmc(n + 1, transitions, labels=[f"q{i}" for i in range(n + 1)])
+
+
+@pytest.fixture
+def chain():
+    return birth_death(8, birth=1.0, death=2.0)
+
+
+class TestPolicy:
+    def test_parse_comma_list(self):
+        policy = FallbackPolicy.parse("direct, gmres ,power")
+        assert policy.methods == ("direct", "gmres", "power")
+
+    def test_parse_rejects_empty_spec(self):
+        with pytest.raises(SolverError, match="empty"):
+            FallbackPolicy.parse(" , ")
+
+    def test_unknown_method_fails_fast(self, chain):
+        with pytest.raises(SolverError, match="unknown steady-state method"):
+            solve_with_fallback(chain, FallbackPolicy(methods=("quantum",)))
+
+    def test_direct_gets_no_retries(self):
+        policy = FallbackPolicy(retries=3)
+        assert policy.attempts_for("direct") == 1
+        assert policy.attempts_for("gmres") == 4
+
+
+class TestFallbackChain:
+    def test_happy_path_uses_first_method(self, chain):
+        pi, diag = solve_with_fallback(chain)
+        assert diag.method == "direct"
+        assert len(diag.attempts) == 1
+        assert diag.attempts[0].ok
+        assert diag.succeeded
+
+    def test_fallback_matches_unfaulted_answer(self, chain):
+        """Acceptance: direct forced to fail, the chain still returns
+        the correct distribution, and the diagnostics list both the
+        failed and the successful attempt."""
+        expected = steady_state(chain, "direct")
+        with inject_fault("direct", FaultSpec(kind="converge")):
+            pi, diag = solve_with_fallback(chain)
+        assert np.allclose(pi, expected, atol=1e-8)
+        assert diag.method == "gmres"
+        outcomes = [(a.method, a.outcome) for a in diag.attempts]
+        assert ("direct", "failed") in outcomes
+        assert ("gmres", "converged") in outcomes
+
+    def test_steady_state_fallback_method(self, chain):
+        expected = steady_state(chain, "direct")
+        with inject_fault("direct", FaultSpec(kind="converge")):
+            pi = steady_state(chain, "fallback")
+        assert np.allclose(pi, expected, atol=1e-8)
+
+    def test_steady_state_policy_string(self, chain):
+        pi = steady_state(chain, policy="power,direct")
+        assert np.allclose(pi, steady_state(chain, "direct"), atol=1e-6)
+
+    def test_nan_fault_is_caught_by_normalisation(self, chain):
+        expected = steady_state(chain, "direct")
+        with inject_fault("direct", FaultSpec(kind="nan")):
+            pi, diag = solve_with_fallback(chain)
+        assert np.allclose(pi, expected, atol=1e-8)
+        assert diag.attempts[0].outcome == "failed"
+        assert "non-finite" in diag.attempts[0].detail
+
+    def test_transient_exception_fault_moves_on(self, chain):
+        with inject_fault("direct", FaultSpec(kind="exception", message="disk on fire")):
+            pi, diag = solve_with_fallback(chain)
+        assert diag.attempts[0].outcome == "error"
+        assert "disk on fire" in diag.attempts[0].detail
+        assert diag.succeeded
+
+    def test_retry_engages_on_transient_faults(self, chain):
+        """Two injected failures on gmres, then the real solver: the
+        retry loop must reach attempt 3 without falling back."""
+        policy = FallbackPolicy(methods=("gmres", "direct"), retries=2, backoff=0.0)
+        with inject_fault("gmres", FaultSpec.first_n("converge", 2)) as injector:
+            pi, diag = solve_with_fallback(chain, policy)
+        assert injector.calls == 3
+        assert diag.method == "gmres"
+        assert [a.attempt for a in diag.attempts_for("gmres")] == [1, 2, 3]
+        assert np.allclose(pi, steady_state(chain, "direct"), atol=1e-8)
+
+    def test_all_methods_failing_raises_with_diagnostics(self, chain):
+        policy = FallbackPolicy(methods=("direct",))
+        with inject_fault("direct", FaultSpec(kind="converge")):
+            with pytest.raises(SolverError, match="fallback method"):
+                try:
+                    solve_with_fallback(chain, policy)
+                except SolverError as exc:
+                    assert isinstance(exc.diagnostics, SolveDiagnostics)
+                    assert not exc.diagnostics.succeeded
+                    assert exc.context["stage"] == "solve"
+                    raise
+
+    def test_deadline_exhaustion_raises(self, chain):
+        policy = FallbackPolicy(deadline=0.0)
+        with pytest.raises(SolverError, match="deadline"):
+            solve_with_fallback(chain, policy)
+
+    def test_bad_residual_rejected(self, chain):
+        """A solver that converges to the wrong vector must be caught
+        by the ‖πQ‖∞ sanity check, not returned."""
+
+        def liar(chain, tol, max_iterations, options=None):
+            return np.full(chain.n_states, 1.0 / chain.n_states)
+
+        registry = {"liar": liar, "direct": __import__(
+            "repro.ctmc.steady", fromlist=["SOLVERS"]).SOLVERS["direct"]}
+        policy = FallbackPolicy(methods=("liar", "direct"))
+        pi, diag = solve_with_fallback(chain, policy, solvers=registry)
+        assert diag.attempts[0].outcome == "bad-residual"
+        assert diag.method == "direct"
+        assert np.allclose(pi, steady_state(chain, "direct"), atol=1e-8)
+
+
+class TestReducibleChains:
+    def test_bscc_embedding(self):
+        # 0 -> 1 <-> 2 : transient start-up, recurrent {1, 2}
+        chain = build_ctmc(
+            3, [(0, "s", 1.0, 1), (1, "a", 1.0, 2), (2, "b", 3.0, 1)]
+        )
+        pi, diag = solve_with_fallback(chain, reducible="bscc")
+        assert pi[0] == 0.0
+        assert np.isclose(pi.sum(), 1.0)
+        expected = steady_state(chain, "direct", reducible="bscc")
+        assert np.allclose(pi, expected, atol=1e-8)
+
+    def test_reducible_error_policy(self):
+        chain = build_ctmc(3, [(0, "a", 1.0, 1), (1, "b", 1.0, 2)])
+        with pytest.raises(SolverError, match="irreducible"):
+            solve_with_fallback(chain)
+
+
+class TestDiagnostics:
+    def test_table_and_summary_render(self, chain):
+        with inject_fault("direct", FaultSpec(kind="converge")):
+            _, diag = solve_with_fallback(chain)
+        table = diag.as_table()
+        assert "direct" in table and "gmres" in table
+        assert "failed" in table and "converged" in table
+        assert "solved by gmres" in diag.summary()
+
+    def test_single_state_chain_is_trivial(self):
+        chain = build_ctmc(1, [(0, "tick", 1.0, 0)])
+        pi, diag = solve_with_fallback(chain)
+        assert pi.tolist() == [1.0]
+        assert diag.method == "trivial"
