@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""The perf-trajectory bench harness.
+
+Runs the paper's parameterised workload families
+(:mod:`repro.workloads.scaling` plus the Figure 1 file protocol) at
+several scaling sizes and writes a schema-stable ``BENCH_*.json`` so
+every subsequent PR can be compared against this one's baseline.
+
+Per run it records, via the :mod:`repro.obs` tracer:
+
+* per-stage wall-clock seconds — ``derive`` (state/marking space),
+  ``assemble`` (generator build), ``solve`` (steady state);
+* state and transition counts (from the metrics registry);
+* peak RSS (``resource.getrusage``, kilobytes on Linux).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full sweep
+    PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py -o BENCH_PR2.json
+
+The schema (``repro-bench/1``) is part of the repo's public surface:
+``benchmarks/run_bench.py --quick`` runs in CI and the golden keys are
+asserted by ``tests/obs/test_bench_harness.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+# Allow running straight from a checkout without installing.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy
+import scipy
+
+from repro.obs import observe
+from repro.pepa.ctmcgen import ctmc_from_statespace
+from repro.pepa.parser import parse_model
+from repro.pepa.statespace import derive
+from repro.pepanets.measures import ctmc_of_net
+from repro.ctmc.steady import steady_state
+from repro.workloads import (
+    client_server_model,
+    courier_ring_net,
+    roaming_fleet_net,
+    tandem_queue_model,
+)
+
+SCHEMA = "repro-bench/1"
+
+FILE_PROTOCOL_TEMPLATE = """
+r_o = 2.0; r_r = 10.0; r_w = 4.0; r_c = 1.0;
+File = (openread, r_o).InStream + (openwrite, r_o).OutStream;
+InStream = (read, r_r).InStream + (close, r_c).File;
+OutStream = (write, r_w).OutStream + (close, r_c).File;
+FileReader = (openread, T).Reading + (openwrite, T).Writing;
+Reading = (read, T).Reading + (close, T).FileReader;
+Writing = (write, T).Writing + (close, T).FileReader;
+{system}
+"""
+
+
+def file_protocol_model(n_readers: int):
+    """The quickstart file protocol scaled to ``n_readers`` independent
+    reader components competing for one file."""
+    readers = " || ".join(["FileReader"] * n_readers)
+    system = f"File <openread, openwrite, read, write, close> ({readers})"
+    return parse_model(FILE_PROTOCOL_TEMPLATE.format(system=system))
+
+
+#: workload name -> (kind, builder, {label: size_kwargs}).  ``quick``
+#: sizes are the first entry of each dict; the full sweep runs all.
+WORKLOADS = {
+    "file_protocol": (
+        "pepa",
+        file_protocol_model,
+        [{"n_readers": 1}, {"n_readers": 2}, {"n_readers": 3}],
+    ),
+    "client_server": (
+        "pepa",
+        client_server_model,
+        [{"n_clients": 3}, {"n_clients": 5}, {"n_clients": 7}],
+    ),
+    "tandem_queue": (
+        "pepa",
+        tandem_queue_model,
+        [{"stages": 2, "capacity": 3}, {"stages": 3, "capacity": 3},
+         {"stages": 3, "capacity": 5}],
+    ),
+    "courier_ring": (
+        "net",
+        courier_ring_net,
+        [{"n_places": 3, "n_couriers": 2}, {"n_places": 4, "n_couriers": 2},
+         {"n_places": 5, "n_couriers": 3}],
+    ),
+    "roaming_fleet": (
+        "net",
+        roaming_fleet_net,
+        [{"n_sessions": 2, "n_transmitters": 3},
+         {"n_sessions": 3, "n_transmitters": 3},
+         {"n_sessions": 3, "n_transmitters": 4}],
+    ),
+}
+
+#: span name -> bench stage name
+STAGE_SPANS = {
+    "pepa.statespace": "derive",
+    "pepanet.markingspace": "derive",
+    "ctmc.assemble": "assemble",
+    "ctmc.solve": "solve",
+    "ctmc.solve.fallback": "solve",
+}
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KB on Linux, bytes on macOS.
+    return usage // 1024 if sys.platform == "darwin" else usage
+
+
+def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
+    """One benchmark run: build, derive, assemble, solve, all traced."""
+    model = builder(**size)
+    t0 = time.perf_counter()
+    with observe() as (tracer, metrics):
+        if kind == "pepa":
+            space = derive(model)
+            chain = ctmc_from_statespace(space)
+        else:
+            space, chain = ctmc_of_net(model)
+        steady_state(chain, method=solver, reducible="bscc")
+    total = time.perf_counter() - t0
+
+    stages: dict[str, float] = {}
+    for root in tracer.roots:
+        for span in root.iter_spans():
+            stage = STAGE_SPANS.get(span.name)
+            if stage is not None:
+                stages[stage] = stages.get(stage, 0.0) + span.duration
+    return {
+        "workload": workload,
+        "kind": kind,
+        "size": size,
+        "solver": solver,
+        "n_states": int(metrics.counter("states_explored").value),
+        "n_transitions": int(metrics.counter("transitions").value),
+        "stages": {name: round(seconds, 6) for name, seconds in sorted(stages.items())},
+        "total_s": round(total, 6),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def run_suite(*, quick: bool, solver: str, sizes_per_workload: int | None = None,
+              progress=print) -> dict:
+    """Run the whole sweep and return the JSON-ready document."""
+    n_sizes = 2 if quick else (sizes_per_workload or None)
+    runs = []
+    for workload, (kind, builder, sizes) in WORKLOADS.items():
+        chosen = sizes[:n_sizes] if n_sizes else sizes
+        for size in chosen:
+            label = ", ".join(f"{k}={v}" for k, v in size.items())
+            progress(f"  {workload} ({label}) ...")
+            record = run_one(workload, kind, builder, size, solver)
+            progress(
+                f"    {record['n_states']} states in {record['total_s']:.3f}s "
+                f"{record['stages']}"
+            )
+            runs.append(record)
+    return {
+        "schema": SCHEMA,
+        "label": "PR2",
+        "created_unix": int(time.time()),
+        "quick": quick,
+        "solver": solver,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "scipy": scipy.__version__,
+        },
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="2 sizes per workload (the CI smoke sweep)")
+    parser.add_argument("--solver", default="direct",
+                        help="steady-state method for every solve (default: direct)")
+    parser.add_argument("-o", "--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_PR2.json",
+                        help="where to write the JSON document")
+    args = parser.parse_args(argv)
+
+    print(f"bench sweep ({'quick' if args.quick else 'full'}, solver={args.solver})")
+    document = run_suite(quick=args.quick, solver=args.solver)
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {len(document['runs'])} runs to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "-v", "--verbose", action="store_true",
             help="print the solver attempt table (SolveDiagnostics)")
+        cmd.add_argument(
+            "--trace", type=Path, metavar="FILE",
+            help="record a span trace of the run and write it as JSON")
+        cmd.add_argument(
+            "--metrics", action="store_true",
+            help="collect pipeline metrics (states, iterations, residuals) "
+                 "and print them after the run")
 
     analyse = sub.add_parser("analyse", help="run the full Figure 4 pipeline on an XMI file")
     analyse.add_argument("model", type=Path, help="Poseidon-flavoured XMI file")
@@ -280,6 +287,35 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in records) else 1
 
 
+def _run_observed(handler, args: argparse.Namespace) -> int:
+    """Run a handler under a live tracer/metrics pair when requested.
+
+    ``--trace FILE`` serialises the span forest (plus any metrics) as
+    JSON; ``--metrics`` prints the metrics table after the run.  Both
+    artefacts are still emitted when the handler raises, so failed runs
+    leave evidence behind.
+    """
+    from repro.obs import (
+        MetricsRegistry, Tracer, render_metrics, use_metrics, use_tracer,
+        write_trace_file,
+    )
+
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        return handler(args)
+    tracer, metrics = Tracer(), MetricsRegistry()
+    try:
+        with use_tracer(tracer), use_metrics(metrics):
+            return handler(args)
+    finally:
+        if trace_path:
+            write_trace_file(trace_path, tracer, metrics)
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if want_metrics:
+            print(render_metrics(metrics))
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch a sub-command, mapping library errors to exit code 2."""
     args = build_parser().parse_args(argv)
@@ -294,7 +330,7 @@ def main(argv: list[str] | None = None) -> int:
         "dot": _cmd_dot,
     }
     try:
-        return handlers[args.command](args)
+        return _run_observed(handlers[args.command], args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ReproError
 from repro.extract.activity2pepanet import ExtractionResult, extract_activity_diagram
+from repro.obs import get_tracer
 from repro.extract.rates import RateTable
 from repro.extract.statechart2pepa import StatechartExtraction, compose_state_machines
 from repro.pepa.measures import ModelAnalysis
@@ -219,19 +220,26 @@ class Choreographer:
         Library errors are re-raised with ``stage`` and ``diagram``
         merged into their :attr:`~repro.exceptions.ReproError.context`.
         """
-        stage = "extract"
-        try:
-            extraction = extract_activity_diagram(
-                graph, rates, loop=loop, reset_rate=reset_rate
-            )
-            stage = "solve"
-            analysis = self.net_workbench.solve(extraction.net)
-            stage = "reflect"
-            results = results_of_net_analysis(extraction, analysis)
-            reflect_activity_results(extraction, results)
-        except ReproError as exc:
-            exc.context["pipeline_stage"] = stage
-            raise exc.with_context(stage=stage, diagram=graph.name)
+        tracer = get_tracer()
+        with tracer.span("diagram.activity", diagram=graph.name) as dsp:
+            stage = "extract"
+            try:
+                with tracer.span("extract"):
+                    extraction = extract_activity_diagram(
+                        graph, rates, loop=loop, reset_rate=reset_rate
+                    )
+                stage = "solve"
+                with tracer.span("solve"):
+                    analysis = self.net_workbench.solve(extraction.net)
+                stage = "reflect"
+                with tracer.span("reflect"):
+                    results = results_of_net_analysis(extraction, analysis)
+                    reflect_activity_results(extraction, results)
+            except ReproError as exc:
+                dsp.set(failed_stage=stage)
+                exc.context["pipeline_stage"] = stage
+                raise exc.with_context(stage=stage, diagram=graph.name)
+            dsp.set(states=analysis.n_states)
         return ActivityOutcome(
             extraction=extraction, analysis=analysis, results=results, graph=graph
         )
@@ -252,20 +260,27 @@ class Choreographer:
         merged into their :attr:`~repro.exceptions.ReproError.context`.
         """
         names = ",".join(m.name for m in machines)
-        stage = "extract"
-        try:
-            model, extractions = compose_state_machines(
-                machines, rates, cooperation=cooperation
-            )
-            stage = "solve"
-            analysis = self.pepa_workbench.solve(model)
-            stage = "reflect"
-            results = results_of_model_analysis(extractions, analysis)
-            for extraction in extractions:
-                reflect_state_probabilities(extraction, results)
-        except ReproError as exc:
-            exc.context["pipeline_stage"] = stage
-            raise exc.with_context(stage=stage, diagram=names)
+        tracer = get_tracer()
+        with tracer.span("diagram.statecharts", diagram=names) as dsp:
+            stage = "extract"
+            try:
+                with tracer.span("extract"):
+                    model, extractions = compose_state_machines(
+                        machines, rates, cooperation=cooperation
+                    )
+                stage = "solve"
+                with tracer.span("solve"):
+                    analysis = self.pepa_workbench.solve(model)
+                stage = "reflect"
+                with tracer.span("reflect"):
+                    results = results_of_model_analysis(extractions, analysis)
+                    for extraction in extractions:
+                        reflect_state_probabilities(extraction, results)
+            except ReproError as exc:
+                dsp.set(failed_stage=stage)
+                exc.context["pipeline_stage"] = stage
+                raise exc.with_context(stage=stage, diagram=names)
+            dsp.set(states=analysis.n_states)
         return StatechartOutcome(
             extractions=extractions, analysis=analysis, results=results, machines=machines
         )
@@ -300,8 +315,12 @@ class Choreographer:
         there is nothing to degrade to.
         """
         strict = self.strict if strict is None else strict
-        clean = preprocess(poseidon_text)
-        model = read_model(clean)
+        tracer = get_tracer()
+        with tracer.span("pipeline.read", chars=len(poseidon_text)) as rsp:
+            clean = preprocess(poseidon_text)
+            model = read_model(clean)
+            rsp.set(activity_diagrams=len(model.activity_graphs),
+                    state_machines=len(model.state_machines))
         report = PipelineReport()
 
         activity_outcomes: list[ActivityOutcome] = []
@@ -333,8 +352,9 @@ class Choreographer:
                 report.add(ctx.get("pipeline_stage", ctx.get("stage", "extract")),
                            names, exc)
 
-        reflected = write_model(model)
-        merged = postprocess(reflected, poseidon_text)
+        with tracer.span("pipeline.write"):
+            reflected = write_model(model)
+            merged = postprocess(reflected, poseidon_text)
         return PipelineResult(
             document=merged,
             activity_outcomes=activity_outcomes,

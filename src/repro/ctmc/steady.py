@@ -38,6 +38,7 @@ import scipy.sparse.linalg as spla
 
 from repro.ctmc.chain import CTMC
 from repro.exceptions import SolverError
+from repro.obs import get_metrics, get_tracer
 
 __all__ = ["steady_state", "SOLVERS"]
 
@@ -127,8 +128,15 @@ def steady_state(
             pi[members] = pi_sub
             return pi
         raise _irreducibility_failure(chain)
-    pi = _call_solver(solver, chain, tol, max_iterations, solver_options)
-    return _normalise(pi, method, tol)
+    tracer = get_tracer()
+    with tracer.span("ctmc.solve", method=method, states=chain.n_states) as sp:
+        pi = _call_solver(solver, chain, tol, max_iterations, solver_options)
+        pi = _normalise(pi, method, tol)
+        if tracer.enabled:
+            residual = float(np.abs(chain.Q.transpose() @ pi).max())
+            sp.set(residual=residual)
+            get_metrics().gauge("residual").set(residual)
+    return pi
 
 
 def _irreducibility_failure(chain: CTMC) -> SolverError:
@@ -226,10 +234,20 @@ def _krylov(name: str) -> Callable[..., np.ndarray]:
             M = None
         x0 = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
         fn = spla.gmres if name == "gmres" else spla.bicgstab
-        kwargs = {"rtol": max(tol, 1e-12), "maxiter": max_iterations, "M": M, "x0": x0}
+        iterations = [0]
+
+        def count_iteration(_arg):
+            iterations[0] += 1
+
+        kwargs = {"rtol": max(tol, 1e-12), "maxiter": max_iterations, "M": M,
+                  "x0": x0, "callback": count_iteration}
         if name == "gmres":
             kwargs["restart"] = min(50, n)
+            kwargs["callback_type"] = "legacy"
         pi, info = fn(A, b, **kwargs)
+        metrics = get_metrics()
+        metrics.counter("solver_iterations").inc(iterations[0])
+        metrics.counter("spmv_count").inc(iterations[0])
         if info != 0:
             raise SolverError(f"{name} failed to converge (info={info})")
         return np.asarray(pi).ravel()
@@ -247,12 +265,18 @@ def _solve_power(chain: CTMC, tol: float, max_iterations: int,
     pi = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
     pi = np.clip(pi, 0.0, None)
     pi /= pi.sum()
-    for _ in range(max_iterations):
-        nxt = PT @ pi
-        nxt /= nxt.sum()
-        if np.abs(nxt - pi).max() < tol:
-            return nxt
-        pi = nxt
+    it = 0
+    try:
+        for it in range(1, max_iterations + 1):
+            nxt = PT @ pi
+            nxt /= nxt.sum()
+            if np.abs(nxt - pi).max() < tol:
+                return nxt
+            pi = nxt
+    finally:
+        metrics = get_metrics()
+        metrics.counter("solver_iterations").inc(it)
+        metrics.counter("spmv_count").inc(it)
     raise SolverError(f"power iteration did not converge in {max_iterations} steps")
 
 
@@ -277,25 +301,31 @@ def _stationary_iteration(use_latest: bool) -> Callable[..., np.ndarray]:
         if np.any(diag == 0.0):
             raise SolverError("stationary iteration requires every state to have an exit rate")
         pi = np.full(n, 1.0 / n)
-        for _ in range(max_iterations):
-            src = pi if use_latest else pi.copy()
-            max_delta = 0.0
-            for i in range(n):
-                acc = 0.0
-                for k in range(indptr[i], indptr[i + 1]):
-                    j = indices[k]
-                    if j != i:
-                        acc += data[k] * src[j]
-                new = omega * (acc / -diag[i]) + (1.0 - omega) * src[i]
-                delta = abs(new - pi[i])
-                if delta > max_delta:
-                    max_delta = delta
-                pi[i] = new
-            total = pi.sum()
-            if total > 0:
-                pi /= total
-            if max_delta < tol:
-                return pi
+        sweeps = 0
+        try:
+            for sweeps in range(1, max_iterations + 1):
+                src = pi if use_latest else pi.copy()
+                max_delta = 0.0
+                for i in range(n):
+                    acc = 0.0
+                    for k in range(indptr[i], indptr[i + 1]):
+                        j = indices[k]
+                        if j != i:
+                            acc += data[k] * src[j]
+                    new = omega * (acc / -diag[i]) + (1.0 - omega) * src[i]
+                    delta = abs(new - pi[i])
+                    if delta > max_delta:
+                        max_delta = delta
+                    pi[i] = new
+                total = pi.sum()
+                if total > 0:
+                    pi /= total
+                if max_delta < tol:
+                    return pi
+        finally:
+            metrics = get_metrics()
+            metrics.counter("solver_iterations").inc(sweeps)
+            metrics.counter("spmv_count").inc(sweeps)
         raise SolverError(
             f"{'gauss_seidel' if use_latest else 'jacobi'} did not converge "
             f"in {max_iterations} sweeps"

@@ -1,0 +1,94 @@
+"""Observability for the tool chain: span tracing + metrics + exporters.
+
+The numerical representation dominates the cost of the whole pipeline
+(Ding & Hillston, arXiv:1012.3040), so this package makes that cost
+visible: hierarchical wall-clock spans over every stage (parse, derive,
+assemble, solve, reflect), a metrics registry for the vital counts
+(``states_explored``, ``transitions``, ``solver_iterations``,
+``spmv_count``, ``residual``), and exporters to JSON and terminal
+trees.
+
+Everything is off by default and zero-cost when off: instrumented code
+routes through :func:`get_tracer` / :func:`get_metrics`, which return
+shared no-op singletons unless a caller installed live collectors::
+
+    from repro.obs import Tracer, MetricsRegistry, use_tracer, use_metrics
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        analysis = workbench.solve_source(source)
+    print(render_trace(tracer))
+    print(render_metrics(metrics))
+
+:func:`observe` bundles the two installs for the common case.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.export import (
+    metrics_to_json,
+    render_metrics,
+    render_trace,
+    trace_to_json,
+    write_trace_file,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "observe",
+    "trace_to_json",
+    "metrics_to_json",
+    "render_trace",
+    "render_metrics",
+    "write_trace_file",
+]
+
+
+@contextmanager
+def observe() -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Install a fresh tracer + registry for the ``with`` block.
+
+    Yields ``(tracer, metrics)``; both previous ambients are restored
+    on exit, so nested observations compose.
+    """
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        yield tracer, metrics

@@ -1,0 +1,103 @@
+"""Exporters: trace/metric state to JSON documents and terminal text.
+
+Two audiences:
+
+* machines — :func:`trace_to_json` / :func:`metrics_to_json` produce
+  schema-versioned dicts (``repro-trace/1``, ``repro-metrics/1``) that
+  the bench harness and the CLI ``--trace FILE`` flag serialise;
+* humans — :func:`render_trace` draws the span forest as an indented
+  tree with durations and attributes, :func:`render_metrics` an aligned
+  table, both plain ASCII-art suitable for a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.tracing import NullTracer, Span, Tracer
+from repro.utils.formatting import format_table
+
+__all__ = [
+    "trace_to_json",
+    "metrics_to_json",
+    "render_trace",
+    "render_metrics",
+    "write_trace_file",
+]
+
+
+def trace_to_json(tracer: Tracer | NullTracer) -> dict[str, Any]:
+    """The tracer's span forest as a schema-versioned JSON-ready dict."""
+    return tracer.to_dict()
+
+
+def metrics_to_json(registry: MetricsRegistry | NullMetrics) -> dict[str, Any]:
+    """The registry's snapshot as a schema-versioned JSON-ready dict."""
+    return registry.as_dict()
+
+
+def write_trace_file(path, tracer: Tracer | NullTracer,
+                     metrics: MetricsRegistry | NullMetrics | None = None) -> None:
+    """Serialise the trace (and optional metrics) to one JSON file."""
+    document: dict[str, Any] = trace_to_json(tracer)
+    if metrics is not None:
+        document["metrics"] = metrics_to_json(metrics)["metrics"]
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, default=str)
+        fh.write("\n")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_span(span: Span, prefix: str, is_last: bool, lines: list[str]) -> None:
+    connector = "`- " if is_last else "|- "
+    attrs = ", ".join(
+        f"{k}={_format_value(v)}" for k, v in sorted(span.attributes.items())
+    )
+    suffix = f"  [{attrs}]" if attrs else ""
+    lines.append(f"{prefix}{connector}{span.name}  {span.duration * 1e3:.3f} ms{suffix}")
+    child_prefix = prefix + ("   " if is_last else "|  ")
+    for i, child in enumerate(span.children):
+        _render_span(child, child_prefix, i == len(span.children) - 1, lines)
+
+
+def render_trace(tracer: Tracer | NullTracer) -> str:
+    """The span forest as a human-readable tree with millisecond timings."""
+    roots = tracer.roots
+    if not roots:
+        return "(no spans recorded)"
+    lines: list[str] = []
+    for root in roots:
+        attrs = ", ".join(
+            f"{k}={_format_value(v)}" for k, v in sorted(root.attributes.items())
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(f"{root.name}  {root.duration * 1e3:.3f} ms{suffix}")
+        for i, child in enumerate(root.children):
+            _render_span(child, "", i == len(root.children) - 1, lines)
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry | NullMetrics) -> str:
+    """The registry as an aligned name/type/value table."""
+    snapshot = registry.as_dict()["metrics"]
+    if not snapshot:
+        return "(no metrics recorded)"
+    rows = []
+    for name, data in snapshot.items():
+        kind = data.get("type", "?")
+        if kind == "histogram":
+            value = (
+                f"count={data['count']} sum={_format_value(data['sum'])} "
+                f"min={_format_value(data['min'])} max={_format_value(data['max'])}"
+            )
+        else:
+            value = _format_value(data.get("value"))
+        rows.append([name, kind, value])
+    return format_table(["metric", "type", "value"], rows)

@@ -1,0 +1,264 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+The numerical pipeline's vital signs — ``states_explored``,
+``transitions``, ``solver_iterations``, ``spmv_count``, ``residual`` —
+are recorded here by the instrumented layers.  The design mirrors the
+tracer: library code asks :func:`get_metrics` for the ambient registry,
+which defaults to the no-op :data:`NULL_METRICS`, so a pipeline run
+with metrics disabled pays one method call returning a shared
+singleton per instrument lookup and nothing per update.
+
+Instruments are created on first use and aggregate in-process::
+
+    metrics = MetricsRegistry()
+    with use_metrics(metrics):
+        run_pipeline(...)
+    metrics.counter("states_explored").value
+    metrics.as_dict()   # JSON-ready snapshot
+
+Labels are deliberately out of scope (one process, one pipeline run at
+a time); encode a dimension in the name (``solve.gmres.iterations``)
+when needed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, states, iterations)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot: type tag plus current value."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that may go up or down (residual, RSS)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the latest observed value, replacing any previous one."""
+        self.value = value
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot: type tag plus current value."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Summary statistics of an observed distribution.
+
+    Keeps count/sum/min/max — enough for mean and extremes without
+    bucket configuration; the bench harness records whole samples
+    itself when percentiles matter.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the count/sum/min/max summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None or value < self.min else self.min
+        self.max = value if self.max is None or value > self.max else self.max
+
+    @property
+    def mean(self) -> float | None:
+        """Arithmetic mean of the samples (``None`` before the first)."""
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot of the summary statistics."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument, created on first use, one kind per name."""
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        """Every registered instrument name, sorted."""
+        return sorted(self._instruments)
+
+    def clear(self) -> None:
+        """Drop every instrument (a fresh registry is usually better)."""
+        self._instruments.clear()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot of every instrument, sorted by name."""
+        return {
+            "schema": "repro-metrics/1",
+            "metrics": {
+                name: self._instruments[name].as_dict() for name in self.names()
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared sink standing in for every instrument when metrics are off."""
+
+    __slots__ = ()
+
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every lookup returns the shared sink."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument, whatever the name."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument, whatever the name."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument, whatever the name."""
+        return _NULL_INSTRUMENT
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def names(self) -> list[str]:
+        """Always empty: nothing is ever registered."""
+        return []
+
+    def clear(self) -> None:
+        """No-op: there is nothing to drop."""
+        pass
+
+    def as_dict(self) -> dict[str, Any]:
+        """An empty but schema-valid snapshot."""
+        return {"schema": "repro-metrics/1", "metrics": {}}
+
+
+#: The process-wide default: metrics off.
+NULL_METRICS = NullMetrics()
+
+_active_metrics: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The ambient registry instrumented code should record into."""
+    return _active_metrics
+
+
+def set_metrics(registry: MetricsRegistry | NullMetrics | None) -> MetricsRegistry | NullMetrics:
+    """Install ``registry`` (``None`` = disable); returns the previous one."""
+    global _active_metrics
+    previous = _active_metrics
+    _active_metrics = NULL_METRICS if registry is None else registry
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | NullMetrics) -> Iterator[MetricsRegistry | NullMetrics]:
+    """Scoped installation: the previous registry is restored on exit."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -10,6 +10,7 @@ do count as completed work.
 from __future__ import annotations
 
 from repro.ctmc.chain import CTMC, build_ctmc
+from repro.obs import get_tracer
 from repro.pepa.environment import PepaModel
 from repro.pepa.statespace import DEFAULT_MAX_STATES, StateSpace, derive
 
@@ -18,9 +19,13 @@ __all__ = ["ctmc_from_statespace", "ctmc_of_model"]
 
 def ctmc_from_statespace(space: StateSpace) -> CTMC:
     """Build the CTMC (generator + labels + action-rate vectors)."""
-    transitions = [(arc.source, arc.action, arc.rate, arc.target) for arc in space.arcs]
-    labels = [space.state_label(i) for i in range(space.size)]
-    return build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
+    with get_tracer().span("ctmc.assemble", states=space.size,
+                           arcs=len(space.arcs)) as sp:
+        transitions = [(arc.source, arc.action, arc.rate, arc.target) for arc in space.arcs]
+        labels = [space.state_label(i) for i in range(space.size)]
+        chain = build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
+        sp.set(nnz=int(chain.Q.nnz))
+    return chain
 
 
 def ctmc_of_model(model: PepaModel, *, max_states: int = DEFAULT_MAX_STATES) -> tuple[StateSpace, CTMC]:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import PepaSyntaxError, RateError, WellFormednessError
+from repro.obs import get_tracer
 from repro.pepa.environment import Environment, PepaModel
 from repro.pepa.lexer import Token, TokenStream, tokenize
 from repro.pepa.rates import ActiveRate, PassiveRate, Rate
@@ -362,6 +363,14 @@ def _is_definition(stmt: list[Token]) -> bool:
 
 def parse_model(source: str) -> PepaModel:
     """Parse a complete PEPA model (definitions + system equation)."""
+    with get_tracer().span("pepa.parse", source_chars=len(source)) as sp:
+        model = _parse_model(source)
+        sp.set(components=len(model.environment.components),
+               rates=len(model.environment.rates))
+    return model
+
+
+def _parse_model(source: str) -> PepaModel:
     tokens = tokenize(source)
     statements = _split_statements(tokens)
     if not statements:

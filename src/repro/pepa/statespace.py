@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.obs import get_metrics, get_tracer
 from repro.pepa.environment import Environment, PepaModel
 from repro.pepa.semantics import Transition, derivatives
 from repro.pepa.syntax import Expression
@@ -115,27 +116,33 @@ def explore(
     arcs: list[LabelledArc] = []
     queue: deque[Expression] = deque([initial])
 
-    while queue:
-        state = queue.popleft()
-        src = index[state]
-        if budget is not None:
-            budget.checkpoint(
-                stage="pepa state space", explored=len(states), frontier=len(queue)
-            )
-        for tr in derivatives(state, env, exclude=exclude):
-            _require_active(tr, state)
-            tgt = index.get(tr.target)
-            if tgt is None:
-                if len(states) >= max_states:
-                    raise StateSpaceError(
-                        f"state space exceeds the configured bound of {max_states} states; "
-                        "raise max_states or aggregate the model"
-                    )
-                tgt = len(states)
-                index[tr.target] = tgt
-                states.append(tr.target)
-                queue.append(tr.target)
-            arcs.append(LabelledArc(src, tr.action, tr.rate.value, tgt))
+    with get_tracer().span("pepa.statespace", max_states=max_states) as sp:
+        while queue:
+            state = queue.popleft()
+            src = index[state]
+            if budget is not None:
+                budget.checkpoint(
+                    stage="pepa state space", explored=len(states), frontier=len(queue)
+                )
+            for tr in derivatives(state, env, exclude=exclude):
+                _require_active(tr, state)
+                tgt = index.get(tr.target)
+                if tgt is None:
+                    if len(states) >= max_states:
+                        sp.set(states=len(states), arcs=len(arcs))
+                        raise StateSpaceError(
+                            f"state space exceeds the configured bound of {max_states} states; "
+                            "raise max_states or aggregate the model"
+                        )
+                    tgt = len(states)
+                    index[tr.target] = tgt
+                    states.append(tr.target)
+                    queue.append(tr.target)
+                arcs.append(LabelledArc(src, tr.action, tr.rate.value, tgt))
+        sp.set(states=len(states), arcs=len(arcs))
+    metrics = get_metrics()
+    metrics.counter("states_explored").inc(len(states))
+    metrics.counter("transitions").inc(len(arcs))
     return StateSpace(states=states, arcs=arcs, index=index)
 
 

@@ -6,6 +6,8 @@
   the picture the paper draws for its examples;
 * :func:`marking_space_dot` — the full marking-level LTS with arcs
   labelled ``action, rate`` and firings highlighted;
+* :func:`net_source` — the textual PEPA-net dialect of
+  :mod:`repro.pepanets.parser`, closing the parse/print round trip;
 * the CTMC-level exporters of :mod:`repro.ctmc.export` apply unchanged
   via :func:`repro.pepanets.measures.ctmc_of_net`.
 """
@@ -15,7 +17,19 @@ from __future__ import annotations
 from repro.pepanets.semantics import NetStateSpace
 from repro.pepanets.syntax import PepaNet, find_cells
 
-__all__ = ["net_structure_dot", "marking_space_dot"]
+__all__ = ["net_source", "net_structure_dot", "marking_space_dot"]
+
+
+def net_source(net: PepaNet) -> str:
+    """Render ``net`` in the textual dialect :func:`repro.pepanets.parser.parse_net`
+    reads, such that parsing the result reproduces the same definitions.
+
+    Rate constants were already resolved to numbers at parse time, so
+    the output inlines numeric rates instead of re-deriving constant
+    definitions; the net's structure (components, places, transitions)
+    round-trips exactly.
+    """
+    return str(net) + "\n"
 
 
 def _escape(text: str) -> str:

@@ -16,6 +16,7 @@ from repro.ctmc import rewards
 from repro.ctmc.chain import CTMC, build_ctmc
 from repro.ctmc.steady import steady_state
 from repro.exceptions import SolverError
+from repro.obs import get_tracer
 from repro.pepa.statespace import DEFAULT_MAX_STATES
 from repro.pepanets.semantics import NetStateSpace, explore_net
 from repro.pepanets.syntax import NetMarking, PepaNet, find_cells
@@ -31,9 +32,13 @@ def ctmc_of_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES,
     :class:`~repro.resilience.budget.ExecutionBudget`.
     """
     space = explore_net(net, max_states=max_states, budget=budget)
-    transitions = [(a.source, a.action, a.rate, a.target) for a in space.arcs]
-    labels = [space.state_label(i) for i in range(space.size)]
-    return space, build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
+    with get_tracer().span("ctmc.assemble", states=space.size,
+                           arcs=len(space.arcs)) as sp:
+        transitions = [(a.source, a.action, a.rate, a.target) for a in space.arcs]
+        labels = [space.state_label(i) for i in range(space.size)]
+        chain = build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
+        sp.set(nnz=int(chain.Q.nnz))
+    return space, chain
 
 
 class NetAnalysis:

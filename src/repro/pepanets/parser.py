@@ -24,6 +24,7 @@ and may appear in any order.
 from __future__ import annotations
 
 from repro.exceptions import PepaSyntaxError, WellFormednessError
+from repro.obs import get_tracer
 from repro.pepa.environment import Environment
 from repro.pepa.lexer import Token, TokenStream, tokenize
 from repro.pepa.parser import (
@@ -63,6 +64,13 @@ def _stream_of(stmt: list[Token], offset: int = 0) -> TokenStream:
 
 def parse_net(source: str) -> PepaNet:
     """Parse a complete PEPA net model."""
+    with get_tracer().span("pepanet.parse", source_chars=len(source)) as sp:
+        net = _parse_net(source)
+        sp.set(places=len(net.places), net_transitions=len(net.transitions))
+    return net
+
+
+def _parse_net(source: str) -> PepaNet:
     tokens = tokenize(source)
     statements = _split_statements(tokens)
     if not statements:

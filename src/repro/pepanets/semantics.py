@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.obs import get_metrics, get_tracer
 from repro.pepa.semantics import derivatives
 from repro.pepa.statespace import DEFAULT_MAX_STATES, LabelledArc
 from repro.pepanets.firing import DerivativeSets, firing_instances
@@ -111,24 +112,32 @@ def explore_net(
     arcs: list[LabelledArc] = []
     queue: deque[NetMarking] = deque([initial])
 
-    while queue:
-        marking = queue.popleft()
-        src = index[marking]
-        if budget is not None:
-            budget.checkpoint(
-                stage="pepa-net marking space",
-                explored=len(markings), frontier=len(queue),
-            )
-        for action, rate, successor in net_arcs(net, marking, ds):
-            tgt = index.get(successor)
-            if tgt is None:
-                if len(markings) >= max_states:
-                    raise StateSpaceError(
-                        f"PEPA-net marking space exceeds {max_states} states"
-                    )
-                tgt = len(markings)
-                index[successor] = tgt
-                markings.append(successor)
-                queue.append(successor)
-            arcs.append(LabelledArc(src, action, rate, tgt))
+    with get_tracer().span("pepanet.markingspace", places=len(net.places),
+                           net_transitions=len(net.transitions),
+                           max_states=max_states) as sp:
+        while queue:
+            marking = queue.popleft()
+            src = index[marking]
+            if budget is not None:
+                budget.checkpoint(
+                    stage="pepa-net marking space",
+                    explored=len(markings), frontier=len(queue),
+                )
+            for action, rate, successor in net_arcs(net, marking, ds):
+                tgt = index.get(successor)
+                if tgt is None:
+                    if len(markings) >= max_states:
+                        sp.set(markings=len(markings), arcs=len(arcs))
+                        raise StateSpaceError(
+                            f"PEPA-net marking space exceeds {max_states} states"
+                        )
+                    tgt = len(markings)
+                    index[successor] = tgt
+                    markings.append(successor)
+                    queue.append(successor)
+                arcs.append(LabelledArc(src, action, rate, tgt))
+        sp.set(markings=len(markings), arcs=len(arcs))
+    metrics = get_metrics()
+    metrics.counter("states_explored").inc(len(markings))
+    metrics.counter("transitions").inc(len(arcs))
     return NetStateSpace(net=net, markings=markings, arcs=arcs, index=index)

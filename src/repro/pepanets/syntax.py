@@ -225,11 +225,18 @@ class PepaNet:
         return tuple(self.places)
 
     def __str__(self) -> str:
+        # _paren_seq wraps Choice contents in parentheses: the parser
+        # reads each initial cell content as a seq *factor*, so a bare
+        # "P + Q" in the bracket would not round-trip.
+        from repro.pepa.syntax import _paren_seq
+
         lines = []
         for name, body in self.environment.components.items():
             lines.append(f"{name} = {body};")
         for place in self.places.values():
-            contents = ", ".join("_" if c is None else str(c) for c in place.initial_contents)
+            contents = ", ".join(
+                "_" if c is None else _paren_seq(c) for c in place.initial_contents
+            )
             lines.append(f"{place.name}[{contents}] = {place.template};")
         for t in self.transitions.values():
             lines.append(

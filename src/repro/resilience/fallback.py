@@ -31,6 +31,7 @@ from repro.ctmc.steady import (
     _normalise,
 )
 from repro.exceptions import SolverError
+from repro.obs import get_metrics, get_tracer
 from repro.resilience.budget import Deadline
 from repro.utils.formatting import format_table
 
@@ -259,61 +260,84 @@ def solve_with_fallback(
     rate_scale = max(1.0, float(np.abs(chain.Q.diagonal()).max()))
     residual_bound = policy.residual_tol * rate_scale
 
-    for method in policy.methods:
-        for attempt in range(1, policy.attempts_for(method) + 1):
-            if deadline.expired:
-                diag.record(
-                    method, attempt, "deadline", 0.0,
-                    detail=f"skipped: {policy.deadline:g}s budget exhausted",
-                )
-                diag.elapsed = time.monotonic() - start
-                exc = SolverError(
-                    f"steady-state deadline of {policy.deadline:g}s exhausted "
-                    f"after {len(diag.attempts)} attempt(s); {diag.summary()}"
-                ).with_context(stage="solve", attempt=len(diag.attempts))
-                exc.diagnostics = diag
-                raise exc
-            if attempt > 1 and policy.backoff > 0:
-                time.sleep(
-                    min(policy.backoff * 2.0 ** (attempt - 2),
-                        max(deadline.remaining(), 0.0))
-                )
-            options = _retry_options(chain.n_states, attempt, policy)
-            t0 = time.monotonic()
-            try:
-                solver = registry[method]
-                raw = _call_solver(
-                    solver, chain, policy.tol, policy.max_iterations, options
-                )
-                pi = _normalise(raw, method, policy.tol)
-                elapsed = time.monotonic() - t0
-                residual = float(np.abs(chain.Q.transpose() @ pi).max())
-                if not np.isfinite(residual) or residual > residual_bound:
+    tracer = get_tracer()
+    with tracer.span("ctmc.solve.fallback", states=chain.n_states,
+                     methods=",".join(policy.methods)) as fsp:
+        for method in policy.methods:
+            for attempt in range(1, policy.attempts_for(method) + 1):
+                if deadline.expired:
                     diag.record(
-                        method, attempt, "bad-residual", elapsed,
-                        residual=residual,
-                        detail=f"‖πQ‖∞ = {residual:.3e} above bound {residual_bound:.3e}",
+                        method, attempt, "deadline", 0.0,
+                        detail=f"skipped: {policy.deadline:g}s budget exhausted",
                     )
-                    continue
-                diag.record(method, attempt, "converged", elapsed, residual=residual)
-                diag.method = method
-                diag.elapsed = time.monotonic() - start
-                return pi, diag
-            except SolverError as exc:
-                diag.record(method, attempt, "failed",
-                            time.monotonic() - t0, detail=str(exc))
-            except Exception as exc:  # noqa: BLE001 — any back-end blow-up
-                diag.record(method, attempt, "error", time.monotonic() - t0,
-                            detail=f"{type(exc).__name__}: {exc}")
+                    diag.elapsed = time.monotonic() - start
+                    _annotate_span(fsp, diag)
+                    exc = SolverError(
+                        f"steady-state deadline of {policy.deadline:g}s exhausted "
+                        f"after {len(diag.attempts)} attempt(s); {diag.summary()}"
+                    ).with_context(stage="solve", attempt=len(diag.attempts))
+                    exc.diagnostics = diag
+                    raise exc
+                if attempt > 1 and policy.backoff > 0:
+                    time.sleep(
+                        min(policy.backoff * 2.0 ** (attempt - 2),
+                            max(deadline.remaining(), 0.0))
+                    )
+                options = _retry_options(chain.n_states, attempt, policy)
+                t0 = time.monotonic()
+                with tracer.span("solve.attempt", method=method,
+                                 attempt=attempt) as asp:
+                    try:
+                        solver = registry[method]
+                        raw = _call_solver(
+                            solver, chain, policy.tol, policy.max_iterations, options
+                        )
+                        pi = _normalise(raw, method, policy.tol)
+                        elapsed = time.monotonic() - t0
+                        residual = float(np.abs(chain.Q.transpose() @ pi).max())
+                        if not np.isfinite(residual) or residual > residual_bound:
+                            diag.record(
+                                method, attempt, "bad-residual", elapsed,
+                                residual=residual,
+                                detail=f"‖πQ‖∞ = {residual:.3e} above bound {residual_bound:.3e}",
+                            )
+                            asp.set(outcome="bad-residual", residual=residual)
+                            continue
+                        diag.record(method, attempt, "converged", elapsed,
+                                    residual=residual)
+                        diag.method = method
+                        diag.elapsed = time.monotonic() - start
+                        asp.set(outcome="converged", residual=residual)
+                        _annotate_span(fsp, diag)
+                        get_metrics().gauge("residual").set(residual)
+                        return pi, diag
+                    except SolverError as exc:
+                        diag.record(method, attempt, "failed",
+                                    time.monotonic() - t0, detail=str(exc))
+                        asp.set(outcome="failed", error=type(exc).__name__)
+                    except Exception as exc:  # noqa: BLE001 — any back-end blow-up
+                        diag.record(method, attempt, "error", time.monotonic() - t0,
+                                    detail=f"{type(exc).__name__}: {exc}")
+                        asp.set(outcome="error", error=type(exc).__name__)
 
-    diag.elapsed = time.monotonic() - start
-    failures = "; ".join(
-        f"{a.method}#{a.attempt}: {a.outcome}" + (f" ({a.detail})" if a.detail else "")
-        for a in diag.attempts
+        diag.elapsed = time.monotonic() - start
+        _annotate_span(fsp, diag)
+        failures = "; ".join(
+            f"{a.method}#{a.attempt}: {a.outcome}" + (f" ({a.detail})" if a.detail else "")
+            for a in diag.attempts
+        )
+        exc = SolverError(
+            f"all {len(policy.methods)} fallback method(s) failed "
+            f"({len(diag.attempts)} attempts): {failures}"
+        ).with_context(stage="solve", attempt=len(diag.attempts))
+        exc.diagnostics = diag
+        raise exc
+
+
+def _annotate_span(span, diag: SolveDiagnostics) -> None:
+    """Summarise a :class:`SolveDiagnostics` onto a fallback span."""
+    span.set(
+        attempts=len(diag.attempts),
+        solved_by=diag.method or "none",
+        diagnostics=diag.summary(),
     )
-    exc = SolverError(
-        f"all {len(policy.methods)} fallback method(s) failed "
-        f"({len(diag.attempts)} attempts): {failures}"
-    ).with_context(stage="solve", attempt=len(diag.attempts))
-    exc.diagnostics = diag
-    raise exc

@@ -1,0 +1,117 @@
+"""Golden-file regression tests over the bundled workloads.
+
+Two complete end-to-end runs — the Figure 1 file-protocol activity
+diagram and the PDA handover project shipped as
+``examples/models/pda_project.xmi`` — are reduced to canonical JSON
+documents (every result-table row plus state-space sizes) and compared
+against expectations checked in under ``tests/goldens/``.
+
+Any change to parsing, extraction, state-space derivation, solving or
+reflection that moves a number shows up here.  After an *intentional*
+change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/choreographer/test_golden_pipeline.py \
+        --update-goldens
+
+then review the golden diff and commit it alongside the code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.choreographer import Choreographer
+from repro.extract import load_rates
+from repro.workloads import FILE_RATES, build_file_activity_diagram
+
+MODELS = Path(__file__).resolve().parents[2] / "examples" / "models"
+
+GOLDEN_SCHEMA = "repro-golden/1"
+
+
+def _rows_of(table) -> list[dict]:
+    return [
+        {"kind": r.kind, "subject": r.subject, "measure": r.measure, "value": r.value}
+        for r in table
+    ]
+
+
+@pytest.fixture
+def platform():
+    return Choreographer()
+
+
+class TestFileActivityGolden:
+    def test_end_to_end(self, platform, golden):
+        outcome = platform.analyse_activity_diagram(
+            build_file_activity_diagram(), FILE_RATES
+        )
+        document = {
+            "schema": GOLDEN_SCHEMA,
+            "workload": "file_activity",
+            "diagram": outcome.graph.name,
+            "n_states": outcome.analysis.n_states,
+            "results": _rows_of(outcome.results),
+        }
+        golden("file_activity", document)
+
+
+class TestPdaProjectGolden:
+    def test_end_to_end(self, platform, golden):
+        xmi = (MODELS / "pda_project.xmi").read_text()
+        rates = load_rates(MODELS / "tomcat.rates")
+        result = platform.process_xmi(xmi, rates)
+        assert result.report.ok
+        document = {
+            "schema": GOLDEN_SCHEMA,
+            "workload": "pda_project",
+            "activity_diagrams": [
+                {
+                    "diagram": outcome.graph.name,
+                    "n_states": outcome.analysis.n_states,
+                    "results": _rows_of(outcome.results),
+                }
+                for outcome in result.activity_outcomes
+            ],
+            "statecharts": [
+                {
+                    "machines": [m.name for m in outcome.machines],
+                    "n_states": outcome.analysis.n_states,
+                    "results": _rows_of(outcome.results),
+                }
+                for outcome in result.statechart_outcomes
+            ],
+        }
+        golden("pda_project", document)
+
+    def test_goldens_are_solver_independent(self, request, golden):
+        """The same document from a different solver matches the same
+        golden — the expectation pins the *answer*, not the method."""
+        if request.config.getoption("--update-goldens"):
+            pytest.skip("goldens are regenerated from the direct solver only")
+        xmi = (MODELS / "pda_project.xmi").read_text()
+        rates = load_rates(MODELS / "tomcat.rates")
+        result = Choreographer(solver="gmres").process_xmi(xmi, rates)
+        document = {
+            "schema": GOLDEN_SCHEMA,
+            "workload": "pda_project",
+            "activity_diagrams": [
+                {
+                    "diagram": outcome.graph.name,
+                    "n_states": outcome.analysis.n_states,
+                    "results": _rows_of(outcome.results),
+                }
+                for outcome in result.activity_outcomes
+            ],
+            "statecharts": [
+                {
+                    "machines": [m.name for m in outcome.machines],
+                    "n_states": outcome.analysis.n_states,
+                    "results": _rows_of(outcome.results),
+                }
+                for outcome in result.statechart_outcomes
+            ],
+        }
+        golden("pda_project", document, rtol=1e-6)

@@ -1,10 +1,79 @@
-"""Shared fixtures: canonical models used across the test suite."""
+"""Shared fixtures: canonical models used across the test suite, plus
+the golden-file comparison helper (``--update-goldens`` regenerates the
+checked-in expectations under ``tests/goldens/``)."""
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.pepa import parse_model
+
+GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current pipeline output "
+        "instead of comparing against them",
+    )
+
+
+def _assert_matches(expected, actual, path="$", rtol=1e-9, atol=1e-12):
+    """Recursive structural equality with float tolerance."""
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert isinstance(actual, (int, float)) and isinstance(expected, (int, float)), (
+            f"{path}: type mismatch {expected!r} vs {actual!r}"
+        )
+        assert abs(actual - expected) <= atol + rtol * abs(expected), (
+            f"{path}: {actual!r} != golden {expected!r}"
+        )
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected an object"
+        assert sorted(expected) == sorted(actual), (
+            f"{path}: keys {sorted(actual)} != golden {sorted(expected)}"
+        )
+        for key in expected:
+            _assert_matches(expected[key], actual[key], f"{path}.{key}", rtol, atol)
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected a list"
+        assert len(expected) == len(actual), (
+            f"{path}: {len(actual)} items != golden {len(expected)}"
+        )
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_matches(e, a, f"{path}[{i}]", rtol, atol)
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a JSON-ready document against ``tests/goldens/<name>.json``.
+
+    Run ``pytest --update-goldens`` after an intentional numerical or
+    structural change to regenerate the expectation files.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, document, *, rtol: float = 1e-9) -> None:
+        path = GOLDENS_DIR / f"{name}.json"
+        if update:
+            GOLDENS_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden file {path} is missing; run pytest --update-goldens "
+                "to create it, then review and commit the result"
+            )
+        _assert_matches(json.loads(path.read_text()), document, rtol=rtol)
+
+    return check
 
 
 FILE_MODEL_SRC = """

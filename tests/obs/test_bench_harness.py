@@ -1,0 +1,126 @@
+"""Schema and behaviour tests for ``benchmarks/run_bench.py``.
+
+The bench harness is not an installed module; it is loaded here straight
+from the ``benchmarks/`` directory so the golden ``repro-bench/1`` keys
+every later PR compares against are pinned by tests.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCH = Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location("run_bench", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+RUN_KEYS = {
+    "workload", "kind", "size", "solver",
+    "n_states", "n_transitions", "stages", "total_s", "peak_rss_kb",
+}
+DOC_KEYS = {"schema", "label", "created_unix", "quick", "solver", "host", "runs"}
+
+
+def test_workload_table_shape(run_bench):
+    assert len(run_bench.WORKLOADS) >= 3
+    for name, (kind, builder, sizes) in run_bench.WORKLOADS.items():
+        assert kind in {"pepa", "net"}
+        assert callable(builder)
+        assert len(sizes) >= 2, f"{name} needs >= 2 sizes for the sweep"
+
+
+def test_run_one_pepa_record(run_bench):
+    record = run_bench.run_one(
+        "file_protocol", "pepa", run_bench.file_protocol_model,
+        {"n_readers": 1}, "direct",
+    )
+    assert set(record) == RUN_KEYS
+    assert record["n_states"] > 0
+    assert record["n_transitions"] > 0
+    assert set(record["stages"]) == {"derive", "assemble", "solve"}
+    assert all(t >= 0.0 for t in record["stages"].values())
+    assert record["total_s"] >= 0.0
+    assert record["peak_rss_kb"] > 0
+    assert json.dumps(record)  # JSON-clean
+
+
+def test_run_one_net_record(run_bench):
+    from repro.workloads import courier_ring_net
+
+    record = run_bench.run_one(
+        "courier_ring", "net", courier_ring_net,
+        {"n_places": 3, "n_couriers": 2}, "direct",
+    )
+    assert set(record) == RUN_KEYS
+    assert record["kind"] == "net"
+    assert set(record["stages"]) == {"derive", "assemble", "solve"}
+
+
+def test_run_one_leaves_ambient_collectors_disabled(run_bench):
+    from repro.obs import NULL_METRICS, NULL_TRACER, get_metrics, get_tracer
+
+    run_bench.run_one(
+        "file_protocol", "pepa", run_bench.file_protocol_model,
+        {"n_readers": 1}, "direct",
+    )
+    assert get_tracer() is NULL_TRACER
+    assert get_metrics() is NULL_METRICS
+
+
+def test_run_suite_quick_document(run_bench, monkeypatch):
+    # A miniature sweep so the schema contract is exercised quickly.
+    monkeypatch.setattr(run_bench, "WORKLOADS", {
+        "file_protocol": (
+            "pepa", run_bench.file_protocol_model,
+            [{"n_readers": 1}, {"n_readers": 2}, {"n_readers": 3}],
+        ),
+    })
+    document = run_bench.run_suite(quick=True, solver="direct", progress=lambda *_: None)
+    assert set(document) == DOC_KEYS
+    assert document["schema"] == "repro-bench/1"
+    assert document["quick"] is True
+    assert set(document["host"]) == {"platform", "python", "numpy", "scipy"}
+    # quick = first two sizes of each workload
+    assert [r["size"] for r in document["runs"]] == [{"n_readers": 1}, {"n_readers": 2}]
+    assert json.dumps(document)
+
+
+def test_main_writes_output_file(run_bench, monkeypatch, tmp_path):
+    monkeypatch.setattr(run_bench, "WORKLOADS", {
+        "file_protocol": (
+            "pepa", run_bench.file_protocol_model,
+            [{"n_readers": 1}, {"n_readers": 1}],
+        ),
+    })
+    out = tmp_path / "BENCH_TEST.json"
+    assert run_bench.main(["--quick", "-o", str(out)]) == 0
+    document = json.loads(out.read_text())
+    assert document["schema"] == "repro-bench/1"
+    assert len(document["runs"]) == 2
+
+
+def test_checked_in_bench_document_is_schema_valid(run_bench):
+    bench_path = _BENCH.parent.parent / "BENCH_PR2.json"
+    document = json.loads(bench_path.read_text())
+    assert set(document) == DOC_KEYS
+    assert document["schema"] == "repro-bench/1"
+    workload_sizes: dict[str, set[str]] = {}
+    for record in document["runs"]:
+        assert set(record) == RUN_KEYS
+        assert record["n_states"] > 0
+        workload_sizes.setdefault(record["workload"], set()).add(
+            json.dumps(record["size"], sort_keys=True)
+        )
+    # Acceptance: >= 3 workloads at >= 2 sizes each, per-stage timings.
+    assert len(workload_sizes) >= 3
+    assert all(len(sizes) >= 2 for sizes in workload_sizes.values())

@@ -1,0 +1,148 @@
+"""Unit tests for the trace/metrics exporters (:mod:`repro.obs.export`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    metrics_to_json,
+    observe,
+    render_metrics,
+    render_trace,
+    trace_to_json,
+    write_trace_file,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("pipeline", workload="demo"):
+        with tracer.span("derive", states=12):
+            pass
+        with tracer.span("solve", method="direct", residual=1.5e-13):
+            pass
+    return tracer
+
+
+class TestJsonExport:
+    def test_trace_to_json_is_serialisable(self):
+        data = trace_to_json(_sample_tracer())
+        text = json.dumps(data)
+        parsed = json.loads(text)
+        assert parsed["schema"] == "repro-trace/1"
+        (root,) = parsed["traces"]
+        assert root["name"] == "pipeline"
+        assert [c["name"] for c in root["children"]] == ["derive", "solve"]
+        assert root["children"][0]["attributes"] == {"states": 12}
+
+    def test_metrics_to_json_is_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("states_explored").inc(12)
+        reg.gauge("residual").set(1e-13)
+        reg.histogram("solve_s").observe(0.25)
+        parsed = json.loads(json.dumps(metrics_to_json(reg)))
+        assert parsed["schema"] == "repro-metrics/1"
+        assert parsed["metrics"]["states_explored"]["value"] == 12
+        assert parsed["metrics"]["solve_s"]["count"] == 1
+
+    def test_null_collectors_export_empty_documents(self):
+        assert trace_to_json(NULL_TRACER)["traces"] == []
+        assert metrics_to_json(NULL_METRICS)["metrics"] == {}
+
+
+class TestWriteTraceFile:
+    def test_trace_only(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace_file(path, _sample_tracer())
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro-trace/1"
+        assert "metrics" not in document
+
+    def test_trace_with_metrics(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("transitions").inc(3)
+        path = tmp_path / "trace.json"
+        write_trace_file(path, _sample_tracer(), reg)
+        document = json.loads(path.read_text())
+        assert document["metrics"]["transitions"]["value"] == 3
+
+    def test_non_json_attributes_are_stringified(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("x", path=tmp_path):  # Path is not JSON-native
+            pass
+        out = tmp_path / "trace.json"
+        write_trace_file(out, tracer)
+        document = json.loads(out.read_text())
+        assert document["traces"][0]["attributes"]["path"] == str(tmp_path)
+
+
+class TestRenderTrace:
+    def test_tree_layout(self):
+        text = render_trace(_sample_tracer())
+        lines = text.splitlines()
+        assert lines[0].startswith("pipeline")
+        assert "[workload=demo]" in lines[0]
+        assert lines[1].startswith("|- derive")
+        assert lines[2].startswith("`- solve")
+        assert "ms" in lines[1]
+        assert "method=direct" in lines[2]
+
+    def test_deep_nesting_prefixes(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        lines = render_trace(tracer).splitlines()
+        assert lines[1].startswith("`- b")
+        assert lines[2].startswith("   `- c")
+
+    def test_empty(self):
+        assert render_trace(Tracer()) == "(no spans recorded)"
+        assert render_trace(NULL_TRACER) == "(no spans recorded)"
+
+
+class TestRenderMetrics:
+    def test_table_layout(self):
+        reg = MetricsRegistry()
+        reg.counter("states_explored").inc(42)
+        reg.gauge("residual").set(2.5e-14)
+        reg.histogram("solve_s").observe(0.5)
+        text = render_metrics(reg)
+        assert "states_explored" in text
+        assert "counter" in text
+        assert "2.5e-14" in text
+        assert "count=1" in text
+
+    def test_empty(self):
+        assert render_metrics(MetricsRegistry()) == "(no metrics recorded)"
+        assert render_metrics(NULL_METRICS) == "(no metrics recorded)"
+
+
+class TestObserve:
+    def test_yields_fresh_installed_collectors(self):
+        from repro.obs import get_metrics, get_tracer
+
+        with observe() as (tracer, metrics):
+            assert get_tracer() is tracer
+            assert get_metrics() is metrics
+            with tracer.span("work"):
+                metrics.counter("n").inc()
+        assert get_tracer() is NULL_TRACER
+        assert get_metrics() is NULL_METRICS
+        assert [r.name for r in tracer.roots] == ["work"]
+        assert metrics.counter("n").value == 1
+
+    def test_nested_observations_compose(self):
+        with observe() as (outer_tracer, _):
+            with outer_tracer.span("outer"):
+                pass
+            with observe() as (inner_tracer, _):
+                with inner_tracer.span("inner"):
+                    pass
+            assert [r.name for r in outer_tracer.roots] == ["outer"]
+        assert [r.name for r in inner_tracer.roots] == ["inner"]

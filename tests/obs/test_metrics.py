@@ -1,0 +1,174 @@
+"""Unit tests for the metrics registry (:mod:`repro.obs.metrics`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.metrics import _NULL_INSTRUMENT
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        c.inc(0)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("n")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_as_dict(self):
+        c = Counter("n")
+        c.inc(3)
+        assert c.as_dict() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_moves_both_ways(self):
+        g = Gauge("residual")
+        assert g.value is None
+        g.set(1e-3)
+        g.set(1e-12)
+        assert g.value == 1e-12
+        assert g.as_dict() == {"type": "gauge", "value": 1e-12}
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("t")
+        for v in (2.0, 8.0, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 8.0
+        assert h.mean == 5.0
+
+    def test_empty_histogram(self):
+        h = Histogram("t")
+        assert h.mean is None
+        assert h.as_dict() == {
+            "type": "histogram",
+            "count": 0,
+            "sum": 0.0,
+            "min": None,
+            "max": None,
+            "mean": None,
+        }
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        c = reg.counter("states")
+        c.inc(7)
+        assert reg.counter("states") is c
+        assert reg.counter("states").value == 7
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_container_protocol(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        assert "a" not in reg
+        reg.gauge("b")
+        reg.counter("a")
+        assert "a" in reg and "b" in reg
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_as_dict_schema_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc(1)
+        reg.gauge("a").set(0.5)
+        data = reg.as_dict()
+        assert data["schema"] == "repro-metrics/1"
+        assert list(data["metrics"]) == ["a", "z"]
+        assert data["metrics"]["z"] == {"type": "counter", "value": 1}
+
+
+class TestNullMetrics:
+    def test_every_lookup_is_the_shared_sink(self):
+        assert NULL_METRICS.counter("a") is _NULL_INSTRUMENT
+        assert NULL_METRICS.gauge("b") is _NULL_INSTRUMENT
+        assert NULL_METRICS.histogram("c") is _NULL_INSTRUMENT
+
+    def test_sink_swallows_everything(self):
+        sink = NULL_METRICS.counter("a")
+        sink.inc(10)
+        sink.set(3.0)
+        sink.observe(1.0)
+        assert sink.value == 0
+        assert sink.count == 0
+        assert sink.as_dict() == {}
+
+    def test_empty_registry_protocol(self):
+        assert "a" not in NULL_METRICS
+        assert len(NULL_METRICS) == 0
+        assert NULL_METRICS.names() == []
+        assert NULL_METRICS.as_dict() == {"schema": "repro-metrics/1", "metrics": {}}
+
+
+class TestAmbientInstallation:
+    def test_default_is_null(self):
+        assert get_metrics() is NULL_METRICS
+
+    def test_set_metrics_roundtrip(self):
+        reg = MetricsRegistry()
+        previous = set_metrics(reg)
+        try:
+            assert previous is NULL_METRICS
+            assert get_metrics() is reg
+        finally:
+            set_metrics(None)
+        assert get_metrics() is NULL_METRICS
+
+    def test_use_metrics_restores(self):
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            assert get_metrics() is reg
+        assert get_metrics() is NULL_METRICS
+
+    def test_statespace_records_counters(self):
+        from repro.pepa.parser import parse_model
+        from repro.pepa.statespace import derive
+
+        model = parse_model("P = (a, 1.0).Q;\nQ = (b, 2.0).P;\nP")
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            space = derive(model)
+        assert reg.counter("states_explored").value == space.size == 2
+        assert reg.counter("transitions").value == len(space.arcs) == 2
+
+    def test_solver_records_iterations(self):
+        from repro.pepa.measures import analyse
+        from repro.pepa.parser import parse_model
+
+        model = parse_model("P = (a, 1.0).Q;\nQ = (b, 2.0).P;\nP")
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            analyse(model, solver="power")
+        assert reg.counter("solver_iterations").value > 0
+        assert reg.counter("spmv_count").value > 0

@@ -1,0 +1,208 @@
+"""Fuzz and round-trip properties for the PEPA-net parser and exporter.
+
+Mirrors ``tests/pepa/test_parser_fuzz.py`` one level up: arbitrary text
+must parse or raise a controlled library error, single-character
+mutations of a good net must never crash uncontrolled, and — the
+stronger property — printing any well-formed net through
+:func:`repro.pepanets.export.net_source` and re-parsing it must
+reproduce the same components, places and transitions.
+
+The round trip caught a real bug: place initial contents are parsed as
+sequential *factors*, so a ``Choice`` content (``P + Q``) rendered bare
+would not re-parse; ``PepaNet.__str__`` now parenthesises it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.pepa.rates import ActiveRate, PassiveRate
+from repro.pepa.syntax import Cell, Choice, Const, Cooperation, Hiding, Prefix
+from repro.pepanets.export import net_source
+from repro.pepanets.parser import parse_net
+from repro.pepanets.syntax import NetTransitionSpec, PepaNet, PlaceDef
+
+SETTINGS = dict(max_examples=150, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+# ----------------------------------------------------------------------
+# Totality: junk in, controlled error (or a net) out
+# ----------------------------------------------------------------------
+
+# the net dialect's full surface: the PEPA alphabet plus [], : and ->
+NET_ALPHABET = "PQRabc()<>[]{}+.,;=/*|_ \n\t0123456789T:->#@$"
+net_texts = st.text(alphabet=NET_ALPHABET, min_size=0, max_size=100)
+
+
+@settings(**SETTINGS)
+@given(net_texts)
+def test_parse_net_is_total(source):
+    try:
+        parse_net(source)
+    except ReproError:
+        pass
+    except RecursionError:  # pragma: no cover - should never happen
+        raise AssertionError("net parser blew the stack")
+
+
+GOOD_NET = (
+    "Tok = (work, 2.5).Rest; Rest = (sleep, T).Tok; "
+    "P1[Tok] = Tok[_]; P2[_] = Tok[_] <work> Static; "
+    "Static = (work, 1.0).Static; "
+    "go = (move, 1.5, 2) : P1 -> P2; back = (ret, T) : P2 -> P1;"
+)
+
+
+def test_mutated_good_net_never_crashes_uncontrolled():
+    """Single-character deletions of a valid net all fail cleanly or
+    still parse."""
+    for i in range(len(GOOD_NET)):
+        mutated = GOOD_NET[:i] + GOOD_NET[i + 1:]
+        try:
+            parse_net(mutated)
+        except ReproError:
+            pass
+
+
+def test_mutated_good_net_substitutions():
+    """Swapping any character for structural junk fails cleanly too."""
+    for i in range(0, len(GOOD_NET), 3):
+        for junk in "[:>#":
+            mutated = GOOD_NET[:i] + junk + GOOD_NET[i + 1:]
+            try:
+                parse_net(mutated)
+            except ReproError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Round trip: net -> net_source -> parse_net is the identity
+# ----------------------------------------------------------------------
+
+FAMILIES = ["Tok", "Agent"]
+ACTIONS = ["a", "b", "work"]
+FIRINGS = ["move", "jump"]
+PLACE_NAMES = ["P1", "P2", "P3"]
+
+actions = st.sampled_from(ACTIONS)
+families = st.sampled_from(FAMILIES)
+active_rates = st.floats(min_value=0.01, max_value=99.0,
+                         allow_nan=False, allow_infinity=False).map(
+    lambda v: ActiveRate(round(v, 4))
+)
+passive_rates = st.sampled_from([PassiveRate(1.0), PassiveRate(2.0), PassiveRate(0.5)])
+rates = st.one_of(active_rates, passive_rates)
+
+
+@st.composite
+def sequentials(draw, depth=2):
+    if depth == 0:
+        return Const(draw(families))
+    kind = draw(st.sampled_from(["const", "prefix", "choice"]))
+    if kind == "const":
+        return Const(draw(families))
+    if kind == "prefix":
+        return Prefix(draw(actions), draw(rates), draw(sequentials(depth - 1)))
+    return Choice(draw(sequentials(depth - 1)), draw(sequentials(depth - 1)))
+
+
+@st.composite
+def place_templates(draw):
+    """A context: at least one vacant cell, optionally composed with a
+    static component or a second cell, optionally under hiding."""
+    cell = Cell(draw(families), None)
+    kind = draw(st.sampled_from(["cell", "coop_static", "coop_cells", "hidden"]))
+    if kind == "cell":
+        template = cell
+    elif kind == "coop_static":
+        acts = frozenset(draw(st.sets(actions, max_size=2)))
+        template = Cooperation(cell, Const(draw(families)), acts)
+    elif kind == "coop_cells":
+        acts = frozenset(draw(st.sets(actions, max_size=2)))
+        template = Cooperation(cell, Cell(draw(families), None), acts)
+    else:
+        acts = frozenset(draw(st.sets(actions, min_size=1, max_size=2)))
+        template = Hiding(cell, acts)
+    return template
+
+
+@st.composite
+def nets(draw) -> PepaNet:
+    from repro.pepa.environment import Environment
+    from repro.pepanets.syntax import find_cells
+
+    env = Environment()
+    for name in draw(st.sets(st.sampled_from(FAMILIES), min_size=1, max_size=2)):
+        env.define(name, draw(sequentials()))
+
+    net = PepaNet(environment=env)
+    for place_name in draw(
+        st.lists(st.sampled_from(PLACE_NAMES), unique=True, min_size=1, max_size=3)
+    ):
+        template = draw(place_templates())
+        contents = tuple(
+            draw(st.one_of(st.none(), sequentials(1)))
+            for _ in find_cells(template)
+        )
+        net.add_place(PlaceDef(place_name, template, contents))
+
+    place_pool = st.sampled_from(list(net.places))
+    n_transitions = draw(st.integers(min_value=0, max_value=2))
+    for i in range(n_transitions):
+        net.add_transition(NetTransitionSpec(
+            name=f"t{i}",
+            action=draw(st.sampled_from(FIRINGS)),
+            rate=draw(rates),
+            inputs=tuple(draw(st.lists(place_pool, min_size=1, max_size=2))),
+            outputs=tuple(draw(st.lists(place_pool, min_size=1, max_size=2))),
+            priority=draw(st.integers(min_value=0, max_value=3)),
+        ))
+    return net
+
+
+@settings(**SETTINGS)
+@given(nets())
+def test_print_parse_identity(net):
+    parsed = parse_net(net_source(net))
+    assert parsed.environment.components == net.environment.components
+    assert parsed.places == net.places
+    assert parsed.transitions == net.transitions
+
+
+@settings(**SETTINGS)
+@given(nets())
+def test_round_trip_is_a_fixpoint(net):
+    """A second print/parse cycle changes nothing further."""
+    once = net_source(net)
+    assert net_source(parse_net(once)) == once
+
+
+def test_choice_cell_content_round_trips():
+    """Regression: a Choice as an initial cell content must be
+    parenthesised by the renderer (the parser reads a seq factor)."""
+    from repro.pepa.environment import Environment
+
+    env = Environment()
+    env.define("Tok", Prefix("a", ActiveRate(1.0), Const("Tok")))
+    net = PepaNet(environment=env)
+    content = Choice(Const("Tok"), Prefix("b", ActiveRate(2.0), Const("Tok")))
+    net.add_place(PlaceDef("P1", Cell("Tok", None), (content,)))
+    source = net_source(net)
+    assert "(Tok + (b, 2).Tok)" in source
+    parsed = parse_net(source)
+    assert parsed.places == net.places
+
+
+def test_bundled_corpus_nets_round_trip():
+    """The shipped example nets survive parse -> print -> parse."""
+    from pathlib import Path
+
+    models = Path(__file__).resolve().parents[2] / "examples" / "models"
+    for path in sorted(models.glob("*.pepanet")):
+        first = parse_net(path.read_text())
+        second = parse_net(net_source(first))
+        assert second.environment.components == first.environment.components
+        assert second.places == first.places
+        assert second.transitions == first.transitions
