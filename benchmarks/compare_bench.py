@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Compare two ``repro-bench/1`` snapshots and fail on regressions.
+
+The command-line gate over :mod:`repro.obs.regress`: runs are matched
+on (workload, size, solver), every stage plus the run total is compared
+against a relative threshold *and* an absolute-seconds floor (both must
+trip — sub-millisecond stages double with scheduler noise and are not
+signal), and the verdict is printed as a markdown report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py BENCH_PR2.json current.json
+    PYTHONPATH=src python benchmarks/compare_bench.py base.json new.json \
+        --threshold 2.0 --min-seconds 0.25 --output report.md
+
+Exit status: 0 when no stage regressed, 1 when at least one did, 2 on
+unreadable/ill-formed input.  CI runs the quick sweep and gates every
+PR against the committed baseline with this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.regress import (
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD,
+    compare_benchmarks,
+    load_bench,
+    markdown_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline repro-bench/1 JSON")
+    parser.add_argument("current", type=Path, help="current repro-bench/1 JSON")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative slow-down factor that counts as a "
+                             f"regression (default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+                        help="absolute floor a delta must also clear "
+                             f"(default {DEFAULT_MIN_SECONDS}s)")
+    parser.add_argument("-o", "--output", type=Path,
+                        help="also write the markdown report here")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    comparison = compare_benchmarks(
+        baseline, current,
+        threshold=args.threshold, min_seconds=args.min_seconds,
+    )
+    report = markdown_report(comparison)
+    print(report)
+    if args.output:
+        args.output.write_text(report)
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

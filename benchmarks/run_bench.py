@@ -17,11 +17,15 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py                 # full sweep
     PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI smoke
-    PYTHONPATH=src python benchmarks/run_bench.py -o BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/run_bench.py --label PR3     # BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_bench.py --quick \
+        --baseline BENCH_PR2.json                 # self-compare, exit 1 on regression
 
 The schema (``repro-bench/1``) is part of the repo's public surface:
 ``benchmarks/run_bench.py --quick`` runs in CI and the golden keys are
-asserted by ``tests/obs/test_bench_harness.py``.
+asserted by ``tests/obs/test_bench_harness.py``.  With ``--baseline``
+the run is compared against an earlier snapshot through
+:mod:`repro.obs.regress` and the exit status reflects the verdict.
 """
 
 from __future__ import annotations
@@ -29,7 +33,6 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import resource
 import sys
 import time
 from pathlib import Path
@@ -43,6 +46,7 @@ import numpy
 import scipy
 
 from repro.obs import observe
+from repro.utils.sysinfo import peak_rss_kib
 from repro.pepa.ctmcgen import ctmc_from_statespace
 from repro.pepa.parser import parse_model
 from repro.pepa.statespace import derive
@@ -121,13 +125,6 @@ STAGE_SPANS = {
 }
 
 
-def peak_rss_kb() -> int:
-    """Peak resident set size of this process, in kilobytes."""
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KB on Linux, bytes on macOS.
-    return usage // 1024 if sys.platform == "darwin" else usage
-
-
 def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
     """One benchmark run: build, derive, assemble, solve, all traced."""
     model = builder(**size)
@@ -156,20 +153,20 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
         "n_transitions": int(metrics.counter("transitions").value),
         "stages": {name: round(seconds, 6) for name, seconds in sorted(stages.items())},
         "total_s": round(total, 6),
-        "peak_rss_kb": peak_rss_kb(),
+        "peak_rss_kb": peak_rss_kib(),
     }
 
 
-def run_suite(*, quick: bool, solver: str, sizes_per_workload: int | None = None,
-              progress=print) -> dict:
+def run_suite(*, quick: bool, solver: str, label: str = "local",
+              sizes_per_workload: int | None = None, progress=print) -> dict:
     """Run the whole sweep and return the JSON-ready document."""
     n_sizes = 2 if quick else (sizes_per_workload or None)
     runs = []
     for workload, (kind, builder, sizes) in WORKLOADS.items():
         chosen = sizes[:n_sizes] if n_sizes else sizes
         for size in chosen:
-            label = ", ".join(f"{k}={v}" for k, v in size.items())
-            progress(f"  {workload} ({label}) ...")
+            size_label = ", ".join(f"{k}={v}" for k, v in size.items())
+            progress(f"  {workload} ({size_label}) ...")
             record = run_one(workload, kind, builder, size, solver)
             progress(
                 f"    {record['n_states']} states in {record['total_s']:.3f}s "
@@ -178,7 +175,7 @@ def run_suite(*, quick: bool, solver: str, sizes_per_workload: int | None = None
             runs.append(record)
     return {
         "schema": SCHEMA,
-        "label": "PR2",
+        "label": label,
         "created_unix": int(time.time()),
         "quick": quick,
         "solver": solver,
@@ -198,15 +195,49 @@ def main(argv: list[str] | None = None) -> int:
                         help="2 sizes per workload (the CI smoke sweep)")
     parser.add_argument("--solver", default="direct",
                         help="steady-state method for every solve (default: direct)")
+    parser.add_argument("--label", default="local",
+                        help="snapshot label recorded in the document and used "
+                             "for the default output name BENCH_<label>.json")
     parser.add_argument("-o", "--output", type=Path,
-                        default=Path(__file__).resolve().parent.parent / "BENCH_PR2.json",
-                        help="where to write the JSON document")
+                        help="where to write the JSON document "
+                             "(default: BENCH_<label>.json in the repo root)")
+    parser.add_argument("--baseline", type=Path, metavar="FILE",
+                        help="compare this run against an earlier repro-bench/1 "
+                             "snapshot and exit 1 if any stage regressed")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="relative slow-down factor for --baseline "
+                             "(default: repro.obs.regress.DEFAULT_THRESHOLD)")
+    parser.add_argument("--min-seconds", type=float, default=None,
+                        help="absolute-seconds floor for --baseline "
+                             "(default: repro.obs.regress.DEFAULT_MIN_SECONDS)")
     args = parser.parse_args(argv)
 
-    print(f"bench sweep ({'quick' if args.quick else 'full'}, solver={args.solver})")
-    document = run_suite(quick=args.quick, solver=args.solver)
-    args.output.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"wrote {len(document['runs'])} runs to {args.output}")
+    output = args.output
+    if output is None:
+        output = (Path(__file__).resolve().parent.parent
+                  / f"BENCH_{args.label}.json")
+
+    print(f"bench sweep ({'quick' if args.quick else 'full'}, "
+          f"solver={args.solver}, label={args.label})")
+    document = run_suite(quick=args.quick, solver=args.solver, label=args.label)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {len(document['runs'])} runs to {output}")
+
+    if args.baseline:
+        from repro.obs.regress import (
+            DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD, compare_benchmarks,
+            load_bench, markdown_report,
+        )
+
+        comparison = compare_benchmarks(
+            load_bench(args.baseline), document,
+            threshold=args.threshold or DEFAULT_THRESHOLD,
+            min_seconds=(DEFAULT_MIN_SECONDS if args.min_seconds is None
+                         else args.min_seconds),
+        )
+        print()
+        print(markdown_report(comparison))
+        return 0 if comparison.ok else 1
     return 0
 
 

@@ -52,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics", action="store_true",
             help="collect pipeline metrics (states, iterations, residuals) "
                  "and print them after the run")
+        cmd.add_argument(
+            "--events", type=Path, metavar="FILE",
+            help="record solver convergence / exploration progress events "
+                 "and write them as JSON Lines")
 
     analyse = sub.add_parser("analyse", help="run the full Figure 4 pipeline on an XMI file")
     analyse.add_argument("model", type=Path, help="Poseidon-flavoured XMI file")
@@ -110,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("--what", choices=["structure", "states", "both"], default="both")
     dot.add_argument("-o", "--output", type=Path, metavar="STEM",
                      help="write <STEM>.structure.dot / <STEM>.states.dot instead of stdout")
+
+    analyze = sub.add_parser(
+        "analyze-trace",
+        help="critical path and per-span profile of a --trace JSON file",
+    )
+    # dest avoids colliding with the shared --trace recording flag
+    analyze.add_argument("trace_file", type=Path, metavar="TRACE",
+                         help="repro-trace/1 JSON file")
+
+    diff = sub.add_parser(
+        "diff-trace",
+        help="per-span-name time deltas between two --trace JSON files",
+    )
+    diff.add_argument("base", type=Path, help="baseline repro-trace/1 JSON file")
+    diff.add_argument("new", type=Path, help="current repro-trace/1 JSON file")
     return parser
 
 
@@ -287,31 +306,64 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in records) else 1
 
 
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        aggregate_spans, critical_path, load_trace, render_aggregate,
+        render_critical_path,
+    )
+
+    document = load_trace(args.trace_file)
+    print(render_critical_path(critical_path(document)))
+    print()
+    print(render_aggregate(aggregate_spans(document)))
+    return 0
+
+
+def _cmd_diff_trace(args: argparse.Namespace) -> int:
+    from repro.obs import diff_traces, load_trace, render_trace_diff
+
+    print(render_trace_diff(diff_traces(load_trace(args.base),
+                                        load_trace(args.new))))
+    return 0
+
+
 def _run_observed(handler, args: argparse.Namespace) -> int:
-    """Run a handler under a live tracer/metrics pair when requested.
+    """Run a handler under live collectors when requested.
 
     ``--trace FILE`` serialises the span forest (plus any metrics) as
-    JSON; ``--metrics`` prints the metrics table after the run.  Both
-    artefacts are still emitted when the handler raises, so failed runs
-    leave evidence behind.
+    JSON; ``--metrics`` prints the metrics table after the run;
+    ``--events FILE`` records per-iteration solver convergence and
+    exploration progress events as JSON Lines.  All artefacts are still
+    emitted when the handler raises, so failed runs leave evidence
+    behind.
     """
     from repro.obs import (
-        MetricsRegistry, Tracer, render_metrics, use_metrics, use_tracer,
-        write_trace_file,
+        EventStream, MetricsRegistry, Tracer, render_metrics, use_events,
+        use_metrics, use_tracer, write_events_jsonl, write_trace_file,
     )
+    from contextlib import ExitStack
 
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
-    if not trace_path and not want_metrics:
+    events_path = getattr(args, "events", None)
+    if not trace_path and not want_metrics and not events_path:
         return handler(args)
     tracer, metrics = Tracer(), MetricsRegistry()
+    events = EventStream() if events_path else None
     try:
-        with use_tracer(tracer), use_metrics(metrics):
+        with ExitStack() as stack:
+            stack.enter_context(use_tracer(tracer))
+            stack.enter_context(use_metrics(metrics))
+            if events is not None:
+                stack.enter_context(use_events(events))
             return handler(args)
     finally:
         if trace_path:
             write_trace_file(trace_path, tracer, metrics)
             print(f"trace written to {trace_path}", file=sys.stderr)
+        if events is not None:
+            count = write_events_jsonl(events_path, events)
+            print(f"{count} events written to {events_path}", file=sys.stderr)
         if want_metrics:
             print(render_metrics(metrics))
 
@@ -328,13 +380,15 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "experiments": _cmd_experiments,
         "dot": _cmd_dot,
+        "analyze-trace": _cmd_analyze_trace,
+        "diff-trace": _cmd_diff_trace,
     }
     try:
         return _run_observed(handlers[args.command], args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except FileNotFoundError as exc:
+    except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

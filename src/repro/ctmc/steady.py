@@ -36,9 +36,11 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+import time
+
 from repro.ctmc.chain import CTMC
 from repro.exceptions import SolverError
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
 
 __all__ = ["steady_state", "SOLVERS"]
 
@@ -235,9 +237,25 @@ def _krylov(name: str) -> Callable[..., np.ndarray]:
         x0 = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
         fn = spla.gmres if name == "gmres" else spla.bicgstab
         iterations = [0]
+        events = get_events()
+        start = time.perf_counter() if events.enabled else 0.0
 
-        def count_iteration(_arg):
+        def count_iteration(arg):
             iterations[0] += 1
+            if events.enabled:
+                # gmres (legacy callback) hands us the preconditioned
+                # residual norm directly; bicgstab hands the iterate, so
+                # the true residual costs one extra SpMV — paid only
+                # while an event stream is live.
+                if name == "gmres":
+                    residual = float(arg)
+                else:
+                    residual = float(np.abs(b - A @ np.asarray(arg).ravel()).max())
+                events.emit(
+                    "solver.convergence", solver=name,
+                    iteration=iterations[0], residual=residual,
+                    elapsed_s=round(time.perf_counter() - start, 9),
+                )
 
         kwargs = {"rtol": max(tol, 1e-12), "maxiter": max_iterations, "M": M,
                   "x0": x0, "callback": count_iteration}
@@ -245,6 +263,16 @@ def _krylov(name: str) -> Callable[..., np.ndarray]:
             kwargs["restart"] = min(50, n)
             kwargs["callback_type"] = "legacy"
         pi, info = fn(A, b, **kwargs)
+        if events.enabled and iterations[0] == 0:
+            # scipy skips the callback when x0 already satisfies the
+            # tolerance; record the solve anyway so every Krylov call
+            # leaves at least one convergence event behind.
+            residual = float(np.abs(b - A @ np.asarray(pi).ravel()).max())
+            events.emit(
+                "solver.convergence", solver=name, iteration=0,
+                residual=residual,
+                elapsed_s=round(time.perf_counter() - start, 9),
+            )
         metrics = get_metrics()
         metrics.counter("solver_iterations").inc(iterations[0])
         metrics.counter("spmv_count").inc(iterations[0])
@@ -265,12 +293,21 @@ def _solve_power(chain: CTMC, tol: float, max_iterations: int,
     pi = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
     pi = np.clip(pi, 0.0, None)
     pi /= pi.sum()
+    events = get_events()
+    start = time.perf_counter() if events.enabled else 0.0
     it = 0
     try:
         for it in range(1, max_iterations + 1):
             nxt = PT @ pi
             nxt /= nxt.sum()
-            if np.abs(nxt - pi).max() < tol:
+            delta = np.abs(nxt - pi).max()
+            if events.enabled:
+                events.emit(
+                    "solver.convergence", solver="power",
+                    iteration=it, residual=float(delta),
+                    elapsed_s=round(time.perf_counter() - start, 9),
+                )
+            if delta < tol:
                 return nxt
             pi = nxt
     finally:
@@ -301,6 +338,9 @@ def _stationary_iteration(use_latest: bool) -> Callable[..., np.ndarray]:
         if np.any(diag == 0.0):
             raise SolverError("stationary iteration requires every state to have an exit rate")
         pi = np.full(n, 1.0 / n)
+        events = get_events()
+        start = time.perf_counter() if events.enabled else 0.0
+        method_name = "gauss_seidel" if use_latest else "jacobi"
         sweeps = 0
         try:
             for sweeps in range(1, max_iterations + 1):
@@ -320,6 +360,12 @@ def _stationary_iteration(use_latest: bool) -> Callable[..., np.ndarray]:
                 total = pi.sum()
                 if total > 0:
                     pi /= total
+                if events.enabled:
+                    events.emit(
+                        "solver.convergence", solver=method_name,
+                        iteration=sweeps, residual=float(max_delta),
+                        elapsed_s=round(time.perf_counter() - start, 9),
+                    )
                 if max_delta < tol:
                     return pi
         finally:
@@ -327,8 +373,7 @@ def _stationary_iteration(use_latest: bool) -> Callable[..., np.ndarray]:
             metrics.counter("solver_iterations").inc(sweeps)
             metrics.counter("spmv_count").inc(sweeps)
         raise SolverError(
-            f"{'gauss_seidel' if use_latest else 'jacobi'} did not converge "
-            f"in {max_iterations} sweeps"
+            f"{method_name} did not converge in {max_iterations} sweeps"
         )
 
     return solve

@@ -11,12 +11,14 @@ provided; the benchmark suite compares both.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 from scipy.sparse.linalg import expm_multiply
 
 from repro.ctmc.chain import CTMC
 from repro.exceptions import SolverError
+from repro.obs import get_events
 
 __all__ = ["transient_distribution", "transient_curve", "expected_rewards_at"]
 
@@ -69,11 +71,21 @@ def transient_distribution(
     P, lam = chain.uniformized()
     PT = P.transpose().tocsr()
     truncation, weights = _poisson_weights(lam * t, epsilon)
+    events = get_events()
+    start = time.perf_counter() if events.enabled else 0.0
+    accumulated_mass = float(weights[0])
     acc = weights[0] * pi0
     vec = pi0
     for k in range(1, truncation + 1):
         vec = PT @ vec
         acc = acc + weights[k] * vec
+        if events.enabled:
+            accumulated_mass += float(weights[k])
+            events.emit(
+                "uniformization.step", step=k, of=truncation,
+                weight=float(weights[k]), accumulated_mass=accumulated_mass,
+                elapsed_s=round(time.perf_counter() - start, 9),
+            )
     # renormalise the truncated series
     total = acc.sum()
     if total <= 0:

@@ -28,6 +28,27 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.analysis import (
+    aggregate_spans,
+    critical_path,
+    diff_traces,
+    load_trace,
+    render_aggregate,
+    render_critical_path,
+    render_trace_diff,
+)
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    NULL_EVENTS,
+    Event,
+    EventStream,
+    NullEventStream,
+    get_events,
+    read_events_jsonl,
+    set_events,
+    use_events,
+    write_events_jsonl,
+)
 from repro.obs.export import (
     metrics_to_json,
     render_metrics,
@@ -73,12 +94,29 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "use_metrics",
+    "Event",
+    "EventStream",
+    "NullEventStream",
+    "NULL_EVENTS",
+    "DEFAULT_CAPACITY",
+    "get_events",
+    "set_events",
+    "use_events",
+    "write_events_jsonl",
+    "read_events_jsonl",
     "observe",
     "trace_to_json",
     "metrics_to_json",
     "render_trace",
     "render_metrics",
     "write_trace_file",
+    "critical_path",
+    "aggregate_spans",
+    "diff_traces",
+    "load_trace",
+    "render_critical_path",
+    "render_aggregate",
+    "render_trace_diff",
 ]
 
 

@@ -1,0 +1,220 @@
+"""Cross-PR bench regression detection over ``repro-bench/1`` documents.
+
+``benchmarks/run_bench.py`` leaves a schema-stable snapshot per PR; the
+trajectory only means something once two snapshots can be *compared*.
+This module matches the runs of two bench documents on their identity
+``(workload, size, solver)``, compares every stage time plus the run
+total, and classifies each comparison:
+
+* **regression** — ``new > base * threshold`` *and* ``new - base >=
+  min_seconds``.  Both gates are needed: a relative threshold alone
+  flags a 0.3 ms stage that doubled into 0.6 ms (pure scheduler noise),
+  an absolute floor alone misses a 10 s stage creeping up 20%;
+* **improvement** — the mirror image (``new < base / threshold`` with
+  the same absolute floor), reported but never fatal;
+* unmatched runs on either side are listed so a silently shrunk sweep
+  cannot masquerade as "no regressions".
+
+:func:`markdown_report` renders the whole comparison as the artifact CI
+uploads; ``benchmarks/compare_bench.py`` is the command-line gate that
+exits non-zero when any regression survives the noise gates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "BenchComparison",
+    "StageDelta",
+    "load_bench",
+    "compare_benchmarks",
+    "markdown_report",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MIN_SECONDS",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: A stage must slow down by this factor to count as a regression.
+DEFAULT_THRESHOLD = 1.5
+#: ... and by at least this many absolute seconds.  Sub-millisecond
+#: stages double and halve with scheduler jitter; they are never
+#: signal on their own.
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def load_bench(path) -> dict[str, Any]:
+    """Read and schema-check a ``repro-bench/1`` JSON document."""
+    with open(path) as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA} bench document")
+    return document
+
+
+def run_key(run: dict[str, Any]) -> tuple[str, str, str]:
+    """The identity a run is matched on: (workload, size, solver)."""
+    return (
+        str(run.get("workload")),
+        json.dumps(run.get("size", {}), sort_keys=True),
+        str(run.get("solver")),
+    )
+
+
+@dataclass
+class StageDelta:
+    """One (run, stage) comparison between baseline and current."""
+
+    workload: str
+    size: str
+    solver: str
+    stage: str
+    base_s: float
+    new_s: float
+    verdict: str  # "regression" | "improvement" | "ok"
+
+    @property
+    def ratio(self) -> float | None:
+        return self.new_s / self.base_s if self.base_s > 0 else None
+
+    @property
+    def delta_s(self) -> float:
+        return self.new_s - self.base_s
+
+    def describe(self) -> str:
+        """One-line human rendering: run identity, times, ratio."""
+        ratio = f"{self.ratio:.2f}x" if self.ratio is not None else "new"
+        return (
+            f"{self.workload} {self.size} [{self.solver}] {self.stage}: "
+            f"{self.base_s:.6f}s -> {self.new_s:.6f}s ({ratio})"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """The full result of comparing two bench documents."""
+
+    baseline_label: str
+    current_label: str
+    threshold: float
+    min_seconds: float
+    deltas: list[StageDelta] = field(default_factory=list)
+    only_in_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    only_in_current: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[StageDelta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def improvements(self) -> list[StageDelta]:
+        return [d for d in self.deltas if d.verdict == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no stage regressed (unmatched runs are reported,
+        not fatal — sweeps legitimately grow between PRs)."""
+        return not self.regressions
+
+
+def _classify(base_s: float, new_s: float, threshold: float,
+              min_seconds: float) -> str:
+    if new_s > base_s * threshold and new_s - base_s >= min_seconds:
+        return "regression"
+    if new_s < base_s / threshold and base_s - new_s >= min_seconds:
+        return "improvement"
+    return "ok"
+
+
+def compare_benchmarks(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchComparison:
+    """Match runs of two bench documents and classify every stage delta.
+
+    ``threshold`` is the relative slow-down factor (1.5 = 50% slower),
+    ``min_seconds`` the absolute floor a delta must also clear.  Per
+    matched run every named stage plus the ``total`` time is compared;
+    a stage present on only one side is compared against 0.0 (which the
+    absolute floor then judges).
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    if min_seconds < 0:
+        raise ValueError(f"min_seconds must be >= 0, got {min_seconds}")
+    base_runs = {run_key(r): r for r in baseline.get("runs", [])}
+    new_runs = {run_key(r): r for r in current.get("runs", [])}
+    comparison = BenchComparison(
+        baseline_label=str(baseline.get("label", "baseline")),
+        current_label=str(current.get("label", "current")),
+        threshold=threshold,
+        min_seconds=min_seconds,
+        only_in_baseline=sorted(set(base_runs) - set(new_runs)),
+        only_in_current=sorted(set(new_runs) - set(base_runs)),
+    )
+    for key in sorted(set(base_runs) & set(new_runs)):
+        base, new = base_runs[key], new_runs[key]
+        workload, size, solver = key
+        stages = sorted(set(base.get("stages", {})) | set(new.get("stages", {})))
+        pairs = [(s, float(base.get("stages", {}).get(s, 0.0)),
+                  float(new.get("stages", {}).get(s, 0.0))) for s in stages]
+        pairs.append(("total", float(base.get("total_s", 0.0)),
+                      float(new.get("total_s", 0.0))))
+        for stage, base_s, new_s in pairs:
+            comparison.deltas.append(StageDelta(
+                workload=workload, size=size, solver=solver, stage=stage,
+                base_s=base_s, new_s=new_s,
+                verdict=_classify(base_s, new_s, threshold, min_seconds),
+            ))
+    return comparison
+
+
+def markdown_report(comparison: BenchComparison) -> str:
+    """The comparison as a markdown document (the CI artifact)."""
+    c = comparison
+    lines = [
+        f"# Bench comparison: `{c.baseline_label}` → `{c.current_label}`",
+        "",
+        f"Gates: regression = slower than {c.threshold:.2f}x baseline "
+        f"**and** ≥ {c.min_seconds:g}s absolute.",
+        "",
+    ]
+    if c.ok:
+        matched = len({(d.workload, d.size, d.solver) for d in c.deltas})
+        lines.append(
+            f"**No regressions** across {matched} matched run(s) / "
+            f"{len(c.deltas)} stage comparison(s)."
+        )
+    else:
+        lines.append(f"**{len(c.regressions)} REGRESSION(S) DETECTED:**")
+        lines.append("")
+        lines.append("| workload | size | solver | stage | base s | new s | ratio |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for d in c.regressions:
+            ratio = f"{d.ratio:.2f}x" if d.ratio is not None else "new"
+            lines.append(
+                f"| {d.workload} | `{d.size}` | {d.solver} | **{d.stage}** "
+                f"| {d.base_s:.6f} | {d.new_s:.6f} | {ratio} |"
+            )
+    if c.improvements:
+        lines.append("")
+        lines.append(f"{len(c.improvements)} improvement(s):")
+        lines.append("")
+        for d in c.improvements:
+            lines.append(f"- {d.describe()}")
+    for title, keys in (("Only in baseline", c.only_in_baseline),
+                        ("Only in current", c.only_in_current)):
+        if keys:
+            lines.append("")
+            lines.append(f"{title} (unmatched, not compared):")
+            lines.append("")
+            for workload, size, solver in keys:
+                lines.append(f"- {workload} `{size}` [{solver}]")
+    lines.append("")
+    return "\n".join(lines)

@@ -15,12 +15,13 @@ bound as a first-class error instead of letting memory blow up.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.exceptions import StateSpaceError, WellFormednessError
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
 from repro.pepa.environment import Environment, PepaModel
 from repro.pepa.semantics import Transition, derivatives
 from repro.pepa.syntax import Expression
@@ -33,6 +34,23 @@ __all__ = ["LabelledArc", "StateSpace", "explore", "derive"]
 #: Default ceiling on explored states; generous for the paper's models
 #: (hundreds of states) while catching accidental explosions quickly.
 DEFAULT_MAX_STATES = 1_000_000
+
+#: How many newly discovered states between ``explore.progress`` events
+#: (both here and in :mod:`repro.pepanets.semantics`).  Small enough to
+#: show life on a slow derivation, large enough to stay off the BFS hot
+#: path; tests shrink it via monkeypatching.
+PROGRESS_INTERVAL = 1_000
+
+
+def emit_progress(events, stage: str, explored: int, frontier: int,
+                  start: float) -> None:
+    """One ``explore.progress`` event with the BFS vital signs."""
+    elapsed = time.perf_counter() - start
+    events.emit(
+        "explore.progress", stage=stage, explored=explored, frontier=frontier,
+        states_per_sec=round(explored / elapsed, 3) if elapsed > 0 else None,
+        elapsed_s=round(elapsed, 9),
+    )
 
 
 @dataclass(frozen=True)
@@ -115,6 +133,8 @@ def explore(
     states: list[Expression] = [initial]
     arcs: list[LabelledArc] = []
     queue: deque[Expression] = deque([initial])
+    events = get_events()
+    start = time.perf_counter() if events.enabled else 0.0
 
     with get_tracer().span("pepa.statespace", max_states=max_states) as sp:
         while queue:
@@ -138,8 +158,13 @@ def explore(
                     index[tr.target] = tgt
                     states.append(tr.target)
                     queue.append(tr.target)
+                    if events.enabled and tgt % PROGRESS_INTERVAL == 0:
+                        emit_progress(events, "pepa.statespace",
+                                      len(states), len(queue), start)
                 arcs.append(LabelledArc(src, tr.action, tr.rate.value, tgt))
         sp.set(states=len(states), arcs=len(arcs))
+    if events.enabled:
+        emit_progress(events, "pepa.statespace", len(states), 0, start)
     metrics = get_metrics()
     metrics.counter("states_explored").inc(len(states))
     metrics.counter("transitions").inc(len(arcs))

@@ -15,13 +15,15 @@ derived, treating each marking as a distinct state").
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.exceptions import StateSpaceError, WellFormednessError
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
+from repro.pepa import statespace as _statespace
 from repro.pepa.semantics import derivatives
-from repro.pepa.statespace import DEFAULT_MAX_STATES, LabelledArc
+from repro.pepa.statespace import DEFAULT_MAX_STATES, LabelledArc, emit_progress
 from repro.pepanets.firing import DerivativeSets, firing_instances
 from repro.pepanets.syntax import NetMarking, PepaNet
 
@@ -111,6 +113,8 @@ def explore_net(
     markings: list[NetMarking] = [initial]
     arcs: list[LabelledArc] = []
     queue: deque[NetMarking] = deque([initial])
+    events = get_events()
+    start = time.perf_counter() if events.enabled else 0.0
 
     with get_tracer().span("pepanet.markingspace", places=len(net.places),
                            net_transitions=len(net.transitions),
@@ -135,8 +139,13 @@ def explore_net(
                     index[successor] = tgt
                     markings.append(successor)
                     queue.append(successor)
+                    if events.enabled and tgt % _statespace.PROGRESS_INTERVAL == 0:
+                        emit_progress(events, "pepanet.markingspace",
+                                      len(markings), len(queue), start)
                 arcs.append(LabelledArc(src, action, rate, tgt))
         sp.set(markings=len(markings), arcs=len(arcs))
+    if events.enabled:
+        emit_progress(events, "pepanet.markingspace", len(markings), 0, start)
     metrics = get_metrics()
     metrics.counter("states_explored").inc(len(markings))
     metrics.counter("transitions").inc(len(arcs))

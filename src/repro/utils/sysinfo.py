@@ -1,0 +1,32 @@
+"""Process-level system measurements shared by the bench tooling.
+
+One home for the ``getrusage`` portability wart so no caller ever
+re-derives the unit: ``ru_maxrss`` is **kibibytes on Linux** but
+**bytes on macOS** (and kilobytes-ish elsewhere); :func:`peak_rss_kib`
+normalises every platform to KiB.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["peak_rss_kib"]
+
+try:
+    import resource
+except ImportError:  # pragma: no cover — e.g. Windows
+    resource = None
+
+
+def peak_rss_kib() -> int:
+    """Peak resident set size of this process in KiB (0 if unmeasurable).
+
+    Use this everywhere instead of reading ``ru_maxrss`` directly — the
+    raw field changes unit across platforms.
+    """
+    if resource is None:  # pragma: no cover
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(usage) // 1024
+    return int(usage)

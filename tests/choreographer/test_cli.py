@@ -1,11 +1,16 @@
 """Unit tests for the choreographer CLI."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.choreographer.cli import main
 from repro.uml.model import UmlModel
 from repro.uml.xmi import add_synthetic_layout, write_model
 from repro.workloads import build_instant_message_diagram, build_client_statechart
+
+GOLDENS = Path(__file__).resolve().parents[1] / "goldens"
 
 
 @pytest.fixture()
@@ -248,3 +253,92 @@ class TestResilienceFlags:
         code = main(["pepa", str(pepa_file), "--deadline", "0.0"])
         assert code == 2
         assert "budget" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def pda_xmi_file(tmp_path):
+    from repro.workloads import build_pda_activity_diagram
+
+    model = UmlModel(name="pda")
+    model.add_activity_graph(build_pda_activity_diagram())
+    path = tmp_path / "pda.xmi"
+    path.write_text(add_synthetic_layout(write_model(model)))
+    return path
+
+
+class TestTraceTools:
+    def test_analyze_trace_prints_critical_path_for_golden(self, capsys):
+        code = main(["analyze-trace", str(GOLDENS / "trace_pda_base.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path" in out
+        assert "diagram.activity" in out
+        assert "p95 ms" in out  # the aggregation table rode along
+
+    def test_diff_trace_names_the_mover(self, capsys):
+        code = main(["diff-trace", str(GOLDENS / "trace_pda_base.json"),
+                     str(GOLDENS / "trace_pda_slow.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ctmc.solve" in out
+        assert "2.00x" in out
+
+    def test_analyze_trace_rejects_non_trace_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/1"}')
+        code = main(["analyze-trace", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_analyze_trace_does_not_clobber_its_input(self, capsys):
+        # 'analyze-trace FILE' must never be confused with '--trace FILE'
+        path = GOLDENS / "trace_pda_base.json"
+        before = path.read_text()
+        main(["analyze-trace", str(path)])
+        assert path.read_text() == before
+
+
+class TestEventsFlag:
+    def test_events_file_written_with_convergence_stream(
+        self, pepa_file, tmp_path, capsys
+    ):
+        out = tmp_path / "events.jsonl"
+        code = main(["pepa", str(pepa_file), "--solver", "power",
+                     "--events", str(out)])
+        assert code == 0
+        assert "events written" in capsys.readouterr().err
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["schema"] == "repro-events/1"
+        convergence = [l for l in lines[1:] if l["event"] == "solver.convergence"]
+        assert convergence
+        assert all(l["solver"] == "power" for l in convergence)
+
+    @pytest.mark.parametrize(
+        "solver", ["gmres", "bicgstab", "power", "gauss_seidel", "jacobi"]
+    )
+    def test_every_iterative_solver_visible_on_pda_workload(
+        self, pda_xmi_file, tmp_path, solver, capsys
+    ):
+        # the acceptance scenario: the full PDA pipeline, one iterative
+        # solver at a time, each leaving >= 1 convergence event behind
+        out = tmp_path / "events.jsonl"
+        code = main(["analyse", str(pda_xmi_file), "--solver", solver,
+                     "--events", str(out)])
+        assert code == 0
+        events = [json.loads(line) for line in out.read_text().splitlines()][1:]
+        convergence = [e for e in events
+                       if e["event"] == "solver.convergence"
+                       and e["solver"] == solver]
+        assert convergence, f"{solver} left no convergence events"
+        for event in convergence:
+            assert event["iteration"] >= 0
+            assert event["residual"] >= 0.0
+
+    def test_events_flag_leaves_ambient_stream_disabled(
+        self, pepa_file, tmp_path
+    ):
+        from repro.obs import NULL_EVENTS, get_events
+
+        main(["pepa", str(pepa_file), "--solver", "power",
+              "--events", str(tmp_path / "e.jsonl")])
+        assert get_events() is NULL_EVENTS

@@ -85,10 +85,12 @@ def test_run_suite_quick_document(run_bench, monkeypatch):
             [{"n_readers": 1}, {"n_readers": 2}, {"n_readers": 3}],
         ),
     })
-    document = run_bench.run_suite(quick=True, solver="direct", progress=lambda *_: None)
+    document = run_bench.run_suite(quick=True, solver="direct", label="ci",
+                                   progress=lambda *_: None)
     assert set(document) == DOC_KEYS
     assert document["schema"] == "repro-bench/1"
     assert document["quick"] is True
+    assert document["label"] == "ci"  # not shadowed by per-run progress labels
     assert set(document["host"]) == {"platform", "python", "numpy", "scipy"}
     # quick = first two sizes of each workload
     assert [r["size"] for r in document["runs"]] == [{"n_readers": 1}, {"n_readers": 2}]

@@ -1,0 +1,221 @@
+"""Bench regression detection: matching, thresholds, noise floor,
+markdown report and the compare_bench.py command-line gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    compare_benchmarks,
+    load_bench,
+    markdown_report,
+    run_key,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+_COMPARE = REPO / "benchmarks" / "compare_bench.py"
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    spec = importlib.util.spec_from_file_location("compare_bench", _COMPARE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def make_doc(label="base", **overrides):
+    """A minimal two-run repro-bench/1 document with sizeable stages."""
+    runs = [
+        {
+            "workload": "file_protocol", "kind": "pepa",
+            "size": {"n_readers": 2}, "solver": "direct",
+            "n_states": 5, "n_transitions": 12,
+            "stages": {"derive": 0.4, "assemble": 0.2, "solve": 0.6},
+            "total_s": 1.2, "peak_rss_kb": 80000,
+        },
+        {
+            "workload": "courier_ring", "kind": "net",
+            "size": {"n_places": 3, "n_couriers": 2}, "solver": "direct",
+            "n_states": 9, "n_transitions": 18,
+            "stages": {"derive": 0.3, "assemble": 0.1, "solve": 0.5},
+            "total_s": 0.9, "peak_rss_kb": 80000,
+        },
+    ]
+    doc = {"schema": "repro-bench/1", "label": label, "created_unix": 0,
+           "quick": False, "solver": "direct", "host": {}, "runs": runs}
+    doc.update(overrides)
+    return doc
+
+
+class TestMatching:
+    def test_run_key_is_stable_under_size_key_order(self):
+        a = {"workload": "w", "size": {"a": 1, "b": 2}, "solver": "direct"}
+        b = {"workload": "w", "size": {"b": 2, "a": 1}, "solver": "direct"}
+        assert run_key(a) == run_key(b)
+
+    def test_unmatched_runs_are_reported_not_fatal(self):
+        base = make_doc()
+        current = make_doc(label="new")
+        current["runs"] = current["runs"][:1]
+        current["runs"].append({
+            "workload": "brand_new", "size": {}, "solver": "direct",
+            "stages": {"solve": 0.1}, "total_s": 0.1,
+        })
+        comparison = compare_benchmarks(base, current)
+        assert comparison.ok
+        assert len(comparison.only_in_baseline) == 1
+        assert comparison.only_in_baseline[0][0] == "courier_ring"
+        assert len(comparison.only_in_current) == 1
+        assert comparison.only_in_current[0][0] == "brand_new"
+
+
+class TestDetection:
+    def test_identical_documents_have_no_regressions(self):
+        comparison = compare_benchmarks(make_doc(), make_doc(label="again"))
+        assert comparison.ok
+        assert comparison.regressions == []
+        assert comparison.improvements == []
+        # every stage plus the total was compared for both runs
+        assert len(comparison.deltas) == 8
+
+    def test_synthetic_2x_slowdown_names_workload_size_stage(self):
+        base = make_doc()
+        current = make_doc(label="slow")
+        current["runs"][0]["stages"]["solve"] = 1.2  # 2x of 0.6
+        current["runs"][0]["total_s"] = 1.8
+        comparison = compare_benchmarks(base, current)
+        assert not comparison.ok
+        stages = {(d.workload, d.stage) for d in comparison.regressions}
+        assert ("file_protocol", "solve") in stages
+        (solve,) = [d for d in comparison.regressions if d.stage == "solve"]
+        assert json.loads(solve.size) == {"n_readers": 2}
+        assert solve.solver == "direct"
+        assert solve.ratio == pytest.approx(2.0)
+
+    def test_absolute_floor_suppresses_sub_millisecond_doubling(self):
+        base = make_doc()
+        base["runs"][0]["stages"] = {"derive": 0.0004, "solve": 0.0003}
+        base["runs"][0]["total_s"] = 0.0007
+        current = make_doc(label="noisy")
+        current["runs"][0]["stages"] = {"derive": 0.0009, "solve": 0.0007}
+        current["runs"][0]["total_s"] = 0.0016
+        comparison = compare_benchmarks(base, current, min_seconds=0.05)
+        assert comparison.ok
+
+    def test_relative_threshold_suppresses_small_creep_on_big_stage(self):
+        base = make_doc()
+        current = make_doc(label="creep")
+        current["runs"][0]["stages"]["solve"] = 0.7  # +0.1s but only 1.17x
+        comparison = compare_benchmarks(base, current,
+                                        threshold=1.5, min_seconds=0.05)
+        assert comparison.ok
+
+    def test_improvements_are_reported_but_not_fatal(self):
+        base = make_doc()
+        current = make_doc(label="fast")
+        current["runs"][0]["stages"]["solve"] = 0.2
+        current["runs"][0]["total_s"] = 0.8
+        comparison = compare_benchmarks(base, current)
+        assert comparison.ok
+        assert any(d.stage == "solve" for d in comparison.improvements)
+
+    def test_total_time_regression_is_caught(self):
+        base = make_doc()
+        current = make_doc(label="slow-total")
+        current["runs"][1]["total_s"] = 2.7  # stages unchanged, total 3x
+        comparison = compare_benchmarks(base, current)
+        assert not comparison.ok
+        assert any(d.stage == "total" and d.workload == "courier_ring"
+                   for d in comparison.regressions)
+
+    def test_new_stage_name_compared_against_zero(self):
+        base = make_doc()
+        current = make_doc(label="newstage")
+        current["runs"][0]["stages"]["reflect"] = 0.4
+        comparison = compare_benchmarks(base, current)
+        assert any(d.stage == "reflect" and d.verdict == "regression"
+                   for d in comparison.deltas)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks(make_doc(), make_doc(), threshold=1.0)
+        with pytest.raises(ValueError):
+            compare_benchmarks(make_doc(), make_doc(), min_seconds=-1)
+
+
+class TestReport:
+    def test_no_regression_report(self):
+        text = markdown_report(compare_benchmarks(make_doc(), make_doc(label="b")))
+        assert "No regressions" in text
+        assert "`base` → `b`" in text
+
+    def test_regression_report_names_the_offender(self):
+        base = make_doc()
+        current = make_doc(label="slow")
+        current["runs"][0]["stages"]["solve"] = 1.2
+        text = markdown_report(compare_benchmarks(base, current))
+        assert "REGRESSION" in text
+        assert "file_protocol" in text
+        assert "solve" in text
+        assert "2.00x" in text
+
+    def test_unmatched_runs_listed(self):
+        base = make_doc()
+        current = make_doc(label="partial")
+        current["runs"] = current["runs"][:1]
+        text = markdown_report(compare_benchmarks(base, current))
+        assert "Only in baseline" in text
+        assert "courier_ring" in text
+
+
+class TestLoadBench:
+    def test_loads_committed_baseline(self):
+        document = load_bench(REPO / "BENCH_PR2.json")
+        assert document["schema"] == "repro-bench/1"
+        assert document["runs"]
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError):
+            load_bench(bad)
+
+
+class TestCompareBenchCli:
+    def test_self_compare_exits_zero(self, compare_bench, tmp_path, capsys):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(make_doc()))
+        assert compare_bench.main([str(path), str(path)]) == 0
+        assert "No regressions" in capsys.readouterr().out
+
+    def test_committed_baseline_self_compare_exits_zero(self, compare_bench, capsys):
+        baseline = str(REPO / "BENCH_PR2.json")
+        assert compare_bench.main([baseline, baseline]) == 0
+        assert "No regressions" in capsys.readouterr().out
+
+    def test_synthetic_slowdown_exits_one_and_writes_report(
+        self, compare_bench, tmp_path, capsys
+    ):
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(make_doc()))
+        current = make_doc(label="slow")
+        current["runs"][0]["stages"]["solve"] = 1.2
+        current_path = tmp_path / "current.json"
+        current_path.write_text(json.dumps(current))
+        report = tmp_path / "report.md"
+        code = compare_bench.main([str(base_path), str(current_path),
+                                   "-o", str(report)])
+        assert code == 1
+        text = report.read_text()
+        assert "file_protocol" in text and "solve" in text
+
+    def test_missing_file_exits_two(self, compare_bench, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(make_doc()))
+        assert compare_bench.main([str(tmp_path / "nope.json"), str(good)]) == 2
+        assert "error" in capsys.readouterr().err
