@@ -113,6 +113,14 @@ WORKLOADS = {
          {"n_sessions": 3, "n_transmitters": 3},
          {"n_sessions": 3, "n_transmitters": 4}],
     ),
+    # Exploration throughput (states/sec) of the repro.core.explore
+    # kernel on the exploding scaling model — derive only, no solve, so
+    # the ``derive`` stage time gates kernel regressions directly.
+    "explore_throughput": (
+        "explore",
+        client_server_model,
+        [{"n_clients": 7}, {"n_clients": 8}, {"n_clients": 9}],
+    ),
 }
 
 #: span name -> bench stage name
@@ -126,17 +134,28 @@ STAGE_SPANS = {
 
 
 def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
-    """One benchmark run: build, derive, assemble, solve, all traced."""
+    """One benchmark run: build, derive, assemble, solve, all traced.
+
+    ``kind == "explore"`` measures pure state-space exploration
+    throughput: derive only, and the solver identity is pinned to
+    ``"none"`` so the run matches across sweeps regardless of
+    ``--solver``.
+    """
     model = builder(**size)
     t0 = time.perf_counter()
     with observe() as (tracer, metrics):
-        if kind == "pepa":
+        if kind == "explore":
+            derive(model)
+        elif kind == "pepa":
             space = derive(model)
             chain = ctmc_from_statespace(space)
         else:
             space, chain = ctmc_of_net(model)
-        steady_state(chain, method=solver, reducible="bscc")
+        if kind != "explore":
+            steady_state(chain, method=solver, reducible="bscc")
     total = time.perf_counter() - t0
+    if kind == "explore":
+        solver = "none"
 
     stages: dict[str, float] = {}
     for root in tracer.roots:
@@ -168,10 +187,12 @@ def run_suite(*, quick: bool, solver: str, label: str = "local",
             size_label = ", ".join(f"{k}={v}" for k, v in size.items())
             progress(f"  {workload} ({size_label}) ...")
             record = run_one(workload, kind, builder, size, solver)
-            progress(
-                f"    {record['n_states']} states in {record['total_s']:.3f}s "
-                f"{record['stages']}"
-            )
+            line = (f"    {record['n_states']} states in {record['total_s']:.3f}s "
+                    f"{record['stages']}")
+            if kind == "explore" and record["stages"].get("derive"):
+                line += (f" ({record['n_states'] / record['stages']['derive']:,.0f}"
+                         " states/s)")
+            progress(line)
             runs.append(record)
     return {
         "schema": SCHEMA,

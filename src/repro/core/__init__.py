@@ -1,0 +1,28 @@
+"""``repro.core`` — the shared state-space exploration substrate.
+
+One labelled-transition-system structure (:mod:`repro.core.lts`), one
+breadth-first exploration kernel (:mod:`repro.core.explore`), one
+LTS → CTMC assembly path (:mod:`repro.core.ctmcgen`).  The three
+formalism layers — :mod:`repro.pepa`, :mod:`repro.pepanets`,
+:mod:`repro.petri` — are façades over this package; see
+``docs/architecture.md`` for the mapping.
+"""
+
+from repro.core.ctmcgen import ctmc_from_lts
+from repro.core.explore import (
+    DEFAULT_MAX_STATES,
+    PROGRESS_INTERVAL,
+    Exploration,
+    explore_lts,
+)
+from repro.core.lts import LabelledArc, Lts
+
+__all__ = [
+    "DEFAULT_MAX_STATES",
+    "PROGRESS_INTERVAL",
+    "Exploration",
+    "LabelledArc",
+    "Lts",
+    "ctmc_from_lts",
+    "explore_lts",
+]

@@ -1,0 +1,31 @@
+"""The one LTS → CTMC assembly path.
+
+Treating the explored LTS as a CTMC — each state a chain state, rates
+of parallel arcs between the same pair summing under the race condition
+— is identical across formalisms, so both the PEPA route
+(:func:`repro.pepa.ctmcgen.ctmc_from_statespace`, which now delegates
+here) and the GSPN route (:func:`repro.petri.gspn.spn_to_ctmc`) feed
+:func:`repro.ctmc.chain.build_ctmc` through this single function.
+"""
+
+from __future__ import annotations
+
+from repro.core.lts import Lts
+from repro.ctmc.chain import CTMC, build_ctmc
+from repro.obs import get_tracer
+
+__all__ = ["ctmc_from_lts"]
+
+
+def ctmc_from_lts(lts: Lts) -> CTMC:
+    """Build the CTMC (generator + labels + action-rate vectors) of an
+    explored LTS, under a ``ctmc.assemble`` tracer span."""
+    with get_tracer().span("ctmc.assemble", states=lts.size,
+                           arcs=len(lts.arcs)) as sp:
+        labels = [lts.state_label(i) for i in range(lts.size)]
+        chain = build_ctmc(
+            lts.size, list(lts.iter_transitions()), labels=labels,
+            initial=lts.initial,
+        )
+        sp.set(nnz=int(chain.Q.nnz))
+    return chain

@@ -9,23 +9,18 @@ do count as completed work.
 
 from __future__ import annotations
 
-from repro.ctmc.chain import CTMC, build_ctmc
-from repro.obs import get_tracer
+from repro.core.ctmcgen import ctmc_from_lts
+from repro.core.explore import DEFAULT_MAX_STATES
+from repro.ctmc.chain import CTMC
 from repro.pepa.environment import PepaModel
-from repro.pepa.statespace import DEFAULT_MAX_STATES, StateSpace, derive
+from repro.pepa.statespace import StateSpace, derive
 
 __all__ = ["ctmc_from_statespace", "ctmc_of_model"]
 
 
 def ctmc_from_statespace(space: StateSpace) -> CTMC:
     """Build the CTMC (generator + labels + action-rate vectors)."""
-    with get_tracer().span("ctmc.assemble", states=space.size,
-                           arcs=len(space.arcs)) as sp:
-        transitions = [(arc.source, arc.action, arc.rate, arc.target) for arc in space.arcs]
-        labels = [space.state_label(i) for i in range(space.size)]
-        chain = build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
-        sp.set(nnz=int(chain.Q.nnz))
-    return chain
+    return ctmc_from_lts(space)
 
 
 def ctmc_of_model(model: PepaModel, *, max_states: int = DEFAULT_MAX_STATES) -> tuple[StateSpace, CTMC]:

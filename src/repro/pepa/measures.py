@@ -9,6 +9,7 @@ index — the vocabulary a modeller (and the reflector) uses.
 from __future__ import annotations
 
 import re
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -19,6 +20,10 @@ from repro.exceptions import SolverError
 from repro.pepa.ctmcgen import ctmc_from_statespace
 from repro.pepa.environment import PepaModel
 from repro.pepa.statespace import DEFAULT_MAX_STATES, StateSpace, derive
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
+    from repro.resilience.budget import ExecutionBudget
+    from repro.resilience.fallback import FallbackPolicy
 
 __all__ = ["ModelAnalysis", "analyse"]
 
@@ -104,8 +109,8 @@ def analyse(
     solver: str = "direct",
     max_states: int = DEFAULT_MAX_STATES,
     reducible: str = "error",
-    budget=None,
-    policy=None,
+    budget: "ExecutionBudget | None" = None,
+    policy: "FallbackPolicy | str | None" = None,
 ) -> ModelAnalysis:
     """Derive and solve ``model``; returns a :class:`ModelAnalysis`.
 

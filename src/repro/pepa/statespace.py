@@ -7,7 +7,8 @@ each state as a CTMC state and summing activity rates per (source,
 target) pair yields the generator matrix (done in
 :mod:`repro.pepa.ctmcgen`).
 
-Exploration is a plain breadth-first search with a configurable state
+Exploration runs on the shared breadth-first kernel
+(:func:`repro.core.explore.explore_lts`) with a configurable state
 bound — the paper is explicit that susceptibility to state-space
 explosion is the price of exact numerical solution, so we surface the
 bound as a first-class error instead of letting memory blow up.
@@ -15,13 +16,11 @@ bound as a first-class error instead of letting memory blow up.
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
-from repro.exceptions import StateSpaceError, WellFormednessError
-from repro.obs import get_events, get_metrics, get_tracer
+from repro.core.explore import DEFAULT_MAX_STATES, explore_lts
+from repro.core.lts import LabelledArc, Lts
+from repro.exceptions import WellFormednessError
 from repro.pepa.environment import Environment, PepaModel
 from repro.pepa.semantics import Transition, derivatives
 from repro.pepa.syntax import Expression
@@ -31,84 +30,24 @@ if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
 
 __all__ = ["LabelledArc", "StateSpace", "explore", "derive"]
 
-#: Default ceiling on explored states; generous for the paper's models
-#: (hundreds of states) while catching accidental explosions quickly.
-DEFAULT_MAX_STATES = 1_000_000
 
-#: How many newly discovered states between ``explore.progress`` events
-#: (both here and in :mod:`repro.pepanets.semantics`).  Small enough to
-#: show life on a slow derivation, large enough to stay off the BFS hot
-#: path; tests shrink it via monkeypatching.
-PROGRESS_INTERVAL = 1_000
-
-
-def emit_progress(events, stage: str, explored: int, frontier: int,
-                  start: float) -> None:
-    """One ``explore.progress`` event with the BFS vital signs."""
-    elapsed = time.perf_counter() - start
-    events.emit(
-        "explore.progress", stage=stage, explored=explored, frontier=frontier,
-        states_per_sec=round(explored / elapsed, 3) if elapsed > 0 else None,
-        elapsed_s=round(elapsed, 9),
-    )
-
-
-@dataclass(frozen=True)
-class LabelledArc:
-    """One transition of the LTS, with state indices and a *numeric*
-    rate (passive rates cannot appear at the top level of a complete
-    model — that would mean an activity waiting forever for a partner
-    that never arrives)."""
-
-    source: int
-    action: str
-    rate: float
-    target: int
-
-
-@dataclass
-class StateSpace:
+class StateSpace(Lts):
     """The reachable derivation graph of a model.
 
     ``states[i]`` is the expression for state ``i``; ``arcs`` is the
-    multiset of labelled transitions; ``initial`` is always 0.
+    multiset of labelled transitions; ``initial`` is always 0.  All
+    accessors (``successors``, ``arcs_by_action``, ``deadlocks``,
+    ``actions``, ...) come from :class:`repro.core.lts.Lts`.
     """
 
     states: list[Expression]
-    arcs: list[LabelledArc]
-    index: dict[Expression, int] = field(repr=False, default_factory=dict)
 
-    @property
-    def initial(self) -> int:
-        return 0
 
-    @property
-    def size(self) -> int:
-        return len(self.states)
-
-    def __len__(self) -> int:
-        return len(self.states)
-
-    def actions(self) -> frozenset[str]:
-        """Every action type labelling some arc."""
-        return frozenset(arc.action for arc in self.arcs)
-
-    def deadlocks(self) -> list[int]:
-        """Indices of states with no outgoing arcs."""
-        out = {arc.source for arc in self.arcs}
-        return [i for i in range(len(self.states)) if i not in out]
-
-    def successors(self, state: int) -> list[LabelledArc]:
-        """The outgoing arcs of one state."""
-        return [arc for arc in self.arcs if arc.source == state]
-
-    def arcs_by_action(self, action: str) -> list[LabelledArc]:
-        """All arcs labelled with the given action type."""
-        return [arc for arc in self.arcs if arc.action == action]
-
-    def state_label(self, i: int) -> str:
-        """Human-readable rendering of state ``i`` (its PEPA derivative)."""
-        return str(self.states[i])
+def _overflow(max_states: int) -> str:
+    return (
+        f"state space exceeds the configured bound of {max_states} states; "
+        "raise max_states or aggregate the model"
+    )
 
 
 def explore(
@@ -129,46 +68,22 @@ def explore(
     frontier size and a resumable summary is raised instead of the
     search silently grinding on.
     """
-    index: dict[Expression, int] = {initial: 0}
-    states: list[Expression] = [initial]
-    arcs: list[LabelledArc] = []
-    queue: deque[Expression] = deque([initial])
-    events = get_events()
-    start = time.perf_counter() if events.enabled else 0.0
 
-    with get_tracer().span("pepa.statespace", max_states=max_states) as sp:
-        while queue:
-            state = queue.popleft()
-            src = index[state]
-            if budget is not None:
-                budget.checkpoint(
-                    stage="pepa state space", explored=len(states), frontier=len(queue)
-                )
-            for tr in derivatives(state, env, exclude=exclude):
-                _require_active(tr, state)
-                tgt = index.get(tr.target)
-                if tgt is None:
-                    if len(states) >= max_states:
-                        sp.set(states=len(states), arcs=len(arcs))
-                        raise StateSpaceError(
-                            f"state space exceeds the configured bound of {max_states} states; "
-                            "raise max_states or aggregate the model"
-                        )
-                    tgt = len(states)
-                    index[tr.target] = tgt
-                    states.append(tr.target)
-                    queue.append(tr.target)
-                    if events.enabled and tgt % PROGRESS_INTERVAL == 0:
-                        emit_progress(events, "pepa.statespace",
-                                      len(states), len(queue), start)
-                arcs.append(LabelledArc(src, tr.action, tr.rate.value, tgt))
-        sp.set(states=len(states), arcs=len(arcs))
-    if events.enabled:
-        emit_progress(events, "pepa.statespace", len(states), 0, start)
-    metrics = get_metrics()
-    metrics.counter("states_explored").inc(len(states))
-    metrics.counter("transitions").inc(len(arcs))
-    return StateSpace(states=states, arcs=arcs, index=index)
+    def successors(state: Expression) -> Iterator[tuple[str, float, Expression]]:
+        for tr in derivatives(state, env, exclude=exclude):
+            _require_active(tr, state)
+            yield tr.action, tr.rate.value, tr.target
+
+    lts = explore_lts(
+        initial,
+        successors,
+        stage="pepa.statespace",
+        budget_stage="pepa state space",
+        max_states=max_states,
+        budget=budget,
+        overflow=_overflow,
+    )
+    return StateSpace(states=lts.states, arcs=lts.arcs, index=lts.index)
 
 
 def _require_active(tr: Transition, state: Expression) -> None:

@@ -10,35 +10,37 @@ Adds to the plain-PEPA measures the mobility-specific questions:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from repro.core.ctmcgen import ctmc_from_lts
+from repro.core.explore import DEFAULT_MAX_STATES
 from repro.ctmc import rewards
-from repro.ctmc.chain import CTMC, build_ctmc
+from repro.ctmc.chain import CTMC
 from repro.ctmc.steady import steady_state
 from repro.exceptions import SolverError
-from repro.obs import get_tracer
-from repro.pepa.statespace import DEFAULT_MAX_STATES
 from repro.pepanets.semantics import NetStateSpace, explore_net
 from repro.pepanets.syntax import NetMarking, PepaNet, find_cells
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
+    from repro.resilience.budget import ExecutionBudget
+    from repro.resilience.fallback import FallbackPolicy
 
 __all__ = ["NetAnalysis", "analyse_net", "ctmc_of_net"]
 
 
-def ctmc_of_net(net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES,
-                budget=None) -> tuple[NetStateSpace, CTMC]:
+def ctmc_of_net(
+    net: PepaNet, *, max_states: int = DEFAULT_MAX_STATES,
+    budget: "ExecutionBudget | None" = None,
+) -> tuple[NetStateSpace, CTMC]:
     """Derive the marking space of ``net`` and its CTMC.
 
     ``budget`` is an optional cooperative
     :class:`~repro.resilience.budget.ExecutionBudget`.
     """
     space = explore_net(net, max_states=max_states, budget=budget)
-    with get_tracer().span("ctmc.assemble", states=space.size,
-                           arcs=len(space.arcs)) as sp:
-        transitions = [(a.source, a.action, a.rate, a.target) for a in space.arcs]
-        labels = [space.state_label(i) for i in range(space.size)]
-        chain = build_ctmc(space.size, transitions, labels=labels, initial=space.initial)
-        sp.set(nnz=int(chain.Q.nnz))
-    return space, chain
+    return space, ctmc_from_lts(space)
 
 
 class NetAnalysis:
@@ -167,8 +169,8 @@ def analyse_net(
     solver: str = "direct",
     max_states: int = DEFAULT_MAX_STATES,
     reducible: str = "bscc",
-    budget=None,
-    policy=None,
+    budget: "ExecutionBudget | None" = None,
+    policy: "FallbackPolicy | str | None" = None,
 ) -> NetAnalysis:
     """Derive and solve a PEPA net; returns a :class:`NetAnalysis`.
 

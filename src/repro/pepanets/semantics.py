@@ -10,66 +10,54 @@ The paper distinguishes two kinds of state change (Section 2.2):
 
 Treating each marking as a distinct state yields the CTMC
 ("The structured operational semantics ... shows how a CTMC can be
-derived, treating each marking as a distinct state").
+derived, treating each marking as a distinct state").  The breadth-first
+walk itself is the shared :func:`repro.core.explore.explore_lts`
+kernel; this module only supplies the successor relation.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.exceptions import StateSpaceError, WellFormednessError
-from repro.obs import get_events, get_metrics, get_tracer
-from repro.pepa import statespace as _statespace
+from repro.core.explore import DEFAULT_MAX_STATES, explore_lts
+from repro.core.lts import LabelledArc, Lts
+from repro.exceptions import WellFormednessError
 from repro.pepa.semantics import derivatives
-from repro.pepa.statespace import DEFAULT_MAX_STATES, LabelledArc, emit_progress
 from repro.pepanets.firing import DerivativeSets, firing_instances
 from repro.pepanets.syntax import NetMarking, PepaNet
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
+    from repro.resilience.budget import ExecutionBudget
 
 __all__ = ["NetStateSpace", "explore_net", "net_arcs"]
 
 
-@dataclass
-class NetStateSpace:
+class NetStateSpace(Lts):
     """The reachable markings of a PEPA net with all labelled arcs.
 
     Arc actions are either local PEPA action types or firing action
-    types; :attr:`firing_actions` tells them apart for measures.
+    types; :attr:`firing_actions` tells them apart for measures.  The
+    graph accessors come from :class:`repro.core.lts.Lts`;
+    :attr:`markings` is the net-flavoured name for its ``states``.
     """
 
-    net: PepaNet
-    markings: list[NetMarking]
-    arcs: list[LabelledArc]
-    index: dict[NetMarking, int] = field(repr=False, default_factory=dict)
+    def __init__(
+        self,
+        net: PepaNet,
+        markings: list[NetMarking],
+        arcs: list[LabelledArc],
+        index: dict[NetMarking, int] | None = None,
+    ):
+        super().__init__(states=markings, arcs=arcs, index=index)
+        self.net = net
 
     @property
-    def initial(self) -> int:
-        return 0
-
-    @property
-    def size(self) -> int:
-        return len(self.markings)
-
-    def __len__(self) -> int:
-        return len(self.markings)
+    def markings(self) -> list[NetMarking]:
+        return self.states
 
     @property
     def firing_actions(self) -> frozenset[str]:
         return self.net.firing_actions
-
-    def actions(self) -> frozenset[str]:
-        """Every action type labelling some arc of the marking space."""
-        return frozenset(a.action for a in self.arcs)
-
-    def deadlocks(self) -> list[int]:
-        """Indices of markings with no outgoing arcs."""
-        sources = {a.source for a in self.arcs}
-        return [i for i in range(self.size) if i not in sources]
-
-    def state_label(self, i: int) -> str:
-        """Human-readable rendering of marking ``i``."""
-        return str(self.markings[i])
 
 
 def net_arcs(
@@ -98,7 +86,7 @@ def explore_net(
     net: PepaNet,
     *,
     max_states: int = DEFAULT_MAX_STATES,
-    budget=None,
+    budget: "ExecutionBudget | None" = None,
 ) -> NetStateSpace:
     """Breadth-first derivation of the net's marking space.
 
@@ -108,45 +96,16 @@ def explore_net(
     resumable :class:`~repro.exceptions.BudgetExceededError`.
     """
     ds = DerivativeSets(net.environment)
-    initial = net.initial_marking()
-    index: dict[NetMarking, int] = {initial: 0}
-    markings: list[NetMarking] = [initial]
-    arcs: list[LabelledArc] = []
-    queue: deque[NetMarking] = deque([initial])
-    events = get_events()
-    start = time.perf_counter() if events.enabled else 0.0
-
-    with get_tracer().span("pepanet.markingspace", places=len(net.places),
-                           net_transitions=len(net.transitions),
-                           max_states=max_states) as sp:
-        while queue:
-            marking = queue.popleft()
-            src = index[marking]
-            if budget is not None:
-                budget.checkpoint(
-                    stage="pepa-net marking space",
-                    explored=len(markings), frontier=len(queue),
-                )
-            for action, rate, successor in net_arcs(net, marking, ds):
-                tgt = index.get(successor)
-                if tgt is None:
-                    if len(markings) >= max_states:
-                        sp.set(markings=len(markings), arcs=len(arcs))
-                        raise StateSpaceError(
-                            f"PEPA-net marking space exceeds {max_states} states"
-                        )
-                    tgt = len(markings)
-                    index[successor] = tgt
-                    markings.append(successor)
-                    queue.append(successor)
-                    if events.enabled and tgt % _statespace.PROGRESS_INTERVAL == 0:
-                        emit_progress(events, "pepanet.markingspace",
-                                      len(markings), len(queue), start)
-                arcs.append(LabelledArc(src, action, rate, tgt))
-        sp.set(markings=len(markings), arcs=len(arcs))
-    if events.enabled:
-        emit_progress(events, "pepanet.markingspace", len(markings), 0, start)
-    metrics = get_metrics()
-    metrics.counter("states_explored").inc(len(markings))
-    metrics.counter("transitions").inc(len(arcs))
-    return NetStateSpace(net=net, markings=markings, arcs=arcs, index=index)
+    lts = explore_lts(
+        net.initial_marking(),
+        lambda marking: net_arcs(net, marking, ds),
+        stage="pepanet.markingspace",
+        budget_stage="pepa-net marking space",
+        max_states=max_states,
+        budget=budget,
+        span_attrs={"places": len(net.places),
+                    "net_transitions": len(net.transitions)},
+        span_count_key="markings",
+        overflow=lambda n: f"PEPA-net marking space exceeds {n} states",
+    )
+    return NetStateSpace(net=net, markings=lts.states, arcs=lts.arcs, index=lts.index)

@@ -18,11 +18,15 @@ accepted, with a warning recorded on the graph.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
-from repro.exceptions import StateSpaceError, WellFormednessError
+from repro.core.explore import Exploration, explore_lts
+from repro.exceptions import WellFormednessError
 from repro.petri.net import NetTransition, PetriNet
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
+    from repro.resilience.budget import ExecutionBudget
 
 __all__ = ["OMEGA", "OmegaMarking", "CoverabilityGraph", "build_coverability_graph"]
 
@@ -144,9 +148,16 @@ def _fire_omega(net: PetriNet, t: NetTransition, marking: OmegaMarking) -> Omega
 
 
 def build_coverability_graph(
-    net: PetriNet, *, max_markings: int = 200_000
+    net: PetriNet, *, max_markings: int = 200_000,
+    budget: "ExecutionBudget | None" = None,
 ) -> CoverabilityGraph:
-    """The Karp–Miller graph (finite for every net)."""
+    """The Karp–Miller graph (finite for every net).
+
+    Runs on the shared BFS kernel; the ω-acceleration against every
+    ancestor on the BFS path is the kernel's ``adjust_successor`` hook.
+    ``budget`` is an optional cooperative
+    :class:`~repro.resilience.budget.ExecutionBudget`.
+    """
     order = tuple(sorted(net.places))
     m0 = net.initial_marking
     initial = OmegaMarking(order, tuple(float(m0[p]) for p in order))
@@ -162,36 +173,36 @@ def build_coverability_graph(
     accelerable = frozenset(
         name for name, place in net.places.items() if place.capacity is None
     )
-    index: dict[OmegaMarking, int] = {initial: 0}
-    markings: list[OmegaMarking] = [initial]
-    parent: dict[int, int | None] = {0: None}
-    edges: list[tuple[int, str, int]] = []
-    queue: deque[int] = deque([0])
+    transition_order = sorted(net.transitions)
 
-    while queue:
-        current = queue.popleft()
-        marking = markings[current]
-        for name in sorted(net.transitions):
+    def successors(marking: OmegaMarking) -> Iterator[tuple[str, float, OmegaMarking]]:
+        for name in transition_order:
             successor = _fire_omega(net, net.transitions[name], marking)
-            if successor is None:
-                continue
-            # acceleration against every ancestor on the path
-            walker: int | None = current
-            while walker is not None:
-                ancestor = markings[walker]
-                if successor.strictly_covers(ancestor):
-                    successor = successor.with_omega_where_greater(ancestor, accelerable)
-                walker = parent[walker]
-            nxt = index.get(successor)
-            if nxt is None:
-                if len(markings) >= max_markings:
-                    raise StateSpaceError(
-                        f"coverability graph exceeds {max_markings} nodes"
-                    )
-                nxt = len(markings)
-                index[successor] = nxt
-                markings.append(successor)
-                parent[nxt] = current
-                queue.append(nxt)
-            edges.append((current, name, nxt))
-    return CoverabilityGraph(net=net, markings=markings, edges=edges, warnings=warnings)
+            if successor is not None:
+                yield name, 1.0, successor
+
+    def accelerate(successor: OmegaMarking, src: int,
+                   exploration: Exploration) -> OmegaMarking:
+        # acceleration against every ancestor on the path
+        for ancestor in exploration.ancestors(src):
+            if successor.strictly_covers(ancestor):
+                successor = successor.with_omega_where_greater(ancestor, accelerable)
+        return successor
+
+    lts = explore_lts(
+        initial,
+        successors,
+        stage="petri.coverability",
+        budget_stage="petri coverability graph",
+        max_states=max_markings,
+        budget=budget,
+        span_attrs={"net": net.name, "transitions": len(net.transitions)},
+        span_count_key="markings",
+        overflow=lambda n: f"coverability graph exceeds {n} nodes",
+        adjust_successor=accelerate,
+    )
+    return CoverabilityGraph(
+        net=net, markings=lts.states,
+        edges=[(a.source, a.action, a.target) for a in lts.arcs],
+        warnings=warnings,
+    )

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ctmc.chain import CTMC, build_ctmc
+from repro.core.ctmcgen import ctmc_from_lts
+from repro.core.lts import LabelledArc, Lts
+from repro.ctmc.chain import CTMC
 from repro.exceptions import WellFormednessError
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
@@ -57,11 +59,21 @@ class StochasticPetriNet:
 def spn_to_ctmc(
     spn: StochasticPetriNet, *, max_markings: int = 500_000
 ) -> tuple[ReachabilityGraph, CTMC]:
-    """Reachability graph + the derived CTMC of a stochastic net."""
+    """Reachability graph + the derived CTMC of a stochastic net.
+
+    The untimed reachability LTS is re-labelled with marking-dependent
+    firing rates and fed through the shared
+    :func:`repro.core.ctmcgen.ctmc_from_lts` assembly path.
+    """
     graph = build_reachability_graph(spn.net, max_markings=max_markings)
-    transitions = []
-    for source, tname, target in graph.edges:
-        rate = spn.firing_rate(tname, graph.markings[source])
-        transitions.append((source, tname, rate, target))
-    labels = [str(m) for m in graph.markings]
-    return graph, build_ctmc(graph.size, transitions, labels=labels)
+    rated = Lts(
+        states=graph.states,
+        arcs=[
+            LabelledArc(a.source, a.action,
+                        spn.firing_rate(a.action, graph.markings[a.source]),
+                        a.target)
+            for a in graph.arcs
+        ],
+        index=graph.index,
+    )
+    return graph, ctmc_from_lts(rated)

@@ -4,41 +4,64 @@ Builds the explicit reachability graph (bounded, with a state ceiling)
 and answers the classic behavioural questions: boundedness (via a
 coverability-style check during exploration), deadlock states, liveness
 of individual transitions, and home-marking detection.
+
+The graph is explored by the shared BFS kernel
+(:func:`repro.core.explore.explore_lts`), which brings the Petri layer
+the same cooperative :class:`~repro.resilience.budget.ExecutionBudget`
+support, tracer span (``petri.reachability``) and ``explore.progress``
+events the PEPA layers have; the unboundedness abort is expressed as
+the kernel's ``on_new_state`` hook walking the BFS ancestor chain.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
 import networkx as nx
 
+from repro.core.explore import Exploration, explore_lts
+from repro.core.lts import LabelledArc, Lts
 from repro.exceptions import StateSpaceError
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
+    from repro.resilience.budget import ExecutionBudget
 
 __all__ = ["ReachabilityGraph", "build_reachability_graph"]
 
 DEFAULT_MAX_MARKINGS = 500_000
 
 
-@dataclass
-class ReachabilityGraph:
-    """The reachable markings of a net, with the firing relation."""
+class ReachabilityGraph(Lts):
+    """The reachable markings of a net, with the firing relation.
 
-    net: PetriNet
-    markings: list[Marking]
-    index: dict[Marking, int] = field(repr=False)
-    edges: list[tuple[int, str, int]] = field(default_factory=list)
+    Arcs carry the conventional rate 1.0 (the untimed semantics has no
+    rates); :attr:`edges` renders them as the classic ``(source,
+    transition, target)`` triples.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        markings: list[Marking],
+        index: dict[Marking, int] | None = None,
+        edges: list[tuple[int, str, int]] | None = None,
+        arcs: list[LabelledArc] | None = None,
+    ):
+        if arcs is None:
+            arcs = [LabelledArc(s, t, 1.0, d) for s, t, d in (edges or [])]
+        super().__init__(states=markings, arcs=arcs, index=index)
+        self.net = net
 
     @property
-    def size(self) -> int:
-        return len(self.markings)
+    def markings(self) -> list[Marking]:
+        return self.states
 
-    def deadlocks(self) -> list[int]:
-        """Indices of markings enabling no transition."""
-        sources = {s for s, _, _ in self.edges}
-        return [i for i in range(self.size) if i not in sources]
+    @property
+    def edges(self) -> list[tuple[int, str, int]]:
+        """The firing relation as (source, transition name, target)."""
+        return [(a.source, a.action, a.target) for a in self.arcs]
 
     def is_deadlock_free(self) -> bool:
         """True when every reachable marking enables something."""
@@ -54,7 +77,7 @@ class ReachabilityGraph:
 
     def fired_transitions(self) -> frozenset[str]:
         """Transitions that fire somewhere in the graph."""
-        return frozenset(t for _, t, _ in self.edges)
+        return self.actions()
 
     def dead_transitions(self) -> frozenset[str]:
         """Transitions that never fire from any reachable marking."""
@@ -64,18 +87,18 @@ class ReachabilityGraph:
         """Transitions fireable again from every reachable marking
         (L4-liveness on the finite graph: each transition labels an edge
         reachable from every node)."""
-        graph = self.to_networkx()
+        reverse = self.to_networkx().reverse(copy=False)
+        all_states = set(range(self.size))
         live: set[str] = set()
         # nodes from which each transition-labelled edge is reachable
         for t in self.net.transitions:
-            edge_sources = {s for s, name, _ in self.edges if name == t}
+            edge_sources = {a.source for a in self.arcs_by_action(t)}
             if not edge_sources:
                 continue
-            reverse = graph.reverse(copy=False)
             reachable_back: set[int] = set()
             for src in edge_sources:
                 reachable_back |= {src} | nx.descendants(reverse, src)
-            if reachable_back >= set(range(self.size)):
+            if reachable_back >= all_states:
                 live.add(t)
         return frozenset(live)
 
@@ -93,54 +116,52 @@ class ReachabilityGraph:
         """The graph as a networkx MultiDiGraph (edge label = transition)."""
         graph = nx.MultiDiGraph()
         graph.add_nodes_from(range(self.size))
-        for s, t, d in self.edges:
-            graph.add_edge(s, d, label=t)
+        for a in self.arcs:
+            graph.add_edge(a.source, a.target, label=a.action)
         return graph
 
 
 def build_reachability_graph(
-    net: PetriNet, *, max_markings: int = DEFAULT_MAX_MARKINGS
+    net: PetriNet,
+    *,
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+    budget: "ExecutionBudget | None" = None,
 ) -> ReachabilityGraph:
     """BFS over the firing relation.
 
     Unbounded nets are detected by the ω-free coverability heuristic: if
     a newly reached marking strictly covers an ancestor on its path, the
     net is unbounded and exploration aborts with a clear error rather
-    than running to the state ceiling.
+    than running to the state ceiling.  ``budget`` is an optional
+    cooperative :class:`~repro.resilience.budget.ExecutionBudget`
+    checked once per expanded marking.
     """
-    initial = net.initial_marking
-    index: dict[Marking, int] = {initial: 0}
-    markings: list[Marking] = [initial]
-    # ancestor chains for the coverability check: parent pointers
-    parent: dict[int, int | None] = {0: None}
-    edges: list[tuple[int, str, int]] = []
-    queue: deque[int] = deque([0])
 
-    while queue:
-        current = queue.popleft()
-        marking = markings[current]
+    def successors(marking: Marking) -> Iterator[tuple[str, float, Marking]]:
         for transition in net.enabled_transitions(marking):
-            successor = net.fire(transition, marking)
-            nxt = index.get(successor)
-            if nxt is None:
-                # coverability: walk ancestors; strict covering => unbounded
-                walker: int | None = current
-                while walker is not None:
-                    ancestor = markings[walker]
-                    if successor.covers(ancestor) and successor != ancestor:
-                        raise StateSpaceError(
-                            f"net {net.name!r} is unbounded: marking {successor} "
-                            f"strictly covers ancestor {ancestor}"
-                        )
-                    walker = parent[walker]
-                if len(markings) >= max_markings:
-                    raise StateSpaceError(
-                        f"reachability graph exceeds {max_markings} markings"
-                    )
-                nxt = len(markings)
-                index[successor] = nxt
-                markings.append(successor)
-                parent[nxt] = current
-                queue.append(nxt)
-            edges.append((current, transition.name, nxt))
-    return ReachabilityGraph(net=net, markings=markings, index=index, edges=edges)
+            yield transition.name, 1.0, net.fire(transition, marking)
+
+    def check_bounded(successor: Marking, src: int, exploration: Exploration) -> None:
+        # coverability: walk ancestors; strict covering => unbounded
+        for ancestor in exploration.ancestors(src):
+            if successor.covers(ancestor) and successor != ancestor:
+                raise StateSpaceError(
+                    f"net {net.name!r} is unbounded: marking {successor} "
+                    f"strictly covers ancestor {ancestor}"
+                )
+
+    lts = explore_lts(
+        net.initial_marking,
+        successors,
+        stage="petri.reachability",
+        budget_stage="petri reachability graph",
+        max_states=max_markings,
+        budget=budget,
+        span_attrs={"net": net.name, "transitions": len(net.transitions)},
+        span_count_key="markings",
+        overflow=lambda n: f"reachability graph exceeds {n} markings",
+        on_new_state=check_bounded,
+    )
+    return ReachabilityGraph(
+        net=net, markings=lts.states, index=lts.index, arcs=lts.arcs
+    )

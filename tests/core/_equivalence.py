@@ -1,0 +1,153 @@
+"""Fixture generator for the exploration-equivalence battery.
+
+The ``repro.core.explore`` kernel replaced three hand-rolled BFS loops;
+the contract of that refactor is *bit-for-bit equivalence*: identical
+state ordering and identical arc lists for every workload family.  The
+golden file ``tests/goldens/statespace_equivalence.json`` was generated
+from the pre-refactor code (before ``repro.core`` existed) and must
+never be regenerated casually — a diff here means the kernel changed
+observable exploration order.
+
+Regenerate (only with an explanation in the PR body)::
+
+    PYTHONPATH=src python -m tests.core._equivalence --update
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN = Path(__file__).resolve().parents[1] / "goldens" / "statespace_equivalence.json"
+
+#: (family, kind, size) — the five bench workload families at sizes
+#: small enough to snapshot yet big enough to exercise interleavings.
+CASES = [
+    ("file_protocol", "pepa", {"n_readers": 2}),
+    ("client_server", "pepa", {"n_clients": 3}),
+    ("tandem_queue", "pepa", {"stages": 2, "capacity": 3}),
+    ("courier_ring", "net", {"n_places": 3, "n_couriers": 2}),
+    ("roaming_fleet", "net", {"n_sessions": 2, "n_transmitters": 3}),
+]
+
+PETRI_CASES = ["token_ring", "mutex"]
+
+
+def _builders():
+    from repro.workloads import (
+        client_server_model,
+        courier_ring_net,
+        roaming_fleet_net,
+        tandem_queue_model,
+    )
+
+    def file_protocol(n_readers: int):
+        from repro.pepa.parser import parse_model
+
+        readers = " || ".join(["FileReader"] * n_readers)
+        source = f"""
+        r_o = 2.0; r_r = 10.0; r_w = 4.0; r_c = 1.0;
+        File = (openread, r_o).InStream + (openwrite, r_o).OutStream;
+        InStream = (read, r_r).InStream + (close, r_c).File;
+        OutStream = (write, r_w).OutStream + (close, r_c).File;
+        FileReader = (openread, T).Reading + (openwrite, T).Writing;
+        Reading = (read, T).Reading + (close, T).FileReader;
+        Writing = (write, T).Writing + (close, T).FileReader;
+        File <openread, openwrite, read, write, close> ({readers})
+        """
+        return parse_model(source)
+
+    return {
+        "file_protocol": file_protocol,
+        "client_server": client_server_model,
+        "tandem_queue": tandem_queue_model,
+        "courier_ring": courier_ring_net,
+        "roaming_fleet": roaming_fleet_net,
+    }
+
+
+def _petri_net(name: str):
+    from repro.petri import PetriNet
+
+    if name == "token_ring":
+        net = PetriNet("ring")
+        for i in range(4):
+            net.add_place(f"p{i}", tokens=2 if i == 0 else 0)
+        for i in range(4):
+            net.add_transition(f"t{i}", {f"p{i}": 1}, {f"p{(i + 1) % 4}": 1})
+        return net
+    if name == "mutex":
+        net = PetriNet("mutex")
+        net.add_place("idle1", tokens=1)
+        net.add_place("crit1", tokens=0)
+        net.add_place("idle2", tokens=1)
+        net.add_place("crit2", tokens=0)
+        net.add_place("mutex", tokens=1)
+        net.add_transition("enter1", {"idle1": 1, "mutex": 1}, {"crit1": 1})
+        net.add_transition("exit1", {"crit1": 1}, {"idle1": 1, "mutex": 1})
+        net.add_transition("enter2", {"idle2": 1, "mutex": 1}, {"crit2": 1})
+        net.add_transition("exit2", {"crit2": 1}, {"idle2": 1, "mutex": 1})
+        return net
+    raise ValueError(name)
+
+
+def snapshot_case(kind: str, model) -> dict:
+    """Exploration snapshot: ordered state labels + ordered arc list."""
+    if kind == "pepa":
+        from repro.pepa.statespace import derive
+
+        space = derive(model)
+    else:
+        from repro.pepanets.semantics import explore_net
+
+        space = explore_net(model)
+    return {
+        "states": [space.state_label(i) for i in range(space.size)],
+        "arcs": [[a.source, a.action, a.rate, a.target] for a in space.arcs],
+    }
+
+
+def snapshot_petri(name: str) -> dict:
+    from repro.petri import build_reachability_graph
+
+    graph = build_reachability_graph(_petri_net(name))
+    return {
+        "states": [str(m) for m in graph.markings],
+        "arcs": [[s, t, d] for s, t, d in graph.edges],
+    }
+
+
+def generate() -> dict:
+    builders = _builders()
+    doc: dict = {"schema": "repro-equivalence/1", "cases": {}, "petri": {}}
+    for family, kind, size in CASES:
+        key = family + ":" + ",".join(f"{k}={v}" for k, v in size.items())
+        doc["cases"][key] = {
+            "family": family,
+            "kind": kind,
+            "size": size,
+            **snapshot_case(kind, builders[family](**size)),
+        }
+    for name in PETRI_CASES:
+        doc["petri"][name] = snapshot_petri(name)
+    return doc
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the golden file from the current code")
+    args = parser.parse_args()
+    doc = generate()
+    if args.update:
+        GOLDEN.write_text(json.dumps(doc, indent=1) + "\n")
+        n = len(doc["cases"]) + len(doc["petri"])
+        print(f"wrote {n} snapshots to {GOLDEN}")
+    else:
+        print(json.dumps(doc, indent=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -34,9 +34,11 @@ DOC_KEYS = {"schema", "label", "created_unix", "quick", "solver", "host", "runs"
 def test_workload_table_shape(run_bench):
     assert len(run_bench.WORKLOADS) >= 3
     for name, (kind, builder, sizes) in run_bench.WORKLOADS.items():
-        assert kind in {"pepa", "net"}
+        assert kind in {"pepa", "net", "explore"}
         assert callable(builder)
         assert len(sizes) >= 2, f"{name} needs >= 2 sizes for the sweep"
+    # the kernel-throughput workload is part of the sweep
+    assert run_bench.WORKLOADS["explore_throughput"][0] == "explore"
 
 
 def test_run_one_pepa_record(run_bench):
@@ -64,6 +66,23 @@ def test_run_one_net_record(run_bench):
     assert set(record) == RUN_KEYS
     assert record["kind"] == "net"
     assert set(record["stages"]) == {"derive", "assemble", "solve"}
+
+
+def test_run_one_explore_record(run_bench):
+    from repro.workloads import client_server_model
+
+    record = run_bench.run_one(
+        "explore_throughput", "explore", client_server_model,
+        {"n_clients": 4}, "direct",
+    )
+    assert set(record) == RUN_KEYS
+    assert record["kind"] == "explore"
+    # derive-only: no assemble/solve stages, and a solver-independent
+    # identity so --solver sweeps still match across bench documents
+    assert set(record["stages"]) == {"derive"}
+    assert record["solver"] == "none"
+    assert record["n_states"] > 0
+    assert json.dumps(record)
 
 
 def test_run_one_leaves_ambient_collectors_disabled(run_bench):
@@ -111,8 +130,9 @@ def test_main_writes_output_file(run_bench, monkeypatch, tmp_path):
     assert len(document["runs"]) == 2
 
 
-def test_checked_in_bench_document_is_schema_valid(run_bench):
-    bench_path = _BENCH.parent.parent / "BENCH_PR2.json"
+@pytest.mark.parametrize("name", ["BENCH_PR2.json", "BENCH_PR4.json"])
+def test_checked_in_bench_document_is_schema_valid(run_bench, name):
+    bench_path = _BENCH.parent.parent / name
     document = json.loads(bench_path.read_text())
     assert set(document) == DOC_KEYS
     assert document["schema"] == "repro-bench/1"
@@ -126,3 +146,12 @@ def test_checked_in_bench_document_is_schema_valid(run_bench):
     # Acceptance: >= 3 workloads at >= 2 sizes each, per-stage timings.
     assert len(workload_sizes) >= 3
     assert all(len(sizes) >= 2 for sizes in workload_sizes.values())
+
+
+def test_pr4_baseline_contains_explore_throughput(run_bench):
+    document = json.loads((_BENCH.parent.parent / "BENCH_PR4.json").read_text())
+    explore_runs = [r for r in document["runs"]
+                    if r["workload"] == "explore_throughput"]
+    assert len(explore_runs) >= 2
+    assert all(set(r["stages"]) == {"derive"} for r in explore_runs)
+    assert all(r["solver"] == "none" for r in explore_runs)

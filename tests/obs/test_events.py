@@ -205,9 +205,9 @@ class TestUniformizationEvents:
 
 class TestExplorationProgressEvents:
     def test_pepa_derivation_emits_progress(self, file_model, monkeypatch):
-        from repro.pepa import statespace
+        from repro.core import explore
 
-        monkeypatch.setattr(statespace, "PROGRESS_INTERVAL", 2)
+        monkeypatch.setattr(explore, "PROGRESS_INTERVAL", 2)
         stream = EventStream()
         with use_events(stream):
             space = derive(file_model)
@@ -221,9 +221,9 @@ class TestExplorationProgressEvents:
             final.fields["states_per_sec"] > 0
 
     def test_net_exploration_emits_progress(self, monkeypatch):
-        from repro.pepa import statespace
+        from repro.core import explore
 
-        monkeypatch.setattr(statespace, "PROGRESS_INTERVAL", 2)
+        monkeypatch.setattr(explore, "PROGRESS_INTERVAL", 2)
         net = parse_net(
             """
             Tok = (go, 1.0).Tok;

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.exceptions import StateSpaceError
+from repro.exceptions import BudgetExceededError, StateSpaceError
+from repro.obs import EventStream, Tracer, use_events, use_tracer
 from repro.petri import (
     PetriNet,
     build_reachability_graph,
@@ -10,6 +11,7 @@ from repro.petri import (
     p_invariants,
     t_invariants,
 )
+from repro.resilience import ExecutionBudget
 
 
 def token_ring(n_places: int = 3, tokens: int = 1) -> PetriNet:
@@ -111,6 +113,78 @@ class TestReachability:
         net.add_transition("go_right", {"start": 1}, {"right": 1})
         graph = build_reachability_graph(net)
         assert graph.home_markings() == []
+
+
+class TestBudgetedReachability:
+    """Petri reachability honours an ExecutionBudget via the shared
+    exploration kernel — support it never had before."""
+
+    def test_deadline_budget_aborts_exploration(self):
+        budget = ExecutionBudget.of(deadline_seconds=0.0, check_every=1)
+        with pytest.raises(BudgetExceededError) as info:
+            build_reachability_graph(token_ring(8, tokens=4), budget=budget)
+        assert info.value.stage == "petri reachability graph"
+        assert info.value.explored >= 1
+
+    def test_state_budget_aborts_exploration(self):
+        budget = ExecutionBudget.of(max_states=3)
+        with pytest.raises(BudgetExceededError) as info:
+            build_reachability_graph(token_ring(8, tokens=4), budget=budget)
+        assert info.value.explored == 4
+
+    def test_roomy_budget_matches_unbudgeted_graph(self):
+        roomy = ExecutionBudget.of(deadline_seconds=300.0, max_states=10_000)
+        budgeted = build_reachability_graph(mutex_net(), budget=roomy)
+        plain = build_reachability_graph(mutex_net())
+        assert budgeted.markings == plain.markings
+        assert budgeted.edges == plain.edges
+
+    def test_coverability_honours_budget_too(self):
+        from repro.petri import build_coverability_graph
+
+        budget = ExecutionBudget.of(deadline_seconds=0.0, check_every=1)
+        with pytest.raises(BudgetExceededError) as info:
+            build_coverability_graph(token_ring(8, tokens=4), budget=budget)
+        assert info.value.stage == "petri coverability graph"
+
+
+class TestObservedReachability:
+    """The kernel gives the Petri layer spans + progress events."""
+
+    def test_exploration_is_traced(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            graph = build_reachability_graph(mutex_net())
+        span = tracer.roots[0]
+        assert span.name == "petri.reachability"
+        assert span.attributes["markings"] == graph.size
+        assert span.attributes["arcs"] == len(graph.edges)
+        assert span.closed
+
+    def test_exploration_emits_progress_events(self, monkeypatch):
+        from repro.core import explore
+
+        monkeypatch.setattr(explore, "PROGRESS_INTERVAL", 2)
+        stream = EventStream()
+        with use_events(stream):
+            graph = build_reachability_graph(token_ring(4, tokens=2))
+        progress = stream.by_name("explore.progress")
+        assert progress
+        assert progress[-1].fields["stage"] == "petri.reachability"
+        assert progress[-1].fields["explored"] == graph.size
+        assert progress[-1].fields["frontier"] == 0
+
+    def test_tracing_with_budget_and_events_together(self, monkeypatch):
+        from repro.core import explore
+
+        monkeypatch.setattr(explore, "PROGRESS_INTERVAL", 2)
+        tracer, stream = Tracer(), EventStream()
+        roomy = ExecutionBudget.of(deadline_seconds=300.0)
+        with use_tracer(tracer), use_events(stream):
+            graph = build_reachability_graph(mutex_net(), budget=roomy)
+        assert graph.size == 3
+        assert tracer.roots[0].name == "petri.reachability"
+        assert stream.by_name("explore.progress")
 
 
 class TestInvariants:
