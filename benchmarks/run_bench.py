@@ -41,6 +41,12 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.exists() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+# Batch workers resolve the ``run_bench:bench_call`` task target by
+# importing this file as a module, so its directory must be on sys.path
+# in every process (fork inherits this; spawn re-propagates sys.path).
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
 import numpy
 import scipy
@@ -145,7 +151,7 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
     t0 = time.perf_counter()
     with observe() as (tracer, metrics):
         if kind == "explore":
-            derive(model)
+            space = derive(model)
         elif kind == "pepa":
             space = derive(model)
             chain = ctmc_from_statespace(space)
@@ -163,36 +169,93 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
             stage = STAGE_SPANS.get(span.name)
             if stage is not None:
                 stages[stage] = stages.get(stage, 0.0) + span.duration
+    # Counts come from the returned space, not the exploration counters:
+    # a derivation-cache hit skips exploration (no counter ticks) but
+    # still yields the full space.
     return {
         "workload": workload,
         "kind": kind,
         "size": size,
         "solver": solver,
-        "n_states": int(metrics.counter("states_explored").value),
-        "n_transitions": int(metrics.counter("transitions").value),
+        "n_states": int(space.size),
+        "n_transitions": int(len(space.arcs)),
         "stages": {name: round(seconds, 6) for name, seconds in sorted(stages.items())},
         "total_s": round(total, 6),
         "peak_rss_kb": peak_rss_kib(),
     }
 
 
-def run_suite(*, quick: bool, solver: str, label: str = "local",
-              sizes_per_workload: int | None = None, progress=print) -> dict:
-    """Run the whole sweep and return the JSON-ready document."""
+def bench_call(workload: str, size: dict, solver: str) -> dict:
+    """Worker-side entry point for ``--jobs``: one bench run by name.
+
+    Referenced as the batch-task target ``run_bench:bench_call``, so it
+    takes only JSON-able arguments and resolves the builder itself.
+    """
+    kind, builder, _sizes = WORKLOADS[workload]
+    return run_one(workload, kind, builder, size, solver)
+
+
+def _chosen_runs(quick: bool, sizes_per_workload: int | None):
+    """The (workload, kind, size) sweep in its canonical order."""
     n_sizes = 2 if quick else (sizes_per_workload or None)
-    runs = []
     for workload, (kind, builder, sizes) in WORKLOADS.items():
-        chosen = sizes[:n_sizes] if n_sizes else sizes
-        for size in chosen:
+        for size in sizes[:n_sizes] if n_sizes else sizes:
+            yield workload, kind, builder, size
+
+
+def _progress_line(record: dict) -> str:
+    line = (f"    {record['n_states']} states in {record['total_s']:.3f}s "
+            f"{record['stages']}")
+    if record["kind"] == "explore" and record["stages"].get("derive"):
+        line += (f" ({record['n_states'] / record['stages']['derive']:,.0f}"
+                 " states/s)")
+    return line
+
+
+def run_suite(*, quick: bool, solver: str, label: str = "local",
+              sizes_per_workload: int | None = None, progress=print,
+              jobs: int = 1, cache_dir: str | None = None) -> dict:
+    """Run the whole sweep and return the JSON-ready document.
+
+    ``jobs > 1`` fans the runs out across worker processes via the
+    batch engine; ``cache_dir`` (any jobs count) reuses previously
+    derived state spaces through the content-addressed cache.  Both
+    leave the sweep order — and hence the document's ``runs`` order —
+    unchanged.
+    """
+    sweep = list(_chosen_runs(quick, sizes_per_workload))
+    runs = []
+    if jobs > 1 or cache_dir:
+        from repro.batch import BatchTask, run_batch
+
+        tasks = [
+            BatchTask(
+                id=f"{i}-{workload}", kind="call",
+                payload={"target": "run_bench:bench_call",
+                         "kwargs": {"workload": workload, "size": size,
+                                    "solver": solver}},
+            )
+            for i, (workload, kind, builder, size) in enumerate(sweep)
+        ]
+        report = run_batch(tasks, jobs=jobs, cache_dir=cache_dir)
+        for result, (workload, kind, builder, size) in zip(report.results, sweep):
+            size_label = ", ".join(f"{k}={v}" for k, v in size.items())
+            progress(f"  {workload} ({size_label}) ...")
+            if not result.ok:
+                raise RuntimeError(
+                    f"bench task {result.task_id} failed: {result.error}")
+            progress(_progress_line(result.measures))
+            runs.append(result.measures)
+        totals = report.cache_totals()
+        if totals:
+            progress(f"  cache: {totals.get('hits', 0)} hits, "
+                     f"{totals.get('misses', 0)} misses")
+    else:
+        for workload, kind, builder, size in sweep:
             size_label = ", ".join(f"{k}={v}" for k, v in size.items())
             progress(f"  {workload} ({size_label}) ...")
             record = run_one(workload, kind, builder, size, solver)
-            line = (f"    {record['n_states']} states in {record['total_s']:.3f}s "
-                    f"{record['stages']}")
-            if kind == "explore" and record["stages"].get("derive"):
-                line += (f" ({record['n_states'] / record['stages']['derive']:,.0f}"
-                         " states/s)")
-            progress(line)
+            progress(_progress_line(record))
             runs.append(record)
     return {
         "schema": SCHEMA,
@@ -231,6 +294,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-seconds", type=float, default=None,
                         help="absolute-seconds floor for --baseline "
                              "(default: repro.obs.regress.DEFAULT_MIN_SECONDS)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for the sweep (default: 1, "
+                             "runs inline)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed derivation cache; repeated "
+                             "sweeps skip state-space exploration entirely")
     args = parser.parse_args(argv)
 
     output = args.output
@@ -239,8 +308,9 @@ def main(argv: list[str] | None = None) -> int:
                   / f"BENCH_{args.label}.json")
 
     print(f"bench sweep ({'quick' if args.quick else 'full'}, "
-          f"solver={args.solver}, label={args.label})")
-    document = run_suite(quick=args.quick, solver=args.solver, label=args.label)
+          f"solver={args.solver}, label={args.label}, jobs={args.jobs})")
+    document = run_suite(quick=args.quick, solver=args.solver, label=args.label,
+                         jobs=args.jobs, cache_dir=args.cache_dir)
     output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {len(document['runs'])} runs to {output}")
 

@@ -1,0 +1,225 @@
+"""Content-addressed on-disk cache of derived state spaces and CTMCs.
+
+State-space derivation and generator assembly dominate the tool chain's
+wall-clock cost (Ding & Hillston, arXiv:1012.3040 — the machine-side
+cost of numerically representing the process algebra), and batch
+workloads repeat them: a sweep re-analyses the same model under the
+same parameters, a re-run re-derives yesterday's state spaces.  This
+cache makes the second derivation a file read.
+
+Entries are addressed by :class:`repro.core.keys.DerivationKey` — a
+stable SHA-256 over (model source, formalism, derivation parameters) —
+so the address *is* the content identity: a changed rate value, a
+different ``max_states``, a different formalism each hash to a
+different entry, and stale hits are impossible by construction.
+
+The store is a plain directory of pickle files, two-level fanned-out by
+digest prefix.  Writes are atomic (temp file + ``os.replace``), so a
+crashed or concurrent writer can never publish a half-written entry;
+readers that still encounter a corrupt file (truncation, bit rot,
+foreign bytes) treat it as a miss, emit a ``cache.corrupt`` event,
+delete the carcass best-effort and re-derive — the cache can lose time,
+never correctness.
+
+Instrumented code reaches the cache the same way it reaches the tracer:
+:func:`get_cache` returns the ambient instance installed by
+:func:`set_cache`/:func:`use_cache`, defaulting to ``None`` (caching
+off).  Hits/misses/corruption are counted on the instance, on the
+ambient metrics registry (``cache.hits``/``cache.misses``/
+``cache.corrupt``) and as ``cache.hit``/``cache.miss``/``cache.corrupt``
+events, so a batch report shows exactly how much exploration was
+skipped.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.keys import DerivationKey
+from repro.obs import get_events, get_metrics
+
+__all__ = [
+    "CacheStats",
+    "DerivationCache",
+    "get_cache",
+    "set_cache",
+    "use_cache",
+]
+
+#: On-disk pickle protocol; pinned so caches are portable across the
+#: Python versions the CI matrix exercises (3.10 is the floor).
+PICKLE_PROTOCOL = 4
+
+#: Errors that mean "this entry is unreadable", not "this is a bug":
+#: truncated pickles raise EOFError/UnpicklingError, foreign bytes can
+#: raise almost anything from the pickle VM, missing classes raise
+#: AttributeError/ImportError, filesystem trouble raises OSError.
+_CORRUPTION_ERRORS = (
+    EOFError,
+    OSError,
+    pickle.UnpicklingError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    ValueError,
+    TypeError,
+    MemoryError,
+)
+
+
+@dataclass
+class CacheStats:
+    """In-process tally of one cache instance's traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the four counters as a plain dict (stable key order)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+class DerivationCache:
+    """A content-addressed pickle store under one directory.
+
+    ``fetch``/``store`` are the whole protocol; payloads are plain
+    dicts assembled by the call sites (state-space payloads in the
+    derivation layers, CTMC payloads via
+    :func:`repro.ctmc.serialize.ctmc_to_payload`).  Instances are safe
+    to share between the processes of a batch run: the filesystem is
+    the coordination point, and atomic publication makes concurrent
+    writers idempotent (same key ⇒ same bytes).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_of(self, key: DerivationKey) -> Path:
+        """Where ``key``'s entry lives (two-level digest fan-out)."""
+        digest = key.digest
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------
+    def fetch(self, key: DerivationKey) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on miss.
+
+        A corrupt entry counts and reports as ``cache.corrupt`` (and as
+        a miss), is deleted best-effort, and the caller re-derives.
+        """
+        path = self.path_of(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict):
+                raise pickle.UnpicklingError(
+                    f"cache entry is a {type(payload).__name__}, not a payload dict"
+                )
+        except FileNotFoundError:
+            self.stats.misses += 1
+            get_metrics().counter("cache.misses").inc()
+            get_events().emit("cache.miss", key=key.describe())
+            return None
+        except _CORRUPTION_ERRORS as exc:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            metrics = get_metrics()
+            metrics.counter("cache.corrupt").inc()
+            metrics.counter("cache.misses").inc()
+            get_events().emit(
+                "cache.corrupt", key=key.describe(), path=str(path),
+                error=type(exc).__name__,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        get_metrics().counter("cache.hits").inc()
+        get_events().emit("cache.hit", key=key.describe())
+        return payload
+
+    def store(self, key: DerivationKey, payload: dict[str, Any]) -> Path:
+        """Atomically publish ``payload`` under ``key``; returns the path."""
+        path = self.path_of(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=PICKLE_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        get_metrics().counter("cache.stores").inc()
+        get_events().emit("cache.store", key=key.describe())
+        return path
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: DerivationKey) -> bool:
+        return self.path_of(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"DerivationCache({str(self.root)!r}, {self.stats.as_dict()})"
+
+
+_active_cache: DerivationCache | None = None
+
+
+def get_cache() -> DerivationCache | None:
+    """The ambient cache the derivation layers consult (``None`` = off)."""
+    return _active_cache
+
+
+def set_cache(cache: DerivationCache | None) -> DerivationCache | None:
+    """Install ``cache`` (``None`` = disable); returns the previous one."""
+    global _active_cache
+    previous = _active_cache
+    _active_cache = cache
+    return previous
+
+
+@contextmanager
+def use_cache(cache: DerivationCache | None) -> Iterator[DerivationCache | None]:
+    """Scoped installation: the previous cache is restored on exit."""
+    previous = set_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_cache(previous)

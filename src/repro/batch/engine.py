@@ -1,0 +1,340 @@
+"""The multiprocess batch engine: N workers, one coherent report.
+
+A :class:`BatchTask` names a unit of pipeline work (an XMI document, a
+textual PEPA model or net, one experiment of EXPERIMENTS.md, or any
+importable callable); a :class:`BatchEngine` runs a list of them across
+``jobs`` worker processes and folds the outcomes into a
+:class:`BatchReport`.
+
+Design contract — **parallel runs are deterministic**: the report's
+content (per-task measures, merged metrics totals, event order) depends
+only on the task list, never on worker scheduling.  Three mechanisms
+enforce this:
+
+* results are collected in task-submission order (``Executor.map``),
+  not completion order;
+* each task runs under its *own* fresh tracer/metrics/events, so
+  concurrent tasks cannot interleave writes; the engine merges the
+  per-task snapshots afterwards in task order via
+  :mod:`repro.obs.merge`;
+* worker processes start from a clean slate: the pool initialiser calls
+  :func:`repro.obs.reset_ambient` (a forked worker must not record into
+  an inherited parent snapshot) and installs the worker's own ambient
+  :class:`~repro.batch.cache.DerivationCache`.
+
+``jobs=1`` executes inline in the calling process through exactly the
+same per-task code path, so serial and parallel runs produce identical
+measures documents — the property the CI batch smoke step pins
+byte-for-byte.
+
+Budgets: a :class:`~repro.resilience.budget.BudgetSpec` attached to a
+task (or the engine-wide default) is *materialised in the worker as the
+task starts*, so the deadline clock never charges queueing time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import multiprocessing
+
+from repro.batch.cache import DerivationCache, get_cache, set_cache, use_cache
+from repro.obs import (
+    EventStream,
+    MetricsRegistry,
+    Tracer,
+    merge_events,
+    merge_metrics,
+    merge_traces,
+    reset_ambient,
+    use_events,
+    use_metrics,
+    use_tracer,
+)
+from repro.resilience.budget import BudgetSpec
+from repro.utils.formatting import format_table
+
+__all__ = ["BatchTask", "BatchResult", "BatchReport", "BatchEngine", "run_batch"]
+
+#: Environment override for the multiprocessing start method
+#: (``fork``/``spawn``/``forkserver``); default prefers ``fork`` where
+#: the platform offers it — workers inherit the warm interpreter — and
+#: falls back to ``spawn`` elsewhere.  ``reset_ambient`` makes both safe.
+MP_START_ENV = "REPRO_MP_START"
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of batch work.
+
+    ``kind`` selects the runner (see :mod:`repro.batch.tasks`);
+    ``payload`` is its JSON-able argument dict; ``budget`` optionally
+    bounds the task (materialised in the worker at task start).
+    """
+
+    id: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    budget: BudgetSpec | None = None
+
+
+@dataclass
+class BatchResult:
+    """Everything one task produced, measures and observability alike.
+
+    ``measures`` is the deterministic, JSON-able outcome; ``trace`` /
+    ``metrics`` / ``events`` are the worker's observability snapshots
+    for this task; ``cache`` is the task's hit/miss delta.  Timing
+    (``duration_s``) is reported but deliberately excluded from
+    :meth:`BatchReport.measures_document`.
+    """
+
+    task_id: str
+    kind: str
+    ok: bool
+    measures: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    duration_s: float = 0.0
+    trace: dict[str, Any] = field(default_factory=lambda: {"schema": "repro-trace/1", "traces": []})
+    metrics: dict[str, Any] = field(default_factory=lambda: {"schema": "repro-metrics/1", "metrics": {}})
+    events: list[dict[str, Any]] = field(default_factory=list)
+    cache: dict[str, int] = field(default_factory=dict)
+
+
+def _cache_delta(before: dict[str, int] | None, after: dict[str, int] | None) -> dict[str, int]:
+    if not after:
+        return {}
+    before = before or {}
+    return {name: after[name] - before.get(name, 0) for name in after}
+
+
+def execute_task(task: BatchTask) -> BatchResult:
+    """Run one task under fresh ambient collectors; never raises.
+
+    This is the single execution path shared by inline (``jobs=1``) and
+    pooled runs: fresh tracer/metrics/events installed for the duration
+    of the task, the task's budget materialised here (worker-side), and
+    any exception captured into the result so one poisoned task degrades
+    itself only.
+    """
+    from repro.batch.tasks import run_task
+
+    tracer, metrics, events = Tracer(), MetricsRegistry(), EventStream()
+    ambient_cache = get_cache()
+    stats_before = ambient_cache.stats.as_dict() if ambient_cache else None
+    budget = task.budget.materialise() if task.budget is not None else None
+    measures: dict[str, Any] = {}
+    error: str | None = None
+    start = time.perf_counter()
+    with use_tracer(tracer), use_metrics(metrics), use_events(events):
+        try:
+            measures = run_task(task, budget=budget)
+        except Exception as exc:  # captured, not raised: the batch goes on
+            error = f"{type(exc).__name__}: {exc}"
+    duration = time.perf_counter() - start
+    stats_after = ambient_cache.stats.as_dict() if ambient_cache else None
+    return BatchResult(
+        task_id=task.id,
+        kind=task.kind,
+        ok=error is None,
+        measures=measures,
+        error=error,
+        duration_s=duration,
+        trace=tracer.to_dict(),
+        metrics=metrics.as_dict(),
+        events=events.to_dicts(),
+        cache=_cache_delta(stats_before, stats_after),
+    )
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    """Pool initialiser: clean ambient slate, then this worker's cache."""
+    reset_ambient()
+    set_cache(DerivationCache(cache_dir) if cache_dir else None)
+
+
+@dataclass
+class BatchReport:
+    """The merged outcome of one batch run."""
+
+    results: list[BatchResult]
+    jobs: int
+    duration_s: float
+    cache_dir: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every task succeeded."""
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> list[BatchResult]:
+        return [result for result in self.results if not result.ok]
+
+    # ------------------------------------------------------------------
+    # Merged observability views (task order ⇒ deterministic)
+    # ------------------------------------------------------------------
+    def merged_trace(self) -> dict[str, Any]:
+        """One ``repro-trace/1`` forest over every task, in task order."""
+        return merge_traces(result.trace for result in self.results)
+
+    def merged_metrics(self) -> dict[str, Any]:
+        """One ``repro-metrics/1`` snapshot summed over every task."""
+        return merge_metrics(result.metrics for result in self.results)
+
+    def merged_events(self) -> list[dict[str, Any]]:
+        """Every task's events, tagged with the task id, in task order."""
+        return merge_events(
+            [(result.task_id, result.events) for result in self.results]
+        )
+
+    def cache_totals(self) -> dict[str, int]:
+        """Hit/miss/store/corrupt totals summed over every task."""
+        totals: dict[str, int] = {}
+        for result in self.results:
+            for name, value in result.cache.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # Deterministic content
+    # ------------------------------------------------------------------
+    def measures_document(self) -> dict[str, Any]:
+        """The schedule-independent content of the run.
+
+        Identical for serial and parallel executions of the same task
+        list — no timings, no worker identities, no cache traffic (a
+        warm cache changes speed, never results).
+        """
+        return {
+            "schema": "repro-batch/1",
+            "tasks": [
+                {
+                    "id": result.task_id,
+                    "kind": result.kind,
+                    "ok": result.ok,
+                    "measures": result.measures,
+                    "error": result.error,
+                }
+                for result in self.results
+            ],
+        }
+
+    def measures_json(self) -> str:
+        """Canonical JSON of :meth:`measures_document` (byte-comparable)."""
+        return json.dumps(self.measures_document(), sort_keys=True, indent=2) + "\n"
+
+    def summary(self) -> str:
+        """Aligned per-task status table plus the run's vital signs."""
+        rows = [
+            [
+                result.task_id,
+                result.kind,
+                "ok" if result.ok else "FAILED",
+                f"{result.duration_s:.3f}s",
+                result.error or "",
+            ]
+            for result in self.results
+        ]
+        table = format_table(["task", "kind", "status", "time", "error"], rows)
+        totals = self.cache_totals()
+        cache_line = (
+            f"cache: {totals.get('hits', 0)} hits, "
+            f"{totals.get('misses', 0)} misses, "
+            f"{totals.get('corrupt', 0)} corrupt"
+            if totals
+            else "cache: off"
+        )
+        status = "ok" if self.ok else f"{len(self.failures)} task(s) FAILED"
+        return (
+            f"{table}\n{len(self.results)} tasks on {self.jobs} worker(s) "
+            f"in {self.duration_s:.3f}s — {status}\n{cache_line}"
+        )
+
+
+class BatchEngine:
+    """Run batches of tasks across worker processes.
+
+    ``jobs=1`` runs inline (no pool); ``jobs>1`` uses a process pool
+    whose workers are initialised with a clean ambient slate and their
+    own :class:`~repro.batch.cache.DerivationCache` over the shared
+    ``cache_dir``.  ``default_budget`` applies to tasks without one.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        default_budget: BudgetSpec | None = None,
+        mp_start: str | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.default_budget = default_budget
+        self.mp_start = mp_start
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        method = self.mp_start or os.environ.get(MP_START_ENV)
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        return multiprocessing.get_context(method)
+
+    def _with_budgets(self, tasks: Sequence[BatchTask]) -> list[BatchTask]:
+        if self.default_budget is None:
+            return list(tasks)
+        return [
+            task if task.budget is not None
+            else BatchTask(id=task.id, kind=task.kind, payload=task.payload,
+                           budget=self.default_budget)
+            for task in tasks
+        ]
+
+    def run(self, tasks: Iterable[BatchTask]) -> BatchReport:
+        """Execute every task; returns the merged report.
+
+        Task ids must be unique — they key the per-task results and tag
+        the merged event stream.
+        """
+        todo = self._with_budgets(list(tasks))
+        ids = [task.id for task in todo]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate task ids in batch: {ids}")
+        start = time.perf_counter()
+        if self.jobs == 1 or len(todo) <= 1:
+            cache = DerivationCache(self.cache_dir) if self.cache_dir else None
+            with use_cache(cache):
+                results = [execute_task(task) for task in todo]
+        else:
+            context = self._context()
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(todo)),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(self.cache_dir,),
+            ) as pool:
+                results = list(pool.map(execute_task, todo, chunksize=1))
+        duration = time.perf_counter() - start
+        return BatchReport(
+            results=results, jobs=self.jobs, duration_s=duration,
+            cache_dir=self.cache_dir,
+        )
+
+
+def run_batch(
+    tasks: Iterable[BatchTask],
+    *,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    default_budget: BudgetSpec | None = None,
+) -> BatchReport:
+    """One-call convenience over :class:`BatchEngine`."""
+    engine = BatchEngine(jobs=jobs, cache_dir=cache_dir, default_budget=default_budget)
+    return engine.run(tasks)

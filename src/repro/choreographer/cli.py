@@ -115,6 +115,44 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("-o", "--output", type=Path, metavar="STEM",
                      help="write <STEM>.structure.dot / <STEM>.states.dot instead of stdout")
 
+    batch = sub.add_parser(
+        "batch",
+        help="run many models / experiments across worker processes with a "
+             "content-addressed derivation cache",
+    )
+    batch.add_argument(
+        "inputs", nargs="*", type=Path, metavar="MODEL",
+        help=".xmi, .pepa or .pepanet files; each becomes one task")
+    batch.add_argument(
+        "--experiments", action="store_true",
+        help="also run every EXPERIMENTS.md row, one task per experiment")
+    batch.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (1 = run inline, still through the task path)")
+    batch.add_argument(
+        "--cache-dir", type=Path, default=Path(".choreographer-cache"),
+        metavar="DIR",
+        help="content-addressed derivation cache directory "
+             "(default: .choreographer-cache)")
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the derivation cache entirely")
+    batch.add_argument("--rates", type=Path, help=".rates file for XMI tasks")
+    batch.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    batch.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="per-task wall-clock budget (the clock starts when the task does)")
+    batch.add_argument(
+        "--measures", type=Path, metavar="FILE",
+        help="write the canonical, schedule-independent measures JSON here "
+             "(byte-identical across --jobs settings)")
+    batch.add_argument(
+        "--trace", type=Path, metavar="FILE",
+        help="write the merged repro-trace/1 span forest (all tasks, task order)")
+    batch.add_argument(
+        "--events", type=Path, metavar="FILE",
+        help="write the merged, task-tagged event stream as JSON Lines")
+
     analyze = sub.add_parser(
         "analyze-trace",
         help="critical path and per-span profile of a --trace JSON file",
@@ -306,6 +344,77 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in records) else 1
 
 
+def _batch_tasks(args: argparse.Namespace) -> list:
+    """Build the task list: one task per input file (+ experiments)."""
+    from repro.batch import BatchTask
+    from repro.choreographer.experiments import EXPERIMENTS
+
+    tasks = []
+    seen: set[str] = set()
+    for path in args.inputs:
+        text = path.read_text()
+        if path.suffix == ".xmi":
+            kind, payload = "xmi", {"text": text, "solver": args.solver}
+            if args.rates:
+                payload["rates_text"] = args.rates.read_text()
+        elif path.suffix == ".pepanet" or "->" in text:
+            kind, payload = "net", {"source": text, "solver": args.solver}
+        else:
+            kind, payload = "pepa", {"source": text, "solver": args.solver}
+        task_id = path.stem
+        while task_id in seen:
+            task_id += "+"
+        seen.add(task_id)
+        tasks.append(BatchTask(id=task_id, kind=kind, payload=payload))
+    if args.experiments:
+        for experiment_id in EXPERIMENTS:
+            tasks.append(BatchTask(
+                id=f"experiment-{experiment_id}", kind="experiment",
+                payload={"experiment": experiment_id},
+            ))
+    return tasks
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.batch import BatchEngine
+    from repro.resilience.budget import BudgetSpec
+
+    tasks = _batch_tasks(args)
+    if not tasks:
+        print("nothing to do: pass model files and/or --experiments",
+              file=sys.stderr)
+        return 2
+    engine = BatchEngine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        default_budget=(
+            BudgetSpec(deadline_seconds=args.deadline) if args.deadline else None
+        ),
+    )
+    report = engine.run(tasks)
+    print(report.summary())
+    if args.measures:
+        args.measures.write_text(report.measures_json())
+        print(f"measures written to {args.measures}", file=sys.stderr)
+    if args.trace:
+        document = report.merged_trace()
+        document["metrics"] = report.merged_metrics()["metrics"]
+        args.trace.write_text(json.dumps(document, indent=2, default=str) + "\n")
+        print(f"merged trace written to {args.trace}", file=sys.stderr)
+    if args.events:
+        events = report.merged_events()
+        with open(args.events, "w") as fh:
+            fh.write(json.dumps(
+                {"schema": "repro-events/1", "events": len(events), "dropped": 0}
+            ) + "\n")
+            for record in events:
+                fh.write(json.dumps(record, default=str) + "\n")
+        print(f"{len(events)} events written to {args.events}", file=sys.stderr)
+    return 0 if report.ok else 3
+
+
 def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     from repro.obs import (
         aggregate_spans, critical_path, load_trace, render_aggregate,
@@ -380,10 +489,15 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "experiments": _cmd_experiments,
         "dot": _cmd_dot,
+        "batch": _cmd_batch,
         "analyze-trace": _cmd_analyze_trace,
         "diff-trace": _cmd_diff_trace,
     }
     try:
+        if args.command == "batch":
+            # batch owns --trace/--events itself: they name *merged*
+            # artefacts over every task, not a single-run recording
+            return _cmd_batch(args)
         return _run_observed(handlers[args.command], args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -39,7 +39,13 @@ from repro.workloads import (
     build_web_model,
 )
 
-__all__ = ["ExperimentRecord", "run_all_experiments", "render_report"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentRecord",
+    "render_report",
+    "run_all_experiments",
+    "run_experiment",
+]
 
 
 @dataclass
@@ -195,17 +201,36 @@ def _a4(platform: Choreographer) -> ExperimentRecord:
     )
 
 
+#: Experiment id → builder; the canonical enumeration of EXPERIMENTS.md
+#: rows, exposed so the batch engine can run each row as its own task.
+EXPERIMENTS: dict[str, object] = {
+    "E1": _e1,
+    "E2": _e2,
+    "E5": _e5,
+    "E7": _e7_e8,
+    "E9": _e9,
+    "A4": _a4,
+}
+
+
+def run_experiment(
+    experiment_id: str, platform: Choreographer | None = None
+) -> ExperimentRecord:
+    """Regenerate one EXPERIMENTS.md row by id (see :data:`EXPERIMENTS`)."""
+    try:
+        builder = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return builder(platform or Choreographer())
+
+
 def run_all_experiments() -> list[ExperimentRecord]:
     """Regenerate every EXPERIMENTS.md row; returns one record per experiment."""
     platform = Choreographer()
-    return [
-        _e1(platform),
-        _e2(platform),
-        _e5(platform),
-        _e7_e8(platform),
-        _e9(platform),
-        _a4(platform),
-    ]
+    return [builder(platform) for builder in EXPERIMENTS.values()]
 
 
 def render_report(records: list[ExperimentRecord]) -> str:

@@ -177,7 +177,10 @@ class Choreographer:
     :class:`~repro.resilience.fallback.FallbackPolicy` or a
     comma-separated method list such as ``"direct,gmres,power"``)
     routes every solve through the fallback chain; ``deadline``
-    (seconds) puts a cooperative budget on each derivation; ``strict``
+    (seconds) puts a cooperative budget on each derivation — or pass a
+    pre-built :class:`~repro.resilience.budget.ExecutionBudget` as
+    ``budget`` to share one task-wide budget across every solve (the
+    batch engine's per-task budgets arrive this way); ``strict``
     sets the default failure policy of :meth:`process_xmi` — ``True``
     fail-fast, ``False`` capture per-diagram failures into the
     :class:`PipelineReport` and keep going.
@@ -185,7 +188,7 @@ class Choreographer:
 
     def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
                  solver_policy=None, deadline: float | None = None,
-                 strict: bool = True):
+                 strict: bool = True, budget=None):
         if isinstance(solver_policy, str):
             from repro.resilience.fallback import FallbackPolicy
 
@@ -195,13 +198,14 @@ class Choreographer:
         self.solver_policy = solver_policy
         self.deadline = deadline
         self.strict = strict
+        self.budget = budget
         self.pepa_workbench = PepaWorkbench(
             solver=solver, max_states=max_states,
-            policy=solver_policy, deadline=deadline,
+            policy=solver_policy, deadline=deadline, budget=budget,
         )
         self.net_workbench = PepaNetWorkbench(
             solver=solver, max_states=max_states,
-            policy=solver_policy, deadline=deadline,
+            policy=solver_policy, deadline=deadline, budget=budget,
         )
 
     # ------------------------------------------------------------------

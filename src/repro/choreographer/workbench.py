@@ -10,7 +10,10 @@ Both facades optionally take a resilience configuration: ``policy``
 comma-separated method list) routes the numerical solve through the
 fallback chain, and ``deadline`` (seconds) puts a fresh cooperative
 :class:`~repro.resilience.budget.ExecutionBudget` on each solve's
-state-space derivation.
+state-space derivation.  Alternatively ``budget`` installs one
+*shared* pre-built budget across every solve of the workbench — the
+batch engine uses this to give each task a single task-wide budget
+whose clock started when the task did.
 """
 
 from __future__ import annotations
@@ -32,14 +35,18 @@ class PepaWorkbench:
     """Solve plain PEPA models (the Java-edition Workbench stand-in)."""
 
     def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
-                 reducible: str = "error", policy=None, deadline: float | None = None):
+                 reducible: str = "error", policy=None, deadline: float | None = None,
+                 budget: ExecutionBudget | None = None):
         self.solver = solver
         self.max_states = max_states
         self.reducible = reducible
         self.policy = policy
         self.deadline = deadline
+        self.budget = budget
 
     def _budget(self) -> ExecutionBudget | None:
+        if self.budget is not None:
+            return self.budget
         if self.deadline is None:
             return None
         return ExecutionBudget.of(deadline_seconds=self.deadline)
@@ -67,14 +74,18 @@ class PepaNetWorkbench:
     """Solve PEPA nets (the PEPA Workbench for PEPA nets stand-in)."""
 
     def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
-                 reducible: str = "bscc", policy=None, deadline: float | None = None):
+                 reducible: str = "bscc", policy=None, deadline: float | None = None,
+                 budget: ExecutionBudget | None = None):
         self.solver = solver
         self.max_states = max_states
         self.reducible = reducible
         self.policy = policy
         self.deadline = deadline
+        self.budget = budget
 
     def _budget(self) -> ExecutionBudget | None:
+        if self.budget is not None:
+            return self.budget
         if self.deadline is None:
             return None
         return ExecutionBudget.of(deadline_seconds=self.deadline)

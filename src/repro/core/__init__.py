@@ -15,14 +15,17 @@ from repro.core.explore import (
     Exploration,
     explore_lts,
 )
+from repro.core.keys import DerivationKey, stable_digest
 from repro.core.lts import LabelledArc, Lts
 
 __all__ = [
     "DEFAULT_MAX_STATES",
     "PROGRESS_INTERVAL",
+    "DerivationKey",
     "Exploration",
     "LabelledArc",
     "Lts",
     "ctmc_from_lts",
     "explore_lts",
+    "stable_digest",
 ]

@@ -19,7 +19,29 @@ __all__ = ["ctmc_from_lts"]
 
 def ctmc_from_lts(lts: Lts) -> CTMC:
     """Build the CTMC (generator + labels + action-rate vectors) of an
-    explored LTS, under a ``ctmc.assemble`` tracer span."""
+    explored LTS, under a ``ctmc.assemble`` tracer span.
+
+    An LTS that came through the derivation cache carries its
+    :class:`~repro.core.keys.DerivationKey` as ``cache_key``; when an
+    ambient :class:`~repro.batch.cache.DerivationCache` is installed the
+    assembled generator is cached too, under the ``"ctmc"`` child of
+    that key (serialised via :mod:`repro.ctmc.serialize`), so a fully
+    cached analysis skips both exploration *and* assembly.
+    """
+    from repro.batch.cache import get_cache
+
+    cache = get_cache()
+    key = getattr(lts, "cache_key", None)
+    child = key.child("ctmc") if cache is not None and key is not None else None
+    if child is not None:
+        payload = cache.fetch(child)
+        if payload is not None:
+            from repro.ctmc.serialize import ctmc_from_payload
+
+            try:
+                return ctmc_from_payload(payload)
+            except ValueError:
+                pass  # stale schema: rebuild below and overwrite
     with get_tracer().span("ctmc.assemble", states=lts.size,
                            arcs=len(lts.arcs)) as sp:
         labels = [lts.state_label(i) for i in range(lts.size)]
@@ -28,4 +50,8 @@ def ctmc_from_lts(lts: Lts) -> CTMC:
             initial=lts.initial,
         )
         sp.set(nnz=int(chain.Q.nnz))
+    if child is not None:
+        from repro.ctmc.serialize import ctmc_to_payload
+
+        cache.store(child, ctmc_to_payload(chain))
     return chain

@@ -1,0 +1,95 @@
+"""Hashable derivation keys: the identity of one exploration result.
+
+A state-space derivation is a pure function of three things — the model
+source text, the formalism whose semantics interpret it, and the
+derivation parameters (state ceiling, excluded actions, ...).  A
+:class:`DerivationKey` captures exactly that triple and nothing else,
+so two runs that would derive the same LTS map to the same key and a
+content-addressed cache (:mod:`repro.batch.cache`) can serve the second
+one from disk.
+
+The digest is a SHA-256 over a canonical JSON rendering, so it is
+stable across processes, Python versions and ``PYTHONHASHSEED`` — the
+property that makes it safe to persist on disk and share between the
+worker processes of :mod:`repro.batch.engine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["DerivationKey", "stable_digest"]
+
+#: Bump when the serialised payload format changes: the version is part
+#: of the hashed material, so old cache entries go stale automatically.
+KEY_SCHEMA = "repro-derivation/1"
+
+
+def stable_digest(document: Any) -> str:
+    """SHA-256 hex digest of a JSON-able document, canonically encoded.
+
+    Keys are sorted and separators pinned, so logically equal documents
+    hash identically regardless of construction order.
+    """
+    encoded = json.dumps(
+        document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class DerivationKey:
+    """The content address of one derivation.
+
+    ``formalism`` names the semantics (``"pepa"``, ``"pepanet"``);
+    ``source`` is the canonical model text — for plain PEPA the
+    :func:`repro.pepa.export.model_source` rendering, for nets the
+    :func:`repro.pepanets.export.net_source` rendering — which includes
+    every rate value, so a rate change is a different key;
+    ``params`` are the derivation parameters as a sorted tuple of
+    ``(name, value)`` pairs; ``variant`` distinguishes artefacts derived
+    from the same exploration (the state space vs its assembled CTMC).
+    """
+
+    formalism: str
+    source: str
+    params: tuple[tuple[str, Any], ...] = ()
+    variant: str = "statespace"
+
+    @classmethod
+    def of(
+        cls,
+        formalism: str,
+        source: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        variant: str = "statespace",
+    ) -> "DerivationKey":
+        """Build a key from a plain params mapping (sorted internally)."""
+        items = tuple(sorted((params or {}).items()))
+        return cls(formalism=formalism, source=source, params=items, variant=variant)
+
+    def child(self, variant: str) -> "DerivationKey":
+        """The same derivation, a different artefact (e.g. ``"ctmc"``)."""
+        return DerivationKey(
+            formalism=self.formalism, source=self.source,
+            params=self.params, variant=variant,
+        )
+
+    @property
+    def digest(self) -> str:
+        """The stable SHA-256 content address of this key."""
+        return stable_digest({
+            "schema": KEY_SCHEMA,
+            "formalism": self.formalism,
+            "source": self.source,
+            "params": [[name, value] for name, value in self.params],
+            "variant": self.variant,
+        })
+
+    def describe(self) -> str:
+        """Short human-readable identity for logs and events."""
+        return f"{self.formalism}/{self.variant}/{self.digest[:12]}"

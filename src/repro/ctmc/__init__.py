@@ -25,6 +25,7 @@ from repro.ctmc.rewards import (
     throughput,
     utilisation,
 )
+from repro.ctmc.serialize import ctmc_from_payload, ctmc_to_payload
 from repro.ctmc.steady import SOLVERS, steady_state
 from repro.ctmc.transient import expected_rewards_at, transient_curve, transient_distribution
 
@@ -61,4 +62,6 @@ __all__ = [
     "time_average_reward",
     "stationary_derivative",
     "measure_sensitivity",
+    "ctmc_to_payload",
+    "ctmc_from_payload",
 ]

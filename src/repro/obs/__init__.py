@@ -56,6 +56,7 @@ from repro.obs.export import (
     trace_to_json,
     write_trace_file,
 )
+from repro.obs.merge import merge_events, merge_metrics, merge_traces
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -105,6 +106,10 @@ __all__ = [
     "write_events_jsonl",
     "read_events_jsonl",
     "observe",
+    "reset_ambient",
+    "merge_metrics",
+    "merge_traces",
+    "merge_events",
     "trace_to_json",
     "metrics_to_json",
     "render_trace",
@@ -118,6 +123,23 @@ __all__ = [
     "render_aggregate",
     "render_trace_diff",
 ]
+
+
+def reset_ambient() -> None:
+    """Reset every ambient installation to its disabled default.
+
+    A worker process forked (or spawned) mid-run inherits whatever
+    tracer/metrics/events the parent had installed at that moment — a
+    snapshot it must never record into, both because the parent keeps
+    using the originals and because a fork only copies, so the parent
+    would never see the writes anyway.  Worker initialisers (see
+    :mod:`repro.batch.engine`) call this first, so every worker starts
+    from the same clean slate as a fresh interpreter: tracing, metrics
+    and events all off until the worker installs its own collectors.
+    """
+    set_tracer(None)
+    set_metrics(None)
+    set_events(None)
 
 
 @contextmanager

@@ -1,0 +1,102 @@
+"""Merging per-worker observability snapshots into one coherent view.
+
+The batch engine (:mod:`repro.batch.engine`) runs each task in its own
+process under a fresh tracer, metrics registry and event stream; what
+comes back over the pipe are their JSON-ready snapshots.  These
+functions fold any number of such snapshots into the single documents
+the rest of the tool chain already understands — ``repro-trace/1`` for
+``choreographer analyze-trace``/``diff-trace``, ``repro-metrics/1`` for
+the metrics table, flat event dicts for ``repro-events/1`` JSONL — so
+parallel runs are analysed with exactly the tools serial runs use.
+
+Merging is deterministic: snapshots are folded in the order given
+(task-submission order, not completion order), counters and histograms
+are commutative sums, and gauges resolve to the last non-``None`` value
+in fold order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["merge_metrics", "merge_traces", "merge_events"]
+
+
+def _merge_instrument(into: dict[str, Any], snap: dict[str, Any], name: str) -> None:
+    kind = snap.get("type")
+    have = into.get(name)
+    if have is None:
+        into[name] = dict(snap)
+        return
+    if have.get("type") != kind:
+        raise ValueError(
+            f"metric {name!r} is a {have.get('type')} in one snapshot and a "
+            f"{kind} in another; refusing to merge"
+        )
+    if kind == "counter":
+        have["value"] = have["value"] + snap["value"]
+    elif kind == "gauge":
+        if snap.get("value") is not None:
+            have["value"] = snap["value"]
+    elif kind == "histogram":
+        have["count"] = have["count"] + snap["count"]
+        have["sum"] = have["sum"] + snap["sum"]
+        for bound, pick in (("min", min), ("max", max)):
+            values = [v for v in (have.get(bound), snap.get(bound)) if v is not None]
+            have[bound] = pick(values) if values else None
+        have["mean"] = have["sum"] / have["count"] if have["count"] else None
+    else:
+        raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+
+
+def merge_metrics(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold ``repro-metrics/1`` snapshots into one combined snapshot.
+
+    Counters sum, histograms combine count/sum/min/max (mean is
+    recomputed), gauges keep the last non-``None`` value in fold order.
+    """
+    merged: dict[str, Any] = {}
+    for snapshot in snapshots:
+        schema = snapshot.get("schema")
+        if schema != "repro-metrics/1":
+            raise ValueError(f"not a repro-metrics/1 snapshot: schema={schema!r}")
+        for name, instrument in snapshot.get("metrics", {}).items():
+            _merge_instrument(merged, instrument, name)
+    return {
+        "schema": "repro-metrics/1",
+        "metrics": {name: merged[name] for name in sorted(merged)},
+    }
+
+
+def merge_traces(documents: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Concatenate ``repro-trace/1`` documents into one span forest.
+
+    Each worker's roots (one per diagram/task) are appended in fold
+    order, so the merged document reads like one long serial run and
+    ``analyze-trace`` aggregates across every worker.
+    """
+    traces: list[dict[str, Any]] = []
+    for document in documents:
+        schema = document.get("schema")
+        if schema != "repro-trace/1":
+            raise ValueError(f"not a repro-trace/1 document: schema={schema!r}")
+        traces.extend(document.get("traces", []))
+    return {"schema": "repro-trace/1", "traces": traces}
+
+
+def merge_events(
+    streams: Sequence[tuple[str, Sequence[dict[str, Any]]]],
+) -> list[dict[str, Any]]:
+    """Concatenate per-task event lists, tagging each with its task id.
+
+    ``streams`` is ``[(task_id, events), ...]`` in task order; within a
+    task the worker's own emission order is preserved, so the merged
+    list is deterministic under any worker scheduling.
+    """
+    merged: list[dict[str, Any]] = []
+    for task_id, events in streams:
+        for event in events:
+            tagged = dict(event)
+            tagged.setdefault("task", task_id)
+            merged.append(tagged)
+    return merged

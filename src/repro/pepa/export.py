@@ -1,15 +1,36 @@
-"""Visual export of PEPA derivation graphs.
+"""Textual and visual export of PEPA models and derivation graphs.
 
-The counterpart of :mod:`repro.pepanets.export` for plain PEPA: the
+The counterpart of :mod:`repro.pepanets.export` for plain PEPA:
+:func:`model_source` renders a model back into the textual dialect
+(closing the parse/print round trip and giving the derivation cache a
+canonical content identity), and :func:`derivation_graph_dot` draws the
 labelled multi-transition system as Graphviz dot, with activities on
 the arcs — the picture PEPA papers draw for small components.
 """
 
 from __future__ import annotations
 
+from repro.pepa.environment import PepaModel
 from repro.pepa.statespace import StateSpace
 
-__all__ = ["derivation_graph_dot"]
+__all__ = ["model_source", "derivation_graph_dot"]
+
+
+def model_source(model: PepaModel) -> str:
+    """Render ``model`` in the textual dialect
+    :func:`repro.pepa.parser.parse_model` reads.
+
+    Every rate-constant binding is emitted (with full ``repr``
+    precision) ahead of the component definitions and the system
+    equation, so two models that differ *only* in a rate value render
+    differently — the property :class:`repro.core.keys.DerivationKey`
+    needs to make this text a sound cache identity.
+    """
+    env = model.environment
+    lines = [f"{name} = {value!r};" for name, value in env.rates.items()]
+    lines.extend(f"{name} = {body};" for name, body in env.components.items())
+    lines.append(str(model.system))
+    return "\n".join(lines) + "\n"
 
 
 def _escape(text: str) -> str:

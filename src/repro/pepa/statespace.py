@@ -94,13 +94,54 @@ def _require_active(tr: Transition, state: Expression) -> None:
         )
 
 
+#: Payload schema of cached PEPA state spaces; bump on layout changes.
+CACHE_SCHEMA = "repro-statespace/1"
+
+
 def derive(
     model: PepaModel,
     *,
     max_states: int = DEFAULT_MAX_STATES,
     budget: "ExecutionBudget | None" = None,
 ) -> StateSpace:
-    """Derive the state space of a complete model's system equation."""
-    return explore(
+    """Derive the state space of a complete model's system equation.
+
+    When an ambient :class:`~repro.batch.cache.DerivationCache` is
+    installed (see :func:`repro.batch.cache.use_cache`), the derivation
+    is content-addressed by the model's canonical source text: a hit
+    reconstructs the state space from disk and skips exploration
+    entirely (no ``pepa.statespace`` span, no explored-state counters —
+    only ``cache.hit``); a miss explores as usual and publishes the
+    result.  A cached space larger than ``max_states`` is rejected so
+    the ceiling keeps its meaning, and exploration (which will raise
+    the usual overflow error) runs instead.
+    """
+    from repro.batch.cache import get_cache
+
+    cache = get_cache()
+    if cache is None:
+        return explore(
+            model.system, model.environment, max_states=max_states, budget=budget
+        )
+
+    from repro.core.keys import DerivationKey
+    from repro.pepa.export import model_source
+
+    key = DerivationKey.of("pepa", model_source(model))
+    payload = cache.fetch(key)
+    if (
+        payload is not None
+        and payload.get("schema") == CACHE_SCHEMA
+        and len(payload.get("states", ())) <= max_states
+    ):
+        space = StateSpace(states=payload["states"], arcs=payload["arcs"])
+        space.cache_key = key
+        return space
+    space = explore(
         model.system, model.environment, max_states=max_states, budget=budget
     )
+    cache.store(
+        key, {"schema": CACHE_SCHEMA, "states": space.states, "arcs": space.arcs}
+    )
+    space.cache_key = key
+    return space

@@ -82,6 +82,10 @@ def net_arcs(
     return out
 
 
+#: Payload schema of cached marking spaces; bump on layout changes.
+CACHE_SCHEMA = "repro-markingspace/1"
+
+
 def explore_net(
     net: PepaNet,
     *,
@@ -94,7 +98,34 @@ def explore_net(
     :class:`~repro.resilience.budget.ExecutionBudget` checked
     cooperatively once per expanded marking; exhaustion raises a
     resumable :class:`~repro.exceptions.BudgetExceededError`.
+
+    With an ambient :class:`~repro.batch.cache.DerivationCache`
+    installed, the marking space is content-addressed by the net's
+    canonical source (:func:`repro.pepanets.export.net_source`): a hit
+    reconstructs markings and arcs from disk and skips the BFS
+    entirely; a miss explores and publishes.  Cached spaces above
+    ``max_states`` are rejected, preserving the ceiling's semantics.
     """
+    from repro.batch.cache import get_cache
+
+    cache = get_cache()
+    key = None
+    if cache is not None:
+        from repro.core.keys import DerivationKey
+        from repro.pepanets.export import net_source
+
+        key = DerivationKey.of("pepanet", net_source(net))
+        payload = cache.fetch(key)
+        if (
+            payload is not None
+            and payload.get("schema") == CACHE_SCHEMA
+            and len(payload.get("markings", ())) <= max_states
+        ):
+            space = NetStateSpace(
+                net=net, markings=payload["markings"], arcs=payload["arcs"]
+            )
+            space.cache_key = key
+            return space
     ds = DerivativeSets(net.environment)
     lts = explore_lts(
         net.initial_marking(),
@@ -108,4 +139,10 @@ def explore_net(
         span_count_key="markings",
         overflow=lambda n: f"PEPA-net marking space exceeds {n} states",
     )
-    return NetStateSpace(net=net, markings=lts.states, arcs=lts.arcs, index=lts.index)
+    space = NetStateSpace(net=net, markings=lts.states, arcs=lts.arcs, index=lts.index)
+    if cache is not None and key is not None:
+        cache.store(
+            key, {"schema": CACHE_SCHEMA, "markings": space.markings, "arcs": space.arcs}
+        )
+        space.cache_key = key
+    return space

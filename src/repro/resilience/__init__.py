@@ -21,7 +21,7 @@ machinery that keeps one failure from taking the whole run down:
 """
 
 from repro.exceptions import BudgetExceededError
-from repro.resilience.budget import Deadline, ExecutionBudget
+from repro.resilience.budget import BudgetSpec, Deadline, ExecutionBudget
 from repro.resilience.fallback import (
     AttemptRecord,
     FallbackPolicy,
@@ -33,6 +33,7 @@ from repro.resilience.faultinject import FaultInjector, FaultSpec, inject_fault
 __all__ = [
     "AttemptRecord",
     "BudgetExceededError",
+    "BudgetSpec",
     "Deadline",
     "ExecutionBudget",
     "FallbackPolicy",

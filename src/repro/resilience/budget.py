@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import BudgetExceededError
 
-__all__ = ["Deadline", "ExecutionBudget"]
+__all__ = ["BudgetSpec", "Deadline", "ExecutionBudget"]
 
 
 class Deadline:
@@ -61,6 +61,39 @@ class Deadline:
         if self.seconds is None:
             return "Deadline(unbounded)"
         return f"Deadline({self.seconds:g}s, {max(self.remaining(), 0.0):.3f}s left)"
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A *description* of an execution budget, safe to pickle and ship.
+
+    A live :class:`ExecutionBudget` embeds a :class:`Deadline` whose
+    clock started in the process that built it — shipping one to a
+    batch worker would charge the worker for queueing time it never
+    controlled.  A spec carries only the numbers; each worker calls
+    :meth:`materialise` as it *starts* the task, so the deadline clock
+    begins at task start in the worker, which is the per-task budget
+    semantics :mod:`repro.batch.engine` promises.
+    """
+
+    deadline_seconds: float | None = None
+    max_states: int | None = None
+    check_every: int = 64
+
+    @property
+    def unlimited(self) -> bool:
+        """True when the spec imposes no limit at all."""
+        return self.deadline_seconds is None and self.max_states is None
+
+    def materialise(self) -> "ExecutionBudget | None":
+        """A fresh budget whose clock starts now (``None`` if unlimited)."""
+        if self.unlimited:
+            return None
+        return ExecutionBudget.of(
+            deadline_seconds=self.deadline_seconds,
+            max_states=self.max_states,
+            check_every=self.check_every,
+        )
 
 
 @dataclass

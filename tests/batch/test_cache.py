@@ -1,0 +1,147 @@
+"""The content-addressed derivation cache: accounting, invalidation,
+corruption recovery, and the ambient installation protocol."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.batch.cache import DerivationCache, get_cache, set_cache, use_cache
+from repro.core.keys import DerivationKey
+from repro.obs import EventStream, MetricsRegistry, use_events, use_metrics
+from repro.pepa.measures import analyse
+from repro.pepa.parser import parse_model
+from repro.pepa.statespace import derive
+
+SRC = """
+r = 2.0;
+P = (work, r).Q;
+Q = (rest, 1.0).P;
+P
+"""
+
+SRC_OTHER_RATE = SRC.replace("r = 2.0", "r = 3.0")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DerivationCache(tmp_path / "cache")
+
+
+def test_fetch_miss_then_store_then_hit(cache):
+    key = DerivationKey.of("pepa", "some source")
+    assert cache.fetch(key) is None
+    cache.store(key, {"schema": "x", "value": 42})
+    assert cache.fetch(key) == {"schema": "x", "value": 42}
+    assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0}
+    assert key in cache
+    assert len(cache) == 1
+
+
+def test_derive_miss_populates_and_second_derive_hits(cache):
+    model = parse_model(SRC)
+    with use_cache(cache):
+        first = derive(model)
+        second = derive(parse_model(SRC))
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert [str(s) for s in second.states] == [str(s) for s in first.states]
+    assert len(second.arcs) == len(first.arcs)
+
+
+def test_rate_change_invalidates(cache):
+    with use_cache(cache):
+        derive(parse_model(SRC))
+        derive(parse_model(SRC_OTHER_RATE))
+    # Different rate value => different source => different key: no hit.
+    assert cache.stats.hits == 0
+    assert cache.stats.misses == 2
+    assert len(cache) == 2
+
+
+def test_cached_analysis_is_numerically_identical(cache, tmp_path):
+    cold = analyse(parse_model(SRC))
+    with use_cache(cache):
+        analyse(parse_model(SRC))          # populate
+        warm = analyse(parse_model(SRC))   # statespace + ctmc both from cache
+    assert cache.stats.hits >= 2
+    assert warm.chain.labels == cold.chain.labels
+    np.testing.assert_allclose(warm.pi, cold.pi, rtol=0, atol=0)
+    assert warm.all_throughputs() == cold.all_throughputs()
+
+
+def test_truncated_entry_recovers_and_reports(cache):
+    model = parse_model(SRC)
+    with use_cache(cache):
+        space = derive(model)
+    key = space.cache_key
+    path = cache.path_of(key)
+    path.write_bytes(path.read_bytes()[:10])  # truncate mid-pickle
+
+    events, metrics = EventStream(), MetricsRegistry()
+    with use_cache(cache), use_events(events), use_metrics(metrics):
+        recovered = derive(parse_model(SRC))
+    assert recovered.size == space.size
+    assert cache.stats.corrupt == 1
+    assert metrics.counter("cache.corrupt").value == 1
+    corrupt_events = events.by_name("cache.corrupt")
+    assert len(corrupt_events) == 1
+    assert corrupt_events[0].fields["key"] == key.describe()
+    # The carcass was removed and the re-derivation re-published it.
+    assert cache.fetch(key) is not None
+
+
+def test_foreign_bytes_count_as_corrupt(cache):
+    key = DerivationKey.of("pepa", "src")
+    path = cache.path_of(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"this is not a pickle")
+    assert cache.fetch(key) is None
+    assert cache.stats.corrupt == 1
+    assert not path.exists()
+
+
+def test_non_dict_entry_counts_as_corrupt(cache):
+    key = DerivationKey.of("pepa", "src")
+    path = cache.path_of(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps([1, 2, 3]))
+    assert cache.fetch(key) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_no_cache_installed_means_no_files(tmp_path):
+    assert get_cache() is None
+    space = derive(parse_model(SRC))
+    assert space.size == 2
+    assert not list(tmp_path.rglob("*.pkl"))
+
+
+def test_use_cache_restores_previous(tmp_path):
+    outer = DerivationCache(tmp_path / "outer")
+    try:
+        assert set_cache(outer) is None
+        with use_cache(None):
+            assert get_cache() is None
+        assert get_cache() is outer
+    finally:
+        set_cache(None)
+
+
+def test_oversized_cached_space_is_rejected(cache):
+    """A hit larger than the caller's max_states must not bypass the cap."""
+    from repro.exceptions import StateSpaceError
+
+    with use_cache(cache):
+        derive(parse_model(SRC))  # 2 states, now cached
+        with pytest.raises(StateSpaceError):
+            derive(parse_model(SRC), max_states=1)
+
+
+def test_clear_removes_entries(cache):
+    key = DerivationKey.of("pepa", "src")
+    cache.store(key, {"schema": "x"})
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.fetch(key) is None

@@ -1,0 +1,97 @@
+"""The ``choreographer batch`` sub-command, end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.choreographer.cli import main
+from repro.obs import read_events_jsonl
+
+PEPA_SRC = """
+r = 2.0;
+P = (work, r).Q;
+Q = (rest, 1.0).P;
+P
+"""
+
+BROKEN_SRC = "definitely not a model"
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = tmp_path / "toy.pepa"
+    path.write_text(PEPA_SRC)
+    return path
+
+
+def test_batch_solves_files_and_writes_measures(model_file, tmp_path, capsys):
+    measures = tmp_path / "measures.json"
+    code = main([
+        "batch", str(model_file),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--measures", str(measures),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "toy" in out and "ok" in out
+    document = json.loads(measures.read_text())
+    assert document["schema"] == "repro-batch/1"
+    assert document["tasks"][0]["measures"]["n_states"] == 2
+
+
+def test_batch_measures_identical_across_jobs(model_file, tmp_path):
+    paths = {}
+    for jobs in ("1", "2"):
+        paths[jobs] = tmp_path / f"measures-{jobs}.json"
+        assert main([
+            "batch", str(model_file), "--experiments",
+            "--jobs", jobs,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--measures", str(paths[jobs]),
+        ]) == 0
+    assert paths["1"].read_bytes() == paths["2"].read_bytes()
+
+
+def test_batch_no_cache_leaves_no_cache_directory(model_file, tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    code = main([
+        "batch", str(model_file),
+        "--cache-dir", str(cache_dir), "--no-cache",
+    ])
+    assert code == 0
+    assert "cache: off" in capsys.readouterr().out
+    assert not cache_dir.exists()
+
+
+def test_batch_failing_input_exits_3(model_file, tmp_path):
+    broken = tmp_path / "broken.pepa"
+    broken.write_text(BROKEN_SRC)
+    code = main([
+        "batch", str(model_file), str(broken), "--no-cache",
+        "--cache-dir", str(tmp_path / "unused-cache"),
+    ])
+    assert code == 3
+
+
+def test_batch_without_inputs_exits_2(tmp_path, capsys):
+    assert main(["batch", "--cache-dir", str(tmp_path / "c")]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+
+
+def test_batch_merged_artifacts_are_consumable(model_file, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    events_path = tmp_path / "events.jsonl"
+    assert main([
+        "batch", str(model_file),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--trace", str(trace_path), "--events", str(events_path),
+    ]) == 0
+    # The merged trace is a regular repro-trace/1 document...
+    assert main(["analyze-trace", str(trace_path)]) == 0
+    # ...and the merged events are regular repro-events/1 JSONL,
+    # task-tagged.
+    header, events = read_events_jsonl(events_path)
+    assert header["events"] == len(events)
+    assert all(event["task"] == "toy" for event in events)

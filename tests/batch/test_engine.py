@@ -1,0 +1,127 @@
+"""The batch engine: execution paths, failure capture, merged views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import BatchEngine, BatchTask, run_batch
+from repro.resilience.budget import BudgetSpec
+
+SRC = """
+r = 2.0;
+P = (work, r).Q;
+Q = (rest, 1.0).P;
+P
+"""
+
+BROKEN_SRC = "this is not PEPA at all ;;;"
+
+
+def _tasks():
+    return [
+        BatchTask(id="model", kind="pepa", payload={"source": SRC}),
+        BatchTask(id="e1", kind="experiment", payload={"experiment": "E1"}),
+    ]
+
+
+def test_inline_run_produces_measures_and_observability(tmp_path):
+    report = run_batch(_tasks(), jobs=1, cache_dir=tmp_path / "cache")
+    assert report.ok
+    assert [r.task_id for r in report.results] == ["model", "e1"]
+    model_result = report.results[0]
+    assert model_result.measures["n_states"] == 2
+    assert "work" in model_result.measures["throughputs"]
+    # Each task carries its own trace/metrics/events snapshots.
+    assert model_result.trace["schema"] == "repro-trace/1"
+    assert model_result.trace["traces"]
+    assert model_result.metrics["metrics"]
+    # Cache traffic was recorded per task and totalled.
+    totals = report.cache_totals()
+    assert totals["misses"] > 0 and totals["stores"] > 0
+
+
+def test_failed_task_degrades_itself_only():
+    report = run_batch([
+        BatchTask(id="bad", kind="pepa", payload={"source": BROKEN_SRC}),
+        BatchTask(id="good", kind="pepa", payload={"source": SRC}),
+    ])
+    assert not report.ok
+    assert [r.task_id for r in report.failures] == ["bad"]
+    assert report.results[0].error is not None
+    assert report.results[1].ok
+    assert "FAILED" in report.summary()
+
+
+def test_unknown_kind_is_a_captured_failure():
+    report = run_batch([BatchTask(id="x", kind="nonsense")])
+    assert not report.ok
+    assert "ValueError" in report.results[0].error
+
+
+def test_duplicate_task_ids_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        run_batch([
+            BatchTask(id="same", kind="pepa", payload={"source": SRC}),
+            BatchTask(id="same", kind="pepa", payload={"source": SRC}),
+        ])
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError, match="jobs"):
+        BatchEngine(jobs=0)
+
+
+def test_default_budget_applies_to_budgetless_tasks():
+    spec = BudgetSpec(max_states=1)
+    report = run_batch(
+        [BatchTask(id="model", kind="pepa", payload={"source": SRC})],
+        default_budget=spec,
+    )
+    assert not report.ok
+    assert "Budget" in report.results[0].error
+
+
+def test_task_budget_overrides_default():
+    roomy = BudgetSpec(max_states=10_000)
+    report = run_batch(
+        [BatchTask(id="model", kind="pepa", payload={"source": SRC}, budget=roomy)],
+        default_budget=BudgetSpec(max_states=1),
+    )
+    assert report.ok
+
+
+def test_merged_events_are_task_tagged(tmp_path):
+    report = run_batch(_tasks(), jobs=1, cache_dir=tmp_path / "cache")
+    events = report.merged_events()
+    assert events, "cache traffic must produce events"
+    assert {event["task"] for event in events} <= {"model", "e1"}
+    # Task order, not interleaved: all of model's events precede e1's.
+    task_sequence = [event["task"] for event in events]
+    assert task_sequence == sorted(task_sequence, key=["model", "e1"].index)
+
+
+def test_merged_trace_concatenates_in_task_order():
+    report = run_batch(_tasks())
+    merged = report.merged_trace()
+    assert merged["schema"] == "repro-trace/1"
+    assert len(merged["traces"]) >= 2
+
+
+def test_measures_json_is_canonical():
+    report = run_batch(_tasks())
+    text = report.measures_json()
+    assert text.endswith("\n")
+    again = run_batch(_tasks()).measures_json()
+    assert text == again
+
+
+def test_no_cache_dir_means_no_cache_traffic():
+    report = run_batch(_tasks())
+    assert report.cache_totals() == {}
+
+
+def test_pool_run_with_two_workers(tmp_path):
+    report = run_batch(_tasks(), jobs=2, cache_dir=tmp_path / "cache")
+    assert report.ok
+    assert report.jobs == 2
+    assert [r.task_id for r in report.results] == ["model", "e1"]

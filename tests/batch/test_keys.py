@@ -1,0 +1,51 @@
+"""Derivation keys: the cache's correctness rests on these properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keys import DerivationKey, stable_digest
+
+
+def test_digest_is_stable_across_processes_and_param_order():
+    a = DerivationKey.of("pepa", "P = (a, 1.0).P;\nP", params={"x": 1, "y": 2})
+    b = DerivationKey.of("pepa", "P = (a, 1.0).P;\nP", params={"y": 2, "x": 1})
+    assert a == b
+    assert a.digest == b.digest
+    assert len(a.digest) == 64
+    assert all(c in "0123456789abcdef" for c in a.digest)
+
+
+def test_any_input_change_changes_the_digest():
+    base = DerivationKey.of("pepa", "src", params={"k": 1})
+    assert base.digest != DerivationKey.of("pepa", "src2", params={"k": 1}).digest
+    assert base.digest != DerivationKey.of("pepanet", "src", params={"k": 1}).digest
+    assert base.digest != DerivationKey.of("pepa", "src", params={"k": 2}).digest
+    assert base.digest != base.child("ctmc").digest
+
+
+def test_child_keeps_identity_but_changes_variant():
+    key = DerivationKey.of("pepa", "src")
+    child = key.child("ctmc")
+    assert child.formalism == key.formalism
+    assert child.source == key.source
+    assert child.variant == "ctmc"
+
+
+def test_describe_names_formalism_variant_and_prefix():
+    key = DerivationKey.of("pepa", "src")
+    description = key.describe()
+    assert description.startswith("pepa/statespace/")
+    assert description.endswith(key.digest[:12])
+
+
+def test_stable_digest_canonicalises_json():
+    assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+    assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+
+def test_keys_are_hashable_and_frozen():
+    key = DerivationKey.of("pepa", "src")
+    assert key in {key}
+    with pytest.raises(AttributeError):
+        key.source = "other"

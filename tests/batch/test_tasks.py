@@ -1,0 +1,97 @@
+"""Task-kind runners: each kind's payload contract and measures shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import BatchTask
+from repro.batch.tasks import TASK_KINDS, run_task
+from repro.uml.model import UmlModel
+from repro.uml.xmi import add_synthetic_layout, write_model
+from repro.workloads import build_instant_message_diagram
+
+PEPA_SRC = """
+r = 2.0;
+P = (work, r).Q;
+Q = (rest, 1.0).P;
+P
+"""
+
+def sample_call(x: int) -> dict:
+    """Importable target for the ``call`` kind tests."""
+    return {"x": x, "doubled": 2 * x}
+
+
+def one_diagram_document() -> str:
+    model = UmlModel(name="project")
+    model.add_activity_graph(build_instant_message_diagram())
+    return add_synthetic_layout(write_model(model))
+
+
+def test_registry_names_every_kind():
+    assert set(TASK_KINDS) == {"xmi", "pepa", "net", "experiment", "call"}
+
+
+def test_pepa_kind_measures():
+    measures = run_task(BatchTask(id="t", kind="pepa", payload={"source": PEPA_SRC}))
+    assert measures["n_states"] == 2
+    assert set(measures["throughputs"]) == {"work", "rest"}
+    assert measures["throughputs"]["work"] == pytest.approx(
+        measures["throughputs"]["rest"]
+    )
+
+
+def test_xmi_kind_runs_full_pipeline():
+    payload = {"text": one_diagram_document(),
+               "rates": {"read": 10.0, "reply": 2.0, "transmit": 1.0}}
+    measures = run_task(BatchTask(id="t", kind="xmi", payload=payload))
+    assert measures["failures"] == []
+    [diagram] = measures["diagrams"]
+    assert diagram["type"] == "activity"
+    assert diagram["n_states"] > 0
+    assert len(measures["document_sha256"]) == 64
+    # Same input document => same reflected-document digest.
+    again = run_task(BatchTask(id="t", kind="xmi", payload=payload))
+    assert again["document_sha256"] == measures["document_sha256"]
+
+
+def test_experiment_kind_reports_checks():
+    measures = run_task(BatchTask(id="t", kind="experiment",
+                                  payload={"experiment": "E1"}))
+    assert measures["experiment"] == "E1"
+    assert measures["ok"] is True
+    assert all(isinstance(v, bool) for v in measures["checks"].values())
+
+
+def test_unknown_experiment_names_choices():
+    with pytest.raises(KeyError, match="E1"):
+        run_task(BatchTask(id="t", kind="experiment",
+                           payload={"experiment": "E99"}))
+
+
+def test_call_kind_invokes_importable_target():
+    measures = run_task(BatchTask(
+        id="t", kind="call",
+        payload={"target": "tests.batch.test_tasks:sample_call",
+                 "kwargs": {"x": 21}},
+    ))
+    assert measures == {"x": 21, "doubled": 42}
+
+
+def test_call_kind_rejects_non_dict_results():
+    with pytest.raises(TypeError, match="dict"):
+        run_task(BatchTask(
+            id="t", kind="call",
+            payload={"target": "repro.core.keys:stable_digest",
+                     "kwargs": {"document": {"x": 1}}},
+        ))
+
+
+def test_call_kind_rejects_malformed_target():
+    with pytest.raises(ValueError, match="module:function"):
+        run_task(BatchTask(id="t", kind="call", payload={"target": "no-colon"}))
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError, match="unknown task kind"):
+        run_task(BatchTask(id="t", kind="bogus"))

@@ -14,6 +14,27 @@ from repro.pepa import parse_model
 GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
 
 
+@pytest.fixture(autouse=True)
+def _ambient_isolation():
+    """Every test starts and ends with the ambient installations off.
+
+    The obs collectors and the derivation cache are process-wide
+    singletons; a test that installs one and fails before restoring it
+    would poison every later test in the same process.  Under
+    ``pytest-xdist`` each worker runs an arbitrary slice of the suite,
+    so cross-test leakage turns into order-dependent flakiness — this
+    fixture makes leakage impossible instead of unlikely.
+    """
+    from repro.batch.cache import set_cache
+    from repro.obs import reset_ambient
+
+    reset_ambient()
+    set_cache(None)
+    yield
+    reset_ambient()
+    set_cache(None)
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--update-goldens",
@@ -64,7 +85,17 @@ def golden(request):
         path = GOLDENS_DIR / f"{name}.json"
         if update:
             GOLDENS_DIR.mkdir(exist_ok=True)
-            path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+            # Atomic publication: concurrent xdist workers regenerating
+            # the same golden must never interleave partial writes.
+            import os
+            import tempfile
+
+            fd, tmp_name = tempfile.mkstemp(
+                dir=GOLDENS_DIR, prefix=f".{name}.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp_name, path)
             return
         if not path.exists():
             pytest.fail(

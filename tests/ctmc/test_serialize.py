@@ -1,0 +1,57 @@
+"""Exact CTMC round-trips through the cacheable payload form."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctmc.serialize import CTMC_PAYLOAD_SCHEMA, ctmc_from_payload, ctmc_to_payload
+from repro.ctmc.steady import steady_state
+from repro.pepa.ctmcgen import ctmc_of_model
+from repro.pepa.parser import parse_model
+
+SRC = """
+r_up = 3.0; r_down = 1.0;
+On = (switch_off, r_down).Off;
+Off = (switch_on, r_up).On;
+On
+"""
+
+
+@pytest.fixture
+def chain():
+    _space, chain = ctmc_of_model(parse_model(SRC))
+    return chain
+
+
+def test_round_trip_is_exact(chain):
+    restored = ctmc_from_payload(ctmc_to_payload(chain))
+    assert restored.n_states == chain.n_states
+    assert restored.labels == chain.labels
+    assert restored.initial == chain.initial
+    np.testing.assert_array_equal(
+        restored.Q.toarray(), chain.Q.tocsr().toarray()
+    )
+    assert set(restored.action_rates) == set(chain.action_rates)
+    for action in chain.action_rates:
+        np.testing.assert_array_equal(
+            np.asarray(restored.action_rates[action]),
+            np.asarray(chain.action_rates[action]),
+        )
+
+
+def test_round_trip_solves_identically(chain):
+    restored = ctmc_from_payload(ctmc_to_payload(chain))
+    np.testing.assert_array_equal(steady_state(restored), steady_state(chain))
+
+
+def test_payload_is_schema_stamped(chain):
+    payload = ctmc_to_payload(chain)
+    assert payload["schema"] == CTMC_PAYLOAD_SCHEMA
+
+
+def test_foreign_schema_is_rejected(chain):
+    payload = ctmc_to_payload(chain)
+    payload["schema"] = "something-else"
+    with pytest.raises(ValueError):
+        ctmc_from_payload(payload)

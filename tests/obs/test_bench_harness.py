@@ -130,6 +130,48 @@ def test_main_writes_output_file(run_bench, monkeypatch, tmp_path):
     assert len(document["runs"]) == 2
 
 
+def test_cached_sweep_skips_exploration(run_bench, monkeypatch, tmp_path):
+    """A second sweep over a warm cache derives nothing: no ``derive``
+    stage in any record, yet identical state counts."""
+    monkeypatch.setattr(run_bench, "WORKLOADS", {
+        "file_protocol": (
+            "pepa", run_bench.file_protocol_model,
+            [{"n_readers": 1}, {"n_readers": 2}],
+        ),
+    })
+    cache_dir = str(tmp_path / "cache")
+    cold = run_bench.run_suite(quick=True, solver="direct", label="cold",
+                               progress=lambda *_: None, cache_dir=cache_dir)
+    warm = run_bench.run_suite(quick=True, solver="direct", label="warm",
+                               progress=lambda *_: None, cache_dir=cache_dir)
+    for cold_run, warm_run in zip(cold["runs"], warm["runs"]):
+        assert "derive" in cold_run["stages"]
+        assert "derive" not in warm_run["stages"]
+        assert warm_run["n_states"] == cold_run["n_states"]
+        assert warm_run["n_transitions"] == cold_run["n_transitions"]
+
+
+def test_parallel_sweep_matches_serial_counts(run_bench, tmp_path):
+    """--jobs fans out over workers; counts must match the serial sweep.
+
+    Workers import ``run_bench`` by name, so this exercises the real
+    multiprocess path (the module registers its directory on sys.path).
+    """
+    serial = run_bench.run_suite(quick=False, solver="direct", label="s",
+                                 progress=lambda *_: None,
+                                 sizes_per_workload=1)
+    parallel = run_bench.run_suite(quick=False, solver="direct", label="p",
+                                   progress=lambda *_: None,
+                                   sizes_per_workload=1, jobs=2,
+                                   cache_dir=str(tmp_path / "cache"))
+    assert len(parallel["runs"]) == len(serial["runs"])
+    for serial_run, parallel_run in zip(serial["runs"], parallel["runs"]):
+        assert parallel_run["workload"] == serial_run["workload"]
+        assert parallel_run["size"] == serial_run["size"]
+        assert parallel_run["n_states"] == serial_run["n_states"]
+        assert parallel_run["n_transitions"] == serial_run["n_transitions"]
+
+
 @pytest.mark.parametrize("name", ["BENCH_PR2.json", "BENCH_PR4.json"])
 def test_checked_in_bench_document_is_schema_valid(run_bench, name):
     bench_path = _BENCH.parent.parent / name

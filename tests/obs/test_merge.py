@@ -1,0 +1,103 @@
+"""Merging per-task observability snapshots, and the ambient reset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    EventStream,
+    MetricsRegistry,
+    Tracer,
+    get_events,
+    get_metrics,
+    get_tracer,
+    merge_events,
+    merge_metrics,
+    merge_traces,
+    reset_ambient,
+    set_events,
+    set_metrics,
+    set_tracer,
+)
+
+
+def _metrics_snapshot(counter=0, gauge=None, histogram=()):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("requests").inc(counter)
+    if gauge is not None:
+        registry.gauge("residual").set(gauge)
+    for value in histogram:
+        registry.histogram("latency").observe(value)
+    return registry.as_dict()
+
+
+def test_merge_metrics_sums_counters():
+    merged = merge_metrics([_metrics_snapshot(counter=2), _metrics_snapshot(counter=3)])
+    assert merged["schema"] == "repro-metrics/1"
+    assert merged["metrics"]["requests"]["value"] == 5
+
+
+def test_merge_metrics_gauge_takes_last_non_none():
+    merged = merge_metrics([_metrics_snapshot(gauge=1.5), _metrics_snapshot(counter=1)])
+    assert merged["metrics"]["residual"]["value"] == 1.5
+
+
+def test_merge_metrics_combines_histograms():
+    merged = merge_metrics([
+        _metrics_snapshot(histogram=[1.0, 3.0]),
+        _metrics_snapshot(histogram=[5.0]),
+    ])
+    histogram = merged["metrics"]["latency"]
+    assert histogram["count"] == 3
+    assert histogram["min"] == 1.0
+    assert histogram["max"] == 5.0
+    assert histogram["mean"] == pytest.approx(3.0)
+
+
+def test_merge_metrics_rejects_foreign_schema():
+    with pytest.raises(ValueError):
+        merge_metrics([{"schema": "something-else", "metrics": {}}])
+
+
+def test_merge_traces_concatenates_in_order():
+    documents = []
+    for name in ("first", "second"):
+        tracer = Tracer()
+        with tracer.span(name):
+            pass
+        documents.append(tracer.to_dict())
+    merged = merge_traces(documents)
+    assert merged["schema"] == "repro-trace/1"
+    assert [root["name"] for root in merged["traces"]] == ["first", "second"]
+
+
+def test_merge_events_tags_each_event_with_its_task():
+    def events_of(name):
+        stream = EventStream()
+        stream.emit(name, value=1)
+        return stream.to_dicts()
+
+    merged = merge_events([("a", events_of("x")), ("b", events_of("y"))])
+    assert [(e["task"], e["event"]) for e in merged] == [("a", "x"), ("b", "y")]
+
+
+def test_reset_ambient_restores_null_collectors():
+    from repro.obs import NULL_EVENTS, NULL_METRICS, NULL_TRACER
+
+    set_tracer(Tracer())
+    set_metrics(MetricsRegistry())
+    set_events(EventStream())
+    assert get_tracer() is not NULL_TRACER
+    reset_ambient()
+    assert get_tracer() is NULL_TRACER
+    assert get_metrics() is NULL_METRICS
+    assert get_events() is NULL_EVENTS
+
+
+def test_reset_ambient_is_idempotent():
+    from repro.obs import NULL_TRACER
+
+    reset_ambient()
+    reset_ambient()
+    assert get_tracer() is NULL_TRACER
