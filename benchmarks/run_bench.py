@@ -214,17 +214,24 @@ def _progress_line(record: dict) -> str:
 
 def run_suite(*, quick: bool, solver: str, label: str = "local",
               sizes_per_workload: int | None = None, progress=print,
-              jobs: int = 1, cache_dir: str | None = None) -> dict:
+              jobs: int = 1, cache_dir: str | None = None,
+              cache_max_bytes: int | None = None) -> dict:
     """Run the whole sweep and return the JSON-ready document.
 
     ``jobs > 1`` fans the runs out across worker processes via the
     batch engine; ``cache_dir`` (any jobs count) reuses previously
-    derived state spaces through the content-addressed cache.  Both
-    leave the sweep order — and hence the document's ``runs`` order —
-    unchanged.
+    derived state spaces through the content-addressed cache, bounded
+    by ``cache_max_bytes`` when given.  Both leave the sweep order —
+    and hence the document's ``runs`` order — unchanged.  The document
+    records the run's ``fault_counters`` (supervised retries,
+    quarantines, cache evictions/corruption) — all zero in a healthy
+    sweep, so the regression gate surfaces accidental retries as a
+    perf signal.
     """
     sweep = list(_chosen_runs(quick, sizes_per_workload))
     runs = []
+    fault_counters = {"retries": 0, "quarantined": 0,
+                      "cache_evictions": 0, "cache_corrupt": 0}
     if jobs > 1 or cache_dir:
         from repro.batch import BatchTask, run_batch
 
@@ -237,7 +244,8 @@ def run_suite(*, quick: bool, solver: str, label: str = "local",
             )
             for i, (workload, kind, builder, size) in enumerate(sweep)
         ]
-        report = run_batch(tasks, jobs=jobs, cache_dir=cache_dir)
+        report = run_batch(tasks, jobs=jobs, cache_dir=cache_dir,
+                           cache_max_bytes=cache_max_bytes)
         for result, (workload, kind, builder, size) in zip(report.results, sweep):
             size_label = ", ".join(f"{k}={v}" for k, v in size.items())
             progress(f"  {workload} ({size_label}) ...")
@@ -247,9 +255,14 @@ def run_suite(*, quick: bool, solver: str, label: str = "local",
             progress(_progress_line(result.measures))
             runs.append(result.measures)
         totals = report.cache_totals()
+        fault_counters["retries"] = report.retries
+        fault_counters["quarantined"] = len(report.quarantined)
+        fault_counters["cache_evictions"] = totals.get("evictions", 0)
+        fault_counters["cache_corrupt"] = totals.get("corrupt", 0)
         if totals:
             progress(f"  cache: {totals.get('hits', 0)} hits, "
-                     f"{totals.get('misses', 0)} misses")
+                     f"{totals.get('misses', 0)} misses, "
+                     f"{totals.get('evictions', 0)} evicted")
     else:
         for workload, kind, builder, size in sweep:
             size_label = ", ".join(f"{k}={v}" for k, v in size.items())
@@ -269,6 +282,7 @@ def run_suite(*, quick: bool, solver: str, label: str = "local",
             "numpy": numpy.__version__,
             "scipy": scipy.__version__,
         },
+        "fault_counters": fault_counters,
         "runs": runs,
     }
 
@@ -300,6 +314,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="content-addressed derivation cache; repeated "
                              "sweeps skip state-space exploration entirely")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="LRU-evict cache entries beyond this total size")
     args = parser.parse_args(argv)
 
     output = args.output
@@ -310,7 +327,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bench sweep ({'quick' if args.quick else 'full'}, "
           f"solver={args.solver}, label={args.label}, jobs={args.jobs})")
     document = run_suite(quick=args.quick, solver=args.solver, label=args.label,
-                         jobs=args.jobs, cache_dir=args.cache_dir)
+                         jobs=args.jobs, cache_dir=args.cache_dir,
+                         cache_max_bytes=args.cache_max_bytes)
     output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {len(document['runs'])} runs to {output}")
 

@@ -15,7 +15,12 @@ into a throughput machine:
   across N workers, each with its own ambient observability and
   per-task :class:`~repro.resilience.budget.BudgetSpec`, merging the
   workers' traces/metrics/events back into the single documents the
-  analysis tooling consumes.
+  analysis tooling consumes — under supervision (retry with backoff,
+  pool rebuild on worker death, per-task timeouts, quarantine) so one
+  crashed worker never takes the batch down;
+* :mod:`repro.batch.journal` — the append-only ``repro-journal/1``
+  checkpoint file a supervised run writes per completed task, and the
+  resume path that replays it.
 
 This module eagerly exposes only the cache layer; the engine (which
 pulls in the whole tool chain via its task runners) loads on first
@@ -42,13 +47,19 @@ __all__ = [
     "BatchTask",
     "CacheStats",
     "DerivationCache",
+    "RetryPolicy",
+    "RunJournal",
     "get_cache",
     "run_batch",
     "set_cache",
     "use_cache",
 ]
 
-_ENGINE_EXPORTS = {"BatchEngine", "BatchReport", "BatchResult", "BatchTask", "run_batch"}
+_ENGINE_EXPORTS = {
+    "BatchEngine", "BatchReport", "BatchResult", "BatchTask", "RetryPolicy",
+    "run_batch",
+}
+_JOURNAL_EXPORTS = {"RunJournal"}
 
 
 def __getattr__(name: str) -> Any:
@@ -56,4 +67,8 @@ def __getattr__(name: str) -> Any:
         from repro.batch import engine
 
         return getattr(engine, name)
+    if name in _JOURNAL_EXPORTS:
+        from repro.batch import journal
+
+        return getattr(journal, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -13,26 +13,40 @@ so the address *is* the content identity: a changed rate value, a
 different ``max_states``, a different formalism each hash to a
 different entry, and stale hits are impossible by construction.
 
-The store is a plain directory of pickle files, two-level fanned-out by
-digest prefix.  Writes are atomic (temp file + ``os.replace``), so a
-crashed or concurrent writer can never publish a half-written entry;
-readers that still encounter a corrupt file (truncation, bit rot,
-foreign bytes) treat it as a miss, emit a ``cache.corrupt`` event,
-delete the carcass best-effort and re-derive — the cache can lose time,
-never correctness.
+The store is a plain directory of entry files, two-level fanned-out by
+digest prefix.  Each entry is a ``repro-cache/2`` record: a magic line,
+the SHA-256 of the payload bytes, then the pickled payload — so
+integrity is checkable without unpickling foreign bytes, both at fetch
+time and by an explicit :meth:`DerivationCache.verify` sweep.  Writes
+are atomic (payload serialised to bytes *first*, then temp file +
+``os.replace``), so a crashed or concurrent writer can never publish a
+half-written entry and a serialisation failure leaves nothing on disk.
+Readers that encounter a corrupt file (truncation, bit rot, foreign
+bytes, checksum mismatch) treat it as a miss, emit a ``cache.corrupt``
+event, delete the carcass best-effort and re-derive; writers that hit
+filesystem trouble (``ENOSPC``, permissions) degrade to not caching —
+the cache can lose time, never correctness, and never a run.
+
+``max_bytes`` bounds the store: after every publication the least
+recently *used* entries (hits refresh an entry's mtime) are evicted
+until the directory fits the budget, counted in
+:attr:`CacheStats.evictions` and as ``cache.evict`` events, so a
+long-running batch service cannot fill the disk.
 
 Instrumented code reaches the cache the same way it reaches the tracer:
 :func:`get_cache` returns the ambient instance installed by
 :func:`set_cache`/:func:`use_cache`, defaulting to ``None`` (caching
-off).  Hits/misses/corruption are counted on the instance, on the
-ambient metrics registry (``cache.hits``/``cache.misses``/
-``cache.corrupt``) and as ``cache.hit``/``cache.miss``/``cache.corrupt``
+off).  Hits/misses/corruption/evictions are counted on the instance, on
+the ambient metrics registry (``cache.hits``/``cache.misses``/
+``cache.corrupt``/``cache.evictions``, plus a ``cache.hit_rate`` gauge)
+and as ``cache.hit``/``cache.miss``/``cache.corrupt``/``cache.evict``
 events, so a batch report shows exactly how much exploration was
-skipped.
+skipped and how much history was aged out.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -55,6 +69,13 @@ __all__ = [
 #: On-disk pickle protocol; pinned so caches are portable across the
 #: Python versions the CI matrix exercises (3.10 is the floor).
 PICKLE_PROTOCOL = 4
+
+#: Entry header: magic line, then the payload's SHA-256 hex digest on
+#: its own line, then the pickled payload bytes.  Entries without the
+#: magic (including any ``repro-cache/1`` era raw pickles) read as
+#: corrupt and are purged — the cache self-heals across format bumps.
+MAGIC = b"repro-cache/2\n"
+_DIGEST_LEN = 64  # SHA-256 hex
 
 #: Errors that mean "this entry is unreadable", not "this is a bug":
 #: truncated pickles raise EOFError/UnpicklingError, foreign bytes can
@@ -82,19 +103,23 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    evictions: int = 0
+    store_errors: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        """Return the four counters as a plain dict (stable key order)."""
+        """Return the counters as a plain dict (stable key order)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "store_errors": self.store_errors,
         }
 
 
 class DerivationCache:
-    """A content-addressed pickle store under one directory.
+    """A content-addressed, integrity-checked store under one directory.
 
     ``fetch``/``store`` are the whole protocol; payloads are plain
     dicts assembled by the call sites (state-space payloads in the
@@ -102,12 +127,16 @@ class DerivationCache:
     :func:`repro.ctmc.serialize.ctmc_to_payload`).  Instances are safe
     to share between the processes of a batch run: the filesystem is
     the coordination point, and atomic publication makes concurrent
-    writers idempotent (same key ⇒ same bytes).
+    writers idempotent (same key ⇒ same bytes).  ``max_bytes`` bounds
+    the store with least-recently-used eviction (``None`` = unbounded).
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
 
     def path_of(self, key: DerivationKey) -> Path:
@@ -116,31 +145,65 @@ class DerivationCache:
         return self.root / digest[:2] / f"{digest}.pkl"
 
     # ------------------------------------------------------------------
+    # Entry codec: checksum header + pickle body
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(payload: dict[str, Any]) -> bytes:
+        """Serialise ``payload`` fully in memory (nothing touches disk)."""
+        body = pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
+        return MAGIC + digest + b"\n" + body
+
+    @staticmethod
+    def _decode(blob: bytes) -> dict[str, Any]:
+        """Verify a record's checksum and unpickle its payload.
+
+        Raises :class:`pickle.UnpicklingError` on any integrity
+        problem, so corruption funnels into one handling path.
+        """
+        if not blob.startswith(MAGIC):
+            raise pickle.UnpicklingError("cache entry has no repro-cache/2 header")
+        header_end = len(MAGIC) + _DIGEST_LEN + 1
+        digest = blob[len(MAGIC):len(MAGIC) + _DIGEST_LEN]
+        body = blob[header_end:]
+        if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
+            raise pickle.UnpicklingError("cache entry checksum mismatch")
+        payload = pickle.loads(body)
+        if not isinstance(payload, dict):
+            raise pickle.UnpicklingError(
+                f"cache entry is a {type(payload).__name__}, not a payload dict"
+            )
+        return payload
+
+    def _record_hit_rate(self, metrics) -> None:
+        seen = self.stats.hits + self.stats.misses
+        if seen:
+            metrics.gauge("cache.hit_rate").set(self.stats.hits / seen)
+
+    # ------------------------------------------------------------------
     def fetch(self, key: DerivationKey) -> dict[str, Any] | None:
         """The stored payload for ``key``, or ``None`` on miss.
 
         A corrupt entry counts and reports as ``cache.corrupt`` (and as
-        a miss), is deleted best-effort, and the caller re-derives.
+        a miss), is deleted best-effort, and the caller re-derives.  A
+        hit refreshes the entry's recency for LRU eviction.
         """
         path = self.path_of(key)
+        metrics = get_metrics()
         try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-            if not isinstance(payload, dict):
-                raise pickle.UnpicklingError(
-                    f"cache entry is a {type(payload).__name__}, not a payload dict"
-                )
+            payload = self._decode(path.read_bytes())
         except FileNotFoundError:
             self.stats.misses += 1
-            get_metrics().counter("cache.misses").inc()
+            metrics.counter("cache.misses").inc()
+            self._record_hit_rate(metrics)
             get_events().emit("cache.miss", key=key.describe())
             return None
         except _CORRUPTION_ERRORS as exc:
             self.stats.corrupt += 1
             self.stats.misses += 1
-            metrics = get_metrics()
             metrics.counter("cache.corrupt").inc()
             metrics.counter("cache.misses").inc()
+            self._record_hit_rate(metrics)
             get_events().emit(
                 "cache.corrupt", key=key.describe(), path=str(path),
                 error=type(exc).__name__,
@@ -151,31 +214,136 @@ class DerivationCache:
                 pass
             return None
         self.stats.hits += 1
-        get_metrics().counter("cache.hits").inc()
+        metrics.counter("cache.hits").inc()
+        self._record_hit_rate(metrics)
         get_events().emit("cache.hit", key=key.describe())
+        try:
+            os.utime(path)  # refresh recency: hits survive LRU eviction
+        except OSError:
+            pass
         return payload
 
-    def store(self, key: DerivationKey, payload: dict[str, Any]) -> Path:
-        """Atomically publish ``payload`` under ``key``; returns the path."""
-        path = self.path_of(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp"
+    def store(self, key: DerivationKey, payload: dict[str, Any]) -> Path | None:
+        """Atomically publish ``payload`` under ``key``.
+
+        The payload is serialised to bytes *before* any file is
+        created, so a serialisation failure raises without leaving a
+        temp file (or anything else) behind.  Filesystem failures
+        (``ENOSPC``, permissions) degrade gracefully: the entry simply
+        isn't cached — counted in :attr:`CacheStats.store_errors` and
+        reported as a ``cache.store_error`` event — and ``None`` is
+        returned; the derivation result itself is unaffected.
+        """
+        from repro.resilience.faultinject import (
+            maybe_fault_cache_bitflip, maybe_fault_cache_store,
         )
+
+        record = self._encode(payload)  # may raise: nothing on disk yet
+        path = self.path_of(key)
+        tmp_name = None
         try:
+            maybe_fault_cache_store(key)  # chaos drills: injected ENOSPC
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp"
+            )
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=PICKLE_PROTOCOL)
+                fh.write(record)
             os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self.stats.store_errors += 1
+            metrics = get_metrics()
+            metrics.counter("cache.store_errors").inc()
+            get_events().emit(
+                "cache.store_error", key=key.describe(),
+                error=type(exc).__name__, detail=str(exc),
+            )
+            return None
         self.stats.stores += 1
         get_metrics().counter("cache.stores").inc()
         get_events().emit("cache.store", key=key.describe())
+        maybe_fault_cache_bitflip(path)  # chaos drills: corrupt the entry
+        if self.max_bytes is not None:
+            self._evict_to_budget()
         return path
+
+    # ------------------------------------------------------------------
+    # Hygiene: size budget and integrity sweep
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[tuple[Path, os.stat_result]]:
+        entries = []
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entries.append((entry, entry.stat()))
+            except OSError:
+                pass  # raced with a concurrent eviction/unlink
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of every entry, in bytes."""
+        return sum(st.st_size for _, st in self._entries())
+
+    def _evict_to_budget(self) -> int:
+        """Unlink least-recently-used entries until the budget holds."""
+        entries = self._entries()
+        total = sum(st.st_size for _, st in entries)
+        evicted = 0
+        metrics = get_metrics()
+        # Oldest mtime first; path as tie-break keeps the order stable.
+        for path, st in sorted(entries, key=lambda e: (e[1].st_mtime, str(e[0]))):
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= st.st_size
+            evicted += 1
+            self.stats.evictions += 1
+            metrics.counter("cache.evictions").inc()
+            get_events().emit(
+                "cache.evict", entry=path.stem[:12], bytes=st.st_size,
+            )
+        metrics.gauge("cache.bytes").set(total)
+        return evicted
+
+    def verify(self) -> dict[str, int]:
+        """Integrity sweep: re-hash every entry, purge the corrupt ones.
+
+        Each entry's checksum header is re-verified against its payload
+        bytes (and the payload unpickled), so bit rot, torn writes and
+        foreign files are all caught.  Corrupt entries count into
+        :attr:`CacheStats.corrupt` (plus the ``cache.corrupt`` metric
+        and event, tagged ``sweep=True``) and are deleted.  Returns
+        ``{"checked", "ok", "corrupt", "purged"}``.
+        """
+        checked = ok = corrupt = purged = 0
+        metrics = get_metrics()
+        for path, _ in sorted(self._entries(), key=lambda e: str(e[0])):
+            checked += 1
+            try:
+                self._decode(path.read_bytes())
+            except _CORRUPTION_ERRORS as exc:
+                corrupt += 1
+                self.stats.corrupt += 1
+                metrics.counter("cache.corrupt").inc()
+                get_events().emit(
+                    "cache.corrupt", path=str(path),
+                    error=type(exc).__name__, sweep=True,
+                )
+                try:
+                    path.unlink()
+                    purged += 1
+                except OSError:
+                    pass
+            else:
+                ok += 1
+        return {"checked": checked, "ok": ok, "corrupt": corrupt, "purged": purged}
 
     # ------------------------------------------------------------------
     def __contains__(self, key: DerivationKey) -> bool:

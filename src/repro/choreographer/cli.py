@@ -137,6 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--no-cache", action="store_true",
         help="bypass the derivation cache entirely")
+    batch.add_argument(
+        "--cache-max-bytes", type=int, metavar="BYTES",
+        help="evict least-recently-used cache entries beyond this total size")
+    batch.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts per failed/crashed/hung task before it is "
+             "quarantined (default: 2)")
+    batch.add_argument(
+        "--task-timeout", type=float, metavar="SECONDS",
+        help="per-attempt wall-clock timeout; a hung task's pool is rebuilt "
+             "and the task retried (needs --jobs >= 2)")
+    batch.add_argument(
+        "--journal", type=Path, metavar="FILE",
+        help="append every completed task to this repro-journal/1 checkpoint "
+             "file as the run proceeds")
+    batch.add_argument(
+        "--resume", type=Path, metavar="JOURNAL",
+        help="resume a journalled run: replay recorded results, run only "
+             "what's missing (task list comes from the journal)")
+    batch.add_argument(
+        "--chaos", action="append", default=[], metavar="SPEC",
+        help="inject a deterministic batch fault, e.g. 'kill:taskid@1', "
+             "'hang:taskid@1:30', 'cache-enospc:*'; repeatable (drills only)")
     batch.add_argument("--rates", type=Path, help=".rates file for XMI tasks")
     batch.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
     batch.add_argument(
@@ -379,12 +402,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
     from repro.batch import BatchEngine
+    from repro.batch.engine import RetryPolicy
     from repro.resilience.budget import BudgetSpec
+    from repro.resilience.faultinject import BatchFaultPlan
 
-    tasks = _batch_tasks(args)
-    if not tasks:
+    if args.resume and (args.inputs or args.experiments):
+        print("--resume takes its task list from the journal; "
+              "do not pass inputs or --experiments with it", file=sys.stderr)
+        return 2
+    if args.resume and args.journal:
+        print("--resume appends to the journal it resumes from; "
+              "--journal is redundant", file=sys.stderr)
+        return 2
+    tasks = [] if args.resume else _batch_tasks(args)
+    if not tasks and not args.resume:
         print("nothing to do: pass model files and/or --experiments",
               file=sys.stderr)
+        return 2
+    try:
+        faults = BatchFaultPlan.parse(args.chaos) if args.chaos else None
+    except ValueError as exc:
+        print(f"bad --chaos spec: {exc}", file=sys.stderr)
         return 2
     engine = BatchEngine(
         jobs=args.jobs,
@@ -392,8 +430,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         default_budget=(
             BudgetSpec(deadline_seconds=args.deadline) if args.deadline else None
         ),
+        retry=RetryPolicy(retries=args.retries, task_timeout=args.task_timeout),
+        journal=args.journal,
+        cache_max_bytes=args.cache_max_bytes,
+        faults=faults,
     )
-    report = engine.run(tasks)
+    if args.resume:
+        report = engine.resume(args.resume)
+    else:
+        report = engine.run(tasks)
     print(report.summary())
     if args.measures:
         args.measures.write_text(report.measures_json())

@@ -13,11 +13,14 @@ machinery that keeps one failure from taking the whole run down:
   budgets threaded through state-space derivation, raising a resumable
   :class:`~repro.exceptions.BudgetExceededError` instead of dying deep
   in a loop;
-* :mod:`repro.resilience.faultinject` — deterministic wrappers around
-  :data:`repro.ctmc.steady.SOLVERS` entries that inject convergence
-  failures, NaN vectors, slow convergence or transient exceptions on
-  selected calls, used by the tests to prove the fallback and retry
-  logic actually engage.
+* :mod:`repro.resilience.faultinject` — deterministic fault injection
+  at two levels: wrappers around :data:`repro.ctmc.steady.SOLVERS`
+  entries that inject convergence failures, NaN vectors, slow
+  convergence or transient exceptions on selected calls, and
+  batch-layer chaos drills (:class:`~repro.resilience.faultinject.BatchFaultPlan`)
+  that kill workers, hang tasks, fill the cache's disk or flip bits in
+  published cache entries — used by the tests to prove the fallback,
+  retry and recovery logic actually engage.
 """
 
 from repro.exceptions import BudgetExceededError
@@ -28,10 +31,22 @@ from repro.resilience.fallback import (
     SolveDiagnostics,
     solve_with_fallback,
 )
-from repro.resilience.faultinject import FaultInjector, FaultSpec, inject_fault
+from repro.resilience.faultinject import (
+    BatchFault,
+    BatchFaultPlan,
+    FaultInjector,
+    FaultSpec,
+    InjectedWorkerCrash,
+    get_batch_faults,
+    inject_fault,
+    set_batch_faults,
+    use_batch_faults,
+)
 
 __all__ = [
     "AttemptRecord",
+    "BatchFault",
+    "BatchFaultPlan",
     "BudgetExceededError",
     "BudgetSpec",
     "Deadline",
@@ -39,7 +54,11 @@ __all__ = [
     "FallbackPolicy",
     "FaultInjector",
     "FaultSpec",
+    "InjectedWorkerCrash",
     "SolveDiagnostics",
+    "get_batch_faults",
     "inject_fault",
+    "set_batch_faults",
     "solve_with_fallback",
+    "use_batch_faults",
 ]

@@ -95,3 +95,106 @@ def test_batch_merged_artifacts_are_consumable(model_file, tmp_path):
     header, events = read_events_jsonl(events_path)
     assert header["events"] == len(events)
     assert all(event["task"] == "toy" for event in events)
+
+
+# ---------------------------------------------------------------------------
+# Supervision, chaos and resume through the CLI
+# ---------------------------------------------------------------------------
+def test_batch_chaos_kill_recovers_and_measures_match(model_file, tmp_path):
+    """`--chaos kill:toy@1` with retries: the run recovers and its
+    measures are byte-identical to an undisturbed run — the CI chaos
+    smoke contract."""
+    clean = tmp_path / "clean.json"
+    assert main([
+        "batch", str(model_file), "--no-cache", "--measures", str(clean),
+    ]) == 0
+    chaotic = tmp_path / "chaotic.json"
+    assert main([
+        "batch", str(model_file), "--no-cache", "--jobs", "2",
+        "--chaos", "kill:toy@1", "--retries", "2",
+        "--measures", str(chaotic),
+    ]) == 0
+    assert chaotic.read_bytes() == clean.read_bytes()
+
+
+def test_batch_chaos_exhausted_quarantines_and_exits_3(model_file, tmp_path, capsys):
+    code = main([
+        "batch", str(model_file), "--no-cache",
+        "--chaos", "kill:toy@1,2", "--retries", "1",
+    ])
+    assert code == 3
+    assert "QUARANTINED" in capsys.readouterr().out
+
+
+def test_batch_bad_chaos_spec_exits_2(model_file, capsys):
+    assert main([
+        "batch", str(model_file), "--no-cache", "--chaos", "nonsense",
+    ]) == 2
+    assert "bad --chaos spec" in capsys.readouterr().err
+
+
+def test_batch_journal_then_resume_byte_identical(model_file, tmp_path):
+    clean = tmp_path / "clean.json"
+    assert main([
+        "batch", str(model_file), "--experiments", "--no-cache",
+        "--measures", str(clean),
+    ]) == 0
+
+    journal = tmp_path / "run.journal"
+    assert main([
+        "batch", str(model_file), "--experiments", "--no-cache",
+        "--journal", str(journal),
+    ]) == 0
+
+    resumed = tmp_path / "resumed.json"
+    assert main([
+        "batch", "--resume", str(journal), "--no-cache",
+        "--measures", str(resumed),
+    ]) == 0
+    assert resumed.read_bytes() == clean.read_bytes()
+
+
+def test_batch_resume_rejects_extra_inputs(model_file, tmp_path, capsys):
+    journal = tmp_path / "run.journal"
+    assert main([
+        "batch", str(model_file), "--no-cache", "--journal", str(journal),
+    ]) == 0
+    assert main([
+        "batch", str(model_file), "--resume", str(journal), "--no-cache",
+    ]) == 2
+    assert "task list from the journal" in capsys.readouterr().err
+
+
+def test_batch_resume_rejects_journal_flag(model_file, tmp_path, capsys):
+    journal = tmp_path / "run.journal"
+    assert main([
+        "batch", str(model_file), "--no-cache", "--journal", str(journal),
+    ]) == 0
+    assert main([
+        "batch", "--resume", str(journal), "--journal", str(journal),
+        "--no-cache",
+    ]) == 2
+    assert "redundant" in capsys.readouterr().err
+
+
+def test_batch_cache_max_bytes_keeps_cache_bounded(model_file, tmp_path):
+    import os
+
+    cache_dir = tmp_path / "cache"
+    budget = 2048
+    # Several distinct models so the cache accumulates entries.
+    inputs = [str(model_file)]
+    for i in range(4):
+        path = tmp_path / f"model{i}.pepa"
+        path.write_text(PEPA_SRC.replace("2.0", f"{i + 3}.0"))
+        inputs.append(str(path))
+    assert main([
+        "batch", *inputs,
+        "--cache-dir", str(cache_dir),
+        "--cache-max-bytes", str(budget),
+    ]) == 0
+    total = sum(
+        os.path.getsize(os.path.join(root, name))
+        for root, _dirs, names in os.walk(cache_dir) for name in names
+    )
+    assert total <= budget

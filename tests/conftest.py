@@ -27,12 +27,15 @@ def _ambient_isolation():
     """
     from repro.batch.cache import set_cache
     from repro.obs import reset_ambient
+    from repro.resilience.faultinject import set_batch_faults
 
     reset_ambient()
     set_cache(None)
+    set_batch_faults(None)
     yield
     reset_ambient()
     set_cache(None)
+    set_batch_faults(None)
 
 
 def pytest_addoption(parser):

@@ -28,7 +28,9 @@ RUN_KEYS = {
     "workload", "kind", "size", "solver",
     "n_states", "n_transitions", "stages", "total_s", "peak_rss_kb",
 }
-DOC_KEYS = {"schema", "label", "created_unix", "quick", "solver", "host", "runs"}
+DOC_KEYS = {"schema", "label", "created_unix", "quick", "solver", "host",
+            "fault_counters", "runs"}
+FAULT_COUNTER_KEYS = {"retries", "quarantined", "cache_evictions", "cache_corrupt"}
 
 
 def test_workload_table_shape(run_bench):
@@ -109,6 +111,10 @@ def test_run_suite_quick_document(run_bench, monkeypatch):
     assert set(document) == DOC_KEYS
     assert document["schema"] == "repro-bench/1"
     assert document["quick"] is True
+    # A healthy sweep reports its fault counters — and they are zero,
+    # so the regression gate would surface accidental retries.
+    assert set(document["fault_counters"]) == FAULT_COUNTER_KEYS
+    assert all(v == 0 for v in document["fault_counters"].values())
     assert document["label"] == "ci"  # not shadowed by per-run progress labels
     assert set(document["host"]) == {"platform", "python", "numpy", "scipy"}
     # quick = first two sizes of each workload
@@ -176,7 +182,8 @@ def test_parallel_sweep_matches_serial_counts(run_bench, tmp_path):
 def test_checked_in_bench_document_is_schema_valid(run_bench, name):
     bench_path = _BENCH.parent.parent / name
     document = json.loads(bench_path.read_text())
-    assert set(document) == DOC_KEYS
+    # Snapshots written before the fault counters existed stay valid.
+    assert DOC_KEYS - {"fault_counters"} <= set(document) <= DOC_KEYS
     assert document["schema"] == "repro-bench/1"
     workload_sizes: dict[str, set[str]] = {}
     for record in document["runs"]:

@@ -101,3 +101,65 @@ def test_reset_ambient_is_idempotent():
     reset_ambient()
     reset_ambient()
     assert get_tracer() is NULL_TRACER
+
+
+# ---------------------------------------------------------------------------
+# Empty snapshots: the crashed-before-span case the batch retry path
+# produces (a quarantined task contributes default-constructed
+# trace/metrics/events documents).
+# ---------------------------------------------------------------------------
+def test_merge_traces_tolerates_empty_snapshots():
+    tracer = Tracer()
+    with tracer.span("work"):
+        pass
+    empty = Tracer().to_dict()
+    merged = merge_traces([empty, tracer.to_dict(), empty])
+    assert merged["schema"] == "repro-trace/1"
+    assert [root["name"] for root in merged["traces"]] == ["work"]
+
+
+def test_merge_traces_all_empty_yields_empty_forest():
+    merged = merge_traces([Tracer().to_dict(), Tracer().to_dict()])
+    assert merged == {"schema": "repro-trace/1", "traces": []}
+
+
+def test_merge_metrics_tolerates_empty_snapshots():
+    merged = merge_metrics([
+        MetricsRegistry().as_dict(),
+        _metrics_snapshot(counter=4),
+        MetricsRegistry().as_dict(),
+    ])
+    assert merged["metrics"]["requests"]["value"] == 4
+
+
+def test_merge_metrics_all_empty_yields_empty_registry():
+    merged = merge_metrics([MetricsRegistry().as_dict()])
+    assert merged == {"schema": "repro-metrics/1", "metrics": {}}
+
+
+def test_merge_events_tolerates_empty_streams():
+    stream = EventStream()
+    stream.emit("alive", value=1)
+    merged = merge_events([
+        ("crashed", EventStream().to_dicts()),
+        ("healthy", stream.to_dicts()),
+    ])
+    assert [(e["task"], e["event"]) for e in merged] == [("healthy", "alive")]
+
+
+def test_merge_quarantined_batch_result_snapshots():
+    """End-to-end shape check: the exact default documents a quarantined
+    BatchResult carries merge cleanly alongside a healthy task's."""
+    from repro.batch.engine import BatchResult
+
+    quarantined = BatchResult(task_id="q", kind="pepa", ok=False,
+                              error="WorkerCrash: ...", quarantined=True)
+    tracer = Tracer()
+    with tracer.span("derive"):
+        pass
+    healthy = BatchResult(task_id="h", kind="pepa", ok=True,
+                          trace=tracer.to_dict())
+    merged = merge_traces([quarantined.trace, healthy.trace])
+    assert len(merged["traces"]) == 1
+    assert merge_metrics([quarantined.metrics, healthy.metrics])["metrics"] == {}
+    assert merge_events([("q", quarantined.events), ("h", healthy.events)]) == []
