@@ -58,6 +58,7 @@ from repro.pepa.parser import parse_model
 from repro.pepa.statespace import derive
 from repro.pepanets.measures import ctmc_of_net
 from repro.ctmc.steady import steady_state
+from repro.scenarios import corpus_net
 from repro.workloads import (
     client_server_model,
     courier_ring_net,
@@ -126,6 +127,14 @@ WORKLOADS = {
         "explore",
         client_server_model,
         [{"n_clients": 7}, {"n_clients": 8}, {"n_clients": 9}],
+    ),
+    # Generated-scenario corpus (repro.scenarios): seeds picked for the
+    # largest marking spaces in the first two hundred, so the bench
+    # covers machine-drawn topologies none of the curated families hit.
+    "corpus": (
+        "net",
+        corpus_net,
+        [{"seed": 148}, {"seed": 116}, {"seed": 142}],
     ),
 }
 

@@ -127,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", action="store_true",
         help="also run every EXPERIMENTS.md row, one task per experiment")
     batch.add_argument(
+        "--corpus", type=int, metavar="N",
+        help="also derive N generated corpus scenarios (repro.scenarios), "
+             "one net task per seed")
+    batch.add_argument(
+        "--corpus-base", type=int, default=0, metavar="SEED",
+        help="first corpus seed (default: 0)")
+    batch.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes (1 = run inline, still through the task path)")
     batch.add_argument(
@@ -190,6 +197,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("base", type=Path, help="baseline repro-trace/1 JSON file")
     diff.add_argument("new", type=Path, help="current repro-trace/1 JSON file")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the extract pipeline against direct "
+             "PEPA-net construction over generated scenarios",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=100, metavar="N",
+        help="number of seeds to sweep (default: 100)")
+    fuzz.add_argument(
+        "--start", type=int, default=0, metavar="SEED",
+        help="first seed (default: 0)")
+    fuzz.add_argument(
+        "--out", type=Path, metavar="DIR",
+        help="dump minimised reproducer directories for divergent seeds here")
+    fuzz.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="cooperative wall-clock budget for the whole sweep; exceeding "
+             "it stops gracefully (seeds not reached are not failures)")
+    fuzz.add_argument(
+        "--tolerance", type=float, default=None, metavar="REL",
+        help="relative measure tolerance (default: 1e-8)")
+    fuzz.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="marking-space size cap per scenario")
+    fuzz.add_argument(
+        "--no-minimise", action="store_true",
+        help="skip shrinking divergent specs (faster triage)")
+    fuzz.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
     return parser
 
 
@@ -395,6 +431,14 @@ def _batch_tasks(args: argparse.Namespace) -> list:
                 id=f"experiment-{experiment_id}", kind="experiment",
                 payload={"experiment": experiment_id},
             ))
+    if getattr(args, "corpus", None):
+        from repro.scenarios import corpus_source
+
+        for seed in range(args.corpus_base, args.corpus_base + args.corpus):
+            tasks.append(BatchTask(
+                id=f"corpus-{seed}", kind="net",
+                payload={"source": corpus_source(seed), "solver": args.solver},
+            ))
     return tasks
 
 
@@ -406,9 +450,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.resilience.budget import BudgetSpec
     from repro.resilience.faultinject import BatchFaultPlan
 
-    if args.resume and (args.inputs or args.experiments):
+    if args.resume and (args.inputs or args.experiments or args.corpus):
         print("--resume takes its task list from the journal; "
-              "do not pass inputs or --experiments with it", file=sys.stderr)
+              "do not pass inputs, --experiments or --corpus with it",
+              file=sys.stderr)
         return 2
     if args.resume and args.journal:
         print("--resume appends to the journal it resumes from; "
@@ -416,7 +461,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     tasks = [] if args.resume else _batch_tasks(args)
     if not tasks and not args.resume:
-        print("nothing to do: pass model files and/or --experiments",
+        print("nothing to do: pass model files, --experiments or --corpus N",
               file=sys.stderr)
         return 2
     try:
@@ -458,6 +503,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 fh.write(json.dumps(record, default=str) + "\n")
         print(f"{len(events)} events written to {args.events}", file=sys.stderr)
     return 0 if report.ok else 3
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.scenarios import fuzz
+
+    report = fuzz.run_sweep(
+        range(args.start, args.start + args.seeds),
+        solver=args.solver,
+        max_states=args.max_states or fuzz.DEFAULT_MAX_STATES,
+        tolerance=args.tolerance or fuzz.DEFAULT_TOLERANCE,
+        deadline=args.deadline,
+        out_dir=args.out,
+        minimise=not args.no_minimise,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_analyze_trace(args: argparse.Namespace) -> int:
@@ -535,6 +597,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "dot": _cmd_dot,
         "batch": _cmd_batch,
+        "fuzz": _cmd_fuzz,
         "analyze-trace": _cmd_analyze_trace,
         "diff-trace": _cmd_diff_trace,
     }

@@ -1,0 +1,39 @@
+"""Seeded generative scenario corpus and differential fuzzing.
+
+The generator (:mod:`repro.scenarios.generator`) draws deterministic
+random mobile-app scenarios and renders each one both as XMI (the tool
+chain's front door) and as a directly-constructed PEPA net; the fuzz
+harness (:mod:`repro.scenarios.fuzz`) checks the two paths agree on
+every steady-state measure, shrinking and dumping a reproducer when
+they do not.  ``choreographer fuzz`` is the CLI front end.
+"""
+
+from repro.scenarios.generator import (
+    ChainStep,
+    DecisionSpec,
+    GeneratorParams,
+    Scenario,
+    ScenarioSpec,
+    TokenSpec,
+    corpus_net,
+    corpus_source,
+    generate_scenario,
+    scenario_from_spec,
+    spec_from_json,
+    spec_to_json,
+)
+
+__all__ = [
+    "ChainStep",
+    "DecisionSpec",
+    "GeneratorParams",
+    "Scenario",
+    "ScenarioSpec",
+    "TokenSpec",
+    "corpus_net",
+    "corpus_source",
+    "generate_scenario",
+    "scenario_from_spec",
+    "spec_from_json",
+    "spec_to_json",
+]

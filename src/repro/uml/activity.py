@@ -77,9 +77,10 @@ class ActivityEdge(UmlElement):
 class ActivityGraph:
     """A mutable activity-diagram builder plus query helpers."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, *, xmi_id: str | None = None):
         self.name = name
-        self.xmi_id = ActivityNode(name=name).xmi_id  # reuse the id scheme
+        # the generated-id scheme is reused when no explicit id is given
+        self.xmi_id = xmi_id or ActivityNode(name=name).xmi_id
         self.nodes: dict[str, ActivityNode] = {}
         self.edges: list[ActivityEdge] = []
 
@@ -92,55 +93,63 @@ class ActivityGraph:
         self.nodes[node.xmi_id] = node
         return node
 
-    def add_initial(self, name: str = "Initial_State_1") -> ActivityNode:
+    def add_initial(self, name: str = "Initial_State_1", *,
+                    xmi_id: str | None = None) -> ActivityNode:
         """Add the initial pseudostate node."""
-        return self._add(ActivityNode(name=name, kind="initial"))
+        return self._add(ActivityNode(name=name, kind="initial", xmi_id=xmi_id or ""))
 
-    def add_action(self, name: str, *, move: bool = False, rate: float | None = None) -> ActivityNode:
-        """Add an action state, optionally <<move>>-stereotyped and rate-tagged."""
-        node = ActivityNode(name=name, kind="action")
+    def add_action(self, name: str, *, move: bool = False, rate: float | None = None,
+                   xmi_id: str | None = None) -> ActivityNode:
+        """Add an action state, optionally <<move>>-stereotyped and rate-tagged.
+
+        An explicit ``xmi_id`` pins the element id — byte-identical XMI
+        across processes needs ids independent of the global counter.
+        """
+        node = ActivityNode(name=name, kind="action", xmi_id=xmi_id or "")
         if move:
             node.add_stereotype(STEREOTYPE_MOVE)
         if rate is not None:
             node.set_tag(TAG_RATE, str(rate))
         return self._add(node)
 
-    def add_decision(self, name: str = "") -> ActivityNode:
+    def add_decision(self, name: str = "", *, xmi_id: str | None = None) -> ActivityNode:
         """Add a decision diamond (choice pseudostate)."""
-        return self._add(ActivityNode(name=name, kind="decision"))
+        return self._add(ActivityNode(name=name, kind="decision", xmi_id=xmi_id or ""))
 
-    def add_fork(self, name: str = "") -> ActivityNode:
+    def add_fork(self, name: str = "", *, xmi_id: str | None = None) -> ActivityNode:
         """A fork bar: control splits into concurrent branches.  Listed
         as future work in the paper's Section 6; supported by our
         extractor under the restrictions documented in
         :mod:`repro.extract.activity2pepanet`."""
-        return self._add(ActivityNode(name=name, kind="fork"))
+        return self._add(ActivityNode(name=name, kind="fork", xmi_id=xmi_id or ""))
 
-    def add_join(self, name: str = "") -> ActivityNode:
+    def add_join(self, name: str = "", *, xmi_id: str | None = None) -> ActivityNode:
         """A join bar: concurrent branches synchronise."""
-        return self._add(ActivityNode(name=name, kind="join"))
+        return self._add(ActivityNode(name=name, kind="join", xmi_id=xmi_id or ""))
 
-    def add_final(self, name: str = "") -> ActivityNode:
+    def add_final(self, name: str = "", *, xmi_id: str | None = None) -> ActivityNode:
         """Add a final state node."""
-        return self._add(ActivityNode(name=name, kind="final"))
+        return self._add(ActivityNode(name=name, kind="final", xmi_id=xmi_id or ""))
 
-    def add_object(self, name: str, *, atloc: str | None = None) -> ActivityNode:
+    def add_object(self, name: str, *, atloc: str | None = None,
+                   xmi_id: str | None = None) -> ActivityNode:
         """Add an object box named 'obj: Class', optionally with an atloc tag."""
-        node = ActivityNode(name=name, kind="object")
+        node = ActivityNode(name=name, kind="object", xmi_id=xmi_id or "")
         if atloc is not None:
             node.set_tag(TAG_ATLOC, atloc)
         node.object_parts()  # validate the name shape eagerly
         return self._add(node)
 
     def connect(self, source: ActivityNode | str, target: ActivityNode | str,
-                *, guard: str | None = None) -> ActivityEdge:
+                *, guard: str | None = None,
+                xmi_id: str | None = None) -> ActivityEdge:
         """Add a transition between two nodes (ids are validated)."""
         src = source.xmi_id if isinstance(source, ActivityNode) else source
         tgt = target.xmi_id if isinstance(target, ActivityNode) else target
         for ref in (src, tgt):
             if ref not in self.nodes:
                 raise UmlModelError(f"edge endpoint {ref!r} is not a node of {self.name!r}")
-        edge = ActivityEdge(source=src, target=tgt, guard=guard)
+        edge = ActivityEdge(source=src, target=tgt, guard=guard, xmi_id=xmi_id or "")
         self.edges.append(edge)
         return edge
 

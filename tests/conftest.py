@@ -85,16 +85,17 @@ def golden(request):
     update = request.config.getoption("--update-goldens")
 
     def check(name: str, document, *, rtol: float = 1e-9) -> None:
+        # names may carry subdirectories, e.g. "corpus/seed-17"
         path = GOLDENS_DIR / f"{name}.json"
         if update:
-            GOLDENS_DIR.mkdir(exist_ok=True)
+            path.parent.mkdir(parents=True, exist_ok=True)
             # Atomic publication: concurrent xdist workers regenerating
             # the same golden must never interleave partial writes.
             import os
             import tempfile
 
             fd, tmp_name = tempfile.mkstemp(
-                dir=GOLDENS_DIR, prefix=f".{name}.", suffix=".tmp"
+                dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp"
             )
             with os.fdopen(fd, "w") as fh:
                 fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")

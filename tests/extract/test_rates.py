@@ -80,3 +80,80 @@ class TestRatesFile:
         path.write_text("x = 4.0\n")
         table = load_rates(path)
         assert table.lookup("x") == ActiveRate(4.0)
+
+
+class TestDegenerateRates:
+    """Zero/negative rates and passive-only cooperations — the edge
+    cases the scenario fuzzer's rate regimes skirt, pinned explicitly."""
+
+    def test_zero_rate_in_mapping_rejected(self):
+        from repro.exceptions import RateError
+
+        with pytest.raises(RateError, match="positive finite real"):
+            RateTable.from_numbers({"go": 0.0})
+
+    def test_negative_rate_in_mapping_rejected(self):
+        from repro.exceptions import RateError
+
+        with pytest.raises(RateError, match="positive finite real"):
+            RateTable.from_numbers({"go": -1.0})
+
+    def test_zero_rate_tag_rejected(self):
+        from repro.exceptions import RateError
+
+        table = RateTable.from_numbers({})
+        with pytest.raises(RateError, match="positive finite real"):
+            table.lookup("go", tagged="0")
+
+    def test_zero_rate_in_rates_file_rejected(self):
+        from repro.exceptions import RateError
+
+        with pytest.raises(RateError, match="positive finite real"):
+            parse_rates("a = 0\n")
+
+    def test_passive_only_activity_fails_at_analysis_not_extraction(self):
+        # a token whose only activity is passive extracts fine (the
+        # paper defers rate checks to the solver), but the place-level
+        # cooperation has no active partner, so analysis rejects it
+        from repro.exceptions import WellFormednessError
+        from repro.extract import extract_activity_diagram
+        from repro.pepanets.measures import analyse_net
+        from repro.uml.activity import ActivityGraph
+
+        g = ActivityGraph("g")
+        init = g.add_initial()
+        act = g.add_action("ping")
+        before = g.add_object("c: Client", atloc="Home")
+        after = g.add_object("c*: Client", atloc="Home")
+        g.connect(init, act)
+        g.connect(before, act)
+        g.connect(act, after)
+        g.connect(act, g.add_final())
+        result = extract_activity_diagram(
+            g, RateTable.from_numbers({"ping": "T"}))
+        with pytest.raises(WellFormednessError, match="no partner"):
+            analyse_net(result.net)
+
+    def test_passive_with_active_partner_is_fine(self):
+        # the same passive activity synchronised with an active static
+        # partner solves normally — passivity is relative, not absolute
+        from repro.extract import extract_activity_diagram
+        from repro.pepanets.measures import analyse_net
+        from repro.uml.activity import ActivityGraph
+
+        g = ActivityGraph("g")
+        init = g.add_initial()
+        act = g.add_action("ping")
+        before = g.add_object("c: Client", atloc="Home")
+        after = g.add_object("c*: Client", atloc="Home")
+        g.connect(init, act)
+        g.connect(before, act)
+        g.connect(act, after)
+        server = g.add_action("ping")
+        server.set_tag("performedBy", "Home")
+        g.connect(act, server)
+        g.connect(server, g.add_final())
+        result = extract_activity_diagram(
+            g, RateTable.from_numbers({"ping": 3.0}))
+        analysis = analyse_net(result.net)
+        assert analysis.throughput("ping") > 0

@@ -1,0 +1,62 @@
+"""The frozen 25-seed golden mini-corpus (regression pin).
+
+Each golden records a seed's scenario fingerprint (SHA-256 over both
+renderings and the rate regime), the marking-space shape, and the
+steady-state measures from *both* the extract path and the direct
+construction.  Any change to the generator, the extractor, the PEPA-net
+parser/printer or the solvers that moves these is caught here; run
+``pytest --update-goldens`` after an intentional change and review the
+diff under ``tests/goldens/corpus/``.
+"""
+
+import pytest
+
+from repro.scenarios import generate_scenario
+from repro.scenarios.fuzz import compare_spec
+
+GOLDEN_SEEDS = tuple(range(25))
+
+
+def corpus_document(seed: int) -> dict:
+    from repro.extract import RateTable, extract_activity_diagram
+    from repro.pepanets.measures import analyse_net
+    from repro.pepanets.parser import parse_net
+    from repro.uml.xmi.reader import read_model
+
+    scenario = generate_scenario(seed)
+    model = read_model(scenario.xmi_text())
+    extraction = extract_activity_diagram(
+        model.activity_graphs[0],
+        RateTable.from_numbers(scenario.rates),
+        reset_rate=scenario.spec.reset_rate,
+    )
+    extracted = analyse_net(extraction.net)
+    direct = analyse_net(parse_net(scenario.net_text()))
+    return {
+        "seed": seed,
+        "fingerprint": scenario.fingerprint(),
+        "n_tokens": len(scenario.spec.tokens),
+        "n_places": len(direct.net.places),
+        "extract": {
+            "n_states": extracted.n_states,
+            "n_arcs": len(extracted.space.arcs),
+            "throughputs": extracted.all_throughputs(),
+            "locations": extracted.location_distribution(),
+        },
+        "direct": {
+            "n_states": direct.n_states,
+            "n_arcs": len(direct.space.arcs),
+            "throughputs": direct.all_throughputs(),
+            "locations": direct.location_distribution(),
+        },
+    }
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_corpus_seed_matches_golden(golden, seed):
+    golden(f"corpus/seed-{seed:02d}", corpus_document(seed), rtol=1e-8)
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_corpus_seed_paths_agree(seed):
+    assert compare_spec(generate_scenario(seed).spec) == []

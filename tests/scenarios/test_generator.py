@@ -1,0 +1,177 @@
+"""The scenario generator: determinism, structural invariants, and the
+validity of every rendering against the rest of the tool chain."""
+
+import pytest
+
+from repro.scenarios import (
+    GeneratorParams,
+    corpus_net,
+    corpus_source,
+    generate_scenario,
+    scenario_from_spec,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.scenarios.generator import _place_order, _token_order, _token_visited
+
+SEEDS = range(0, 40)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        for seed in (0, 7, 123, 99991):
+            a, b = generate_scenario(seed), generate_scenario(seed)
+            assert a.spec == b.spec
+            assert a.xmi_text() == b.xmi_text()
+            assert a.net_text() == b.net_text()
+            assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seeds_differ(self):
+        fingerprints = {generate_scenario(seed).fingerprint() for seed in SEEDS}
+        assert len(fingerprints) == len(SEEDS)
+
+    def test_xmi_ids_are_pinned_not_global(self):
+        # ids must not depend on how many UML elements other code
+        # created earlier in the process
+        from repro.uml.activity import ActivityGraph
+
+        before = generate_scenario(11).xmi_text()
+        g = ActivityGraph("noise")
+        g.add_initial()
+        g.add_action("noise")
+        assert generate_scenario(11).xmi_text() == before
+
+    def test_rates_survive_g_formatting(self):
+        # %g is what the PEPA printers emit; every generated rate must
+        # round-trip through it exactly or the two paths would diverge
+        for seed in SEEDS:
+            for name, rate in generate_scenario(seed).spec.rates:
+                assert float(f"{rate:g}") == rate, (seed, name, rate)
+
+
+class TestStructuralInvariants:
+    def test_decision_only_in_single_token_static_free_scenarios(self):
+        for seed in range(200):
+            spec = generate_scenario(seed).spec
+            if spec.decision is not None:
+                assert len(spec.tokens) == 1
+                assert not any(s.kind == "static" for s in spec.chain)
+                assert all(len(branch) >= 1 for branch in spec.decision.branches)
+
+    def test_statics_pinned_to_visited_places(self):
+        for seed in range(200):
+            spec = generate_scenario(seed).spec
+            visited = {
+                loc
+                for t in range(len(spec.tokens))
+                for loc in _token_visited(spec, t)
+            }
+            for step in spec.chain:
+                if step.kind == "static":
+                    assert step.target in visited
+
+    def test_every_action_has_a_rate(self):
+        for seed in range(100):
+            spec = generate_scenario(seed).spec
+            rates = dict(spec.rates)
+            for step in spec.chain:
+                assert step.action in rates
+            if spec.decision:
+                for branch in spec.decision.branches:
+                    for action in branch:
+                        assert action in rates
+
+    def test_corpus_diversity(self):
+        # the statics pool used to be drained in place by the chain
+        # merge, silently disabling the cooperation variant — pin that
+        # every scenario family actually occurs
+        flavours = {"coop": 0, "decision": 0, "move": 0, "multi": 0}
+        for seed in range(300):
+            spec = generate_scenario(seed).spec
+            flavours["decision"] += spec.decision is not None
+            flavours["move"] += any(s.kind == "move" for s in spec.chain)
+            flavours["multi"] += len(spec.tokens) > 1
+            flavours["coop"] += any(
+                s.kind == "static" and not s.action.startswith("st")
+                for s in spec.chain
+            )
+        for flavour, count in flavours.items():
+            assert count > 0, f"no {flavour} scenario in 300 seeds"
+
+    def test_params_bound_the_draw(self):
+        params = GeneratorParams(max_locations=1, max_tokens=1,
+                                 decision_prob=0.0, max_static_activities=0)
+        for seed in range(30):
+            spec = generate_scenario(seed, params).spec
+            assert len(spec.tokens) == 1
+            assert spec.decision is None
+            assert not any(s.kind in ("move", "static") for s in spec.chain)
+            assert _place_order(spec) == ["Loc0"]
+
+
+class TestRenderings:
+    def test_xmi_validates_for_extraction(self):
+        from repro.uml import validate_for_extraction
+        from repro.uml.xmi.reader import read_model
+
+        for seed in SEEDS:
+            model = read_model(generate_scenario(seed).xmi_text())
+            assert validate_for_extraction(model.activity_graphs[0]) == []
+
+    def test_net_text_is_wellformed(self):
+        from repro.pepanets.parser import parse_net
+        from repro.pepanets.wellformed import check_net
+
+        for seed in SEEDS:
+            report = check_net(parse_net(generate_scenario(seed).net_text()))
+            assert report.ok, (seed, report)
+
+    def test_place_order_matches_graph_locations(self):
+        for seed in SEEDS:
+            scenario = generate_scenario(seed)
+            graph = scenario.build_model().activity_graphs[0]
+            assert graph.locations() == _place_order(scenario.spec)
+
+    def test_token_order_is_chain_first_appearance(self):
+        spec = generate_scenario(3).spec
+        order = _token_order(spec)
+        firsts = [s.token for s in spec.chain if s.token is not None]
+        seen: list[int] = []
+        for t in firsts:
+            if t not in seen:
+                seen.append(t)
+        assert order == seen
+
+
+class TestSpecJson:
+    def test_round_trip(self):
+        for seed in SEEDS:
+            spec = generate_scenario(seed).spec
+            assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_rebuilt_scenario_renders_identically(self):
+        scenario = generate_scenario(17)
+        clone = scenario_from_spec(spec_from_json(spec_to_json(scenario.spec)))
+        assert clone.xmi_text() == scenario.xmi_text()
+        assert clone.net_text() == scenario.net_text()
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="repro-scenario/1"):
+            spec_from_json('{"schema": "something-else"}')
+
+
+class TestCorpusEntryPoints:
+    def test_corpus_net_is_analysable(self):
+        from repro.pepanets.measures import analyse_net
+
+        analysis = analyse_net(corpus_net(0))
+        assert analysis.n_states > 0
+
+    def test_corpus_source_parses_to_same_marking_space(self):
+        from repro.pepanets.measures import analyse_net
+        from repro.pepanets.parser import parse_net
+
+        direct = analyse_net(corpus_net(5))
+        parsed = analyse_net(parse_net(corpus_source(5)))
+        assert direct.n_states == parsed.n_states
+        assert direct.all_throughputs() == parsed.all_throughputs()

@@ -119,3 +119,65 @@ class TestVariants:
         g.connect(a, after)
         problems = validate_for_extraction(g)
         assert any("variants must not decrease" in p for p in problems)
+
+
+class TestForkJoin:
+    """Rejection paths for the concurrency pseudostates (the fuzz
+    generator never emits them, so these rules only fire on hand-built
+    or imported diagrams — pin them explicitly)."""
+
+    def test_degenerate_fork_flagged(self):
+        g = minimal_mobile_graph()
+        fork = g.add_fork()
+        g.connect(g.action_by_name("write"), fork)
+        g.connect(fork, g.add_action("only_branch"))
+        problems = validate_for_extraction(g)
+        assert any("fork" in p and "at least 2 branches" in p for p in problems)
+
+    def test_wellformed_fork_join_pass(self):
+        g = minimal_mobile_graph()
+        fork = g.add_fork()
+        join = g.add_join()
+        g.connect(g.action_by_name("write"), fork)
+        for i in range(2):
+            branch = g.add_action(f"branch{i}")
+            g.connect(fork, branch)
+            g.connect(branch, join)
+        g.connect(join, g.add_action("after"))
+        assert validate_for_extraction(g) == []
+
+    def test_join_with_single_input_flagged(self):
+        g = minimal_mobile_graph()
+        join = g.add_join()
+        g.connect(g.action_by_name("write"), join)
+        problems = validate_for_extraction(g)
+        assert any("join" in p and "at least 2" in p for p in problems)
+
+    def test_join_with_multiple_outputs_flagged(self):
+        g = minimal_mobile_graph()
+        join = g.add_join()
+        for i in range(2):
+            feeder = g.add_action(f"feeder{i}")
+            g.connect(g.action_by_name("write"), feeder)
+            g.connect(feeder, join)
+        g.connect(join, g.add_action("out0"))
+        g.connect(join, g.add_action("out1"))
+        problems = validate_for_extraction(g)
+        assert any("join" in p and "at most 1" in p for p in problems)
+
+
+class TestObjectNames:
+    def test_malformed_object_name_reported_not_raised(self):
+        from repro.uml.activity import ActivityNode
+
+        g = minimal_mobile_graph()
+        # add_object validates eagerly, so smuggle the bad node in the
+        # way an XMI import would: straight into the node table
+        g._add(ActivityNode(name="not a box", kind="object"))
+        problems = validate_for_extraction(g)
+        assert any("not a box" in p and "obj: Class" in p for p in problems)
+
+    def test_stars_and_underscores_accepted(self):
+        g = minimal_mobile_graph()
+        g.add_object("long_name_2***: Some_Class", atloc="p1")
+        assert validate_for_extraction(g) == []
