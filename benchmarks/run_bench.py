@@ -35,6 +35,7 @@ import json
 import platform
 import sys
 import time
+from contextlib import ExitStack
 from pathlib import Path
 
 # Allow running straight from a checkout without installing.
@@ -326,7 +327,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-max-bytes", type=int, default=None,
                         metavar="BYTES",
                         help="LRU-evict cache entries beyond this total size")
+    parser.add_argument("--ledger", type=Path, default=None, metavar="DIR",
+                        help="also record this sweep as a repro-run/1 document "
+                             "in the run ledger at DIR ('choreographer runs "
+                             "trend' then gates the time series)")
+    parser.add_argument("--profile", action="store_true",
+                        help="sample the sweep with the wall-clock profiler")
+    parser.add_argument("--profile-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="profiler sampling period (default: 0.005)")
+    parser.add_argument("--profile-out", type=Path, default=None, metavar="FILE",
+                        help="write collapsed-stack samples here")
     args = parser.parse_args(argv)
+    created_unix = time.time()
 
     output = args.output
     if output is None:
@@ -335,11 +348,47 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"bench sweep ({'quick' if args.quick else 'full'}, "
           f"solver={args.solver}, label={args.label}, jobs={args.jobs})")
-    document = run_suite(quick=args.quick, solver=args.solver, label=args.label,
-                         jobs=args.jobs, cache_dir=args.cache_dir,
-                         cache_max_bytes=args.cache_max_bytes)
+    profiler = None
+    with ExitStack() as stack:
+        if args.profile or args.profile_interval or args.profile_out:
+            from repro.obs import (
+                ProfileConfig, SamplingProfiler, SpanResourceProbe,
+                use_profile_config, use_profiler, use_resource_probe,
+            )
+            from repro.obs.profile import DEFAULT_INTERVAL
+
+            config = ProfileConfig(
+                interval=args.profile_interval or DEFAULT_INTERVAL)
+            profiler = SamplingProfiler(config.interval)
+            stack.enter_context(use_profiler(profiler))
+            stack.enter_context(use_resource_probe(SpanResourceProbe()))
+            stack.enter_context(use_profile_config(config))
+            stack.enter_context(profiler)
+        document = run_suite(quick=args.quick, solver=args.solver,
+                             label=args.label, jobs=args.jobs,
+                             cache_dir=args.cache_dir,
+                             cache_max_bytes=args.cache_max_bytes)
     output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {len(document['runs'])} runs to {output}")
+    if profiler is not None and args.profile_out:
+        args.profile_out.write_text(profiler.collapsed())
+        print(f"collapsed profile written to {args.profile_out}")
+
+    if args.ledger:
+        from repro.obs import RunLedger, build_run_document
+
+        run_document = build_run_document(
+            command="bench",
+            created_unix=created_unix,
+            label=args.label,
+            config={"quick": args.quick, "solver": args.solver,
+                    "jobs": args.jobs},
+            bench=document,
+            profile=profiler.to_dict() if profiler is not None else None,
+            extra={"output": str(output)},
+        )
+        run_id = RunLedger(args.ledger).record(run_document)
+        print(f"run {run_id} recorded in ledger {args.ledger}")
 
     if args.baseline:
         from repro.obs.regress import (

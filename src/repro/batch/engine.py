@@ -62,9 +62,10 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import multiprocessing
 
@@ -73,15 +74,24 @@ from repro.batch.journal import RunJournal, tasks_fingerprint
 from repro.obs import (
     EventStream,
     MetricsRegistry,
+    ProfileConfig,
+    SamplingProfiler,
+    SpanResourceProbe,
     Tracer,
     get_events,
     get_metrics,
+    get_profile_config,
     merge_events,
     merge_metrics,
+    merge_profiles,
     merge_traces,
     reset_ambient,
+    set_profile_config,
     use_events,
     use_metrics,
+    use_profile_config,
+    use_profiler,
+    use_resource_probe,
     use_tracer,
 )
 from repro.resilience.budget import BudgetSpec
@@ -193,6 +203,9 @@ class BatchResult:
     attempts: int = 1
     quarantined: bool = False
     error_context: dict[str, Any] = field(default_factory=dict)
+    #: ``repro-profile/1`` samples for this task; ``{}`` unless the run
+    #: was profiled (an ambient :class:`~repro.obs.ProfileConfig`).
+    profile: dict[str, Any] = field(default_factory=dict)
 
 
 def _cache_delta(before: dict[str, int] | None, after: dict[str, int] | None) -> dict[str, int]:
@@ -213,6 +226,23 @@ def _jsonable_context(context: dict[str, Any], *, limit: int = 200) -> dict[str,
         else:
             safe[str(key)] = repr(value)[:limit]
     return safe
+
+
+@contextmanager
+def _profiled(config: ProfileConfig | None) -> Iterator[SamplingProfiler | None]:
+    """Install a per-task profiler + resource probe when profiling is on.
+
+    Each task gets its *own* sampler (fresh sample set, fresh clock) so
+    per-task profiles stay attributable and merge deterministically in
+    task order; the probe stamps the task's spans with cpu/memory.
+    """
+    if config is None:
+        yield None
+        return
+    profiler = SamplingProfiler(config.interval)
+    probe = SpanResourceProbe(memory=config.memory)
+    with use_profiler(profiler), use_resource_probe(probe), profiler:
+        yield profiler
 
 
 def execute_task(task: BatchTask, attempt: int = 1, *, inline: bool = False) -> BatchResult:
@@ -252,7 +282,8 @@ def execute_task(task: BatchTask, attempt: int = 1, *, inline: bool = False) -> 
     error_context: dict[str, Any] = {}
     start = time.perf_counter()
     with current_task(task.id, attempt), \
-            use_tracer(tracer), use_metrics(metrics), use_events(events):
+            use_tracer(tracer), use_metrics(metrics), use_events(events), \
+            _profiled(get_profile_config()) as profiler:
         try:
             if plan is not None:
                 plan.apply_task_start(task.id, attempt, inline=inline)
@@ -286,6 +317,7 @@ def execute_task(task: BatchTask, attempt: int = 1, *, inline: bool = False) -> 
         cache=_cache_delta(stats_before, stats_after),
         attempts=attempt,
         error_context=error_context,
+        profile=profiler.to_dict() if profiler is not None else {},
     )
 
 
@@ -293,13 +325,20 @@ def _worker_init(
     cache_dir: str | None,
     cache_max_bytes: int | None = None,
     faults: BatchFaultPlan | None = None,
+    profile: ProfileConfig | None = None,
 ) -> None:
-    """Pool initialiser: clean ambient slate, cache, fault plan."""
+    """Pool initialiser: clean ambient slate, cache, fault plan, profiling.
+
+    ``profile`` is the (picklable) :class:`~repro.obs.ProfileConfig`
+    the parent wants applied; installing it ambiently makes every
+    :func:`execute_task` in this worker start its own sampler.
+    """
     reset_ambient()
     set_cache(
         DerivationCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir else None
     )
     set_batch_faults(faults)
+    set_profile_config(profile)
 
 
 def _supervised_entry(task: BatchTask, attempt: int, marker_path: str) -> BatchResult:
@@ -360,6 +399,12 @@ class BatchReport:
         """Every task's events, tagged with the task id, in task order."""
         return merge_events(
             [(result.task_id, result.events) for result in self.results]
+        )
+
+    def merged_profile(self) -> dict[str, Any]:
+        """One ``repro-profile/1`` document summed over every profiled task."""
+        return merge_profiles(
+            result.profile for result in self.results if result.profile
         )
 
     def cache_totals(self) -> dict[str, int]:
@@ -472,6 +517,7 @@ class BatchEngine:
         journal: str | os.PathLike | None = None,
         cache_max_bytes: int | None = None,
         faults: BatchFaultPlan | None = None,
+        profile: ProfileConfig | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -483,6 +529,7 @@ class BatchEngine:
         self.journal_path = str(journal) if journal is not None else None
         self.cache_max_bytes = cache_max_bytes
         self.faults = faults
+        self.profile = profile
 
     def _context(self) -> multiprocessing.context.BaseContext:
         method = self.mp_start or os.environ.get(MP_START_ENV)
@@ -502,6 +549,9 @@ class BatchEngine:
 
     def _effective_faults(self) -> BatchFaultPlan | None:
         return self.faults if self.faults is not None else get_batch_faults()
+
+    def _effective_profile(self) -> ProfileConfig | None:
+        return self.profile if self.profile is not None else get_profile_config()
 
     # ------------------------------------------------------------------
     # Entry points
@@ -641,7 +691,8 @@ class BatchEngine:
             if self.cache_dir else None
         )
         results: dict[str, BatchResult] = {}
-        with use_cache(cache), use_batch_faults(plan):
+        with use_cache(cache), use_batch_faults(plan), \
+                use_profile_config(self._effective_profile()):
             for task in pending:
                 self._finalize(
                     self._supervise_inline(task, journal, incidents),
@@ -763,7 +814,8 @@ class BatchEngine:
             max_workers=workers,
             mp_context=self._context(),
             initializer=_worker_init,
-            initargs=(self.cache_dir, self.cache_max_bytes, plan),
+            initargs=(self.cache_dir, self.cache_max_bytes, plan,
+                      self._effective_profile()),
         )
         futures = [
             pool.submit(_supervised_entry, task, attempt,
@@ -854,11 +906,12 @@ def run_batch(
     journal: str | os.PathLike | None = None,
     cache_max_bytes: int | None = None,
     faults: BatchFaultPlan | None = None,
+    profile: ProfileConfig | None = None,
 ) -> BatchReport:
     """One-call convenience over :class:`BatchEngine`."""
     engine = BatchEngine(
         jobs=jobs, cache_dir=cache_dir, default_budget=default_budget,
         retry=retry, journal=journal, cache_max_bytes=cache_max_bytes,
-        faults=faults,
+        faults=faults, profile=profile,
     )
     return engine.run(tasks)

@@ -104,6 +104,7 @@ def result_to_dict(result) -> dict[str, Any]:
         "metrics": result.metrics,
         "events": result.events,
         "cache": result.cache,
+        "profile": result.profile,
     }
 
 
@@ -125,6 +126,7 @@ def result_from_dict(document: dict[str, Any]):
         metrics=document.get("metrics", {"schema": "repro-metrics/1", "metrics": {}}),
         events=document.get("events", []),
         cache=document.get("cache", {}),
+        profile=document.get("profile", {}),
     )
 
 

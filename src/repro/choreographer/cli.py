@@ -34,6 +34,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_warehouse_flags(cmd: argparse.ArgumentParser) -> None:
+        """Run-ledger + profiler flags shared by every run-producing command."""
+        cmd.add_argument(
+            "--ledger", type=Path, metavar="DIR",
+            help="record this invocation as a repro-run/1 document in the "
+                 "repro-runs/1 ledger at DIR (query with 'choreographer runs')")
+        cmd.add_argument(
+            "--profile", action="store_true",
+            help="sample the run with the wall-clock profiler (statistical, "
+                 "low overhead; off by default)")
+        cmd.add_argument(
+            "--profile-interval", type=float, metavar="SECONDS",
+            help="profiler sampling period (default: 0.005)")
+        cmd.add_argument(
+            "--profile-memory", action="store_true",
+            help="also stamp spans with tracemalloc allocation/peak deltas "
+                 "(exact but measurably slower; implies --profile)")
+        cmd.add_argument(
+            "--profile-out", type=Path, metavar="FILE",
+            help="write collapsed-stack samples here "
+                 "(flamegraph.pl / speedscope format)")
+
     def add_resilience_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
             "--solver-policy", metavar="METHODS",
@@ -56,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--events", type=Path, metavar="FILE",
             help="record solver convergence / exploration progress events "
                  "and write them as JSON Lines")
+        add_warehouse_flags(cmd)
 
     analyse = sub.add_parser("analyse", help="run the full Figure 4 pipeline on an XMI file")
     analyse.add_argument("model", type=Path, help="Poseidon-flavoured XMI file")
@@ -182,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--events", type=Path, metavar="FILE",
         help="write the merged, task-tagged event stream as JSON Lines")
+    add_warehouse_flags(batch)
 
     analyze = sub.add_parser(
         "analyze-trace",
@@ -226,11 +250,107 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-minimise", action="store_true",
         help="skip shrinking divergent specs (faster triage)")
     fuzz.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    add_warehouse_flags(fuzz)
+
+    runs = sub.add_parser(
+        "runs", help="query the persistent run ledger (repro-runs/1 store)"
+    )
+    runs.add_argument(
+        "--ledger", type=Path, default=Path("repro-runs"), metavar="DIR",
+        help="ledger directory (default: repro-runs)")
+    # A nested sub-parse re-copies its namespace over the parent's, which
+    # resets ``command`` to the default None; pin it instead.
+    runs.set_defaults(command="runs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser("list", help="one line per recorded run")
+    # dest: --command would land on args.command and clobber the
+    # top-level dispatch key
+    runs_list.add_argument("--command", dest="filter_command", metavar="NAME",
+                           help="only runs of this command (bench, batch, ...)")
+    runs_list.add_argument("--last", type=int, metavar="N",
+                           help="only the newest N matching runs")
+
+    runs_show = runs_sub.add_parser("show", help="dump one run document as JSON")
+    runs_show.add_argument("run_id", nargs="?", default=None,
+                           help="run id (default: the newest run)")
+
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="bench regression gate between two recorded runs "
+             "(exit 1 on regression)")
+    runs_compare.add_argument("base", help="baseline run id")
+    runs_compare.add_argument("new", help="current run id")
+    runs_compare.add_argument("--threshold", type=float, default=None,
+                              metavar="FACTOR")
+    runs_compare.add_argument("--min-seconds", type=float, default=None,
+                              metavar="SECONDS")
+    runs_compare.add_argument("--report", type=Path, metavar="FILE",
+                              help="also write the markdown report here")
+
+    runs_trend = runs_sub.add_parser(
+        "trend",
+        help="judge the newest bench run against the ledger's history "
+             "(exit 1 on regression)")
+    runs_trend.add_argument("--command", dest="filter_command", metavar="NAME",
+                            help="only trend runs of this command")
+    runs_trend.add_argument("--window", type=int, metavar="N",
+                            help="use only the newest N bench runs")
+    runs_trend.add_argument("--threshold", type=float, default=None,
+                            metavar="FACTOR",
+                            help="relative slow-down gate (default: 1.5)")
+    runs_trend.add_argument("--min-seconds", type=float, default=None,
+                            metavar="SECONDS",
+                            help="absolute slow-down floor (default: 0.05)")
+    runs_trend.add_argument("--report", type=Path, metavar="FILE",
+                            help="also write the markdown report here")
+
+    runs_export = runs_sub.add_parser(
+        "export", help="re-export a recorded run in standard formats")
+    runs_export.add_argument("run_id", nargs="?", default=None,
+                             help="run id (default: the newest run)")
+    runs_export.add_argument("--chrome", type=Path, metavar="FILE",
+                             help="Chrome Trace Event JSON (Perfetto-loadable; "
+                                  "needs a run recorded with an embedded trace)")
+    runs_export.add_argument("--prometheus", type=Path, metavar="FILE",
+                             help="Prometheus text exposition of the run's metrics")
+    runs_export.add_argument("--collapsed", type=Path, metavar="FILE",
+                             help="collapsed-stack profiler samples")
+
+    runs_prune = runs_sub.add_parser("prune", help="delete all but the newest runs")
+    runs_prune.add_argument("--keep", type=int, required=True, metavar="N")
     return parser
 
 
 def _load_rate_table(path: Path | None) -> RateTable | None:
     return load_rates(path) if path else None
+
+
+def _profile_config(args: argparse.Namespace):
+    """The ProfileConfig an invocation asked for, or ``None``."""
+    from repro.obs import ProfileConfig
+    from repro.obs.profile import DEFAULT_INTERVAL
+
+    if not (getattr(args, "profile", False)
+            or getattr(args, "profile_memory", False)
+            or getattr(args, "profile_interval", None) is not None
+            or getattr(args, "profile_out", None) is not None):
+        return None
+    return ProfileConfig(
+        interval=getattr(args, "profile_interval", None) or DEFAULT_INTERVAL,
+        memory=getattr(args, "profile_memory", False),
+    )
+
+
+def _ledger_config(args: argparse.Namespace) -> dict:
+    """The identity-bearing slice of an invocation, for fingerprinting."""
+    config = {"command": args.command}
+    for key in ("solver", "model", "seeds", "start", "jobs", "experiments",
+                "corpus", "reset_rate"):
+        value = getattr(args, key, None)
+        if value not in (None, False):
+            config[key] = str(value) if isinstance(value, Path) else value
+    return config
 
 
 def _print_diagnostics(analysis, verbose: bool) -> None:
@@ -444,11 +564,16 @@ def _batch_tasks(args: argparse.Namespace) -> list:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
+    import time
 
     from repro.batch import BatchEngine
     from repro.batch.engine import RetryPolicy
+    from repro.batch.journal import tasks_fingerprint
+    from repro.obs import RunLedger, build_run_document, collapsed_text
     from repro.resilience.budget import BudgetSpec
     from repro.resilience.faultinject import BatchFaultPlan
+
+    created_unix = time.time()
 
     if args.resume and (args.inputs or args.experiments or args.corpus):
         print("--resume takes its task list from the journal; "
@@ -479,6 +604,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         journal=args.journal,
         cache_max_bytes=args.cache_max_bytes,
         faults=faults,
+        profile=_profile_config(args),
     )
     if args.resume:
         report = engine.resume(args.resume)
@@ -502,6 +628,34 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             for record in events:
                 fh.write(json.dumps(record, default=str) + "\n")
         print(f"{len(events)} events written to {args.events}", file=sys.stderr)
+    merged_profile = report.merged_profile()
+    if args.profile_out:
+        args.profile_out.write_text(collapsed_text(merged_profile))
+        print(f"collapsed profile written to {args.profile_out}", file=sys.stderr)
+    if args.ledger:
+        document = build_run_document(
+            command="batch",
+            created_unix=created_unix,
+            config=_ledger_config(args),
+            tasks_fingerprint=tasks_fingerprint(tasks) if tasks else None,
+            tracer=report.merged_trace(),
+            metrics=report.merged_metrics(),
+            events=report.merged_events(),
+            profile=merged_profile,
+            cache=report.cache_totals(),
+            incidents=report.incidents,
+            extra={
+                "jobs": report.jobs,
+                "duration_s": round(report.duration_s, 6),
+                "ok": report.ok,
+                "tasks": len(report.results),
+                "failures": len(report.failures),
+                "quarantined": len(report.quarantined),
+                "retries": report.retries,
+            },
+        )
+        run_id = RunLedger(args.ledger).record(document)
+        print(f"run {run_id} recorded in ledger {args.ledger}", file=sys.stderr)
     return 0 if report.ok else 3
 
 
@@ -549,39 +703,211 @@ def _run_observed(handler, args: argparse.Namespace) -> int:
     ``--trace FILE`` serialises the span forest (plus any metrics) as
     JSON; ``--metrics`` prints the metrics table after the run;
     ``--events FILE`` records per-iteration solver convergence and
-    exploration progress events as JSON Lines.  All artefacts are still
-    emitted when the handler raises, so failed runs leave evidence
-    behind.
+    exploration progress events as JSON Lines; ``--profile`` samples
+    the run (``--profile-out FILE`` keeps the collapsed stacks);
+    ``--ledger DIR`` records the whole invocation as a run document.
+    All artefacts are still emitted when the handler raises, so failed
+    runs leave evidence behind.
     """
+    import time
+
     from repro.obs import (
-        EventStream, MetricsRegistry, Tracer, render_metrics, use_events,
-        use_metrics, use_tracer, write_events_jsonl, write_trace_file,
+        EventStream, MetricsRegistry, RunLedger, SamplingProfiler,
+        SpanResourceProbe, Tracer, build_run_document, render_metrics,
+        use_events, use_metrics, use_profiler, use_resource_probe,
+        use_tracer, write_events_jsonl, write_trace_file,
     )
     from contextlib import ExitStack
 
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     events_path = getattr(args, "events", None)
-    if not trace_path and not want_metrics and not events_path:
+    ledger_dir = getattr(args, "ledger", None)
+    profile_out = getattr(args, "profile_out", None)
+    config = _profile_config(args)
+    if not any((trace_path, want_metrics, events_path, ledger_dir, config)):
         return handler(args)
+    created_unix = time.time()
     tracer, metrics = Tracer(), MetricsRegistry()
-    events = EventStream() if events_path else None
+    events = EventStream() if (events_path or ledger_dir) else None
+    profiler = SamplingProfiler(config.interval) if config is not None else None
+    exit_code: int | None = None
     try:
         with ExitStack() as stack:
             stack.enter_context(use_tracer(tracer))
             stack.enter_context(use_metrics(metrics))
             if events is not None:
                 stack.enter_context(use_events(events))
-            return handler(args)
+            if profiler is not None:
+                stack.enter_context(use_profiler(profiler))
+                stack.enter_context(
+                    use_resource_probe(SpanResourceProbe(memory=config.memory))
+                )
+                stack.enter_context(profiler)
+            try:
+                exit_code = handler(args)
+            except Exception:
+                exit_code = 2  # what main() maps library errors to
+                raise
+            return exit_code
     finally:
         if trace_path:
             write_trace_file(trace_path, tracer, metrics)
             print(f"trace written to {trace_path}", file=sys.stderr)
-        if events is not None:
+        if events is not None and events_path:
             count = write_events_jsonl(events_path, events)
             print(f"{count} events written to {events_path}", file=sys.stderr)
+        if profiler is not None and profile_out:
+            profile_out.write_text(profiler.collapsed())
+            print(f"collapsed profile written to {profile_out}", file=sys.stderr)
         if want_metrics:
             print(render_metrics(metrics))
+        if ledger_dir:
+            document = build_run_document(
+                command=args.command,
+                created_unix=created_unix,
+                config=_ledger_config(args),
+                tracer=tracer,
+                metrics=metrics,
+                events=events,
+                profile=profiler.to_dict() if profiler is not None else None,
+                trace=tracer.to_dict(),
+                extra={"exit_code": exit_code},
+            )
+            run_id = RunLedger(ledger_dir).record(document)
+            print(f"run {run_id} recorded in ledger {ledger_dir}",
+                  file=sys.stderr)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """The ledger query surface: list/show/compare/trend/export/prune."""
+    import json
+    from datetime import datetime, timezone
+
+    from repro.obs import RunLedger, collapsed_text, prometheus_text
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.regress import (
+        DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD, compare_benchmarks,
+        detect_trend, markdown_report, trend_markdown,
+    )
+
+    if args.runs_command != "prune" and not (args.ledger / "FORMAT").exists():
+        print(f"error: no run ledger at {args.ledger}", file=sys.stderr)
+        return 2
+    ledger = RunLedger(args.ledger)
+
+    def _load(run_id: str | None) -> dict:
+        if run_id is None:
+            latest = ledger.latest()
+            if latest is None:
+                raise FileNotFoundError(f"ledger {args.ledger} is empty")
+            return latest
+        return ledger.load(run_id)
+
+    if args.runs_command == "list":
+        documents = ledger.runs(command=args.filter_command, last=args.last)
+        if not documents:
+            print("(no recorded runs)")
+            return 0
+        rows = []
+        for document in documents:
+            created = datetime.fromtimestamp(
+                document.get("created_unix", 0), tz=timezone.utc
+            ).strftime("%Y-%m-%d %H:%M:%S")
+            rows.append([
+                document.get("run_id", "?"),
+                document.get("command", "?"),
+                document.get("label") or "",
+                created,
+                document.get("config_fingerprint", "")[:12],
+                "yes" if "bench" in document else "",
+            ])
+        print(format_table(
+            ["run", "command", "label", "created (UTC)", "config", "bench"],
+            rows,
+        ))
+        return 0
+
+    if args.runs_command == "show":
+        print(json.dumps(_load(args.run_id), sort_keys=True, indent=2))
+        return 0
+
+    if args.runs_command == "compare":
+        base, new = _load(args.base), _load(args.new)
+        missing = [doc.get("run_id") for doc in (base, new)
+                   if "bench" not in doc]
+        if missing:
+            print(f"error: run(s) {missing} carry no bench section; "
+                  "compare needs runs recorded by the bench harness",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_benchmarks(
+            base["bench"], new["bench"],
+            threshold=args.threshold or DEFAULT_THRESHOLD,
+            min_seconds=(DEFAULT_MIN_SECONDS if args.min_seconds is None
+                         else args.min_seconds),
+        )
+        report = markdown_report(comparison)
+        print(report)
+        if args.report:
+            args.report.write_text(report)
+        return 0 if comparison.ok else 1
+
+    if args.runs_command == "trend":
+        documents = ledger.runs(command=args.filter_command)
+        trend = detect_trend(
+            documents,
+            threshold=args.threshold or DEFAULT_THRESHOLD,
+            min_seconds=(DEFAULT_MIN_SECONDS if args.min_seconds is None
+                         else args.min_seconds),
+            window=args.window,
+        )
+        report = trend_markdown(trend)
+        print(report)
+        if args.report:
+            args.report.write_text(report)
+        return 0 if trend.ok else 1
+
+    if args.runs_command == "export":
+        document = _load(args.run_id)
+        if not (args.chrome or args.prometheus or args.collapsed):
+            print("error: pass --chrome, --prometheus and/or --collapsed",
+                  file=sys.stderr)
+            return 2
+        if args.chrome:
+            if "trace" not in document:
+                print(f"error: run {document.get('run_id')} embeds no trace; "
+                      "record it with --trace/--ledger on a run-producing "
+                      "command (bench summaries carry aggregates only)",
+                      file=sys.stderr)
+                return 2
+            count = write_chrome_trace(
+                args.chrome, document["trace"],
+                profile=document.get("profile"),
+            )
+            print(f"{count} Chrome trace events written to {args.chrome}")
+        if args.prometheus:
+            snapshot = {"schema": "repro-metrics/1",
+                        "metrics": document.get("metrics", {})}
+            args.prometheus.write_text(prometheus_text(snapshot))
+            print(f"Prometheus metrics written to {args.prometheus}")
+        if args.collapsed:
+            profile = document.get("profile", {})
+            if not profile.get("samples"):
+                print(f"error: run {document.get('run_id')} carries no "
+                      "profiler samples; record it with --profile",
+                      file=sys.stderr)
+                return 2
+            args.collapsed.write_text(collapsed_text(profile))
+            print(f"collapsed profile written to {args.collapsed}")
+        return 0
+
+    if args.runs_command == "prune":
+        removed = ledger.prune(args.keep)
+        print(f"pruned {removed} run(s), kept {len(ledger)}")
+        return 0
+
+    raise ValueError(f"unknown runs sub-command {args.runs_command!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -600,12 +926,14 @@ def main(argv: list[str] | None = None) -> int:
         "fuzz": _cmd_fuzz,
         "analyze-trace": _cmd_analyze_trace,
         "diff-trace": _cmd_diff_trace,
+        "runs": _cmd_runs,
     }
     try:
-        if args.command == "batch":
-            # batch owns --trace/--events itself: they name *merged*
-            # artefacts over every task, not a single-run recording
-            return _cmd_batch(args)
+        if args.command in ("batch", "runs"):
+            # batch owns --trace/--events/--ledger itself: they name
+            # *merged* artefacts over every task, not a single-run
+            # recording; runs *queries* a ledger rather than filling one
+            return handlers[args.command](args)
         return _run_observed(handlers[args.command], args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

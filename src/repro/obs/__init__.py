@@ -50,13 +50,26 @@ from repro.obs.events import (
     write_events_jsonl,
 )
 from repro.obs.export import (
+    chrome_trace_document,
     metrics_to_json,
+    prometheus_text,
     render_metrics,
     render_trace,
     trace_to_json,
+    write_chrome_trace,
+    write_prometheus_file,
     write_trace_file,
 )
-from repro.obs.merge import merge_events, merge_metrics, merge_traces
+from repro.obs.ledger import (
+    NULL_LEDGER,
+    NullLedger,
+    RunLedger,
+    build_run_document,
+    get_ledger,
+    set_ledger,
+    use_ledger,
+)
+from repro.obs.merge import merge_events, merge_metrics, merge_profiles, merge_traces
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -65,8 +78,24 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     get_metrics,
+    nearest_rank,
     set_metrics,
     use_metrics,
+)
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    ProfileConfig,
+    SamplingProfiler,
+    SpanResourceProbe,
+    collapsed_text,
+    get_profile_config,
+    get_profiler,
+    set_profile_config,
+    set_profiler,
+    use_profile_config,
+    use_profiler,
+    use_resource_probe,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -74,6 +103,7 @@ from repro.obs.tracing import (
     Span,
     Tracer,
     get_tracer,
+    set_resource_probe,
     set_tracer,
     use_tracer,
 )
@@ -110,11 +140,38 @@ __all__ = [
     "merge_metrics",
     "merge_traces",
     "merge_events",
+    "merge_profiles",
     "trace_to_json",
     "metrics_to_json",
     "render_trace",
     "render_metrics",
     "write_trace_file",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus_file",
+    "nearest_rank",
+    "RunLedger",
+    "NullLedger",
+    "NULL_LEDGER",
+    "get_ledger",
+    "set_ledger",
+    "use_ledger",
+    "build_run_document",
+    "ProfileConfig",
+    "SamplingProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "SpanResourceProbe",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
+    "get_profile_config",
+    "set_profile_config",
+    "use_profile_config",
+    "use_resource_probe",
+    "set_resource_probe",
+    "collapsed_text",
     "critical_path",
     "aggregate_spans",
     "diff_traces",
@@ -134,12 +191,19 @@ def reset_ambient() -> None:
     using the originals and because a fork only copies, so the parent
     would never see the writes anyway.  Worker initialisers (see
     :mod:`repro.batch.engine`) call this first, so every worker starts
-    from the same clean slate as a fresh interpreter: tracing, metrics
-    and events all off until the worker installs its own collectors.
+    from the same clean slate as a fresh interpreter: tracing, metrics,
+    events, profiling and the run ledger all off until the worker
+    installs its own collectors.  The ambient profiler is *replaced*,
+    not stopped — a forked child holds a copy whose sampler thread does
+    not exist in this process, so stopping it would hang on the join.
     """
     set_tracer(None)
     set_metrics(None)
     set_events(None)
+    set_profiler(None)
+    set_profile_config(None)
+    set_resource_probe(None)
+    set_ledger(None)
 
 
 @contextmanager

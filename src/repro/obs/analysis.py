@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.obs.metrics import nearest_rank
 from repro.obs.tracing import NullTracer, Span, Tracer
 from repro.utils.formatting import format_table
 
@@ -112,12 +113,11 @@ def aggregate_spans(trace) -> dict[str, dict[str, Any]]:
     out: dict[str, dict[str, Any]] = {}
     for name, durations in samples.items():
         durations.sort()
-        rank = max(0, -(-len(durations) * 95 // 100) - 1)  # nearest-rank, 0-based
         out[name] = {
             "count": len(durations),
             "total_s": sum(durations),
             "mean_s": sum(durations) / len(durations),
-            "p95_s": durations[rank],
+            "p95_s": nearest_rank(durations, 95),
             "max_s": durations[-1],
         }
     return dict(sorted(out.items(), key=lambda kv: -kv[1]["total_s"]))

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-__all__ = ["merge_metrics", "merge_traces", "merge_events"]
+__all__ = ["merge_metrics", "merge_traces", "merge_events", "merge_profiles"]
 
 
 def _merge_instrument(into: dict[str, Any], snap: dict[str, Any], name: str) -> None:
@@ -82,6 +82,42 @@ def merge_traces(documents: Iterable[dict[str, Any]]) -> dict[str, Any]:
             raise ValueError(f"not a repro-trace/1 document: schema={schema!r}")
         traces.extend(document.get("traces", []))
     return {"schema": "repro-trace/1", "traces": traces}
+
+
+def merge_profiles(documents: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold ``repro-profile/1`` documents into one combined profile.
+
+    Per-stack sample counts are commutative sums, so the merged
+    ``samples``/``collapsed`` view is exact.  Per-sample *timelines* are
+    not mergeable — each worker's clock starts at its own task — so the
+    merged document carries an empty timeline and accounts every
+    dropped entry in ``timeline_dropped``.  The sampling interval is
+    taken from the first enabled document (workers share one
+    :class:`~repro.obs.profile.ProfileConfig`, so they agree).
+    """
+    samples: dict[str, int] = {}
+    sample_count = 0
+    timeline_dropped = 0
+    interval = 0.0
+    for document in documents:
+        schema = document.get("schema")
+        if schema != "repro-profile/1":
+            raise ValueError(f"not a repro-profile/1 document: schema={schema!r}")
+        if not interval and document.get("interval_s"):
+            interval = float(document["interval_s"])
+        for stack, count in document.get("samples", {}).items():
+            samples[stack] = samples.get(stack, 0) + int(count)
+        sample_count += int(document.get("sample_count", 0))
+        timeline_dropped += (len(document.get("timeline", []))
+                             + int(document.get("timeline_dropped", 0)))
+    return {
+        "schema": "repro-profile/1",
+        "interval_s": interval,
+        "sample_count": sample_count,
+        "samples": {stack: samples[stack] for stack in sorted(samples)},
+        "timeline": [],
+        "timeline_dropped": timeline_dropped,
+    }
 
 
 def merge_events(

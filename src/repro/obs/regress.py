@@ -29,9 +29,12 @@ from typing import Any
 __all__ = [
     "BenchComparison",
     "StageDelta",
+    "TrendReport",
     "load_bench",
     "compare_benchmarks",
+    "detect_trend",
     "markdown_report",
+    "trend_markdown",
     "DEFAULT_THRESHOLD",
     "DEFAULT_MIN_SECONDS",
 ]
@@ -175,6 +178,127 @@ def compare_benchmarks(
     return comparison
 
 
+@dataclass
+class TrendReport:
+    """Time-series regression verdict over a ledger's bench history.
+
+    The pairwise :class:`BenchComparison` generalised to *n* runs: the
+    newest run's stage times are judged against the **median** of every
+    earlier observation of the same ``(workload, size, solver, stage)``
+    series, with the same dual noise gates.  The median baseline makes
+    one historically slow run (a loaded CI box) unable to mask — or
+    fake — a regression the way a single-snapshot baseline can.
+    """
+
+    threshold: float
+    min_seconds: float
+    run_ids: list[str] = field(default_factory=list)
+    deltas: list[StageDelta] = field(default_factory=list)
+    new_series: list[tuple[str, str, str]] = field(default_factory=list)
+    stale_series: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[StageDelta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def improvements(self) -> list[StageDelta]:
+        return [d for d in self.deltas if d.verdict == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no stage regressed against its historical median."""
+        return not self.regressions
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _bench_of_run(document: dict[str, Any]) -> dict[str, Any] | None:
+    bench = document.get("bench")
+    if isinstance(bench, dict) and bench.get("schema") == BENCH_SCHEMA:
+        return bench
+    return None
+
+
+def detect_trend(
+    run_documents: list[dict[str, Any]],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    window: int | None = None,
+) -> TrendReport:
+    """Judge the newest ledger run against its own bench history.
+
+    ``run_documents`` are ``repro-run/1`` documents oldest-first (what
+    :meth:`repro.obs.ledger.RunLedger.runs` returns); only those
+    embedding a bench section participate.  ``window`` keeps just the
+    most recent *n* bench runs (``None`` = all history).  Stage values
+    in the newest run are classified against the median of all earlier
+    values of the same series with :func:`compare_benchmarks`'s gates;
+    a series first seen in the newest run is listed in ``new_series``,
+    one that vanished from it in ``stale_series`` — reported, never
+    fatal, mirroring the pairwise comparison's unmatched-run policy.
+    With fewer than two bench runs there is no history to trend against
+    and the report is trivially ok.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    if min_seconds < 0:
+        raise ValueError(f"min_seconds must be >= 0, got {min_seconds}")
+    benched = [(str(doc.get("run_id", "?")), _bench_of_run(doc))
+               for doc in run_documents if _bench_of_run(doc) is not None]
+    if window is not None:
+        benched = benched[-window:]
+    report = TrendReport(
+        threshold=threshold, min_seconds=min_seconds,
+        run_ids=[run_id for run_id, _ in benched],
+    )
+    if len(benched) < 2:
+        return report
+
+    # (workload, size, solver, stage) -> per-run values, oldest first.
+    series: dict[tuple[str, str, str, str], list[float]] = {}
+    latest: dict[tuple[str, str, str, str], float] = {}
+    for position, (_run_id, bench) in enumerate(benched):
+        is_newest = position == len(benched) - 1
+        for run in bench.get("runs", []):
+            workload, size, solver = run_key(run)
+            stages = dict(run.get("stages", {}))
+            stages["total"] = run.get("total_s", 0.0)
+            for stage, value in stages.items():
+                key = (workload, size, solver, str(stage))
+                if is_newest:
+                    latest[key] = float(value)
+                else:
+                    series.setdefault(key, []).append(float(value))
+
+    seen_runs: set[tuple[str, str, str]] = set()
+    for key in sorted(latest):
+        workload, size, solver, stage = key
+        history = series.get(key)
+        if history is None:
+            identity = (workload, size, solver)
+            if identity not in seen_runs:
+                seen_runs.add(identity)
+                report.new_series.append(identity)
+            continue
+        baseline = _median(history)
+        report.deltas.append(StageDelta(
+            workload=workload, size=size, solver=solver, stage=stage,
+            base_s=baseline, new_s=latest[key],
+            verdict=_classify(baseline, latest[key], threshold, min_seconds),
+        ))
+    stale = {(w, s, v) for (w, s, v, _stage) in series} - \
+            {(w, s, v) for (w, s, v, _stage) in latest}
+    report.stale_series = sorted(stale)
+    return report
+
+
 def markdown_report(comparison: BenchComparison) -> str:
     """The comparison as a markdown document (the CI artifact)."""
     c = comparison
@@ -213,6 +337,59 @@ def markdown_report(comparison: BenchComparison) -> str:
         if keys:
             lines.append("")
             lines.append(f"{title} (unmatched, not compared):")
+            lines.append("")
+            for workload, size, solver in keys:
+                lines.append(f"- {workload} `{size}` [{solver}]")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def trend_markdown(report: TrendReport) -> str:
+    """The trend verdict as a markdown document (the CI artifact)."""
+    r = report
+    lines = [
+        "# Ledger bench trend",
+        "",
+        f"History: {len(r.run_ids)} bench run(s) "
+        f"(ids: {', '.join(r.run_ids) if r.run_ids else 'none'}); newest "
+        f"judged against the median of the earlier ones.",
+        "",
+        f"Gates: regression = slower than {r.threshold:.2f}x the "
+        f"historical median **and** ≥ {r.min_seconds:g}s absolute.",
+        "",
+    ]
+    if len(r.run_ids) < 2:
+        lines.append("**Not enough history to trend** (need at least two "
+                     "bench runs in the ledger).")
+    elif r.ok:
+        lines.append(
+            f"**No regressions** across {len(r.deltas)} trended stage "
+            f"series."
+        )
+    else:
+        lines.append(f"**{len(r.regressions)} REGRESSION(S) DETECTED:**")
+        lines.append("")
+        lines.append("| workload | size | solver | stage | median s | latest s | ratio |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for d in r.regressions:
+            ratio = f"{d.ratio:.2f}x" if d.ratio is not None else "new"
+            lines.append(
+                f"| {d.workload} | `{d.size}` | {d.solver} | **{d.stage}** "
+                f"| {d.base_s:.6f} | {d.new_s:.6f} | {ratio} |"
+            )
+    if r.improvements:
+        lines.append("")
+        lines.append(f"{len(r.improvements)} improvement(s):")
+        lines.append("")
+        for d in r.improvements:
+            lines.append(f"- {d.describe()}")
+    for title, keys in (("New series (first seen in the newest run)",
+                         r.new_series),
+                        ("Stale series (absent from the newest run)",
+                         r.stale_series)):
+        if keys:
+            lines.append("")
+            lines.append(f"{title}:")
             lines.append("")
             for workload, size, solver in keys:
                 lines.append(f"- {workload} `{size}` [{solver}]")

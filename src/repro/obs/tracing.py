@@ -27,6 +27,8 @@ traces of failed runs are still meaningful.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
@@ -39,20 +41,47 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "set_resource_probe",
 ]
 
 
-class Span:
-    """One timed, attributed region of work in a trace tree."""
+#: Ambient per-span resource probe (see :mod:`repro.obs.profile`).
+#: ``None`` keeps span creation at two clock reads; a probe adds
+#: deterministic CPU (and optionally tracemalloc) accounting per span.
+_resource_probe = None
 
-    __slots__ = ("name", "start", "end", "attributes", "children")
+
+def set_resource_probe(probe) -> Any:
+    """Install a per-span resource probe (``None`` = off); returns previous."""
+    global _resource_probe
+    previous = _resource_probe
+    _resource_probe = probe
+    return previous
+
+
+class Span:
+    """One timed, attributed region of work in a trace tree.
+
+    Besides the monotonic ``start``/``end`` pair, every span stamps its
+    wall-clock ``epoch`` and the ``pid``/``tid`` that opened it, so
+    traces merged across worker processes stay attributable and export
+    cleanly to Chrome Trace Event Format (:mod:`repro.obs.export`).
+    """
+
+    __slots__ = ("name", "start", "end", "attributes", "children",
+                 "epoch", "pid", "tid", "_res")
 
     def __init__(self, name: str, attributes: dict[str, Any] | None = None):
         self.name = name
         self.start = time.perf_counter()
+        self.epoch = time.time()
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
         self.end: float | None = None
         self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
         self.children: list[Span] = []
+        probe = _resource_probe
+        self._res = (probe, probe.begin()) if probe is not None else None
 
     @property
     def duration(self) -> float:
@@ -72,6 +101,10 @@ class Span:
         """Stamp the end time (idempotent)."""
         if self.end is None:
             self.end = time.perf_counter()
+            if self._res is not None:
+                probe, token = self._res
+                self._res = None
+                probe.finish(self, token)
 
     def find(self, name: str) -> "Span | None":
         """Depth-first search for the first descendant named ``name``."""
@@ -90,10 +123,18 @@ class Span:
             yield from child.iter_spans()
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready rendering: name, duration, attributes, children."""
+        """JSON-ready rendering: name, duration, attributes, children.
+
+        ``start_unix``/``pid``/``tid`` were added for the Chrome-trace
+        exporter; ``repro-trace/1`` consumers that predate them ignore
+        unknown keys, so the schema version is unchanged.
+        """
         return {
             "name": self.name,
             "duration_s": round(self.duration, 9),
+            "start_unix": round(self.epoch, 6),
+            "pid": self.pid,
+            "tid": self.tid,
             "attributes": dict(self.attributes),
             "children": [c.to_dict() for c in self.children],
         }
@@ -159,6 +200,11 @@ class Tracer:
         """The innermost open span, or ``None`` outside any span."""
         return self._stack[-1] if self._stack else None
 
+    def stack_names(self) -> list[str]:
+        """Outermost-first names of the open spans (the profiler reads
+        this from its sampling thread; the list copy keeps it safe)."""
+        return [span.name for span in list(self._stack)]
+
     def annotate(self, **attributes: Any) -> None:
         """Attach attributes to the current span (no-op outside spans)."""
         if self._stack:
@@ -214,6 +260,10 @@ class NullTracer:
     def current(self) -> None:
         """Always ``None``: no span is ever open."""
         return None
+
+    def stack_names(self) -> list[str]:
+        """Always empty: no span is ever open."""
+        return []
 
     def annotate(self, **attributes: Any) -> None:
         """No-op: there is no span to annotate."""

@@ -8,9 +8,11 @@ normalises every platform to KiB.
 
 from __future__ import annotations
 
+import os
+import platform
 import sys
 
-__all__ = ["peak_rss_kib"]
+__all__ = ["peak_rss_kib", "host_info"]
 
 try:
     import resource
@@ -30,3 +32,17 @@ def peak_rss_kib() -> int:
     if sys.platform == "darwin":
         return int(usage) // 1024
     return int(usage)
+
+
+def host_info() -> dict:
+    """JSON-able identity of the process environment.
+
+    Recorded in every run-ledger document so cross-run comparisons can
+    tell a real regression from a changed interpreter or machine.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "pid": os.getpid(),
+        "cpu_count": os.cpu_count() or 1,
+    }

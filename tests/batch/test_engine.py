@@ -125,3 +125,39 @@ def test_pool_run_with_two_workers(tmp_path):
     assert report.ok
     assert report.jobs == 2
     assert [r.task_id for r in report.results] == ["model", "e1"]
+
+
+class TestProfileWiring:
+    def test_profiled_inline_run_attaches_per_task_profiles(self):
+        from repro.obs import ProfileConfig
+
+        report = run_batch(_tasks(), profile=ProfileConfig(interval=0.001))
+        assert report.ok
+        for result in report.results:
+            assert result.profile.get("schema") == "repro-profile/1"
+        merged = report.merged_profile()
+        assert merged["schema"] == "repro-profile/1"
+        assert merged["sample_count"] == sum(
+            r.profile["sample_count"] for r in report.results)
+
+    def test_unprofiled_run_has_empty_profiles(self):
+        report = run_batch(_tasks())
+        assert all(result.profile == {} for result in report.results)
+        assert report.merged_profile()["sample_count"] == 0
+
+    def test_ambient_profile_config_reaches_inline_tasks(self):
+        from repro.obs import ProfileConfig, use_profile_config
+
+        with use_profile_config(ProfileConfig(interval=0.001)):
+            report = run_batch(_tasks())
+        assert all(result.profile.get("schema") == "repro-profile/1"
+                   for result in report.results)
+
+    def test_profiled_pool_run(self, tmp_path):
+        from repro.obs import ProfileConfig
+
+        report = run_batch(_tasks(), jobs=2, cache_dir=tmp_path / "cache",
+                           profile=ProfileConfig(interval=0.001))
+        assert report.ok
+        for result in report.results:
+            assert result.profile.get("schema") == "repro-profile/1"

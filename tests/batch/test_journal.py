@@ -160,3 +160,17 @@ def test_failed_but_not_quarantined_results_are_replayable(tmp_path):
     loaded = RunJournal.load(path)
     assert set(loaded.replayable()) == {"a"}
     assert [t.id for t in loaded.pending()] == ["b"]
+
+
+def test_profile_round_trips_through_the_journal():
+    profile = {"schema": "repro-profile/1", "interval_s": 0.001,
+               "sample_count": 2, "samples": {"a;b": 2},
+               "timeline": [[0.0, "a;b"]], "timeline_dropped": 0}
+    restored = result_from_dict(result_to_dict(_result(profile=profile)))
+    assert restored.profile == profile
+
+
+def test_pre_profile_journal_lines_load_with_empty_profile():
+    document = result_to_dict(_result())
+    del document["profile"]  # a checkpoint written before the field existed
+    assert result_from_dict(document).profile == {}

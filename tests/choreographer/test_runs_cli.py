@@ -1,0 +1,190 @@
+"""The ``choreographer runs`` warehouse CLI: recording runs through the
+entrypoints, then listing, showing, comparing, trending, exporting and
+pruning them."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.choreographer.cli import main
+from repro.obs import RunLedger, build_run_document
+
+
+@pytest.fixture()
+def pepa_file(tmp_path):
+    path = tmp_path / "model.pepa"
+    path.write_text("P = (a, 2.0).Q; Q = (b, 1.0).P; P")
+    return path
+
+
+def bench_doc(scale=1.0, label="ci"):
+    return {
+        "schema": "repro-bench/1", "label": label, "created_unix": 0,
+        "quick": True, "solver": "auto", "host": {},
+        "runs": [{
+            "workload": "file_protocol", "kind": "pepa",
+            "size": {"n_readers": 2}, "solver": "direct",
+            "n_states": 5, "n_transitions": 12,
+            "stages": {"derive": 0.4 * scale, "assemble": 0.2,
+                       "solve": 0.6 * scale},
+            "total_s": 0.6 + 0.6 * scale, "peak_rss_kb": 1000,
+        }],
+    }
+
+
+@pytest.fixture()
+def bench_ledger(tmp_path):
+    """A ledger holding two clean bench runs."""
+    ledger_dir = tmp_path / "runs"
+    ledger = RunLedger(ledger_dir)
+    for _ in range(2):
+        ledger.record(build_run_document(command="bench", bench=bench_doc()))
+    return ledger_dir
+
+
+class TestRecording:
+    def test_pepa_run_records_into_the_ledger(self, pepa_file, tmp_path,
+                                              capsys):
+        ledger_dir = tmp_path / "runs"
+        code = main(["pepa", str(pepa_file), "--ledger", str(ledger_dir)])
+        assert code == 0
+        assert "recorded in ledger" in capsys.readouterr().err
+        (document,) = RunLedger(ledger_dir).runs()
+        assert document["command"] == "pepa"
+        assert document["exit_code"] == 0
+        assert document["spans"]  # per-span aggregates came along
+
+    def test_profiled_run_embeds_samples_and_trace(self, pepa_file, tmp_path,
+                                                   capsys):
+        ledger_dir = tmp_path / "runs"
+        out = tmp_path / "profile.folded"
+        code = main(["pepa", str(pepa_file), "--ledger", str(ledger_dir),
+                     "--profile-interval", "0.001",
+                     "--profile-out", str(out)])
+        assert code == 0
+        (document,) = RunLedger(ledger_dir).runs()
+        assert document["trace"]["schema"] == "repro-trace/1"
+        # sampling is statistical: the profile section appears only if
+        # the short run caught samples, but the collapsed file always
+        # exists (possibly empty)
+        assert out.exists()
+
+    def test_failed_run_still_leaves_evidence(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "runs"
+        code = main(["pepa", str(tmp_path / "missing.pepa"),
+                     "--ledger", str(ledger_dir)])
+        assert code != 0
+        (document,) = RunLedger(ledger_dir).runs()
+        assert document["exit_code"] == code
+
+
+class TestQueries:
+    def test_list_shows_recorded_runs(self, bench_ledger, capsys):
+        assert main(["runs", "--ledger", str(bench_ledger), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "000001" in out and "000002" in out
+        assert "bench" in out
+
+    def test_list_empty_store_is_an_error(self, tmp_path, capsys):
+        code = main(["runs", "--ledger", str(tmp_path / "nope"), "list"])
+        assert code == 2
+        assert "no run ledger" in capsys.readouterr().err
+
+    def test_show_latest_and_by_id(self, bench_ledger, capsys):
+        assert main(["runs", "--ledger", str(bench_ledger), "show"]) == 0
+        latest = json.loads(capsys.readouterr().out)
+        assert latest["run_id"] == "000002"
+        assert main(["runs", "--ledger", str(bench_ledger),
+                     "show", "1"]) == 0
+        assert json.loads(capsys.readouterr().out)["run_id"] == "000001"
+
+    def test_compare_two_bench_runs(self, bench_ledger, capsys):
+        code = main(["runs", "--ledger", str(bench_ledger),
+                     "compare", "000001", "000002"])
+        assert code == 0
+        assert "No regressions" in capsys.readouterr().out
+
+    def test_prune(self, bench_ledger, capsys):
+        assert main(["runs", "--ledger", str(bench_ledger),
+                     "prune", "--keep", "1"]) == 0
+        assert RunLedger(bench_ledger).run_ids() == ["000002"]
+
+
+class TestTrend:
+    def test_clean_history_exits_zero(self, bench_ledger, capsys):
+        code = main(["runs", "--ledger", str(bench_ledger), "trend"])
+        assert code == 0
+        assert "No regressions" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_one_and_names_the_stage(
+            self, bench_ledger, tmp_path, capsys):
+        RunLedger(bench_ledger).record(build_run_document(
+            command="bench", bench=bench_doc(scale=3.0)))
+        report = tmp_path / "trend.md"
+        code = main(["runs", "--ledger", str(bench_ledger), "trend",
+                     "--report", str(report)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "file_protocol" in out and "solve" in out
+        assert "REGRESSION" in report.read_text()
+
+    def test_window_and_threshold_flags(self, bench_ledger, capsys):
+        RunLedger(bench_ledger).record(build_run_document(
+            command="bench", bench=bench_doc(scale=3.0)))
+        # a 10x threshold tolerates the 3x slowdown
+        assert main(["runs", "--ledger", str(bench_ledger), "trend",
+                     "--threshold", "10.0"]) == 0
+
+    def test_non_bench_runs_are_ignored(self, bench_ledger, capsys):
+        RunLedger(bench_ledger).record(
+            build_run_document(command="analyse"))
+        assert main(["runs", "--ledger", str(bench_ledger), "trend"]) == 0
+
+
+class TestExport:
+    def _trace_run(self, ledger_dir):
+        trace = {"schema": "repro-trace/1", "traces": [{
+            "name": "pipeline", "start_unix": 100.0, "duration_s": 1.0,
+            "pid": 1, "tid": 1, "attributes": {}, "children": [],
+        }]}
+        metrics = {"schema": "repro-metrics/1", "metrics": {
+            "states_explored": {"type": "counter", "value": 9}}}
+        RunLedger(ledger_dir).record(build_run_document(
+            command="pepa", trace=trace, metrics=metrics,
+            profile={"schema": "repro-profile/1", "interval_s": 0.001,
+                     "sample_count": 1, "samples": {"pipeline;solve": 1},
+                     "timeline": [[0.1, "pipeline;solve"]],
+                     "timeline_dropped": 0}))
+
+    def test_chrome_and_prometheus_and_collapsed(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "runs"
+        self._trace_run(ledger_dir)
+        chrome = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        folded = tmp_path / "profile.folded"
+        code = main(["runs", "--ledger", str(ledger_dir), "export",
+                     "--chrome", str(chrome), "--prometheus", str(prom),
+                     "--collapsed", str(folded)])
+        assert code == 0
+        events = json.loads(chrome.read_text())["traceEvents"]
+        assert all({"name", "ph", "ts", "pid", "tid"} <= set(e)
+                   for e in events)
+        assert "repro_states_explored_total 9" in prom.read_text()
+        assert folded.read_text() == "pipeline;solve 1\n"
+
+    def test_export_without_format_flag_is_an_error(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "runs"
+        self._trace_run(ledger_dir)
+        assert main(["runs", "--ledger", str(ledger_dir), "export"]) == 2
+
+    def test_chrome_export_without_embedded_trace_is_an_error(
+            self, tmp_path, capsys):
+        ledger_dir = tmp_path / "runs"
+        RunLedger(ledger_dir).record(build_run_document(command="analyse"))
+        code = main(["runs", "--ledger", str(ledger_dir), "export",
+                     "--chrome", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "trace" in capsys.readouterr().err

@@ -126,6 +126,38 @@ class TestAggregate:
         ]}
         assert aggregate_spans(doc)["s"]["p95_s"] == pytest.approx(95.0)
 
+    def test_p95_of_a_single_span_is_the_span_itself(self):
+        # nearest rank pins small n: ceil(0.95 * 1) = 1 → the only sample
+        doc = {"schema": "repro-trace/1",
+               "traces": [span_dict("s", 0.125)]}
+        stats = aggregate_spans(doc)["s"]
+        assert stats["p95_s"] == pytest.approx(0.125)
+        assert stats["p95_s"] == stats["max_s"] == stats["mean_s"]
+
+    def test_p95_of_two_spans_is_the_slower_one(self):
+        # ceil(0.95 * 2) = 2 → the maximum, never an interpolation
+        doc = {"schema": "repro-trace/1", "traces": [
+            span_dict("s", 0.1), span_dict("s", 0.9),
+        ]}
+        assert aggregate_spans(doc)["s"]["p95_s"] == pytest.approx(0.9)
+
+    def test_p95_exact_boundary(self):
+        # n = 20: rank ceil(0.95 * 20) = 19 exactly — pins the ceil
+        # (not round, not floor) choice in nearest_rank
+        doc = {"schema": "repro-trace/1", "traces": [
+            span_dict("s", float(i)) for i in range(1, 21)
+        ]}
+        assert aggregate_spans(doc)["s"]["p95_s"] == pytest.approx(19.0)
+
+    def test_p95_agrees_with_the_shared_nearest_rank(self):
+        from repro.obs.metrics import nearest_rank
+
+        durations = [0.3, 0.1, 0.7, 0.5, 0.2]
+        doc = {"schema": "repro-trace/1",
+               "traces": [span_dict("s", d) for d in durations]}
+        assert aggregate_spans(doc)["s"]["p95_s"] == \
+               nearest_rank(sorted(durations), 95)
+
 
 class TestDiff:
     def test_biggest_mover_first_and_ratio(self, pipeline_doc):

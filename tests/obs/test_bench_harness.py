@@ -204,3 +204,38 @@ def test_pr4_baseline_contains_explore_throughput(run_bench):
     assert len(explore_runs) >= 2
     assert all(set(r["stages"]) == {"derive"} for r in explore_runs)
     assert all(r["solver"] == "none" for r in explore_runs)
+
+
+def test_main_records_into_the_ledger(run_bench, monkeypatch, tmp_path):
+    from repro.obs import RunLedger
+
+    monkeypatch.setattr(run_bench, "WORKLOADS", {
+        "file_protocol": (
+            "pepa", run_bench.file_protocol_model,
+            [{"n_readers": 1}, {"n_readers": 1}],
+        ),
+    })
+    ledger_dir = tmp_path / "runs"
+    out = tmp_path / "BENCH_TEST.json"
+    assert run_bench.main(["--quick", "-o", str(out), "--label", "ci",
+                           "--ledger", str(ledger_dir)]) == 0
+    (document,) = RunLedger(ledger_dir).runs(command="bench")
+    assert document["label"] == "ci"
+    assert document["bench"]["schema"] == "repro-bench/1"
+    assert document["bench"] == json.loads(out.read_text())
+    assert document["config"]["quick"] is True
+
+
+def test_profiled_sweep_writes_collapsed_stacks(run_bench, monkeypatch,
+                                                tmp_path):
+    monkeypatch.setattr(run_bench, "WORKLOADS", {
+        "file_protocol": (
+            "pepa", run_bench.file_protocol_model,
+            [{"n_readers": 2}, {"n_readers": 2}],
+        ),
+    })
+    folded = tmp_path / "profile.folded"
+    assert run_bench.main(["--quick", "-o", str(tmp_path / "b.json"),
+                           "--profile-interval", "0.001",
+                           "--profile-out", str(folded)]) == 0
+    assert folded.exists()

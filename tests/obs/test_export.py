@@ -4,16 +4,23 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.obs import (
     NULL_METRICS,
     NULL_TRACER,
     MetricsRegistry,
+    SamplingProfiler,
     Tracer,
+    chrome_trace_document,
     metrics_to_json,
     observe,
+    prometheus_text,
     render_metrics,
     render_trace,
     trace_to_json,
+    write_chrome_trace,
+    write_prometheus_file,
     write_trace_file,
 )
 
@@ -146,3 +153,175 @@ class TestObserve:
                     pass
             assert [r.name for r in outer_tracer.roots] == ["outer"]
         assert [r.name for r in inner_tracer.roots] == ["inner"]
+
+
+def span_doc(name, start, duration, *children, pid=0, tid=0, attrs=None):
+    """A deterministic repro-trace/1 span node."""
+    return {
+        "name": name, "start_unix": start, "duration_s": duration,
+        "pid": pid, "tid": tid, "attributes": attrs or {},
+        "children": list(children),
+    }
+
+
+def _pipeline_trace():
+    return {"schema": "repro-trace/1", "traces": [
+        span_doc(
+            "pipeline", 100.0, 1.0,
+            span_doc("derive", 100.0, 0.4, attrs={"states": 12}),
+            span_doc("solve", 100.4, 0.5, pid=7, tid=3,
+                     attrs={"cpu_s": 0.45}),
+            attrs={"workload": "demo"},
+        ),
+    ]}
+
+
+def _sample_events():
+    return [
+        {"event": "solver.converged", "t_s": 0.9, "iterations": 17},
+        {"event": "explore.progress", "t_s": 0.2, "states": 6},
+    ]
+
+
+def _sample_profile():
+    profiler = SamplingProfiler(interval=0.005)
+    profiler.record(("pipeline", "solve", "spmv"), count=3, t=0.41)
+    profiler.record(("pipeline", "derive"), count=1, t=0.1)
+    return profiler
+
+
+REQUIRED_CHROME_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+class TestChromeTrace:
+    def test_every_event_carries_the_required_keys(self):
+        document = chrome_trace_document(
+            _pipeline_trace(), events=_sample_events(),
+            profile=_sample_profile())
+        assert document["traceEvents"]
+        for event in document["traceEvents"]:
+            assert REQUIRED_CHROME_KEYS <= set(event), event
+
+    def test_spans_become_complete_events_in_microseconds(self):
+        document = chrome_trace_document(_pipeline_trace())
+        by_name = {e["name"]: e for e in document["traceEvents"]}
+        assert by_name["pipeline"]["ph"] == "X"
+        assert by_name["pipeline"]["ts"] == 100.0 * 1e6
+        assert by_name["pipeline"]["dur"] == 1.0 * 1e6
+        assert by_name["solve"]["pid"] == 7
+        assert by_name["solve"]["tid"] == 3
+        assert by_name["solve"]["args"] == {"cpu_s": 0.45}
+
+    def test_pre_epoch_documents_get_a_synthesized_timeline(self):
+        # a trace without start_unix (older schema revision): siblings
+        # are laid out back to back from the parent's start
+        old = {"schema": "repro-trace/1", "traces": [{
+            "name": "root", "duration_s": 1.0, "children": [
+                {"name": "a", "duration_s": 0.25, "children": []},
+                {"name": "b", "duration_s": 0.5, "children": []},
+            ],
+        }]}
+        by_name = {e["name"]: e
+                   for e in chrome_trace_document(old)["traceEvents"]}
+        assert by_name["root"]["ts"] == 0.0
+        assert by_name["a"]["ts"] == 0.0
+        assert by_name["b"]["ts"] == 0.25 * 1e6
+
+    def test_events_render_as_instants_on_their_own_track(self):
+        document = chrome_trace_document(
+            _pipeline_trace(), events=_sample_events())
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 2
+        converged = next(e for e in instants
+                         if e["name"] == "solver.converged")
+        assert converged["s"] == "t"
+        assert converged["ts"] == (100.0 + 0.9) * 1e6  # epoch-anchored
+        assert converged["args"] == {"iterations": 17}
+        assert converged["tid"] == 1_000_001
+        metas = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert any(m["args"]["name"] == "events" for m in metas)
+
+    def test_profiler_timeline_renders_as_sample_events(self):
+        document = chrome_trace_document(
+            _pipeline_trace(), profile=_sample_profile())
+        samples = [e for e in document["traceEvents"] if e["ph"] == "P"]
+        assert len(samples) == 2
+        assert all(e["tid"] == 1_000_002 for e in samples)
+        assert samples[0]["args"]["stack"] == "pipeline;solve;spmv"
+
+    def test_accepts_a_live_tracer(self):
+        document = chrome_trace_document(_sample_tracer())
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "pipeline" in names and "derive" in names
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            chrome_trace_document(42)
+
+    def test_write_returns_event_count_and_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.chrome.json"
+        count = write_chrome_trace(path, _pipeline_trace(),
+                                   events=_sample_events())
+        document = json.loads(path.read_text())
+        assert count == len(document["traceEvents"]) == 3 + 1 + 2
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_golden_chrome_document(self, golden):
+        document = chrome_trace_document(
+            _pipeline_trace(), events=_sample_events(),
+            profile=_sample_profile().to_dict())
+        golden("obs/chrome_trace", document)
+
+
+class TestPrometheus:
+    def _registry(self):
+        metrics = MetricsRegistry()
+        metrics.counter("states_explored").inc(42)
+        metrics.gauge("solve.residual").set(1.5e-9)
+        for value in (0.1, 0.2, 0.3, 0.4):
+            metrics.histogram("stage.solve_s").observe(value)
+        return metrics
+
+    def test_counter_gains_total_suffix(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_states_explored_total counter" in text
+        assert "repro_states_explored_total 42" in text
+
+    def test_names_are_sanitised(self):
+        text = prometheus_text(self._registry())
+        assert "repro_solve_residual 1.5e-09" in text
+        assert "solve.residual" not in text.replace("HELP", "").split("#")[0]
+
+    def test_live_histogram_exposes_quantiles(self):
+        text = prometheus_text(self._registry())
+        assert 'repro_stage_solve_s{quantile="0.5"} 0.2' in text
+        assert 'repro_stage_solve_s{quantile="0.99"} 0.4' in text
+        assert "repro_stage_solve_s_sum 1.0" in text
+        assert "repro_stage_solve_s_count 4" in text
+
+    def test_snapshot_histogram_has_no_quantiles(self):
+        # a merged snapshot keeps count/sum/min/max but no samples, so
+        # the exposition must not invent quantile series
+        text = prometheus_text(self._registry().as_dict())
+        assert "quantile" not in text
+        assert "repro_stage_solve_s_sum 1.0" in text
+        assert "repro_stage_solve_s_min 0.1" in text
+        assert "repro_stage_solve_s_max 0.4" in text
+
+    def test_unset_gauge_is_skipped(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("residual")  # created, never set
+        assert prometheus_text(metrics) == ""
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert prometheus_text(NULL_METRICS) == ""
+
+    def test_write_prometheus_file(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus_file(path, self._registry())
+        assert path.read_text().endswith("\n")
+
+    def test_golden_prometheus_exposition(self, golden):
+        golden("obs/prometheus",
+               {"lines": prometheus_text(self._registry()).splitlines()})

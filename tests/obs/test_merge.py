@@ -13,6 +13,7 @@ from repro.obs import (
     get_tracer,
     merge_events,
     merge_metrics,
+    merge_profiles,
     merge_traces,
     reset_ambient,
     set_events,
@@ -163,3 +164,54 @@ def test_merge_quarantined_batch_result_snapshots():
     assert len(merged["traces"]) == 1
     assert merge_metrics([quarantined.metrics, healthy.metrics])["metrics"] == {}
     assert merge_events([("q", quarantined.events), ("h", healthy.events)]) == []
+
+
+def _profile_doc(samples, interval=0.005, timeline=()):
+    return {
+        "schema": "repro-profile/1",
+        "interval_s": interval,
+        "sample_count": sum(samples.values()),
+        "samples": dict(samples),
+        "timeline": [list(entry) for entry in timeline],
+        "timeline_dropped": 0,
+    }
+
+
+class TestMergeProfiles:
+    def test_sample_counts_sum_exactly(self):
+        merged = merge_profiles([
+            _profile_doc({"a;b": 3, "a;c": 1}),
+            _profile_doc({"a;b": 2, "d": 5}),
+        ])
+        assert merged["samples"] == {"a;b": 5, "a;c": 1, "d": 5}
+        assert merged["sample_count"] == 11
+        assert merged["schema"] == "repro-profile/1"
+
+    def test_samples_are_sorted_for_determinism(self):
+        merged = merge_profiles([_profile_doc({"z": 1, "a": 1, "m": 1})])
+        assert list(merged["samples"]) == ["a", "m", "z"]
+
+    def test_timelines_are_dropped_and_accounted(self):
+        # worker clocks start at their own task; timelines don't align
+        merged = merge_profiles([
+            _profile_doc({"a": 2}, timeline=[(0.0, "a"), (0.005, "a")]),
+            _profile_doc({"b": 1}, timeline=[(0.0, "b")]),
+        ])
+        assert merged["timeline"] == []
+        assert merged["timeline_dropped"] == 3
+
+    def test_interval_from_first_enabled_document(self):
+        merged = merge_profiles([
+            _profile_doc({}, interval=0.0),   # a task that never sampled
+            _profile_doc({"a": 1}, interval=0.002),
+        ])
+        assert merged["interval_s"] == 0.002
+
+    def test_empty_input_merges_to_empty_profile(self):
+        merged = merge_profiles([])
+        assert merged["sample_count"] == 0
+        assert merged["samples"] == {}
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="repro-profile/1"):
+            merge_profiles([{"schema": "repro-trace/1"}])

@@ -11,6 +11,7 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     get_metrics,
+    nearest_rank,
     set_metrics,
     use_metrics,
 )
@@ -172,3 +173,90 @@ class TestAmbientInstallation:
             analyse(model, solver="power")
         assert reg.counter("solver_iterations").value > 0
         assert reg.counter("spmv_count").value > 0
+
+
+class TestNearestRank:
+    def test_single_sample_is_every_percentile(self):
+        assert nearest_rank([7.0], 1) == 7.0
+        assert nearest_rank([7.0], 50) == 7.0
+        assert nearest_rank([7.0], 100) == 7.0
+
+    def test_q100_is_the_maximum(self):
+        assert nearest_rank([1.0, 2.0, 3.0], 100) == 3.0
+
+    def test_exact_boundary_rank(self):
+        # 20 samples: p95 rank = ceil(0.95 * 20) = 19 → the 19th value,
+        # an observed sample, never an interpolation
+        values = [float(i) for i in range(1, 21)]
+        assert nearest_rank(values, 95) == 19.0
+        assert nearest_rank(values, 90) == 18.0
+        assert nearest_rank(values, 50) == 10.0
+
+    def test_low_q_clamps_to_first_sample(self):
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0], 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 50)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 101)
+
+
+class TestHistogramPercentiles:
+    def test_percentile_matches_nearest_rank(self):
+        histogram = Histogram("t")
+        for value in (0.4, 0.1, 0.3, 0.2):  # unsorted on purpose
+            histogram.observe(value)
+        assert histogram.percentile(50) == 0.2
+        assert histogram.percentile(95) == 0.4
+        assert histogram.percentile(100) == 0.4
+
+    def test_percentile_before_first_sample_is_none(self):
+        assert Histogram("t").percentile(95) is None
+
+    def test_summary_keys_and_values(self):
+        histogram = Histogram("t")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary == {
+            "count": 4, "sum": 10.0, "min": 1.0, "max": 4.0, "mean": 2.5,
+            "p50": 2.0, "p90": 4.0, "p95": 4.0, "p99": 4.0,
+            "samples_dropped": 0,
+        }
+
+    def test_sample_limit_degrades_percentiles_not_totals(self):
+        histogram = Histogram("t", sample_limit=3)
+        for value in (1.0, 2.0, 3.0, 100.0, 200.0):
+            histogram.observe(value)
+        # count/sum/min/max stay exact past the retention bound
+        assert histogram.count == 5
+        assert histogram.total == 306.0
+        assert histogram.max == 200.0
+        assert histogram.samples_dropped == 2
+        # percentiles degrade to the retained prefix, flagged above
+        assert histogram.percentile(100) == 3.0
+        assert histogram.summary()["samples_dropped"] == 2
+
+    def test_as_dict_still_excludes_percentiles(self):
+        # snapshots merge across workers; percentiles don't merge
+        histogram = Histogram("t")
+        histogram.observe(1.0)
+        assert "p95" not in histogram.as_dict()
+        assert set(histogram.as_dict()) == \
+               {"type", "count", "sum", "min", "max", "mean"}
+
+    def test_aggregate_spans_and_histogram_agree_on_p95(self):
+        from repro.obs.analysis import aggregate_spans
+
+        durations = [0.01 * i for i in range(1, 8)]
+        histogram = Histogram("t")
+        trace = {"schema": "repro-trace/1", "traces": []}
+        for duration in durations:
+            histogram.observe(duration)
+            trace["traces"].append({"name": "stage", "duration_s": duration,
+                                    "children": []})
+        aggregate = aggregate_spans(trace)
+        assert aggregate["stage"]["p95_s"] == histogram.percentile(95)

@@ -136,3 +136,85 @@ def test_enabled_collectors_do_not_leak_after_use(two_state_model):
     assert get_tracer() is NULL_TRACER
     assert get_metrics() is NULL_METRICS
     assert get_events() is NULL_EVENTS
+
+
+def test_disabled_profiler_and_ledger_are_shared_no_ops():
+    from repro.obs import (
+        NULL_LEDGER,
+        NULL_PROFILER,
+        get_ledger,
+        get_profile_config,
+        get_profiler,
+    )
+
+    assert get_profiler() is NULL_PROFILER
+    assert get_ledger() is NULL_LEDGER
+    assert get_profile_config() is None
+    # the null paths never allocate or store
+    assert NULL_PROFILER.start() is NULL_PROFILER
+    NULL_PROFILER.record(("a",), count=100)
+    assert NULL_PROFILER.sample_count == 0
+    assert NULL_LEDGER.record({"schema": "repro-run/1"}) == ""
+    assert NULL_LEDGER.runs() == []
+
+
+def test_disabled_profiler_and_ledger_unit_costs_fit_the_envelope():
+    # same pricing approach as the main envelope guard: the disabled
+    # primitives (an enabled check + a no-op call) must cost no more
+    # than the other null collectors', so adding the profiler/ledger
+    # does not move the documented <2% disabled figure
+    from repro.obs import get_ledger, get_profile_config, get_profiler
+
+    rounds = 2000
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        if get_profiler().enabled:  # pragma: no cover — never taken
+            get_profiler().record(("x",))
+    profiler_unit = (time.perf_counter() - t0) / rounds
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        if get_ledger().enabled:  # pragma: no cover — never taken
+            get_ledger().record({})
+    ledger_unit = (time.perf_counter() - t0) / rounds
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        get_profile_config()
+    config_unit = (time.perf_counter() - t0) / rounds
+
+    # microseconds at most; a pipeline run makes a handful of these
+    # checks (one per entrypoint, not per span), so even a generous
+    # 50x margin keeps them invisible next to the workload
+    for name, unit in (("profiler", profiler_unit),
+                       ("ledger", ledger_unit),
+                       ("profile-config", config_unit)):
+        assert unit < 50e-6, f"disabled {name} check costs {unit:.2e}s"
+
+
+def test_enabled_profiler_overhead_within_documented_envelope():
+    # docs promise <15% with sampling on at the default 5 ms interval;
+    # assert a CI-coarse 40% bound so a loaded runner cannot flake it
+    from repro.obs import SamplingProfiler
+
+    samples = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run_workload()
+        samples.append(time.perf_counter() - t0)
+    baseline = sorted(samples)[1]
+
+    samples = []
+    for _ in range(3):
+        profiler = SamplingProfiler(interval=0.005)
+        t0 = time.perf_counter()
+        with profiler:
+            run_workload()
+        samples.append(time.perf_counter() - t0)
+    profiled = sorted(samples)[1]
+
+    assert profiled < 1.40 * baseline + 0.05, (
+        f"profiled run {profiled:.4f}s vs baseline {baseline:.4f}s — "
+        f"sampling overhead envelope breached"
+    )

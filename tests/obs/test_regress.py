@@ -11,9 +11,11 @@ import pytest
 
 from repro.obs.regress import (
     compare_benchmarks,
+    detect_trend,
     load_bench,
     markdown_report,
     run_key,
+    trend_markdown,
 )
 
 REPO = Path(__file__).resolve().parents[2]
@@ -219,3 +221,120 @@ class TestCompareBenchCli:
         good.write_text(json.dumps(make_doc()))
         assert compare_bench.main([str(tmp_path / "nope.json"), str(good)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+def run_doc(run_id, bench=None, **bench_overrides):
+    """A minimal repro-run/1 document wrapping a bench sweep."""
+    document = {"schema": "repro-run/1", "run_id": run_id,
+                "command": "bench"}
+    if bench is not False:
+        document["bench"] = bench or make_doc(**bench_overrides)
+    return document
+
+
+def scaled(factor, stage=None):
+    """make_doc() with every (or one) stage scaled by ``factor``."""
+    doc = make_doc()
+    for run in doc["runs"]:
+        for name in list(run["stages"]):
+            if stage is None or name == stage:
+                run["stages"][name] *= factor
+        run["total_s"] = sum(run["stages"].values())
+    return doc
+
+
+class TestTrend:
+    def test_fewer_than_two_bench_runs_is_trivially_ok(self):
+        assert detect_trend([]).ok
+        assert detect_trend([run_doc("000001")]).ok
+        # non-bench run documents don't count as history
+        report = detect_trend([run_doc("000001", bench=False),
+                               run_doc("000002")])
+        assert report.ok and report.run_ids == ["000002"]
+
+    def test_identical_history_is_clean(self):
+        report = detect_trend([run_doc(f"{i:06d}") for i in range(1, 4)])
+        assert report.ok
+        assert report.regressions == []
+        assert len(report.deltas) > 0  # the series really were trended
+
+    def test_injected_3x_slowdown_names_workload_and_stage(self):
+        history = [run_doc("000001"), run_doc("000002")]
+        slow = run_doc("000003", bench=scaled(3.0, stage="solve"))
+        report = detect_trend(history + [slow])
+        assert not report.ok
+        offenders = {(d.workload, d.stage) for d in report.regressions}
+        assert ("file_protocol", "solve") in offenders
+        assert ("courier_ring", "solve") in offenders
+        # untouched stages stay clean
+        assert all(d.stage in ("solve", "total") for d in report.regressions)
+
+    def test_median_baseline_shrugs_off_one_slow_historical_run(self):
+        # one loaded-CI-box outlier in the history must not drag the
+        # baseline up (masking) — the median ignores it
+        history = [run_doc("000001"), run_doc("000002", bench=scaled(10.0)),
+                   run_doc("000003")]
+        fine = run_doc("000004")
+        assert detect_trend(history + [fine]).ok
+        slow = run_doc("000004", bench=scaled(3.0, stage="solve"))
+        assert not detect_trend(history + [slow]).ok
+
+    def test_window_limits_the_history(self):
+        # old fast runs fall outside the window: judged only against
+        # the recent (already slow) plateau, the newest run is fine
+        old = [run_doc("000001"), run_doc("000002")]
+        plateau = [run_doc("000003", bench=scaled(3.0)),
+                   run_doc("000004", bench=scaled(3.0))]
+        newest = run_doc("000005", bench=scaled(3.0))
+        assert not detect_trend(old + plateau + [newest]).ok
+        windowed = detect_trend(old + plateau + [newest], window=3)
+        assert windowed.ok
+        assert windowed.run_ids == ["000003", "000004", "000005"]
+
+    def test_new_and_stale_series_reported_not_fatal(self):
+        base = make_doc()
+        renamed = make_doc()
+        renamed["runs"][0]["workload"] = "brand_new"
+        report = detect_trend([run_doc("000001", bench=base),
+                               run_doc("000002", bench=renamed)])
+        assert report.ok
+        assert ("brand_new", '{"n_readers": 2}', "direct") in report.new_series
+        assert ("file_protocol", '{"n_readers": 2}', "direct") in \
+               report.stale_series
+
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            detect_trend([], threshold=1.0)
+        with pytest.raises(ValueError):
+            detect_trend([], min_seconds=-1)
+
+
+class TestTrendMarkdown:
+    def test_clean_report(self):
+        report = detect_trend([run_doc("000001"), run_doc("000002")])
+        text = trend_markdown(report)
+        assert "No regressions" in text
+        assert "000001" in text and "000002" in text
+
+    def test_regression_table_names_the_offender(self):
+        report = detect_trend([
+            run_doc("000001"), run_doc("000002"),
+            run_doc("000003", bench=scaled(3.0, stage="solve")),
+        ])
+        text = trend_markdown(report)
+        assert "REGRESSION" in text
+        assert "| file_protocol |" in text
+        assert "**solve**" in text
+
+    def test_short_history_message(self):
+        text = trend_markdown(detect_trend([run_doc("000001")]))
+        assert "Not enough history" in text
+
+    def test_new_and_stale_series_are_listed(self):
+        base = make_doc()
+        renamed = make_doc()
+        renamed["runs"][0]["workload"] = "brand_new"
+        text = trend_markdown(detect_trend([run_doc("000001", bench=base),
+                                            run_doc("000002", bench=renamed)]))
+        assert "New series" in text and "brand_new" in text
+        assert "Stale series" in text and "file_protocol" in text
