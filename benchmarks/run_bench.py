@@ -121,6 +121,21 @@ WORKLOADS = {
          {"n_sessions": 3, "n_transmitters": 3},
          {"n_sessions": 3, "n_transmitters": 4}],
     ),
+    # Matrix-free variants: same models, assembled as a compositional
+    # Kronecker descriptor instead of a materialised CSR matrix, so the
+    # ``assemble`` stage and the ``generator_bytes`` column track the
+    # matrix-free path release over release.
+    "client_server_descriptor": (
+        "pepa-descriptor",
+        client_server_model,
+        [{"n_clients": 3}, {"n_clients": 5}, {"n_clients": 7}],
+    ),
+    "tandem_queue_descriptor": (
+        "pepa-descriptor",
+        tandem_queue_model,
+        [{"stages": 2, "capacity": 3}, {"stages": 3, "capacity": 3},
+         {"stages": 3, "capacity": 5}],
+    ),
     # Exploration throughput (states/sec) of the repro.core.explore
     # kernel on the exploding scaling model — derive only, no solve, so
     # the ``derive`` stage time gates kernel regressions directly.
@@ -144,30 +159,46 @@ STAGE_SPANS = {
     "pepa.statespace": "derive",
     "pepanet.markingspace": "derive",
     "ctmc.assemble": "assemble",
+    "ctmc.assemble.descriptor": "assemble",
     "ctmc.solve": "solve",
     "ctmc.solve.fallback": "solve",
 }
 
 
-def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
+def run_one(workload: str, kind: str, builder, size: dict, solver: str, *,
+            generator: str = "csr") -> dict:
     """One benchmark run: build, derive, assemble, solve, all traced.
 
     ``kind == "explore"`` measures pure state-space exploration
     throughput: derive only, and the solver identity is pinned to
     ``"none"`` so the run matches across sweeps regardless of
-    ``--solver``.
+    ``--solver``.  ``kind == "pepa-descriptor"`` is the PEPA pipeline
+    assembled through the matrix-free Kronecker backend (``generator``
+    may also force the representation directly).  Chain-building runs
+    report the generator representation and its stored size
+    (``generator`` / ``generator_bytes``) so regressions in generator
+    memory are as visible as regressions in time.
     """
+    if kind == "pepa-descriptor":
+        generator = "descriptor"
     model = builder(**size)
+    chain = None
     t0 = time.perf_counter()
     with observe() as (tracer, metrics):
         if kind == "explore":
             space = derive(model)
-        elif kind == "pepa":
+        elif kind in ("pepa", "pepa-descriptor"):
             space = derive(model)
-            chain = ctmc_from_statespace(space)
+            chain = ctmc_from_statespace(
+                space, generator=generator, environment=model.environment
+            )
         else:
             space, chain = ctmc_of_net(model)
-        if kind != "explore":
+        if chain is not None:
+            generator_bytes = int(chain.generator.stored_bytes)
+            generator_used = (
+                "descriptor" if not chain.materialized else "csr"
+            )
             steady_state(chain, method=solver, reducible="bscc")
     total = time.perf_counter() - t0
     if kind == "explore":
@@ -182,7 +213,7 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
     # Counts come from the returned space, not the exploration counters:
     # a derivation-cache hit skips exploration (no counter ticks) but
     # still yields the full space.
-    return {
+    record = {
         "workload": workload,
         "kind": kind,
         "size": size,
@@ -193,6 +224,10 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str) -> dict:
         "total_s": round(total, 6),
         "peak_rss_kb": peak_rss_kib(),
     }
+    if chain is not None:
+        record["generator"] = generator_used
+        record["generator_bytes"] = generator_bytes
+    return record
 
 
 def bench_call(workload: str, size: dict, solver: str) -> dict:

@@ -16,6 +16,7 @@ from pathlib import Path
 
 from repro.choreographer.platform import Choreographer
 from repro.choreographer.workbench import PepaNetWorkbench, PepaWorkbench
+from repro.core.ctmcgen import GENERATOR_MODES
 from repro.ctmc.export import write_prism_files
 from repro.ctmc.steady import SOLVERS
 from repro.exceptions import ReproError
@@ -96,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     pepa = sub.add_parser("pepa", help="solve a textual PEPA model")
     pepa.add_argument("model", type=Path)
     pepa.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    pepa.add_argument(
+        "--generator", choices=list(GENERATOR_MODES), default="csr",
+        help="generator representation: materialised CSR matrix, "
+             "matrix-free Kronecker descriptor, or auto "
+             "(descriptor when the system equation supports it)")
     pepa.add_argument("--export-prism", type=Path, metavar="STEM",
                       help="also write PRISM .tra/.sta/.lab files")
     add_resilience_flags(pepa)
@@ -192,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
              "'hang:taskid@1:30', 'cache-enospc:*'; repeatable (drills only)")
     batch.add_argument("--rates", type=Path, help=".rates file for XMI tasks")
     batch.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    batch.add_argument(
+        "--generator", choices=list(GENERATOR_MODES), default="csr",
+        help="generator representation for PEPA tasks (csr, descriptor "
+             "or auto); nets and XMI pipelines always materialise")
     batch.add_argument(
         "--deadline", type=float, metavar="SECONDS",
         help="per-task wall-clock budget (the clock starts when the task does)")
@@ -390,7 +400,8 @@ def _cmd_analyse(args: argparse.Namespace) -> int:
 
 def _cmd_pepa(args: argparse.Namespace) -> int:
     workbench = PepaWorkbench(
-        solver=args.solver, policy=args.solver_policy, deadline=args.deadline
+        solver=args.solver, policy=args.solver_policy, deadline=args.deadline,
+        generator=getattr(args, "generator", "csr"),
     )
     analysis = workbench.solve_source(args.model.read_text())
     print(f"{analysis.n_states} states, solver={analysis.solver}")
@@ -540,6 +551,9 @@ def _batch_tasks(args: argparse.Namespace) -> list:
             kind, payload = "net", {"source": text, "solver": args.solver}
         else:
             kind, payload = "pepa", {"source": text, "solver": args.solver}
+            generator = getattr(args, "generator", "csr")
+            if generator != "csr":
+                payload["generator"] = generator
         task_id = path.stem
         while task_id in seen:
             task_id += "+"

@@ -36,13 +36,17 @@ class PepaWorkbench:
 
     def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
                  reducible: str = "error", policy=None, deadline: float | None = None,
-                 budget: ExecutionBudget | None = None):
+                 budget: ExecutionBudget | None = None, generator: str = "csr"):
         self.solver = solver
         self.max_states = max_states
         self.reducible = reducible
         self.policy = policy
         self.deadline = deadline
         self.budget = budget
+        #: Generator representation: ``"csr"``, ``"descriptor"`` or
+        #: ``"auto"`` (matrix-free Kronecker descriptor when the system
+        #: equation supports it).
+        self.generator = generator
 
     def _budget(self) -> ExecutionBudget | None:
         if self.budget is not None:
@@ -63,6 +67,7 @@ class PepaWorkbench:
         return analyse(
             model, solver=self.solver, max_states=self.max_states,
             reducible=self.reducible, policy=self.policy, budget=self._budget(),
+            generator=self.generator,
         )
 
     def solve_source(self, source: str) -> ModelAnalysis:

@@ -1,9 +1,18 @@
-"""Continuous-Time Markov Chains over sparse generator matrices.
+"""Continuous-Time Markov Chains over abstract generator operators.
 
-The chain is stored as a CSR generator ``Q`` (off-diagonal entries are
-transition rates, the diagonal makes rows sum to zero), following the
-HPC guidance of assembling in COO triplets and converting once.  Besides
-``Q`` the chain optionally carries:
+A chain carries its generator behind the :class:`GeneratorOperator`
+interface (:mod:`repro.ctmc.operator`): either a materialised CSR
+matrix (off-diagonal entries are transition rates, the diagonal makes
+rows sum to zero — the classic assemble-in-COO, convert-once layout) or
+a matrix-free Kronecker descriptor built compositionally from the
+model.  Consumers that only need SpMV products use :attr:`generator`
+and stay representation-agnostic; consumers that genuinely need the
+matrix (direct solves, ILU, graph analyses) read :attr:`Q`, which
+materialises a descriptor on first access and announces it with a
+``solver.materialize`` event so the fallback is observable rather than
+silent.
+
+Besides the generator the chain optionally carries:
 
 * ``labels`` — a human-readable name per state (the PEPA derivative);
 * ``action_rates`` — for each action type, the vector of total outgoing
@@ -14,46 +23,103 @@ HPC guidance of assembling in COO triplets and converting once.  Besides
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.csgraph import connected_components
 
+from repro.ctmc.operator import CsrGenerator, GeneratorOperator
 from repro.exceptions import SolverError
 
 __all__ = ["CTMC", "build_ctmc"]
 
 
-@dataclass
 class CTMC:
-    """A finite CTMC with optional state labels and action-rate vectors."""
+    """A finite CTMC with optional state labels and action-rate vectors.
 
-    Q: sp.csr_matrix
-    labels: list[str] = field(default_factory=list)
-    action_rates: dict[str, np.ndarray] = field(default_factory=dict)
-    initial: int = 0
+    Construct either from a materialised generator (``CTMC(Q, ...)``,
+    unchanged from the historical dataclass) or from a matrix-free
+    operator (``CTMC(operator=descriptor, ...)``).
+    """
 
-    def __post_init__(self) -> None:
-        n, m = self.Q.shape
+    def __init__(
+        self,
+        Q: sp.spmatrix | None = None,
+        labels: list[str] | None = None,
+        action_rates: dict[str, np.ndarray] | None = None,
+        initial: int = 0,
+        *,
+        operator: GeneratorOperator | None = None,
+    ):
+        if Q is None and operator is None:
+            raise SolverError("a CTMC needs a generator matrix or operator")
+        self._Q: sp.csr_matrix | None = None if Q is None else sp.csr_matrix(Q)
+        self._operator: GeneratorOperator | None = operator
+        self.labels = list(labels or [])
+        self.action_rates = dict(action_rates or {})
+        self.initial = initial
+
+        n, m = self.generator.shape if self._Q is None else self._Q.shape
         if n != m:
-            raise SolverError(f"generator must be square, got {self.Q.shape}")
+            raise SolverError(f"generator must be square, got {(n, m)}")
         if self.labels and len(self.labels) != n:
             raise SolverError("label count does not match state count")
+        self._n = n
+
+    # ------------------------------------------------------------------
+    # Generator access
+    # ------------------------------------------------------------------
+    @property
+    def materialized(self) -> bool:
+        """True when the CSR generator matrix already exists."""
+        return self._Q is not None
+
+    @property
+    def generator(self) -> GeneratorOperator:
+        """The representation-agnostic generator operator."""
+        if self._operator is None:
+            self._operator = CsrGenerator(self._Q)
+        return self._operator
+
+    @property
+    def Q(self) -> sp.csr_matrix:
+        """The materialised generator.  For descriptor-backed chains
+        the first access builds the matrix and emits a
+        ``solver.materialize`` event (plus a ``generator.materialize``
+        counter) — the observable escape hatch for consumers that
+        cannot work matrix-free."""
+        if self._Q is None:
+            from repro.obs import get_events, get_metrics
+
+            op = self._operator
+            self._Q = op.to_csr()
+            get_events().emit(
+                "solver.materialize",
+                states=self._Q.shape[0],
+                nnz=int(self._Q.nnz),
+                generator=op.description,
+            )
+            get_metrics().counter("generator.materialize").inc()
+        return self._Q
 
     @property
     def n_states(self) -> int:
-        return self.Q.shape[0]
+        return self._n
 
     def __len__(self) -> int:
-        return self.n_states
+        return self._n
+
+    def __repr__(self) -> str:
+        backend = "csr" if self.materialized else self.generator.description
+        return f"CTMC(n_states={self._n}, generator={backend})"
 
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
     def exit_rates(self) -> np.ndarray:
         """Total outgoing rate per state (``-diag(Q)``)."""
-        return -self.Q.diagonal()
+        if self._Q is not None:
+            return -self._Q.diagonal()
+        return self.generator.exit_rates()
 
     def max_exit_rate(self) -> float:
         """The largest exit rate (the uniformization constant's floor)."""
@@ -65,9 +131,38 @@ class CTMC:
         return np.flatnonzero(self.exit_rates() == 0.0)
 
     def is_irreducible(self) -> bool:
-        """True when the chain is one strongly connected component."""
-        n_comp, _ = connected_components(self.Q, directed=True, connection="strong")
-        return bool(n_comp == 1)
+        """True when the chain is one strongly connected component.
+
+        Matrix-free chains answer via support propagation (forward and
+        backward reachability closure from state 0 through repeated
+        SpMV), so irreducibility checks never force materialisation.
+        """
+        if self.materialized:
+            n_comp, _ = connected_components(self._Q, directed=True, connection="strong")
+            return bool(n_comp == 1)
+        return bool(
+            self._support_closure(forward=True).all()
+            and self._support_closure(forward=False).all()
+        )
+
+    def _support_closure(self, *, forward: bool) -> np.ndarray:
+        """Boolean reachability closure from state 0 along (or against)
+        the transition relation, using only generator products."""
+        op = self.generator
+        exits = self.exit_rates()
+        # Qx + exit*x reconstructs the rate-matrix product; tiny
+        # cancellation noise is filtered against the rate scale.
+        eps = 1e-9 * max(1.0, float(exits.max()) if exits.size else 1.0)
+        reached = np.zeros(self._n, dtype=bool)
+        reached[0] = True
+        frontier = True
+        while frontier:
+            x = reached.astype(float)
+            y = (op.rmatvec(x) if forward else op.matvec(x)) + exits * x
+            new = (y > eps) & ~reached
+            frontier = bool(new.any())
+            reached |= new
+        return reached
 
     def strongly_connected_components(self) -> list[np.ndarray]:
         """SCCs as arrays of state indices, in component-label order."""
@@ -137,24 +232,44 @@ def build_ctmc(
     semantics.  Self-loops contribute to action throughput but cancel in
     the generator (a CTMC cannot observe them), so they are recorded in
     ``action_rates`` and omitted from ``Q``.
+
+    The assembly is numpy-batched: one pass converts the record list to
+    flat arrays, per-action totals accumulate with ``np.add.at`` and the
+    off-diagonal COO matrix is built from the masked arrays directly —
+    no per-transition Python arithmetic.
     """
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
+    n_trans = len(transitions)
+    src = np.empty(n_trans, dtype=np.int64)
+    tgt = np.empty(n_trans, dtype=np.int64)
+    rates = np.empty(n_trans, dtype=float)
+    actions: list[str] = [""] * n_trans
+    for k, (source, action, rate, target) in enumerate(transitions):
+        src[k] = source
+        actions[k] = action
+        rates[k] = rate
+        tgt[k] = target
+    if n_trans and rates.min() <= 0:
+        bad = transitions[int(np.flatnonzero(rates <= 0)[0])][2]
+        raise SolverError(f"transition rate must be positive, got {bad}")
+
     action_rates: dict[str, np.ndarray] = {}
-    for source, action, rate, target in transitions:
-        if rate <= 0:
-            raise SolverError(f"transition rate must be positive, got {rate}")
-        vec = action_rates.get(action)
-        if vec is None:
-            vec = np.zeros(n_states)
-            action_rates[action] = vec
-        vec[source] += rate
-        if source != target:
-            rows.append(source)
-            cols.append(target)
-            vals.append(rate)
-    off = sp.coo_matrix((vals, (rows, cols)), shape=(n_states, n_states)).tocsr()
+    order = {}
+    codes = np.empty(n_trans, dtype=np.int64)
+    for k, action in enumerate(actions):
+        code = order.get(action)
+        if code is None:
+            code = order[action] = len(order)
+        codes[k] = code
+    for action, code in order.items():
+        vec = np.zeros(n_states)
+        mask = codes == code
+        np.add.at(vec, src[mask], rates[mask])
+        action_rates[action] = vec
+
+    off_mask = src != tgt
+    off = sp.coo_matrix(
+        (rates[off_mask], (src[off_mask], tgt[off_mask])), shape=(n_states, n_states)
+    ).tocsr()
     off.sum_duplicates()
     diag = -np.asarray(off.sum(axis=1)).ravel()
     Q = (off + sp.diags(diag)).tocsr()

@@ -1,0 +1,495 @@
+"""Representation-agnostic CTMC generator operators.
+
+The solver stack historically consumed one concrete object: a global
+``scipy.sparse`` CSR generator matrix.  That materialisation is the
+scaling wall after exploration — assembly time and memory grow with
+the transition count even though every iterative solver only ever
+needs the two products ``Q @ x`` and ``Q.T @ x``.
+
+This module abstracts the generator behind :class:`GeneratorOperator`:
+
+* :class:`CsrGenerator` wraps the existing materialised CSR matrix —
+  behaviour-preserving, used whenever a matrix already exists.
+* :class:`KroneckerDescriptor` keeps the generator *symbolic* as a sum
+  of Kronecker-product terms over the model's sequential components
+  (the SAN/PEPS representation of Sbeity & Brenner, arXiv:1202.0414,
+  and the activity-matrix form of Ding & Hillston, arXiv:1012.3040).
+  SpMV runs term by term with the shuffle algorithm and never builds
+  the global matrix.
+
+Both expose ``matvec``/``rmatvec``/``exit_rates`` plus
+``to_linear_operator()`` so every consumer — Krylov solvers, power
+iteration, residual checks — is representation-agnostic.
+
+Descriptor anatomy
+------------------
+
+A descriptor is a list of :class:`KroneckerTerm`\\ s over a fixed tuple
+of component dimensions ``dims``.  Term ``t`` denotes the full
+product-space rate matrix
+
+.. math::
+
+    R_t = c_t \\cdot D_t \\cdot (M_1 \\otimes M_2 \\otimes \\dots)
+
+where each factor ``M_k`` acts on one component position (identity for
+absent positions), ``c_t`` is a scalar, and ``D_t`` is a diagonal
+*state-dependent* scaling encoding PEPA apparent-rate denominators:
+``D_t[u, u] = 1 / prod_g(sum_{(k, v) in g} v[u_k])`` over the term's
+scale groups ``g`` (1 when there are none).  The reachable-state
+generator is the projection of ``sum_t R_t`` minus its row sums on the
+diagonal; transitions out of reachable states land in reachable states
+by construction, so the projection is exact, not an approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sparse
+import scipy.sparse.linalg as spla
+
+__all__ = [
+    "GeneratorOperator",
+    "CsrGenerator",
+    "KroneckerTerm",
+    "KroneckerDescriptor",
+    "DescriptorUnsupported",
+]
+
+
+class DescriptorUnsupported(ValueError):
+    """The model (or a cached payload) cannot be represented as a
+    Kronecker descriptor — callers fall back to the CSR path."""
+
+
+@runtime_checkable
+class GeneratorOperator(Protocol):
+    """What every generator representation must provide.
+
+    ``shape`` is ``(n, n)`` over *reachable* states; ``matvec`` is
+    ``Q @ x`` and ``rmatvec`` is ``Q.T @ x`` (the product iterative
+    steady-state solvers actually need); ``exit_rates`` is the vector
+    of total outgoing rates (``-diag(Q)``).
+    """
+
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``Q @ x`` over reachable states, exact to round-off."""
+        ...
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``Q.T @ x`` — the product the steady-state solvers need."""
+        ...
+
+    def exit_rates(self) -> np.ndarray:
+        """Total outgoing rate of each state (``-diag(Q)``)."""
+        ...
+
+    def to_linear_operator(self, *, transpose: bool = False) -> spla.LinearOperator:
+        """A scipy ``LinearOperator`` view of ``Q`` (or ``Q.T``)."""
+        ...
+
+    def to_csr(self) -> sparse.csr_matrix:
+        """The materialised CSR generator (may be expensive to build)."""
+        ...
+
+    @property
+    def stored_bytes(self) -> int: ...
+
+    @property
+    def description(self) -> str: ...
+
+
+def _as_vector(x: np.ndarray, n: int) -> np.ndarray:
+    vec = np.asarray(x, dtype=float)
+    if vec.ndim == 2 and 1 in vec.shape:
+        vec = vec.ravel()
+    if vec.shape != (n,):
+        raise ValueError(f"expected a vector of length {n}, got shape {vec.shape}")
+    return vec
+
+
+class CsrGenerator:
+    """The materialised-matrix backend: a thin, behaviour-preserving
+    wrapper around the global CSR generator."""
+
+    def __init__(self, Q: sparse.spmatrix):
+        Q = sparse.csr_matrix(Q)
+        if Q.shape[0] != Q.shape[1]:
+            raise ValueError(f"generator must be square, got {Q.shape}")
+        self._Q = Q
+        self._QT: sparse.csr_matrix | None = None
+        #: SpMV products computed through this operator (tests pin that
+        #: the descriptor path stays matrix-free by comparing these).
+        self.spmv_count = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._Q.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``Q @ x`` (one CSR SpMV)."""
+        self.spmv_count += 1
+        return self._Q @ _as_vector(x, self._Q.shape[0])
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``Q.T @ x``; the transpose is built lazily, once, and reused."""
+        if self._QT is None:
+            self._QT = self._Q.transpose().tocsr()
+        self.spmv_count += 1
+        return self._QT @ _as_vector(x, self._Q.shape[0])
+
+    def exit_rates(self) -> np.ndarray:
+        """``-diag(Q)`` read straight off the stored matrix."""
+        return -np.asarray(self._Q.diagonal(), dtype=float)
+
+    def to_linear_operator(self, *, transpose: bool = False) -> spla.LinearOperator:
+        """A ``LinearOperator`` over :meth:`matvec`/:meth:`rmatvec`."""
+        mv = self.rmatvec if transpose else self.matvec
+        rmv = self.matvec if transpose else self.rmatvec
+        return spla.LinearOperator(self._Q.shape, matvec=mv, rmatvec=rmv, dtype=float)
+
+    def to_csr(self) -> sparse.csr_matrix:
+        """The wrapped matrix itself — already materialised, zero cost."""
+        return self._Q
+
+    @property
+    def nnz(self) -> int:
+        return int(self._Q.nnz)
+
+    @property
+    def stored_bytes(self) -> int:
+        return int(self._Q.data.nbytes + self._Q.indices.nbytes + self._Q.indptr.nbytes)
+
+    @property
+    def description(self) -> str:
+        return f"csr(n={self._Q.shape[0]}, nnz={self._Q.nnz})"
+
+
+class KroneckerTerm:
+    """One Kronecker-product term of a descriptor.
+
+    ``factors`` maps component position -> dense local matrix (absent
+    positions act as identity); ``coeff`` is a scalar multiplier;
+    ``scales`` is a tuple of scale groups, each a tuple of
+    ``(position, per-local-state vector)`` parts whose *sum* forms one
+    apparent-rate denominator factor.
+    """
+
+    __slots__ = ("action", "coeff", "factors", "scales")
+
+    def __init__(
+        self,
+        action: str,
+        coeff: float,
+        factors: dict[int, np.ndarray],
+        scales: tuple[tuple[tuple[int, np.ndarray], ...], ...] = (),
+    ):
+        if not factors:
+            raise ValueError("a Kronecker term needs at least one factor")
+        self.action = action
+        self.coeff = float(coeff)
+        self.factors = {
+            int(pos): np.ascontiguousarray(mat, dtype=float)
+            for pos, mat in sorted(factors.items())
+        }
+        self.scales = tuple(
+            tuple((int(pos), np.ascontiguousarray(vec, dtype=float)) for pos, vec in group)
+            for group in scales
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KroneckerTerm(action={self.action!r}, coeff={self.coeff!r}, "
+            f"positions={sorted(self.factors)}, scale_groups={len(self.scales)})"
+        )
+
+
+class KroneckerDescriptor:
+    """Sum-of-Kronecker-terms generator over reachable states.
+
+    ``dims`` are the per-component local state-space sizes, in the
+    fixed left-to-right order of the component tree; ``projection``
+    maps each reachable flat state index to its product-space index
+    (row-major mixed radix over ``dims``).
+    """
+
+    def __init__(
+        self,
+        dims: Iterable[int],
+        terms: Iterable[KroneckerTerm],
+        projection: np.ndarray,
+        *,
+        validate: bool = True,
+    ):
+        self.dims = tuple(int(d) for d in dims)
+        if not self.dims or any(d <= 0 for d in self.dims):
+            raise ValueError(f"component dimensions must be positive, got {self.dims}")
+        self.terms = tuple(terms)
+        self.projection = np.ascontiguousarray(projection, dtype=np.int64)
+        self.product_size = int(np.prod([float(d) for d in self.dims]))
+        self.n_states = int(self.projection.shape[0])
+        #: SpMV products computed through this operator.
+        self.spmv_count = 0
+
+        if validate:
+            self._validate()
+
+        # Pre-compute per-position strides for the shuffle: position k
+        # sees the flat product space as (left, dims[k], right) blocks.
+        self._left = []
+        self._right = []
+        left = 1
+        for k, d in enumerate(self.dims):
+            right = self.product_size // (left * d)
+            self._left.append(left)
+            self._right.append(right)
+            left *= d
+
+        # Apparent-rate denominators are shared across terms (every
+        # term of one synchronised action uses the same denominator),
+        # so cache the expanded 1/denominator vectors by structural key.
+        inv_cache: dict[tuple, np.ndarray | None] = {}
+        self._inv: list[np.ndarray | None] = []
+        for term in self.terms:
+            key = tuple(
+                tuple((pos, id(vec)) for pos, vec in group) for group in term.scales
+            )
+            if key not in inv_cache:
+                inv_cache[key] = self._inverse_denominator(term.scales)
+            self._inv.append(inv_cache[key])
+
+        # One pass over the full product space fixes the row totals
+        # (for the -diag part of Q), the self-loop rates and the
+        # per-action throughput weights on reachable states.  These are
+        # O(product_size) vectors transiently, O(n_states) retained.
+        ones = np.ones(self.product_size)
+        row_total = np.zeros(self.product_size)
+        self_rates = np.zeros(self.product_size)
+        action_rows: dict[str, np.ndarray] = {}
+        for term, inv in zip(self.terms, self._inv):
+            rows = self._apply_term(term, inv, ones, transpose=False)
+            row_total += rows
+            acc = action_rows.get(term.action)
+            if acc is None:
+                acc = action_rows[term.action] = np.zeros(self.product_size)
+            acc += rows
+            self_rates += self._term_diagonal(term, inv)
+
+        #: Total outgoing rate of each reachable state including
+        #: self-loops (the row sum of the rate part of the generator).
+        self.row_totals = row_total[self.projection]
+        self._self_rates = self_rates[self.projection]
+        #: Per-action total rates on reachable states — the same
+        #: vectors ``build_ctmc`` collects, without materialising Q.
+        self.action_rates = {
+            action: rows[self.projection] for action, rows in sorted(action_rows.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.n_states == 0:
+            raise ValueError("descriptor needs at least one reachable state")
+        if self.projection.min(initial=0) < 0 or (
+            self.n_states and int(self.projection.max()) >= self.product_size
+        ):
+            raise ValueError("projection indices out of product-space range")
+        if len(np.unique(self.projection)) != self.n_states:
+            raise ValueError("projection indices must be distinct")
+        n_components = len(self.dims)
+        for term in self.terms:
+            for pos, mat in term.factors.items():
+                if not 0 <= pos < n_components:
+                    raise ValueError(f"factor position {pos} out of range")
+                if mat.shape != (self.dims[pos], self.dims[pos]):
+                    raise ValueError(
+                        f"factor at position {pos} has shape {mat.shape}, "
+                        f"expected {(self.dims[pos], self.dims[pos])}"
+                    )
+            for group in term.scales:
+                for pos, vec in group:
+                    if not 0 <= pos < n_components:
+                        raise ValueError(f"scale position {pos} out of range")
+                    if vec.shape != (self.dims[pos],):
+                        raise ValueError(
+                            f"scale vector at position {pos} has shape {vec.shape}, "
+                            f"expected {(self.dims[pos],)}"
+                        )
+
+    def _expand(self, pos: int, vec: np.ndarray) -> np.ndarray:
+        """Broadcast a per-local-state vector over the product space."""
+        return np.tile(np.repeat(vec, self._right[pos]), self._left[pos])
+
+    def _inverse_denominator(self, scales) -> np.ndarray | None:
+        if not scales:
+            return None
+        denom = np.ones(self.product_size)
+        for group in scales:
+            acc = np.zeros(self.product_size)
+            for pos, vec in group:
+                acc += self._expand(pos, vec)
+            denom *= acc
+        # Where a denominator vanishes the numerator provably vanishes
+        # too (no partner enables the action), so 0 is the exact value.
+        with np.errstate(divide="ignore"):
+            inv = np.where(denom > 0.0, 1.0 / denom, 0.0)
+        return inv
+
+    # ------------------------------------------------------------------
+    # Shuffle-algorithm term application
+    # ------------------------------------------------------------------
+    def _apply_factors(
+        self, factors: dict[int, np.ndarray], z: np.ndarray, *, transpose: bool
+    ) -> np.ndarray:
+        out = z
+        for pos, mat in factors.items():
+            if transpose:
+                mat = mat.T
+            block = out.reshape(self._left[pos], self.dims[pos], self._right[pos])
+            # (nk, nk) x (left, nk, right) contracted on the middle
+            # axis — the classic perfect-shuffle step.
+            mixed = np.tensordot(mat, block, axes=([1], [1]))
+            out = np.ascontiguousarray(mixed.transpose(1, 0, 2)).reshape(-1)
+        return out
+
+    def _apply_term(
+        self,
+        term: KroneckerTerm,
+        inv: np.ndarray | None,
+        z: np.ndarray,
+        *,
+        transpose: bool,
+    ) -> np.ndarray:
+        if transpose:
+            # (D K)^T x = K^T (D x): scale by rows *before* the factors.
+            zz = z * term.coeff if inv is None else z * (term.coeff * inv)
+            return self._apply_factors(term.factors, zz, transpose=True)
+        out = self._apply_factors(term.factors, z, transpose=False)
+        out *= term.coeff
+        if inv is not None:
+            out *= inv
+        return out
+
+    def _term_diagonal(self, term: KroneckerTerm, inv: np.ndarray | None) -> np.ndarray:
+        diag = np.ones(1)
+        for pos, d in enumerate(self.dims):
+            mat = term.factors.get(pos)
+            local = np.ones(d) if mat is None else np.diagonal(mat).copy()
+            diag = np.multiply.outer(diag, local).reshape(-1)
+        diag *= term.coeff
+        if inv is not None:
+            diag *= inv
+        return diag
+
+    # ------------------------------------------------------------------
+    # GeneratorOperator interface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_states, self.n_states)
+
+    def exit_rates(self) -> np.ndarray:
+        """``-diag(Q)`` from the precomputed row totals.
+
+        Self-loop rates cancel inside Q (they appear in the row total
+        and on the diagonal), so the exit rate excludes them.
+        """
+        return self.row_totals - self._self_rates
+
+    def _rate_product(self, x: np.ndarray, *, transpose: bool) -> np.ndarray:
+        full = np.zeros(self.product_size)
+        full[self.projection] = x
+        acc = np.zeros(self.product_size)
+        for term, inv in zip(self.terms, self._inv):
+            acc += self._apply_term(term, inv, full, transpose=transpose)
+        return acc[self.projection]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``Q @ x`` with ``Q = R - diag(rowsum(R))`` — the self-loop
+        entries of ``R`` cancel exactly, so no off-diagonal filtering
+        is needed."""
+        x = _as_vector(x, self.n_states)
+        self.spmv_count += 1
+        return self._rate_product(x, transpose=False) - self.row_totals * x
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``Q.T @ x`` via the transposed shuffle (``(D K)^T = K^T D``)."""
+        x = _as_vector(x, self.n_states)
+        self.spmv_count += 1
+        return self._rate_product(x, transpose=True) - self.row_totals * x
+
+    def to_linear_operator(self, *, transpose: bool = False) -> spla.LinearOperator:
+        """A ``LinearOperator`` over the shuffle SpMV — still matrix-free."""
+        mv = self.rmatvec if transpose else self.matvec
+        rmv = self.matvec if transpose else self.rmatvec
+        return spla.LinearOperator(self.shape, matvec=mv, rmatvec=rmv, dtype=float)
+
+    def to_csr(self) -> sparse.csr_matrix:
+        """Materialise the reachable-state generator (verification and
+        direct-solver fallback only — never on the iterative path)."""
+        total = None
+        for term, inv in zip(self.terms, self._inv):
+            mat: sparse.spmatrix | None = None
+            for pos, d in enumerate(self.dims):
+                factor = term.factors.get(pos)
+                local = (
+                    sparse.identity(d, format="csr")
+                    if factor is None
+                    else sparse.csr_matrix(factor)
+                )
+                mat = local if mat is None else sparse.kron(mat, local, format="csr")
+            mat = mat * term.coeff
+            if inv is not None:
+                mat = sparse.diags(inv) @ mat
+            total = mat if total is None else total + mat
+        rates = sparse.csr_matrix(total)[self.projection, :][:, self.projection].tocsr()
+        rates.eliminate_zeros()
+        Q = rates - sparse.diags(self.row_totals)
+        Q = sparse.csr_matrix(Q)
+        Q.eliminate_zeros()
+        return Q
+
+    @property
+    def stored_bytes(self) -> int:
+        total = self.projection.nbytes
+        seen: set[int] = set()
+        for term in self.terms:
+            for mat in term.factors.values():
+                if id(mat) not in seen:
+                    seen.add(id(mat))
+                    total += mat.nbytes
+            for group in term.scales:
+                for _, vec in group:
+                    if id(vec) not in seen:
+                        seen.add(id(vec))
+                        total += vec.nbytes
+        return int(total)
+
+    @property
+    def stored_nnz(self) -> int:
+        """Total non-zeros across the stored local factor matrices —
+        the descriptor-side analogue of the CSR ``nnz`` metric."""
+        seen: set[int] = set()
+        total = 0
+        for term in self.terms:
+            for mat in term.factors.values():
+                if id(mat) not in seen:
+                    seen.add(id(mat))
+                    total += int(np.count_nonzero(mat))
+        return total
+
+    @property
+    def description(self) -> str:
+        return (
+            f"kronecker(components={len(self.dims)}, terms={len(self.terms)}, "
+            f"product={self.product_size}, reachable={self.n_states})"
+        )
+
+    def __repr__(self) -> str:
+        return f"KroneckerDescriptor({self.description})"

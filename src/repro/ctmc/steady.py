@@ -7,13 +7,25 @@ paper builds on, and following the HPC guide's advice to prefer
 
 * ``direct``        sparse LU on the normal system (exact, the default
   for small/medium chains — "exact solution is an advantage");
-* ``gmres`` / ``bicgstab``  preconditioned Krylov iterations for large
-  chains;
+* ``gmres`` / ``bicgstab`` / ``lgmres``  preconditioned Krylov
+  iterations for large chains;
 * ``power``         power iteration on the uniformized DTMC (lowest
   memory footprint, tolerant of very large state spaces);
 * ``gauss_seidel`` / ``jacobi``  classical stationary iterations, kept
   both as a baseline for the solver benchmark and because Gauss–Seidel
   is what the original Workbench shipped.
+
+Every iterative method consumes the chain through its
+:class:`~repro.ctmc.operator.GeneratorOperator`, so a matrix-free
+Kronecker-descriptor chain solves without ever materialising the
+global generator.  Only the direct solver, Gauss–Seidel (which needs
+random row access) and the ILU preconditioner require the matrix:
+``direct``/``gauss_seidel`` materialise transparently (announced by the
+chain's ``solver.materialize`` event), while the Krylov methods on a
+descriptor simply skip ILU and solve unpreconditioned — the
+preconditioner path actually taken is reported through the
+``options["info"]`` dict (and surfaces in the fallback layer's
+:class:`~repro.resilience.fallback.SolveDiagnostics`).
 
 All methods require an irreducible chain; hand a reducible one to
 :func:`steady_state` and you get a :class:`SolverError` naming the
@@ -33,7 +45,6 @@ import inspect
 from collections.abc import Callable, Mapping
 
 import numpy as np
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 import time
@@ -135,7 +146,7 @@ def steady_state(
         pi = _call_solver(solver, chain, tol, max_iterations, solver_options)
         pi = _normalise(pi, method, tol)
         if tracer.enabled:
-            residual = float(np.abs(chain.Q.transpose() @ pi).max())
+            residual = float(np.abs(chain.generator.rmatvec(pi)).max())
             sp.set(residual=residual)
             get_metrics().gauge("residual").set(residual)
     return pi
@@ -211,31 +222,60 @@ def _solve_direct(chain: CTMC, tol: float, max_iterations: int,
     return np.asarray(pi).ravel()
 
 
+_KRYLOV_FNS = {
+    "gmres": spla.gmres,
+    "bicgstab": spla.bicgstab,
+    "lgmres": spla.lgmres,
+}
+
+
 def _krylov(name: str) -> Callable[..., np.ndarray]:
     def solve(chain: CTMC, tol: float, max_iterations: int,
               options: Mapping | None = None) -> np.ndarray:
         options = options or {}
+        info_out = options.get("info")
+        if not isinstance(info_out, dict):
+            info_out = {}
         n = chain.n_states
-        A = chain.Q.transpose().tocsr(copy=True).tolil()
-        A[n - 1, :] = np.ones(n)
-        A = A.tocsc()
         b = np.zeros(n)
         b[n - 1] = 1.0
-        try:
-            ilu = spla.spilu(
-                A,
-                drop_tol=options.get("ilu_drop_tol", 1e-5),
-                fill_factor=options.get("ilu_fill_factor", 20),
-            )
-            M = spla.LinearOperator((n, n), ilu.solve)
-        except (RuntimeError, ValueError, MemoryError):
-            # spilu raises RuntimeError on exactly-singular factors, but
-            # near-singular or very large systems can also surface as
-            # ValueError/MemoryError — an unpreconditioned solve beats a
-            # crashed one in every case.
+        if chain.materialized:
+            A = chain.Q.transpose().tocsr(copy=True).tolil()
+            A[n - 1, :] = np.ones(n)
+            A = A.tocsc()
+            try:
+                ilu = spla.spilu(
+                    A,
+                    drop_tol=options.get("ilu_drop_tol", 1e-5),
+                    fill_factor=options.get("ilu_fill_factor", 20),
+                )
+                M = spla.LinearOperator((n, n), ilu.solve)
+                info_out["preconditioner"] = "ilu"
+            except (RuntimeError, ValueError, MemoryError):
+                # spilu raises RuntimeError on exactly-singular factors, but
+                # near-singular or very large systems can also surface as
+                # ValueError/MemoryError — an unpreconditioned solve beats a
+                # crashed one in every case.
+                M = None
+                info_out["preconditioner"] = "none-fallback"
+        else:
+            # Matrix-free backend: the normal system's operator is
+            # Qᵀx with the last row replaced by Σx — ILU would need
+            # the matrix, so the solve runs unpreconditioned rather
+            # than forcing materialisation.
+            op = chain.generator
+
+            def normal_matvec(x):
+                x = np.asarray(x, dtype=float).ravel()
+                y = op.rmatvec(x)
+                y[n - 1] = x.sum()
+                return y
+
+            A = spla.LinearOperator((n, n), matvec=normal_matvec, dtype=float)
             M = None
+            info_out["preconditioner"] = "none-operator"
         x0 = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
-        fn = spla.gmres if name == "gmres" else spla.bicgstab
+        fn = _KRYLOV_FNS[name]
         iterations = [0]
         events = get_events()
         start = time.perf_counter() if events.enabled else 0.0
@@ -244,9 +284,9 @@ def _krylov(name: str) -> Callable[..., np.ndarray]:
             iterations[0] += 1
             if events.enabled:
                 # gmres (legacy callback) hands us the preconditioned
-                # residual norm directly; bicgstab hands the iterate, so
-                # the true residual costs one extra SpMV — paid only
-                # while an event stream is live.
+                # residual norm directly; bicgstab/lgmres hand the
+                # iterate, so the true residual costs one extra SpMV —
+                # paid only while an event stream is live.
                 if name == "gmres":
                     residual = float(arg)
                 else:
@@ -285,10 +325,14 @@ def _krylov(name: str) -> Callable[..., np.ndarray]:
 
 def _solve_power(chain: CTMC, tol: float, max_iterations: int,
                  options: Mapping | None = None) -> np.ndarray:
-    """Power iteration on the uniformized DTMC ``P = I + Q/Λ``."""
+    """Power iteration on the uniformized DTMC ``P = I + Q/Λ``.
+
+    ``Pᵀπ = π + Qᵀπ/Λ`` needs only the generator's ``rmatvec``, so the
+    iteration runs matrix-free on either backend (Λ is 1.02× the
+    maximum exit rate, strictly above it for aperiodicity)."""
     options = options or {}
-    P, _ = chain.uniformized()
-    PT = P.transpose().tocsr()
+    op = chain.generator
+    lam = max(chain.max_exit_rate() * 1.02, 1e-12)
     n = chain.n_states
     pi = np.asarray(options.get("x0", np.full(n, 1.0 / n)), dtype=float)
     pi = np.clip(pi, 0.0, None)
@@ -298,7 +342,7 @@ def _solve_power(chain: CTMC, tol: float, max_iterations: int,
     it = 0
     try:
         for it in range(1, max_iterations + 1):
-            nxt = PT @ pi
+            nxt = pi + op.rmatvec(pi) / lam
             nxt /= nxt.sum()
             delta = np.abs(nxt - pi).max()
             if events.enabled:
@@ -317,66 +361,105 @@ def _solve_power(chain: CTMC, tol: float, max_iterations: int,
     raise SolverError(f"power iteration did not converge in {max_iterations} steps")
 
 
-def _stationary_iteration(use_latest: bool) -> Callable[..., np.ndarray]:
-    """Gauss–Seidel (``use_latest``) or Jacobi on ``πQ = 0``.
+def _solve_gauss_seidel(chain: CTMC, tol: float, max_iterations: int,
+                        options: Mapping | None = None) -> np.ndarray:
+    """Gauss–Seidel on ``πQ = 0``.
 
     Written over the transposed generator in CSR so each state's update
-    streams one contiguous row (cache-friendly per the HPC guide).
+    streams one contiguous row (cache-friendly per the HPC guide).  The
+    in-place latest-value sweep needs random row access, so this is one
+    of the two methods that materialise a descriptor-backed chain.
     """
+    n = chain.n_states
+    QT = chain.Q.transpose().tocsr()
+    indptr, indices, data = QT.indptr, QT.indices, QT.data
+    diag = chain.Q.diagonal()
+    if np.any(diag == 0.0):
+        raise SolverError("stationary iteration requires every state to have an exit rate")
+    pi = np.full(n, 1.0 / n)
+    events = get_events()
+    start = time.perf_counter() if events.enabled else 0.0
+    sweeps = 0
+    try:
+        for sweeps in range(1, max_iterations + 1):
+            src = pi
+            max_delta = 0.0
+            for i in range(n):
+                acc = 0.0
+                for k in range(indptr[i], indptr[i + 1]):
+                    j = indices[k]
+                    if j != i:
+                        acc += data[k] * src[j]
+                new = acc / -diag[i]
+                delta = abs(new - pi[i])
+                if delta > max_delta:
+                    max_delta = delta
+                pi[i] = new
+            total = pi.sum()
+            if total > 0:
+                pi /= total
+            if events.enabled:
+                events.emit(
+                    "solver.convergence", solver="gauss_seidel",
+                    iteration=sweeps, residual=float(max_delta),
+                    elapsed_s=round(time.perf_counter() - start, 9),
+                )
+            if max_delta < tol:
+                return pi
+    finally:
+        metrics = get_metrics()
+        metrics.counter("solver_iterations").inc(sweeps)
+        metrics.counter("spmv_count").inc(sweeps)
+    raise SolverError(
+        f"gauss_seidel did not converge in {max_iterations} sweeps"
+    )
 
-    # Undamped Jacobi has iteration-matrix spectral radius 1 on this
-    # singular system and oscillates on cyclic chains; a relaxation
-    # factor < 1 restores convergence without moving the fixed point.
-    omega = 1.0 if use_latest else 0.7
 
-    def solve(chain: CTMC, tol: float, max_iterations: int,
-              options: Mapping | None = None) -> np.ndarray:
-        n = chain.n_states
-        QT = chain.Q.transpose().tocsr()
-        indptr, indices, data = QT.indptr, QT.indices, QT.data
-        diag = chain.Q.diagonal()
-        if np.any(diag == 0.0):
-            raise SolverError("stationary iteration requires every state to have an exit rate")
-        pi = np.full(n, 1.0 / n)
-        events = get_events()
-        start = time.perf_counter() if events.enabled else 0.0
-        method_name = "gauss_seidel" if use_latest else "jacobi"
-        sweeps = 0
-        try:
-            for sweeps in range(1, max_iterations + 1):
-                src = pi if use_latest else pi.copy()
-                max_delta = 0.0
-                for i in range(n):
-                    acc = 0.0
-                    for k in range(indptr[i], indptr[i + 1]):
-                        j = indices[k]
-                        if j != i:
-                            acc += data[k] * src[j]
-                    new = omega * (acc / -diag[i]) + (1.0 - omega) * src[i]
-                    delta = abs(new - pi[i])
-                    if delta > max_delta:
-                        max_delta = delta
-                    pi[i] = new
-                total = pi.sum()
-                if total > 0:
-                    pi /= total
-                if events.enabled:
-                    events.emit(
-                        "solver.convergence", solver=method_name,
-                        iteration=sweeps, residual=float(max_delta),
-                        elapsed_s=round(time.perf_counter() - start, 9),
-                    )
-                if max_delta < tol:
-                    return pi
-        finally:
-            metrics = get_metrics()
-            metrics.counter("solver_iterations").inc(sweeps)
-            metrics.counter("spmv_count").inc(sweeps)
-        raise SolverError(
-            f"{method_name} did not converge in {max_iterations} sweeps"
-        )
+def _solve_jacobi(chain: CTMC, tol: float, max_iterations: int,
+                  options: Mapping | None = None) -> np.ndarray:
+    """Damped Jacobi on ``πQ = 0``, matrix-free.
 
-    return solve
+    The whole sweep is one ``rmatvec``: the off-diagonal accumulation
+    ``Σ_{j≠i} Qᵀ[i,j]·π_j`` equals ``(Qᵀπ)_i + exit_i·π_i`` because the
+    diagonal of ``Q`` is ``-exit``.  Undamped Jacobi has
+    iteration-matrix spectral radius 1 on this singular system and
+    oscillates on cyclic chains; a relaxation factor < 1 restores
+    convergence without moving the fixed point.
+    """
+    omega = 0.7
+    n = chain.n_states
+    op = chain.generator
+    exits = chain.exit_rates()
+    if np.any(exits == 0.0):
+        raise SolverError("stationary iteration requires every state to have an exit rate")
+    pi = np.full(n, 1.0 / n)
+    events = get_events()
+    start = time.perf_counter() if events.enabled else 0.0
+    sweeps = 0
+    try:
+        for sweeps in range(1, max_iterations + 1):
+            acc = op.rmatvec(pi) + exits * pi
+            new = omega * (acc / exits) + (1.0 - omega) * pi
+            max_delta = float(np.abs(new - pi).max())
+            pi = new
+            total = pi.sum()
+            if total > 0:
+                pi /= total
+            if events.enabled:
+                events.emit(
+                    "solver.convergence", solver="jacobi",
+                    iteration=sweeps, residual=max_delta,
+                    elapsed_s=round(time.perf_counter() - start, 9),
+                )
+            if max_delta < tol:
+                return pi
+    finally:
+        metrics = get_metrics()
+        metrics.counter("solver_iterations").inc(sweeps)
+        metrics.counter("spmv_count").inc(sweeps)
+    raise SolverError(
+        f"jacobi did not converge in {max_iterations} sweeps"
+    )
 
 
 #: The solver registry: name → callable ``(chain, tol, max_iterations,
@@ -387,7 +470,8 @@ SOLVERS: dict[str, Callable[..., np.ndarray]] = {
     "direct": _solve_direct,
     "gmres": _krylov("gmres"),
     "bicgstab": _krylov("bicgstab"),
+    "lgmres": _krylov("lgmres"),
     "power": _solve_power,
-    "gauss_seidel": _stationary_iteration(True),
-    "jacobi": _stationary_iteration(False),
+    "gauss_seidel": _solve_gauss_seidel,
+    "jacobi": _solve_jacobi,
 }

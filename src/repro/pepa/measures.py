@@ -111,6 +111,7 @@ def analyse(
     reducible: str = "error",
     budget: "ExecutionBudget | None" = None,
     policy: "FallbackPolicy | str | None" = None,
+    generator: str = "csr",
 ) -> ModelAnalysis:
     """Derive and solve ``model``; returns a :class:`ModelAnalysis`.
 
@@ -121,9 +122,14 @@ def analyse(
     (:class:`~repro.resilience.fallback.FallbackPolicy` or a
     comma-separated method list) solves through the resilient fallback
     chain and records per-attempt diagnostics on the returned analysis.
+    ``generator`` selects the generator representation (``"csr"``,
+    ``"descriptor"`` or ``"auto"`` — see
+    :func:`repro.pepa.ctmcgen.ctmc_from_statespace`).
     """
     space = derive(model, max_states=max_states, budget=budget)
-    chain = ctmc_from_statespace(space)
+    chain = ctmc_from_statespace(
+        space, generator=generator, environment=model.environment
+    )
     diagnostics = None
     if policy is not None:
         from repro.resilience.fallback import solve_with_fallback

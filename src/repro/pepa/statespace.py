@@ -22,7 +22,7 @@ from repro.core.explore import DEFAULT_MAX_STATES, explore_lts
 from repro.core.lts import LabelledArc, Lts
 from repro.exceptions import WellFormednessError
 from repro.pepa.environment import Environment, PepaModel
-from repro.pepa.semantics import Transition, derivatives
+from repro.pepa.semantics import Transition, TransitionCache
 from repro.pepa.syntax import Expression
 
 if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard import
@@ -67,12 +67,29 @@ def explore(
     :class:`~repro.exceptions.BudgetExceededError` carrying the partial
     frontier size and a resumable summary is raised instead of the
     search silently grinding on.
+
+    Successors are produced level-batched through a
+    :class:`~repro.pepa.semantics.TransitionCache`: the one-step
+    transitions and apparent rates of every *subexpression* are memoised
+    across the whole exploration, so a global state pays only for the
+    component that actually moved since its parent.
     """
+    cache = TransitionCache(env, exclude)
 
     def successors(state: Expression) -> Iterator[tuple[str, float, Expression]]:
-        for tr in derivatives(state, env, exclude=exclude):
+        for tr in cache.derivatives(state):
             _require_active(tr, state)
             yield tr.action, tr.rate.value, tr.target
+
+    def successors_batch(
+        level: list[Expression],
+    ) -> Iterator[list[tuple[str, float, Expression]]]:
+        for state in level:
+            yield [
+                (tr.action, tr.rate.value, tr.target)
+                for tr in cache.derivatives(state)
+                if _require_active(tr, state) is None
+            ]
 
     lts = explore_lts(
         initial,
@@ -82,6 +99,7 @@ def explore(
         max_states=max_states,
         budget=budget,
         overflow=_overflow,
+        successors_batch=successors_batch,
     )
     return StateSpace(states=lts.states, arcs=lts.arcs, index=lts.index)
 

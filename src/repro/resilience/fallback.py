@@ -46,7 +46,9 @@ __all__ = [
 #: Methods that can profit from a retry with a different starting point
 #: or preconditioner; ``direct`` is deterministic, so retrying it with
 #: the same inputs would only burn the deadline.
-ITERATIVE_METHODS = frozenset({"gmres", "bicgstab", "power", "gauss_seidel", "jacobi"})
+ITERATIVE_METHODS = frozenset(
+    {"gmres", "bicgstab", "lgmres", "power", "gauss_seidel", "jacobi"}
+)
 
 
 @dataclass(frozen=True)
@@ -121,6 +123,11 @@ class AttemptRecord:
     elapsed: float
     residual: float | None = None
     detail: str = ""
+    #: Which preconditioner path a Krylov attempt took: ``"ilu"``,
+    #: ``"none-fallback"`` (ILU factorisation failed) or
+    #: ``"none-operator"`` (matrix-free backend, ILU skipped).  Empty
+    #: for non-Krylov methods.
+    preconditioner: str = ""
 
     @property
     def ok(self) -> bool:
@@ -148,10 +155,12 @@ class SolveDiagnostics:
         return self.method is not None
 
     def record(self, method: str, attempt: int, outcome: str, elapsed: float,
-               *, residual: float | None = None, detail: str = "") -> AttemptRecord:
+               *, residual: float | None = None, detail: str = "",
+               preconditioner: str = "") -> AttemptRecord:
         """Append (and return) one :class:`AttemptRecord`."""
         rec = AttemptRecord(method, attempt, outcome, elapsed,
-                            residual=residual, detail=detail)
+                            residual=residual, detail=detail,
+                            preconditioner=preconditioner)
         self.attempts.append(rec)
         return rec
 
@@ -257,7 +266,9 @@ def solve_with_fallback(
 
     deadline = Deadline.after(policy.deadline)
     start = time.monotonic()
-    rate_scale = max(1.0, float(np.abs(chain.Q.diagonal()).max()))
+    # max |diag(Q)| is the maximum exit rate — available on either
+    # backend without materialising the generator.
+    rate_scale = max(1.0, chain.max_exit_rate())
     residual_bound = policy.residual_tol * rate_scale
 
     tracer = get_tracer()
@@ -283,7 +294,11 @@ def solve_with_fallback(
                         min(policy.backoff * 2.0 ** (attempt - 2),
                             max(deadline.remaining(), 0.0))
                     )
-                options = _retry_options(chain.n_states, attempt, policy)
+                options = dict(_retry_options(chain.n_states, attempt, policy) or {})
+                # Solvers report back through this dict — currently the
+                # Krylov methods record which preconditioner path ran.
+                info: dict = {}
+                options["info"] = info
                 t0 = time.monotonic()
                 with tracer.span("solve.attempt", method=method,
                                  attempt=attempt) as asp:
@@ -294,17 +309,20 @@ def solve_with_fallback(
                         )
                         pi = _normalise(raw, method, policy.tol)
                         elapsed = time.monotonic() - t0
-                        residual = float(np.abs(chain.Q.transpose() @ pi).max())
+                        residual = float(np.abs(chain.generator.rmatvec(pi)).max())
+                        preconditioner = info.get("preconditioner", "")
                         if not np.isfinite(residual) or residual > residual_bound:
                             diag.record(
                                 method, attempt, "bad-residual", elapsed,
                                 residual=residual,
                                 detail=f"‖πQ‖∞ = {residual:.3e} above bound {residual_bound:.3e}",
+                                preconditioner=preconditioner,
                             )
                             asp.set(outcome="bad-residual", residual=residual)
                             continue
                         diag.record(method, attempt, "converged", elapsed,
-                                    residual=residual)
+                                    residual=residual,
+                                    preconditioner=preconditioner)
                         diag.method = method
                         diag.elapsed = time.monotonic() - start
                         asp.set(outcome="converged", residual=residual)
@@ -313,11 +331,13 @@ def solve_with_fallback(
                         return pi, diag
                     except SolverError as exc:
                         diag.record(method, attempt, "failed",
-                                    time.monotonic() - t0, detail=str(exc))
+                                    time.monotonic() - t0, detail=str(exc),
+                                    preconditioner=info.get("preconditioner", ""))
                         asp.set(outcome="failed", error=type(exc).__name__)
                     except Exception as exc:  # noqa: BLE001 — any back-end blow-up
                         diag.record(method, attempt, "error", time.monotonic() - t0,
-                                    detail=f"{type(exc).__name__}: {exc}")
+                                    detail=f"{type(exc).__name__}: {exc}",
+                                    preconditioner=info.get("preconditioner", ""))
                         asp.set(outcome="error", error=type(exc).__name__)
 
         diag.elapsed = time.monotonic() - start

@@ -294,3 +294,45 @@ def test_hit_rate_gauge_tracks_ratio(cache):
         cache.fetch(key)                   # hit
         cache.fetch(key)                   # hit
     assert metrics.gauge("cache.hit_rate").value == pytest.approx(2 / 3)
+
+
+class TestStaleSchemaEviction:
+    """A cached generator written under an older payload schema must be
+    evicted and rebuilt — never silently shadowed (the pre-PR behaviour
+    swallowed the decode error and left the stale entry in place)."""
+
+    def _poison(self, cache, child):
+        cache.store(child, {"schema": "repro-ctmc/0", "bogus": True})
+
+    def test_stale_ctmc_payload_is_evicted_and_rebuilt(self, cache):
+        model = parse_model(SRC)
+        with use_cache(cache):
+            analyse(model)                      # populate statespace + ctmc
+            space = derive(parse_model(SRC))    # cache hit, carries the key
+        child = space.cache_key.child("ctmc")
+        self._poison(cache, child)
+
+        events, metrics = EventStream(), MetricsRegistry()
+        with use_cache(cache), use_events(events), use_metrics(metrics):
+            warm = analyse(parse_model(SRC))
+        assert warm.n_states == space.size
+        stale = events.by_name("cache.stale_schema")
+        assert len(stale) == 1
+        assert stale[0].fields["key"] == child.describe()
+        assert stale[0].fields["schema"] == "repro-ctmc/0"
+        assert metrics.counter("cache.stale_schema").value == 1
+        # the slot was re-published under the current schema
+        refreshed = cache.fetch(child)
+        assert refreshed is not None and refreshed["schema"] != "repro-ctmc/0"
+
+    def test_stale_entry_is_unlinked_even_without_collectors(self, cache):
+        model = parse_model(SRC)
+        with use_cache(cache):
+            analyse(model)
+            space = derive(parse_model(SRC))
+        child = space.cache_key.child("ctmc")
+        self._poison(cache, child)
+        with use_cache(cache):
+            analyse(parse_model(SRC))
+        refreshed = cache.fetch(child)
+        assert refreshed is not None and refreshed["schema"] != "repro-ctmc/0"

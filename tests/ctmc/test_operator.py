@@ -1,0 +1,191 @@
+"""Unit tests of the generator-operator layer (repro.ctmc.operator).
+
+The contract under test: a :class:`GeneratorOperator` is an exact,
+matrix-free stand-in for the generator matrix — ``matvec``/``rmatvec``
+must agree with the materialised ``Q`` to floating-point exactness, and
+a chain built on an operator must never materialise unless something
+explicitly asks for ``chain.Q``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ctmc.chain import CTMC, build_ctmc
+from repro.ctmc.operator import (
+    CsrGenerator,
+    GeneratorOperator,
+    KroneckerDescriptor,
+    KroneckerTerm,
+)
+
+SPMV_ATOL = 1e-12
+
+
+def small_chain() -> CTMC:
+    transitions = [
+        (0, "a", 2.0, 1),
+        (1, "b", 1.0, 2),
+        (2, "c", 3.0, 0),
+        (0, "d", 0.5, 2),
+        (2, "loop", 4.0, 2),  # self-loop: counts for action rates only
+    ]
+    return build_ctmc(3, transitions, labels=["s0", "s1", "s2"])
+
+
+def two_component_descriptor() -> tuple[KroneckerDescriptor, np.ndarray]:
+    """A hand-built two-component descriptor and its dense expansion.
+
+    Component 0 (3 local states) performs ``a`` locally; the two
+    components synchronise on ``s`` with a scale group implementing the
+    apparent-rate denominator.
+    """
+    Ra = np.array([[0.0, 2.0, 0.0], [0.0, 0.0, 1.0], [3.0, 0.0, 0.0]])
+    S0 = np.array([[0.0, 1.5, 0.0], [0.0, 0.0, 0.0], [1.5, 0.0, 0.0]])
+    S1 = np.array([[0.0, 1.0], [1.0, 0.0]])
+    denom = S0.sum(axis=1)
+    denom[denom == 0.0] = 1.0
+    terms = [
+        KroneckerTerm("a", 1.0, {0: Ra}),
+        KroneckerTerm("s", 1.0, {0: S0, 1: S1}, (((0, S0.sum(axis=1)),),)),
+    ]
+    n = 6
+    descriptor = KroneckerDescriptor([3, 2], terms, np.arange(n))
+    inv = np.where(S0.sum(axis=1) > 0, 1.0 / np.where(denom > 0, denom, 1.0), 0.0)
+    R = np.kron(Ra, np.eye(2)) + np.diag(np.kron(inv, np.ones(2))) @ np.kron(S0, S1)
+    dense = R - np.diag(R.sum(axis=1))
+    return descriptor, dense
+
+
+class TestCsrGenerator:
+    def test_protocol_conformance(self):
+        chain = small_chain()
+        assert isinstance(chain.generator, GeneratorOperator)
+
+    def test_matvec_matches_matrix(self):
+        chain = small_chain()
+        op = chain.generator
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.normal(size=3)
+            np.testing.assert_allclose(op.matvec(x), chain.Q @ x, atol=SPMV_ATOL)
+            np.testing.assert_allclose(
+                op.rmatvec(x), chain.Q.transpose() @ x, atol=SPMV_ATOL
+            )
+
+    def test_exit_rates_are_negated_diagonal(self):
+        chain = small_chain()
+        np.testing.assert_allclose(
+            chain.generator.exit_rates(), -chain.Q.diagonal(), atol=SPMV_ATOL
+        )
+
+    def test_to_linear_operator(self):
+        chain = small_chain()
+        x = np.arange(3, dtype=float)
+        lo = chain.generator.to_linear_operator()
+        lo_t = chain.generator.to_linear_operator(transpose=True)
+        np.testing.assert_allclose(lo @ x, chain.Q @ x, atol=SPMV_ATOL)
+        np.testing.assert_allclose(lo_t @ x, chain.Q.T @ x, atol=SPMV_ATOL)
+
+    def test_to_csr_is_identity(self):
+        chain = small_chain()
+        assert (chain.generator.to_csr() != chain.Q).nnz == 0
+
+    def test_spmv_count_and_bytes(self):
+        op = CsrGenerator(small_chain().Q)
+        assert op.stored_bytes > 0
+        assert op.spmv_count == 0
+        op.matvec(np.ones(3))
+        op.rmatvec(np.ones(3))
+        assert op.spmv_count == 2
+        assert "csr" in op.description
+
+
+class TestKroneckerDescriptor:
+    def test_matches_dense_expansion(self):
+        descriptor, dense = two_component_descriptor()
+        np.testing.assert_allclose(
+            descriptor.to_csr().toarray(), dense, atol=SPMV_ATOL
+        )
+
+    def test_matvec_never_materialises(self):
+        descriptor, dense = two_component_descriptor()
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x = rng.normal(size=6)
+            np.testing.assert_allclose(descriptor.matvec(x), dense @ x, atol=SPMV_ATOL)
+            np.testing.assert_allclose(
+                descriptor.rmatvec(x), dense.T @ x, atol=SPMV_ATOL
+            )
+        assert descriptor.spmv_count == 10
+
+    def test_exit_rates(self):
+        descriptor, dense = two_component_descriptor()
+        np.testing.assert_allclose(
+            descriptor.exit_rates(), -np.diag(dense), atol=SPMV_ATOL
+        )
+
+    def test_projection_restricts_to_reachable(self):
+        descriptor, dense = two_component_descriptor()
+        keep = np.array([0, 1, 3, 5])
+        projected = KroneckerDescriptor([3, 2], list(descriptor.terms), keep)
+        sub = dense[np.ix_(keep, keep)]
+        # The projected generator keeps the full-space row totals, so
+        # only the off-diagonal block structure must match.
+        got = projected.to_csr().toarray()
+        off = ~np.eye(len(keep), dtype=bool)
+        np.testing.assert_allclose(got[off], sub[off], atol=SPMV_ATOL)
+
+    def test_action_rates_sum_over_terms(self):
+        descriptor, _ = two_component_descriptor()
+        assert set(descriptor.action_rates) == {"a", "s"}
+        assert descriptor.stored_nnz > 0
+        assert descriptor.stored_bytes > 0
+        assert "kronecker" in descriptor.description
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            KroneckerDescriptor(
+                [3, 2],
+                [KroneckerTerm("a", 1.0, {0: np.ones((2, 2))})],
+                np.arange(6),
+            )
+
+
+class TestOperatorBackedChain:
+    def test_stays_matrix_free_until_Q_is_asked_for(self):
+        base = small_chain()
+        chain = CTMC(labels=list(base.labels), operator=CsrGenerator(base.Q),
+                     action_rates=dict(base.action_rates))
+        assert not chain.materialized
+        chain.exit_rates()
+        chain.max_exit_rate()
+        assert chain.is_irreducible()
+        assert not chain.materialized
+        assert chain.Q is not None  # explicit materialisation
+        assert chain.materialized
+
+    def test_materialisation_is_observable(self):
+        from repro.obs import EventStream, MetricsRegistry, use_events, use_metrics
+
+        base = small_chain()
+        chain = CTMC(labels=list(base.labels), operator=CsrGenerator(base.Q))
+        events, metrics = EventStream(), MetricsRegistry()
+        with use_events(events), use_metrics(metrics):
+            _ = chain.Q
+        assert len(events.by_name("solver.materialize")) == 1
+        assert metrics.counter("generator.materialize").value == 1
+
+    def test_chain_requires_some_backend(self):
+        from repro.exceptions import SolverError
+
+        with pytest.raises(SolverError):
+            CTMC()
+
+    def test_irreducibility_matches_materialised(self):
+        # A reducible chain: state 2 is absorbing.
+        chain = build_ctmc(3, [(0, "a", 1.0, 1), (1, "b", 1.0, 2), (2, "c", 1.0, 2)])
+        op_chain = CTMC(labels=list(chain.labels), operator=CsrGenerator(chain.Q))
+        assert chain.is_irreducible() == op_chain.is_irreducible() is False

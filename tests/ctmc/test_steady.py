@@ -237,3 +237,40 @@ class TestPreconditionerFallback:
         chain = birth_death(6, 1.0, 2.0)
         pi = steady_state(chain, "gmres")
         assert np.allclose(pi, geometric_pi(6, 0.5), atol=1e-6)
+
+
+class TestPreconditionerReporting:
+    """Krylov attempts must report which preconditioner path ran via
+    ``solver_options["info"]`` — ILU on a materialised chain, the
+    unpreconditioned fallback when the factorisation fails, and the
+    operator path (ILU impossible) on matrix-free chains."""
+
+    def test_materialised_chain_reports_ilu(self):
+        chain = birth_death(6, 1.0, 2.0)
+        info: dict = {}
+        steady_state(chain, "gmres", solver_options={"info": info})
+        assert info["preconditioner"] == "ilu"
+
+    def test_broken_spilu_reports_none_fallback(self, monkeypatch):
+        import repro.ctmc.steady as steady_mod
+
+        def broken_spilu(*args, **kwargs):
+            raise ValueError("near-singular factorisation")
+
+        monkeypatch.setattr(steady_mod.spla, "spilu", broken_spilu)
+        chain = birth_death(6, 1.0, 2.0)
+        info: dict = {}
+        steady_state(chain, "bicgstab", solver_options={"info": info})
+        assert info["preconditioner"] == "none-fallback"
+
+    def test_operator_backed_chain_reports_none_operator(self):
+        from repro.ctmc.chain import CTMC
+        from repro.ctmc.operator import CsrGenerator
+
+        base = birth_death(6, 1.0, 2.0)
+        chain = CTMC(labels=list(base.labels), operator=CsrGenerator(base.Q))
+        info: dict = {}
+        pi = steady_state(chain, "lgmres", solver_options={"info": info})
+        assert info["preconditioner"] == "none-operator"
+        assert not chain.materialized
+        assert np.allclose(pi, geometric_pi(6, 0.5), atol=1e-6)

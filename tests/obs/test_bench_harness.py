@@ -28,6 +28,12 @@ RUN_KEYS = {
     "workload", "kind", "size", "solver",
     "n_states", "n_transitions", "stages", "total_s", "peak_rss_kb",
 }
+#: present on chain-building runs only (pepa / pepa-descriptor / net)
+OPTIONAL_RUN_KEYS = {"generator", "generator_bytes"}
+
+
+def assert_run_keys(record):
+    assert RUN_KEYS <= set(record) <= RUN_KEYS | OPTIONAL_RUN_KEYS
 DOC_KEYS = {"schema", "label", "created_unix", "quick", "solver", "host",
             "fault_counters", "runs"}
 FAULT_COUNTER_KEYS = {"retries", "quarantined", "cache_evictions", "cache_corrupt"}
@@ -36,7 +42,7 @@ FAULT_COUNTER_KEYS = {"retries", "quarantined", "cache_evictions", "cache_corrup
 def test_workload_table_shape(run_bench):
     assert len(run_bench.WORKLOADS) >= 3
     for name, (kind, builder, sizes) in run_bench.WORKLOADS.items():
-        assert kind in {"pepa", "net", "explore"}
+        assert kind in {"pepa", "pepa-descriptor", "net", "explore"}
         assert callable(builder)
         assert len(sizes) >= 2, f"{name} needs >= 2 sizes for the sweep"
     # the kernel-throughput workload is part of the sweep
@@ -48,7 +54,9 @@ def test_run_one_pepa_record(run_bench):
         "file_protocol", "pepa", run_bench.file_protocol_model,
         {"n_readers": 1}, "direct",
     )
-    assert set(record) == RUN_KEYS
+    assert_run_keys(record)
+    assert record["generator"] == "csr"
+    assert record["generator_bytes"] > 0
     assert record["n_states"] > 0
     assert record["n_transitions"] > 0
     assert set(record["stages"]) == {"derive", "assemble", "solve"}
@@ -65,8 +73,10 @@ def test_run_one_net_record(run_bench):
         "courier_ring", "net", courier_ring_net,
         {"n_places": 3, "n_couriers": 2}, "direct",
     )
-    assert set(record) == RUN_KEYS
+    assert_run_keys(record)
     assert record["kind"] == "net"
+    assert record["generator"] == "csr"
+    assert record["generator_bytes"] > 0
     assert set(record["stages"]) == {"derive", "assemble", "solve"}
 
 
@@ -77,7 +87,8 @@ def test_run_one_explore_record(run_bench):
         "explore_throughput", "explore", client_server_model,
         {"n_clients": 4}, "direct",
     )
-    assert set(record) == RUN_KEYS
+    assert_run_keys(record)
+    assert "generator" not in record  # derive-only: no chain, no bytes
     assert record["kind"] == "explore"
     # derive-only: no assemble/solve stages, and a solver-independent
     # identity so --solver sweeps still match across bench documents
@@ -178,7 +189,8 @@ def test_parallel_sweep_matches_serial_counts(run_bench, tmp_path):
         assert parallel_run["n_transitions"] == serial_run["n_transitions"]
 
 
-@pytest.mark.parametrize("name", ["BENCH_PR2.json", "BENCH_PR4.json"])
+@pytest.mark.parametrize("name", ["BENCH_PR2.json", "BENCH_PR4.json",
+                                  "BENCH_PR9.json"])
 def test_checked_in_bench_document_is_schema_valid(run_bench, name):
     bench_path = _BENCH.parent.parent / name
     document = json.loads(bench_path.read_text())
@@ -187,7 +199,7 @@ def test_checked_in_bench_document_is_schema_valid(run_bench, name):
     assert document["schema"] == "repro-bench/1"
     workload_sizes: dict[str, set[str]] = {}
     for record in document["runs"]:
-        assert set(record) == RUN_KEYS
+        assert_run_keys(record)
         assert record["n_states"] > 0
         workload_sizes.setdefault(record["workload"], set()).add(
             json.dumps(record["size"], sort_keys=True)
@@ -239,3 +251,41 @@ def test_profiled_sweep_writes_collapsed_stacks(run_bench, monkeypatch,
                            "--profile-interval", "0.001",
                            "--profile-out", str(folded)]) == 0
     assert folded.exists()
+
+
+def test_run_one_descriptor_record(run_bench):
+    from repro.workloads import client_server_model
+
+    record = run_bench.run_one(
+        "client_server_descriptor", "pepa-descriptor", client_server_model,
+        {"n_clients": 3}, "gmres",
+    )
+    assert_run_keys(record)
+    assert record["kind"] == "pepa-descriptor"
+    assert record["generator"] == "descriptor"
+    assert record["generator_bytes"] > 0
+    assert set(record["stages"]) == {"derive", "assemble", "solve"}
+    assert json.dumps(record)
+
+
+def test_descriptor_stores_fewer_bytes_than_csr(run_bench):
+    """The point of the matrix-free backend: at the largest bench size
+    the descriptor's local matrices are smaller than the global CSR."""
+    from repro.workloads import client_server_model
+
+    size = {"n_clients": 7}
+    csr = run_bench.run_one("client_server", "pepa", client_server_model,
+                            size, "gmres")
+    desc = run_bench.run_one("client_server_descriptor", "pepa-descriptor",
+                             client_server_model, size, "gmres")
+    assert desc["n_states"] == csr["n_states"]
+    assert desc["generator_bytes"] < csr["generator_bytes"]
+
+
+def test_pr9_baseline_contains_descriptor_workloads(run_bench):
+    document = json.loads((_BENCH.parent.parent / "BENCH_PR9.json").read_text())
+    descriptor_runs = [r for r in document["runs"]
+                       if r["kind"] == "pepa-descriptor"]
+    assert len(descriptor_runs) >= 2
+    assert all(r["generator"] == "descriptor" for r in descriptor_runs)
+    assert all(r["generator_bytes"] > 0 for r in descriptor_runs)

@@ -1,0 +1,274 @@
+"""The compositional Kronecker descriptor vs the materialised CSR path.
+
+The tentpole invariant: for every descriptor-representable model the
+matrix-free generator is *element-exact* against the materialised
+matrix (SpMV to 1e-12), every iterative solver agrees across the two
+backends to 1e-8, and the iterative-solver path never materialises the
+matrix (asserted through ``chain.materialized``).
+
+Five workload families cover the supported composition algebra:
+interleaving, active/passive synchronisation, multi-action cooperation
+with multi-part passive groups (the paper's File protocol), an
+active×active cooperation with constant apparent rates, and hiding
+above a cooperation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctmc.operator import DescriptorUnsupported, KroneckerDescriptor
+from repro.ctmc.serialize import (
+    CTMC_DESCRIPTOR_SCHEMA,
+    ctmc_from_payload,
+    ctmc_to_payload,
+)
+from repro.ctmc.steady import SOLVERS, steady_state
+from repro.exceptions import SolverError
+from repro.pepa.ctmcgen import ctmc_from_statespace
+from repro.pepa.kronecker import build_descriptor, descriptor_chain
+from repro.pepa.parser import parse_model
+from repro.pepa.statespace import derive
+
+SPMV_ATOL = 1e-12
+SOLVE_ATOL = 1e-8
+
+FAMILIES = {
+    # n clients interleaved, passive on the shared action.
+    "client_server": """
+Client = (think, 1.2).ClientWait;
+ClientWait = (serve, infty).Client;
+Server = (serve, 4.0).ServerLog;
+ServerLog = (log, 9.0).Server;
+(Client <> Client <> Client) <serve> Server
+""",
+    # two independent two-stage tandem lines (nested cooperation under
+    # an interleaving).
+    "tandem_queue": """
+Stage1A = (arrive, 1.5).Stage1B;
+Stage1B = (pass, 2.5).Stage1A;
+Stage2A = (pass, infty).Stage2B;
+Stage2B = (depart, 3.0).Stage2A;
+(Stage1A <pass> Stage2A) <> (Stage1A <pass> Stage2A)
+""",
+    # the paper's Figure 1 File protocol: five shared actions with a
+    # fully passive reader (multi-part passive scale groups).
+    "file_protocol": """
+r_o = 2.0; r_r = 10.0; r_w = 4.0; r_c = 1.0;
+File = (openread, r_o).InStream + (openwrite, r_o).OutStream;
+InStream = (read, r_r).InStream + (close, r_c).File;
+OutStream = (write, r_w).OutStream + (close, r_c).File;
+FileReader = (openread, T).Reading + (openwrite, T).Writing;
+Reading = (read, T).Reading + (close, T).FileReader;
+Writing = (write, T).Writing + (close, T).FileReader;
+File <openread, openwrite, read, write, close> FileReader
+""",
+    # active x active with constant apparent rates on both sides.
+    "active_sync": """
+Left = (sync, 1.0).LeftBusy;
+LeftBusy = (work, 2.0).Left;
+Right = (sync, 3.0).RightBusy;
+RightBusy = (rest, 1.5).Right;
+Left <sync> Right
+""",
+    # hiding above the cooperation folds the synchronised action to tau.
+    "hidden_coop": """
+Prod = (make, 2.0).ProdFull;
+ProdFull = (hand, 4.0).Prod;
+Cons = (hand, infty).ConsBusy;
+ConsBusy = (use, 3.0).Cons;
+(Prod <hand> Cons)/{hand}
+""",
+}
+
+ITERATIVE_METHODS = sorted(set(SOLVERS) - {"direct"})
+
+
+def both_backends(source: str):
+    model = parse_model(source)
+    space = derive(model)
+    csr = ctmc_from_statespace(space)
+    desc = descriptor_chain(space, model.environment)
+    return csr, desc
+
+
+@pytest.fixture(scope="module")
+def backends():
+    return {name: both_backends(src) for name, src in FAMILIES.items()}
+
+
+class TestDescriptorExactness:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_materialised_descriptor_equals_csr(self, backends, family):
+        csr, desc = backends[family]
+        diff = np.abs((desc.generator.to_csr() - csr.Q).toarray()).max()
+        assert diff <= SPMV_ATOL
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_spmv_matches_csr(self, backends, family):
+        csr, desc = backends[family]
+        n = csr.n_states
+        rng = np.random.default_rng(hash(family) % 2**32)
+        for _ in range(5):
+            x = rng.normal(size=n)
+            np.testing.assert_allclose(
+                desc.generator.matvec(x), csr.Q @ x, atol=SPMV_ATOL
+            )
+            np.testing.assert_allclose(
+                desc.generator.rmatvec(x), csr.Q.transpose() @ x, atol=SPMV_ATOL
+            )
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_exit_and_action_rates_match(self, backends, family):
+        csr, desc = backends[family]
+        np.testing.assert_allclose(
+            desc.exit_rates(), csr.exit_rates(), atol=SPMV_ATOL
+        )
+        assert set(desc.action_rates) == set(csr.action_rates)
+        for action, vec in csr.action_rates.items():
+            np.testing.assert_allclose(
+                np.asarray(desc.action_rates[action]), np.asarray(vec),
+                atol=SPMV_ATOL,
+            )
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_labels_align(self, backends, family):
+        csr, desc = backends[family]
+        assert desc.labels == csr.labels
+        assert desc.initial == csr.initial
+
+
+class TestCrossBackendSolvers:
+    """The consistency battery: every iterative method, both backends."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("method", ITERATIVE_METHODS)
+    def test_backends_agree(self, backends, family, method):
+        csr, desc = backends[family]
+        reference = steady_state(csr, "direct")
+        pi_csr = steady_state(csr, method)
+        # a fresh descriptor chain per solve keeps materialisation
+        # assertions independent between methods
+        model = parse_model(FAMILIES[family])
+        fresh = descriptor_chain(derive(model), model.environment)
+        pi_desc = steady_state(fresh, method)
+        np.testing.assert_allclose(pi_csr, reference, atol=SOLVE_ATOL, rtol=0.0)
+        np.testing.assert_allclose(pi_desc, reference, atol=SOLVE_ATOL, rtol=0.0)
+        if method not in ("gauss_seidel",):
+            # every matrix-free method must leave the descriptor alone;
+            # gauss_seidel is the declared materialising exception
+            assert not fresh.materialized
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_direct_solver_materialises_transparently(self, backends, family):
+        model = parse_model(FAMILIES[family])
+        fresh = descriptor_chain(derive(model), model.environment)
+        csr, _ = backends[family]
+        pi = steady_state(fresh, "direct")
+        assert fresh.materialized
+        np.testing.assert_allclose(
+            pi, steady_state(csr, "direct"), atol=SOLVE_ATOL, rtol=0.0
+        )
+
+
+class TestUnsupportedShapes:
+    def test_state_dependent_active_active_is_rejected(self):
+        # The left side's apparent rate of `sync` differs between its
+        # enabled states, so min() does not factorise.
+        src = """
+A1 = (sync, 1.0).A2;
+A2 = (sync, 5.0).A1;
+B1 = (sync, 2.0).B2;
+B2 = (back, 1.0).B1;
+A1 <sync> B1
+"""
+        model = parse_model(src)
+        space = derive(model)
+        with pytest.raises(DescriptorUnsupported):
+            build_descriptor(space, model.environment)
+
+    def test_sequential_model_has_no_cooperation(self):
+        src = "P = (a, 1.0).Q;\nQ = (b, 2.0).P;\nP\n"
+        model = parse_model(src)
+        space = derive(model)
+        # A single sequential component is a one-factor descriptor.
+        chain = descriptor_chain(space, model.environment)
+        csr = ctmc_from_statespace(space)
+        diff = np.abs((chain.generator.to_csr() - csr.Q).toarray()).max()
+        assert diff <= SPMV_ATOL
+
+
+class TestGeneratorKnob:
+    def test_descriptor_mode_builds_descriptor(self):
+        model = parse_model(FAMILIES["client_server"])
+        space = derive(model)
+        chain = ctmc_from_statespace(
+            space, generator="descriptor", environment=model.environment
+        )
+        assert not chain.materialized
+        assert isinstance(chain.generator, KroneckerDescriptor)
+
+    def test_descriptor_mode_without_environment_raises(self):
+        model = parse_model(FAMILIES["client_server"])
+        space = derive(model)
+        with pytest.raises(SolverError):
+            ctmc_from_statespace(space, generator="descriptor")
+
+    def test_auto_mode_falls_back_on_unsupported(self):
+        from repro.obs import EventStream, use_events
+
+        src = """
+A1 = (sync, 1.0).A2;
+A2 = (sync, 5.0).A1;
+B1 = (sync, 2.0).B2;
+B2 = (back, 1.0).B1;
+A1 <sync> B1
+"""
+        model = parse_model(src)
+        space = derive(model)
+        events = EventStream()
+        with use_events(events):
+            chain = ctmc_from_statespace(
+                space, generator="auto", environment=model.environment
+            )
+        assert chain.materialized  # CSR fallback
+        assert len(events.by_name("generator.fallback")) == 1
+
+    def test_unknown_mode_raises(self):
+        model = parse_model(FAMILIES["client_server"])
+        space = derive(model)
+        with pytest.raises(SolverError):
+            ctmc_from_statespace(space, generator="dense")
+
+    def test_analyse_generator_matches_csr(self):
+        from repro.pepa.measures import analyse
+
+        model = parse_model(FAMILIES["client_server"])
+        through_csr = analyse(model, solver="gmres").all_throughputs()
+        through_desc = analyse(
+            model, solver="gmres", generator="descriptor"
+        ).all_throughputs()
+        assert set(through_csr) == set(through_desc)
+        for action, value in through_csr.items():
+            assert abs(through_desc[action] - value) <= SOLVE_ATOL
+
+
+class TestDescriptorSerialization:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_round_trip_stays_matrix_free(self, backends, family):
+        _, desc = backends[family]
+        payload = ctmc_to_payload(desc)
+        assert payload["schema"] == CTMC_DESCRIPTOR_SCHEMA
+        restored = ctmc_from_payload(payload)
+        assert not restored.materialized
+        assert isinstance(restored.generator, KroneckerDescriptor)
+        assert restored.labels == desc.labels
+        x = np.linspace(-1.0, 1.0, desc.n_states)
+        np.testing.assert_array_equal(
+            restored.generator.matvec(x), desc.generator.matvec(x)
+        )
+        for action, vec in desc.action_rates.items():
+            np.testing.assert_array_equal(
+                np.asarray(restored.action_rates[action]), np.asarray(vec)
+            )
