@@ -52,6 +52,7 @@ if _HERE not in sys.path:
 import numpy
 import scipy
 
+from repro.fluid.crossval import client_server_family, message_bus_model
 from repro.obs import observe
 from repro.utils.sysinfo import peak_rss_kib
 from repro.pepa.ctmcgen import ctmc_from_statespace
@@ -87,6 +88,22 @@ def file_protocol_model(n_readers: int):
     readers = " || ".join(["FileReader"] * n_readers)
     system = f"File <openread, openwrite, read, write, close> ({readers})"
     return parse_model(FILE_PROTOCOL_TEMPLATE.format(system=system))
+
+
+def fluid_client_server_model(replicas: int):
+    """Two-replica client/server template for the fluid rows.
+
+    The NVF dimension depends only on the local-state count, so the
+    template is built once at the smallest size and ``run_one`` applies
+    the ``replicas`` override at solve time — exactly the O(1)-in-N
+    property the paired bench sizes gate.
+    """
+    return client_server_family(2)
+
+
+def fluid_message_bus_model(replicas: int):
+    """Two-replica message-bus template (linear flows, exact limit)."""
+    return message_bus_model(2)
 
 
 #: workload name -> (kind, builder, {label: size_kwargs}).  ``quick``
@@ -144,6 +161,20 @@ WORKLOADS = {
         client_server_model,
         [{"n_clients": 7}, {"n_clients": 8}, {"n_clients": 9}],
     ),
+    # Mean-field (fluid) route: NVF compile + ODE steady solve.  The
+    # replica count N only rescales the initial vector, so the paired
+    # sizes must cost the same — the regression gate holds the fluid
+    # promise (solve time O(1) in N) release over release.
+    "fluid_client_server": (
+        "fluid",
+        fluid_client_server_model,
+        [{"replicas": 1_000}, {"replicas": 1_000_000}],
+    ),
+    "fluid_message_bus": (
+        "fluid",
+        fluid_message_bus_model,
+        [{"replicas": 1_000}, {"replicas": 1_000_000}],
+    ),
     # Generated-scenario corpus (repro.scenarios): seeds picked for the
     # largest marking spaces in the first two hundred, so the bench
     # covers machine-drawn topologies none of the curated families hit.
@@ -162,6 +193,8 @@ STAGE_SPANS = {
     "ctmc.assemble.descriptor": "assemble",
     "ctmc.solve": "solve",
     "ctmc.solve.fallback": "solve",
+    "fluid.compile": "compile",
+    "fluid.solve": "solve",
 }
 
 
@@ -172,7 +205,10 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str, *,
     ``kind == "explore"`` measures pure state-space exploration
     throughput: derive only, and the solver identity is pinned to
     ``"none"`` so the run matches across sweeps regardless of
-    ``--solver``.  ``kind == "pepa-descriptor"`` is the PEPA pipeline
+    ``--solver``.  ``kind == "fluid"`` compiles the numerical vector
+    form and solves the fluid steady state at ``size["replicas"]``
+    (stages ``compile`` + ``solve``; the solver identity records the
+    fluid method that converged).  ``kind == "pepa-descriptor"`` is the PEPA pipeline
     assembled through the matrix-free Kronecker backend (``generator``
     may also force the representation directly).  Chain-building runs
     report the generator representation and its stored size
@@ -187,6 +223,13 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str, *,
     with observe() as (tracer, metrics):
         if kind == "explore":
             space = derive(model)
+        elif kind == "fluid":
+            from repro.fluid.nvf import nvf_of_model
+            from repro.fluid.ode import steady_fluid
+
+            nvf, _shape, n_replicas = nvf_of_model(
+                model, replicas=size.get("replicas"))
+            _x, fluid_diagnostics = steady_fluid(nvf, n_replicas)
         elif kind in ("pepa", "pepa-descriptor"):
             space = derive(model)
             chain = ctmc_from_statespace(
@@ -203,6 +246,8 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str, *,
     total = time.perf_counter() - t0
     if kind == "explore":
         solver = "none"
+    elif kind == "fluid":
+        solver = fluid_diagnostics.method or "none"
 
     stages: dict[str, float] = {}
     for root in tracer.roots:
@@ -212,14 +257,19 @@ def run_one(workload: str, kind: str, builder, size: dict, solver: str, *,
                 stages[stage] = stages.get(stage, 0.0) + span.duration
     # Counts come from the returned space, not the exploration counters:
     # a derivation-cache hit skips exploration (no counter ticks) but
-    # still yields the full space.
+    # still yields the full space.  Fluid rows report the NVF dimension
+    # and flow count — the quantities the solve cost actually scales in.
+    if kind == "fluid":
+        n_states, n_transitions = int(nvf.dimension), int(nvf.n_flows)
+    else:
+        n_states, n_transitions = int(space.size), int(len(space.arcs))
     record = {
         "workload": workload,
         "kind": kind,
         "size": size,
         "solver": solver,
-        "n_states": int(space.size),
-        "n_transitions": int(len(space.arcs)),
+        "n_states": n_states,
+        "n_transitions": n_transitions,
         "stages": {name: round(seconds, 6) for name, seconds in sorted(stages.items())},
         "total_s": round(total, 6),
         "peak_rss_kb": peak_rss_kib(),

@@ -472,7 +472,15 @@ class BatchReport:
         )
         if totals and totals.get("evictions"):
             cache_line += f", {totals['evictions']} evicted"
-        status = "ok" if self.ok else f"{len(self.failures)} task(s) FAILED"
+        if self.ok:
+            status = "ok"
+        else:
+            # Name the casualties inline: corpus tasks carry their seed
+            # in the id, so a truncated CI log alone says what to replay.
+            named = ", ".join(r.task_id for r in self.failures[:5])
+            if len(self.failures) > 5:
+                named += f", +{len(self.failures) - 5} more"
+            status = f"{len(self.failures)} task(s) FAILED ({named})"
         lines = (
             f"{table}\n{len(self.results)} tasks on {self.jobs} worker(s) "
             f"in {self.duration_s:.3f}s — {status}\n{cache_line}"

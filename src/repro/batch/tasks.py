@@ -15,7 +15,9 @@ Kinds:
     ``rates_text`` (raw ``.rates`` file content) may replace ``rates``.
 ``pepa`` / ``net``
     Parse-and-solve of a textual PEPA model / PEPA net:
-    ``{"source": ..., "solver": "direct"}``.
+    ``{"source": ..., "solver": "direct"}``.  A PEPA payload with
+    ``{"fluid": true, "replicas": N}`` is solved on the mean-field
+    fluid route instead of the exact CTMC.
 ``experiment``
     One EXPERIMENTS.md row by id: ``{"experiment": "E1"}``.
 ``call``
@@ -100,6 +102,16 @@ def _run_xmi(payload: dict[str, Any], budget: "ExecutionBudget | None") -> dict[
 def _run_pepa(payload: dict[str, Any], budget: "ExecutionBudget | None") -> dict[str, Any]:
     from repro.choreographer.workbench import PepaWorkbench
 
+    if payload.get("fluid"):
+        workbench = PepaWorkbench(fluid=True, replicas=payload.get("replicas"))
+        analysis = workbench.solve_source(payload["source"])
+        return {
+            "dimension": analysis.dimension,
+            "replicas": analysis.replicas,
+            "method": analysis.solver,
+            "throughputs": _round_map(analysis.all_throughputs()),
+            "occupancies": _round_map(analysis.occupancies()),
+        }
     workbench = PepaWorkbench(
         solver=payload.get("solver", "direct"),
         max_states=payload.get("max_states", 1_000_000),

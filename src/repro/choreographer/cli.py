@@ -4,6 +4,7 @@ Sub-commands mirror the tool-chain stages::
 
     choreographer analyse model.xmi --rates tomcat.rates -o reflected.xmi
     choreographer pepa model.pepa --solver gmres
+    choreographer fluid model.pepa --replicas 100000
     choreographer net model.pepanet --export-prism out/model
     choreographer validate model.xmi
 """
@@ -104,7 +105,61 @@ def build_parser() -> argparse.ArgumentParser:
              "(descriptor when the system equation supports it)")
     pepa.add_argument("--export-prism", type=Path, metavar="STEM",
                       help="also write PRISM .tra/.sta/.lab files")
+    pepa.add_argument(
+        "--fluid", action="store_true",
+        help="solve the mean-field fluid limit (ODE over local-state "
+             "occupancies) instead of the exact CTMC; the model must "
+             "have the replicated population shape")
+    pepa.add_argument(
+        "--replicas", type=int, metavar="N",
+        help="with --fluid, override the replica count of the system "
+             "equation (solve time does not depend on N)")
     add_resilience_flags(pepa)
+
+    fluid = sub.add_parser(
+        "fluid",
+        help="mean-field analysis: NVF compile + fluid ODE solve, or the "
+             "fluid-vs-exact-vs-simulation cross-validation battery",
+    )
+    fluid.add_argument(
+        "model", nargs="?", type=Path,
+        help=".pepa file with a replicated system equation "
+             "(omit with --crossval)")
+    fluid.add_argument(
+        "--replicas", type=int, metavar="N",
+        help="override the replica count of the system equation")
+    fluid.add_argument(
+        "--methods", metavar="CHAIN",
+        help="comma-separated steady-state fallback chain "
+             "(default: newton,ode,damped)")
+    fluid.add_argument(
+        "--crossval", action="store_true",
+        help="validate the fluid solver against the exact population "
+             "CTMC (small N), scaled-measure convergence (growing N) "
+             "and stochastic-simulation confidence intervals (large N) "
+             "over built-in workload families")
+    fluid.add_argument(
+        "--families", metavar="NAMES",
+        help="comma-separated family subset for --crossval: "
+             "roaming_sessions, file_sink, message_bus, client_server "
+             "(default: all)")
+    fluid.add_argument(
+        "--ssa-replicas", type=int, default=1000, metavar="N",
+        help="population size of the simulation containment check "
+             "(default: 1000)")
+    fluid.add_argument(
+        "--no-ssa", action="store_true",
+        help="skip the stochastic-simulation containment check (faster)")
+    fluid.add_argument(
+        "--seed", type=int, default=2026, metavar="SEED",
+        help="base seed of the simulation replications (default: 2026)")
+    fluid.add_argument(
+        "--report", type=Path, metavar="FILE",
+        help="write the markdown comparison report here")
+    fluid.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the per-check table (and solver attempt table)")
+    add_warehouse_flags(fluid)
 
     net = sub.add_parser("net", help="solve a textual PEPA net")
     net.add_argument("model", type=Path)
@@ -198,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
              "'hang:taskid@1:30', 'cache-enospc:*'; repeatable (drills only)")
     batch.add_argument("--rates", type=Path, help=".rates file for XMI tasks")
     batch.add_argument("--solver", choices=sorted(SOLVERS), default="direct")
+    batch.add_argument(
+        "--fluid", action="store_true",
+        help="solve PEPA tasks on the mean-field fluid route instead of "
+             "the exact CTMC (nets and XMI pipelines are unaffected)")
+    batch.add_argument(
+        "--replicas", type=int, metavar="N",
+        help="with --fluid, replica-count override applied to every "
+             "PEPA task")
     batch.add_argument(
         "--generator", choices=list(GENERATOR_MODES), default="csr",
         help="generator representation for PEPA tasks (csr, descriptor "
@@ -356,7 +419,8 @@ def _ledger_config(args: argparse.Namespace) -> dict:
     """The identity-bearing slice of an invocation, for fingerprinting."""
     config = {"command": args.command}
     for key in ("solver", "model", "seeds", "start", "jobs", "experiments",
-                "corpus", "reset_rate"):
+                "corpus", "reset_rate", "fluid", "replicas", "crossval",
+                "families", "ssa_replicas"):
         value = getattr(args, key, None)
         if value not in (None, False):
             config[key] = str(value) if isinstance(value, Path) else value
@@ -398,12 +462,36 @@ def _cmd_analyse(args: argparse.Namespace) -> int:
     return 0 if result.report.ok else 3
 
 
+def _print_fluid_analysis(analysis, verbose: bool) -> None:
+    """The fluid result surface: coordinates, throughputs, occupancies."""
+    print(f"{analysis.dimension} fluid coordinates "
+          f"({analysis.n_replica_states} replica-local), "
+          f"N={analysis.replicas}, method={analysis.solver}")
+    _print_diagnostics(analysis, verbose)
+    rows = [[a, v] for a, v in analysis.all_throughputs().items()]
+    print(format_table(["activity", "throughput"], rows))
+    rows = [[name, v] for name, v in analysis.occupancies().items()]
+    print(format_table(["local state", "mean occupancy"], rows))
+
+
 def _cmd_pepa(args: argparse.Namespace) -> int:
+    if args.replicas is not None and not args.fluid:
+        print("error: --replicas only scales the fluid route; pass --fluid",
+              file=sys.stderr)
+        return 2
+    if args.fluid and args.export_prism:
+        print("error: the fluid route has no finite chain to export; "
+              "drop --export-prism or --fluid", file=sys.stderr)
+        return 2
     workbench = PepaWorkbench(
         solver=args.solver, policy=args.solver_policy, deadline=args.deadline,
         generator=getattr(args, "generator", "csr"),
+        fluid=args.fluid, replicas=args.replicas,
     )
     analysis = workbench.solve_source(args.model.read_text())
+    if args.fluid:
+        _print_fluid_analysis(analysis, args.verbose)
+        return 0
     print(f"{analysis.n_states} states, solver={analysis.solver}")
     _print_diagnostics(analysis, args.verbose)
     rows = [[a, v] for a, v in analysis.all_throughputs().items()]
@@ -411,6 +499,46 @@ def _cmd_pepa(args: argparse.Namespace) -> int:
     if args.export_prism:
         paths = write_prism_files(analysis.chain, args.export_prism)
         print("PRISM files:", ", ".join(str(p) for p in paths))
+    return 0
+
+
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    from repro.fluid import FAMILIES, run_crossval
+    from repro.fluid.ode import FLUID_METHODS, analyse_fluid
+    from repro.pepa.parser import parse_model
+
+    methods = (tuple(m.strip() for m in args.methods.split(",") if m.strip())
+               if args.methods else FLUID_METHODS)
+    if args.crossval:
+        families = None
+        if args.families:
+            families = [f.strip() for f in args.families.split(",") if f.strip()]
+            unknown = sorted(set(families) - set(FAMILIES))
+            if unknown:
+                print(f"error: unknown families {', '.join(unknown)}; "
+                      f"choose from {', '.join(FAMILIES)}", file=sys.stderr)
+                return 2
+        report = run_crossval(
+            families,
+            ssa_replicas=args.ssa_replicas,
+            include_ssa=not args.no_ssa,
+            base_seed=args.seed,
+        )
+        if args.verbose:
+            print(report.as_table())
+            print()
+        print(report.summary())
+        if args.report:
+            args.report.write_text(report.markdown())
+            print(f"comparison report written to {args.report}",
+                  file=sys.stderr)
+        return 0 if report.ok else 1
+    if args.model is None:
+        print("error: pass a .pepa model file or --crossval", file=sys.stderr)
+        return 2
+    model = parse_model(args.model.read_text())
+    analysis = analyse_fluid(model, replicas=args.replicas, methods=methods)
+    _print_fluid_analysis(analysis, args.verbose)
     return 0
 
 
@@ -554,6 +682,10 @@ def _batch_tasks(args: argparse.Namespace) -> list:
             generator = getattr(args, "generator", "csr")
             if generator != "csr":
                 payload["generator"] = generator
+            if getattr(args, "fluid", False):
+                payload["fluid"] = True
+                if getattr(args, "replicas", None) is not None:
+                    payload["replicas"] = args.replicas
         task_id = path.stem
         while task_id in seen:
             task_id += "+"
@@ -930,6 +1062,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "analyse": _cmd_analyse,
         "pepa": _cmd_pepa,
+        "fluid": _cmd_fluid,
         "net": _cmd_net,
         "validate": _cmd_validate,
         "simulate": _cmd_simulate,

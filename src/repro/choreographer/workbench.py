@@ -36,7 +36,8 @@ class PepaWorkbench:
 
     def __init__(self, *, solver: str = "direct", max_states: int = 1_000_000,
                  reducible: str = "error", policy=None, deadline: float | None = None,
-                 budget: ExecutionBudget | None = None, generator: str = "csr"):
+                 budget: ExecutionBudget | None = None, generator: str = "csr",
+                 fluid: bool = False, replicas: int | None = None):
         self.solver = solver
         self.max_states = max_states
         self.reducible = reducible
@@ -47,6 +48,10 @@ class PepaWorkbench:
         #: ``"auto"`` (matrix-free Kronecker descriptor when the system
         #: equation supports it).
         self.generator = generator
+        #: Mean-field route: solve the fluid ODE limit instead of the
+        #: exact CTMC, scaling the population to ``replicas`` when set.
+        self.fluid = fluid
+        self.replicas = replicas
 
     def _budget(self) -> ExecutionBudget | None:
         if self.budget is not None:
@@ -62,8 +67,11 @@ class PepaWorkbench:
         return model
 
     def solve(self, model: PepaModel) -> ModelAnalysis:
-        """Check, derive and solve a model; returns the analysis object."""
+        """Check, derive and solve a model; returns the analysis object
+        (a :class:`~repro.fluid.ode.FluidAnalysis` on the fluid route)."""
         assert_well_formed(model)
+        if self.fluid:
+            return analyse(model, fluid=True, replicas=self.replicas)
         return analyse(
             model, solver=self.solver, max_states=self.max_states,
             reducible=self.reducible, policy=self.policy, budget=self._budget(),

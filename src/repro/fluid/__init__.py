@@ -1,0 +1,39 @@
+"""Fluid (mean-field) analysis of replicated PEPA populations.
+
+Compiles the counting semantics of :mod:`repro.pepa.population` into a
+numerical vector form (activity matrices + mean-field vector field, per
+Ding & Hillston arXiv:1012.3040) and solves its ODEs — throughput,
+utilisation and local-state occupancy for arbitrary replica counts in
+time independent of N.  Cross-validated three ways against the exact
+CTMC and the SSA engine by :mod:`repro.fluid.crossval`.
+"""
+
+from repro.fluid.crossval import (
+    FAMILIES,
+    CheckResult,
+    CrossValidationReport,
+    Family,
+    run_crossval,
+)
+from repro.fluid.nvf import NumericalVectorForm, compile_nvf, nvf_of_model
+from repro.fluid.ode import FLUID_METHODS, FluidAnalysis, analyse_fluid, steady_fluid, trajectory
+from repro.fluid.shape import FluidUnsupported, PopulationShape, population_shape
+
+__all__ = [
+    "FluidUnsupported",
+    "PopulationShape",
+    "population_shape",
+    "NumericalVectorForm",
+    "compile_nvf",
+    "nvf_of_model",
+    "FluidAnalysis",
+    "FLUID_METHODS",
+    "analyse_fluid",
+    "steady_fluid",
+    "trajectory",
+    "Family",
+    "FAMILIES",
+    "CheckResult",
+    "CrossValidationReport",
+    "run_crossval",
+]

@@ -112,7 +112,9 @@ def analyse(
     budget: "ExecutionBudget | None" = None,
     policy: "FallbackPolicy | str | None" = None,
     generator: str = "csr",
-) -> ModelAnalysis:
+    fluid: bool = False,
+    replicas: int | None = None,
+):
     """Derive and solve ``model``; returns a :class:`ModelAnalysis`.
 
     ``reducible="bscc"`` permits models with a transient start-up phase
@@ -125,7 +127,22 @@ def analyse(
     ``generator`` selects the generator representation (``"csr"``,
     ``"descriptor"`` or ``"auto"`` — see
     :func:`repro.pepa.ctmcgen.ctmc_from_statespace`).
+
+    ``fluid=True`` switches to the mean-field route: the model must
+    have the replicated population shape, the (optional) ``replicas``
+    count overrides the one spelled out in the system equation, and the
+    result is a :class:`~repro.fluid.ode.FluidAnalysis` (occupancies
+    and throughputs in time independent of the replica count) instead
+    of a :class:`ModelAnalysis`.
     """
+    if fluid:
+        from repro.fluid.ode import analyse_fluid
+
+        return analyse_fluid(model, replicas=replicas)
+    if replicas is not None:
+        raise SolverError(
+            "replicas is only meaningful on the fluid route; pass fluid=True"
+        )
     space = derive(model, max_states=max_states, budget=budget)
     chain = ctmc_from_statespace(
         space, generator=generator, environment=model.environment

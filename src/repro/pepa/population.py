@@ -40,15 +40,24 @@ from repro.pepa.semantics import apparent_rate, derivative_set, derivatives
 from repro.pepa.syntax import Expression, Sequential
 from repro.utils.ordering import stable_sorted
 
-__all__ = ["PopulationState", "PopulationModel", "population_ctmc"]
+__all__ = [
+    "PopulationState",
+    "PopulationModel",
+    "population_ctmc",
+    "environment_states",
+]
 
 
 @dataclass(frozen=True)
 class PopulationState:
-    """(counts per replica local state, environment state)."""
+    """(counts per replica local state, environment state).
+
+    ``environment_state`` is ``None`` for environment-free systems
+    (pure interleaving of replicas, no cooperation).
+    """
 
     counts: tuple[tuple[str, int], ...]  # sorted (local-state-name, n>0)
-    environment_state: Expression
+    environment_state: Expression | None
 
     def count_of(self, local_state: str) -> int:
         """How many replicas currently occupy the given local state."""
@@ -60,6 +69,8 @@ class PopulationState:
 
     def __str__(self) -> str:
         pops = ", ".join(f"{name}:{n}" for name, n in self.counts)
+        if self.environment_state is None:
+            return f"[{pops}]"
         return f"[{pops}] | {self.environment_state}"
 
 
@@ -71,11 +82,16 @@ class PopulationModel:
         env: Environment,
         replica: str,
         n_replicas: int,
-        environment_component: Expression,
+        environment_component: Expression | None,
         cooperation: frozenset[str],
     ):
         if n_replicas < 1:
             raise WellFormednessError("need at least one replica")
+        if environment_component is None and cooperation:
+            raise WellFormednessError(
+                "a cooperation set needs an environment component to "
+                "cooperate with; pure interleaving has an empty set"
+            )
         self.env = env
         self.replica = replica
         self.n = n_replicas
@@ -113,7 +129,7 @@ class PopulationModel:
         counts = dict(state.counts)
         env_state = state.environment_state
 
-        env_transitions = derivatives(env_state, self.env)
+        env_transitions = [] if env_state is None else derivatives(env_state, self.env)
         # --- independent replica moves (action not in L) --------------
         for name, n in state.counts:
             for tr in derivatives(self.local_states[name], self.env):
@@ -184,11 +200,40 @@ def _move(counts: dict[str, int], source: str, target: str) -> tuple[tuple[str, 
     return tuple(sorted((k, v) for k, v in nxt.items() if v > 0))
 
 
+def environment_states(
+    env: Environment,
+    environment_component: Expression,
+    *,
+    max_states: int = 10_000,
+) -> list[Expression]:
+    """Every state the environment component can reach, canonically ordered.
+
+    Breadth-first over :func:`~repro.pepa.semantics.derivatives` — shared
+    and independent moves alike change the environment only through its
+    own one-step targets, so this is the full environment universe of
+    the population construction (and the environment block of the fluid
+    vector form's coordinate system).
+    """
+    seen: set[Expression] = {environment_component}
+    frontier: list[Expression] = [environment_component]
+    while frontier:
+        current = frontier.pop()
+        for tr in derivatives(current, env):
+            if tr.target not in seen:
+                if len(seen) >= max_states:
+                    raise StateSpaceError(
+                        f"environment component exceeds {max_states} states"
+                    )
+                seen.add(tr.target)
+                frontier.append(tr.target)
+    return stable_sorted(seen, key=str)
+
+
 def population_ctmc(
     env: Environment,
     replica: str,
     n_replicas: int,
-    environment_component: Expression,
+    environment_component: Expression | None,
     cooperation: frozenset[str] | set[str],
     *,
     max_states: int = 1_000_000,

@@ -104,6 +104,9 @@ class SweepReport:
     completed: int = 0
     divergent: list[SeedResult] = field(default_factory=list)
     budget_exhausted: bool = False
+    #: The seed the sweep was working on when the budget ran out, so a
+    #: truncated CI log still says where to resume (``--base SEED``).
+    exhausted_seed: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -114,7 +117,12 @@ class SweepReport:
         lines = [
             f"fuzz: {self.completed}/{self.requested} seeds checked, "
             f"{len(self.divergent)} divergent"
-            + (" (budget exhausted)" if self.budget_exhausted else "")
+            + (
+                f" (budget exhausted at seed {self.exhausted_seed})"
+                if self.budget_exhausted and self.exhausted_seed is not None
+                else " (budget exhausted)" if self.budget_exhausted
+                else ""
+            )
         ]
         for result in self.divergent:
             first = result.mismatches[0] if result.mismatches else None
@@ -130,6 +138,7 @@ class SweepReport:
             "requested": self.requested,
             "completed": self.completed,
             "budget_exhausted": self.budget_exhausted,
+            "exhausted_seed": self.exhausted_seed,
             "divergent": [
                 {
                     "seed": r.seed,
@@ -383,8 +392,9 @@ def run_sweep(seeds: Sequence[int] | Iterable[int], *,
 
     ``deadline`` bounds the whole sweep with one cooperative
     :class:`~repro.resilience.budget.BudgetSpec` — exceeding it stops
-    the sweep gracefully with ``budget_exhausted`` set, it never fails
-    seeds that were not reached.  With ``out_dir`` set, every divergent
+    the sweep gracefully with ``budget_exhausted`` set and
+    ``exhausted_seed`` naming the seed in flight, it never fails seeds
+    that were not reached.  With ``out_dir`` set, every divergent
     seed is shrunk (unless ``minimise`` is off) and dumped as a
     reproducer directory.
     """
@@ -398,6 +408,7 @@ def run_sweep(seeds: Sequence[int] | Iterable[int], *,
                                   budget=budget)
         except BudgetExceededError:
             report.budget_exhausted = True
+            report.exhausted_seed = seed
             break
         report.completed += 1
         if result.ok:

@@ -95,3 +95,29 @@ def test_call_kind_rejects_malformed_target():
 def test_unknown_kind_raises():
     with pytest.raises(ValueError, match="unknown task kind"):
         run_task(BatchTask(id="t", kind="bogus"))
+
+
+FLUID_SRC = """
+Session = (download, 1.0).Roaming;
+Roaming = (handover, 0.5).Session;
+Session || Session
+"""
+
+
+def test_pepa_kind_fluid_route():
+    measures = run_task(BatchTask(
+        id="t", kind="pepa",
+        payload={"source": FLUID_SRC, "fluid": True, "replicas": 600},
+    ))
+    assert measures["replicas"] == 600
+    assert measures["dimension"] == 2
+    assert measures["method"] in ("newton", "ode", "damped")
+    assert measures["throughputs"]["download"] == pytest.approx(200.0, rel=1e-6)
+    assert sum(measures["occupancies"].values()) == pytest.approx(600.0)
+
+
+def test_pepa_kind_fluid_measures_deterministic():
+    payload = {"source": FLUID_SRC, "fluid": True, "replicas": 50}
+    first = run_task(BatchTask(id="t", kind="pepa", payload=payload))
+    second = run_task(BatchTask(id="t", kind="pepa", payload=payload))
+    assert first == second

@@ -1,0 +1,97 @@
+"""CLI tests for the fluid route: ``pepa --fluid`` and the ``fluid``
+sub-command (model solve and cross-validation battery)."""
+
+import json
+
+import pytest
+
+from repro.choreographer.cli import main
+
+ROAMING = """
+Session = (download, 1.0).Roaming;
+Roaming = (handover, 0.5).Session;
+Session || Session || Session
+"""
+
+
+@pytest.fixture()
+def roaming_file(tmp_path):
+    path = tmp_path / "roaming.pepa"
+    path.write_text(ROAMING)
+    return path
+
+
+class TestPepaFluidFlag:
+    def test_pepa_fluid_prints_occupancies(self, roaming_file, capsys):
+        code = main(["pepa", str(roaming_file), "--fluid", "--replicas", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "N=300" in out
+        assert "mean occupancy" in out
+        assert "throughput" in out
+
+    def test_replicas_without_fluid_is_an_error(self, roaming_file, capsys):
+        code = main(["pepa", str(roaming_file), "--replicas", "300"])
+        assert code == 2
+        assert "--fluid" in capsys.readouterr().err
+
+    def test_fluid_with_prism_export_is_an_error(self, roaming_file, tmp_path, capsys):
+        code = main(["pepa", str(roaming_file), "--fluid",
+                     "--export-prism", str(tmp_path / "out")])
+        assert code == 2
+        assert "no finite chain" in capsys.readouterr().err
+
+    def test_unsupported_shape_maps_to_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "mixed.pepa"
+        path.write_text(
+            "P = (a, 1.0).Q; Q = (b, 2.0).P; R = (a, 1.0).R;"
+            "(P || R) <a> (Q || R)"
+        )
+        code = main(["pepa", str(path), "--fluid"])
+        assert code == 2
+        assert "population shape" in capsys.readouterr().err
+
+
+class TestFluidCommand:
+    def test_solve_model_file(self, roaming_file, capsys):
+        code = main(["fluid", str(roaming_file), "--replicas", "1000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "N=1000" in out
+
+    def test_no_model_and_no_crossval_is_usage_error(self, capsys):
+        code = main(["fluid"])
+        assert code == 2
+        assert "--crossval" in capsys.readouterr().err
+
+    def test_crossval_two_families(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        code = main(["fluid", "--crossval",
+                     "--families", "roaming_sessions,message_bus",
+                     "--no-ssa", "--report", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all checks passed" in out
+        assert "Fluid cross-validation report" in report.read_text()
+
+    def test_crossval_unknown_family(self, capsys):
+        code = main(["fluid", "--crossval", "--families", "nope"])
+        assert code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_methods_chain_flag(self, roaming_file, capsys):
+        code = main(["fluid", str(roaming_file), "--methods", "ode,damped", "-v"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method=ode" in out
+
+    def test_crossval_recorded_in_ledger(self, tmp_path, capsys):
+        ledger = tmp_path / "runs"
+        code = main(["fluid", "--crossval", "--families", "roaming_sessions",
+                     "--no-ssa", "--ledger", str(ledger)])
+        assert code == 0
+        capsys.readouterr()  # drain the battery output
+        assert main(["runs", "--ledger", str(ledger), "show"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "fluid"
+        assert document["config"]["crossval"] is True

@@ -1,0 +1,55 @@
+"""Tests for the three-way cross-validation battery."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.fluid import FAMILIES, CrossValidationReport, run_crossval
+
+LIGHT = dict(
+    small_ns=(3, 5), convergence_ns=(4, 16, 64),
+    ssa_replicas=150, ssa_t_end=8.0, ssa_warmup=2.0,
+    ssa_replications=4, base_seed=11,
+)
+
+
+class TestBattery:
+    def test_all_families_pass_light_settings(self):
+        report = run_crossval(**LIGHT)
+        assert report.ok, report.as_table()
+        assert "all checks passed" in report.summary()
+
+    def test_family_subset(self):
+        report = run_crossval(["roaming_sessions"], include_ssa=False,
+                              small_ns=(4,))
+        assert report.ok
+        assert {r.family for r in report.results} == {"roaming_sessions"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ReproError, match="ghost_family"):
+            run_crossval(["ghost_family"])
+
+    def test_exact_families_marked(self):
+        assert FAMILIES["file_sink"].exact
+        assert not FAMILIES["client_server"].exact
+
+    def test_markdown_report_structure(self):
+        report = run_crossval(["message_bus"], include_ssa=False,
+                              small_ns=(3,))
+        md = report.markdown()
+        assert md.startswith("# Fluid cross-validation report")
+        assert "| family | check | status | detail |" in md
+        assert "message_bus" in md
+
+
+class TestReport:
+    def test_failure_is_named_in_the_summary(self):
+        report = CrossValidationReport()
+        report.record("fam_a", "exact", True, "fine")
+        report.record("fam_b", "ssa", False, "outside the interval")
+        assert not report.ok
+        summary = report.summary()
+        assert "1/2 checks passed" in summary
+        assert "FAILED" in summary and "fam_b/ssa" in summary
+
+    def test_empty_report_is_ok(self):
+        assert CrossValidationReport().ok

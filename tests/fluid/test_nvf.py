@@ -1,0 +1,83 @@
+"""Tests for the numerical vector form compiler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WellFormednessError
+from repro.fluid import FluidUnsupported, nvf_of_model
+from repro.fluid.crossval import client_server_family, file_sink_model
+from repro.pepa import parse_model
+
+
+class TestCompilation:
+    def test_coordinates_are_replica_then_environment(self):
+        nvf, shape, n = nvf_of_model(client_server_family(4))
+        assert set(nvf.names[:3]) == {"Think", "Ready", "Wait"}
+        assert set(nvf.names[3:]) == {"Idle", "Serve"}
+        assert nvf.n_replica_states == 3
+        assert nvf.dimension == 5
+        assert n == 4
+
+    def test_initial_vector_masses(self):
+        nvf, _, _ = nvf_of_model(client_server_family(1))
+        x0 = nvf.initial_vector(1000)
+        assert x0[: nvf.n_replica_states].sum() == pytest.approx(1000.0)
+        assert x0[nvf.n_replica_states:].sum() == pytest.approx(1.0)
+        assert x0[nvf.names.index("Think")] == pytest.approx(1000.0)
+
+    def test_vector_field_conserves_both_classes(self):
+        nvf, _, _ = nvf_of_model(client_server_family(1))
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            x = np.empty(nvf.dimension)
+            repl = rng.random(nvf.n_replica_states)
+            x[: nvf.n_replica_states] = 50.0 * repl / repl.sum()
+            env = rng.random(nvf.dimension - nvf.n_replica_states)
+            x[nvf.n_replica_states:] = env / env.sum()
+            dx = nvf.vector_field(x)
+            assert dx[: nvf.n_replica_states].sum() == pytest.approx(0.0, abs=1e-9)
+            assert dx[nvf.n_replica_states:].sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_action_flows_cover_the_alphabet(self):
+        nvf, _, _ = nvf_of_model(client_server_family(1))
+        flows = nvf.action_flows(nvf.initial_vector(10))
+        assert set(flows) == {"think", "request", "respond", "reset"}
+
+    def test_activity_matrices_name_coordinates(self):
+        nvf, _, _ = nvf_of_model(file_sink_model(1))
+        matrices = nvf.activity_matrices()
+        assert ("Reader", "Writer", 1.5) in matrices["read"]
+        # the shared action lists both sides; the passive side carries
+        # its weight
+        sources = {src for src, _, _ in matrices["write"]}
+        assert {"Writer", "Sink"} <= sources
+
+    def test_conservation_classes(self):
+        nvf, _, _ = nvf_of_model(file_sink_model(1))
+        classes = nvf.conservation_classes()
+        (repl_idx, repl_target), (env_idx, env_target) = classes
+        assert repl_target is None and env_target == 1.0
+        assert len(repl_idx) == nvf.n_replica_states
+
+
+class TestRateDiscipline:
+    def test_multi_state_passive_side_is_unsupported(self):
+        model = parse_model(
+            "Work = (go, 1.0).Rest; Rest = (pause, 2.0).Work;"
+            "Srv = (go, T).Busy; Busy = (done, 3.0).Srv;"
+            "(Work || Work) <go> Srv"
+        )
+        with pytest.raises(FluidUnsupported, match="single-state"):
+            nvf_of_model(model)
+
+    def test_both_sides_passive_rejected(self):
+        model = parse_model(
+            "P = (go, T).P; Q = (go, T).Q; (P || P) <go> Q"
+        )
+        with pytest.raises(WellFormednessError):
+            nvf_of_model(model)
+
+    def test_passive_individual_activity_rejected(self):
+        model = parse_model("P = (lonely, T).P; P || P")
+        with pytest.raises(WellFormednessError, match="passive"):
+            nvf_of_model(model)

@@ -1,0 +1,76 @@
+"""Tests for the population-shape recogniser."""
+
+import pytest
+
+from repro.fluid import FluidUnsupported, population_shape
+from repro.pepa import parse_model
+
+DEFS = """
+Think = (think, 1.0).Ready;
+Ready = (request, 2.0).Wait;
+Wait  = (respond, 4.0).Think;
+Idle  = (request, 10.0).Serve;
+Serve = (reset, 5.0).Idle;
+"""
+
+
+def shape_of(system: str):
+    return population_shape(parse_model(DEFS + system))
+
+
+class TestRecognition:
+    def test_pure_interleaving_has_no_environment(self):
+        shape = shape_of("Think || Think || Think")
+        assert shape.replica == "Think"
+        assert shape.n_replicas == 3
+        assert shape.environment is None
+        assert shape.cooperation == frozenset()
+
+    def test_single_constant_is_one_replica(self):
+        shape = shape_of("Think")
+        assert (shape.replica, shape.n_replicas) == ("Think", 1)
+
+    def test_replica_block_with_environment(self):
+        shape = shape_of("(Think || Think) <request> Idle")
+        assert shape.replica == "Think"
+        assert shape.n_replicas == 2
+        assert str(shape.environment) == "Idle"
+        assert shape.cooperation == frozenset({"request"})
+
+    def test_replica_block_on_the_right(self):
+        shape = shape_of("Idle <request> (Think || Think)")
+        assert shape.replica == "Think"
+        assert str(shape.environment) == "Idle"
+
+    def test_larger_block_wins_when_both_sides_replicate(self):
+        shape = shape_of("(Idle || Idle || Idle) <request> (Think || Think)")
+        assert shape.replica == "Idle"
+        assert shape.n_replicas == 3
+
+    def test_ties_go_left(self):
+        shape = shape_of("(Idle || Idle) <request> (Think || Think)")
+        assert shape.replica == "Idle"
+
+    def test_describe_is_readable(self):
+        shape = shape_of("(Think || Think) <request> Idle")
+        assert shape.describe() == "Think^2 <request> Idle"
+
+
+class TestDiagnostics:
+    def test_mixed_interleaving_rejected(self):
+        with pytest.raises(FluidUnsupported, match="population shape"):
+            shape_of("(Think || Idle) <request> (Serve || Wait)")
+
+    def test_single_component_environment_is_a_one_replica_block(self):
+        # a mixed interleaving paired with a single constant is fine:
+        # the constant is a 1-replica population, the mix the environment
+        shape = shape_of("(Think || Idle) <request> Serve")
+        assert (shape.replica, shape.n_replicas) == ("Serve", 1)
+
+    def test_non_cooperation_system_rejected(self):
+        with pytest.raises(FluidUnsupported, match="replicated population"):
+            population_shape(parse_model("P = (a, 1.0).P; (a, 1.0).P"))
+
+    def test_diagnostic_names_the_offending_term(self):
+        with pytest.raises(FluidUnsupported, match="Think"):
+            shape_of("(Think || Idle) <request> (Serve || Wait)")

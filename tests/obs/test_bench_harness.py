@@ -42,7 +42,7 @@ FAULT_COUNTER_KEYS = {"retries", "quarantined", "cache_evictions", "cache_corrup
 def test_workload_table_shape(run_bench):
     assert len(run_bench.WORKLOADS) >= 3
     for name, (kind, builder, sizes) in run_bench.WORKLOADS.items():
-        assert kind in {"pepa", "pepa-descriptor", "net", "explore"}
+        assert kind in {"pepa", "pepa-descriptor", "net", "explore", "fluid"}
         assert callable(builder)
         assert len(sizes) >= 2, f"{name} needs >= 2 sizes for the sweep"
     # the kernel-throughput workload is part of the sweep
@@ -78,6 +78,22 @@ def test_run_one_net_record(run_bench):
     assert record["generator"] == "csr"
     assert record["generator_bytes"] > 0
     assert set(record["stages"]) == {"derive", "assemble", "solve"}
+
+
+def test_run_one_fluid_record(run_bench):
+    record = run_bench.run_one(
+        "fluid_client_server", "fluid", run_bench.fluid_client_server_model,
+        {"replicas": 1000}, "direct",
+    )
+    assert_run_keys(record)
+    assert record["kind"] == "fluid"
+    # ODE route: no generator, stage pair is compile+solve, the solver
+    # column records the converged fluid method
+    assert "generator" not in record
+    assert set(record["stages"]) == {"compile", "solve"}
+    assert record["solver"] in ("newton", "ode", "damped")
+    assert record["n_states"] > 0  # NVF dimension
+    assert json.dumps(record)
 
 
 def test_run_one_explore_record(run_bench):

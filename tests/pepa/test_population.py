@@ -138,3 +138,68 @@ class TestDiagnostics:
             env, "Think", 2, parse_expression("Idle"), {"request", "response"}
         )
         assert any("Think:2" in str(s) for s in states)
+
+
+class TestEdgeShapes:
+    """Boundary shapes the fluid compiler leans on: degenerate replicas,
+    passive-only cooperation and the no-environment form."""
+
+    def test_single_local_state_replica(self):
+        """A one-state replica cycles in place: one population state,
+        throughput n·r at every n."""
+        model = parse_model("P = (tick, 2.0).P; P")
+        for n in (1, 7):
+            states, chain = population_ctmc(
+                model.environment, "P", n, None, set()
+            )
+            assert len(states) == 1
+            assert chain.n_states == 1
+            pi = steady_state(chain)
+            assert math.isclose(throughput(chain, "tick", pi), 2.0 * n)
+
+    def test_passive_only_shared_action_with_sink(self):
+        """A single-state passive sink never gates the replicas: the
+        shared throughput equals the replicas' own apparent rate."""
+        model = parse_model(
+            "Reader = (read, 1.5).Writer; Writer = (write, 2.0).Reader;"
+            "Sink = (write, T).Sink; Sink"
+        )
+        states, chain = population_ctmc(
+            model.environment, "Reader", 3, parse_expression("Sink"),
+            {"write"},
+        )
+        pi = steady_state(chain)
+        expected = 3 / (1 / 1.5 + 1 / 2.0)  # n · cycle rate
+        assert math.isclose(throughput(chain, "write", pi), expected, rel_tol=1e-9)
+        # ... and matches the unfolded interleaving exactly
+        sys_model = parse_model(
+            "Reader = (read, 1.5).Writer; Writer = (write, 2.0).Reader;"
+            "Sink = (write, T).Sink;"
+            "(Reader || Reader || Reader) <write> Sink"
+        )
+        _, full_chain = ctmc_of_model(sys_model)
+        assert math.isclose(
+            throughput(chain, "write", pi),
+            throughput(full_chain, "write"),
+            rel_tol=1e-9,
+        )
+
+    def test_no_environment_rejects_cooperation_set(self):
+        model = parse_model("P = (a, 1.0).P; P")
+        with pytest.raises(WellFormednessError, match="environment component"):
+            population_ctmc(model.environment, "P", 2, None, {"a"})
+
+    def test_environment_states_enumerates_universe(self):
+        from repro.pepa.population import environment_states
+
+        env = defs_environment()
+        states = environment_states(env, parse_expression("Idle"))
+        assert sorted(str(s) for s in states) == ["Idle", "Serve"]
+
+    def test_environment_states_bounded(self):
+        from repro.exceptions import StateSpaceError
+        from repro.pepa.population import environment_states
+
+        env = defs_environment()
+        with pytest.raises(StateSpaceError, match="exceeds"):
+            environment_states(env, parse_expression("Idle"), max_states=1)

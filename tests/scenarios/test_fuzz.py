@@ -159,6 +159,13 @@ class TestSweepDriver:
         assert report.budget_exhausted
         assert report.completed < 50
         assert report.ok  # unreached seeds are not failures
+        # The in-flight seed is named so the sweep can be resumed there.
+        assert report.exhausted_seed == report.completed
+        assert (
+            f"(budget exhausted at seed {report.exhausted_seed})"
+            in report.summary()
+        )
+        assert report.as_json()["exhausted_seed"] == report.exhausted_seed
 
     def test_report_json_shape(self):
         report = run_sweep(range(0, 3))
